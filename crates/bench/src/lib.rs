@@ -1,0 +1,9 @@
+//! # pcc-bench — benchmark harnesses
+//!
+//! * `benches/micro.rs` — Criterion micro-benchmarks of the simulator's hot
+//!   paths (event queue, queue disciplines, utility evaluation) plus
+//!   full-simulation throughput.
+//! * `benches/experiments.rs` — regenerates every table and figure of the
+//!   paper (delegates to `pcc-experiments`; `harness = false`).
+//!
+//! Run everything with `cargo bench --workspace`.

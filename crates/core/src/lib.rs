@@ -1,0 +1,56 @@
+//! # pcc-core — Performance-oriented Congestion Control
+//!
+//! The primary contribution of *PCC: Re-architecting Congestion Control for
+//! Consistent High Performance* (Dong, Li, Zarchy, Godfrey, Schapira —
+//! NSDI 2015), implemented as a [`pcc_transport::RateController`]:
+//!
+//! * [`monitor`] — monitor intervals (§3.1): continuous measurement windows
+//!   aggregating SACK feedback into `(rate → throughput, loss, RTT)` facts.
+//! * [`utility`] — pluggable utility functions (§2.2, §4.4): the provably
+//!   safe sigmoid objective plus latency-sensitive and loss-resilient ones.
+//! * [`control`] — the online learning control algorithm (§3.2): Starting /
+//!   Decision-Making (randomized controlled trials) / Rate-Adjusting.
+//! * [`fluid`] — the game-theoretic model behind Theorems 1–2, with
+//!   numerical verification in its test-suite.
+//!
+//! ## Quick start (simulation)
+//!
+//! ```
+//! use pcc_core::{PccConfig, PccController};
+//! use pcc_simnet::prelude::*;
+//! use pcc_transport::{RateSender, RateSenderConfig, SackReceiver};
+//!
+//! let mut net = NetworkBuilder::new(SimConfig::default());
+//! let db = Dumbbell::new(&mut net, BottleneckSpec::new(100e6, 64_000));
+//! let path = db.attach_flow(&mut net, SimDuration::from_millis(30));
+//! let pcc = PccController::new(
+//!     PccConfig::paper().with_rtt_hint(SimDuration::from_millis(30)),
+//! );
+//! let flow = net.add_flow(FlowSpec {
+//!     sender: Box::new(RateSender::new(RateSenderConfig::default(), Box::new(pcc))),
+//!     receiver: Box::new(SackReceiver::new()),
+//!     fwd_path: path.fwd,
+//!     rev_path: path.rev,
+//!     start_at: SimTime::ZERO,
+//! });
+//! let report = net.build().run_until(SimTime::from_secs(5));
+//! let tput = report.avg_throughput_mbps(flow, SimTime::from_secs(3), SimTime::from_secs(5));
+//! assert!(tput > 80.0, "PCC fills the pipe: {tput} Mbps");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod control;
+pub mod fluid;
+pub mod monitor;
+pub mod utility;
+
+pub use config::{MiTiming, PccConfig};
+pub use control::{PccController, PccStats};
+pub use fluid::FluidModel;
+pub use monitor::Monitor;
+pub use utility::{
+    sigmoid, CustomUtility, LatencyGradient, LatencySensitive, LossResilient, MiMetrics,
+    SafeSigmoid, SimpleThroughputLoss, UtilityFunction,
+};

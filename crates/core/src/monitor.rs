@@ -1,0 +1,518 @@
+//! Monitor intervals (§3.1): slicing time into continuous measurement
+//! windows and aggregating per-packet fates into per-MI performance metrics.
+//!
+//! The controller begins a new MI whenever it changes (or re-tests) a rate;
+//! every transmitted packet is attributed to the MI active at send time
+//! (retransmissions to the MI that retransmitted them). ACKs and loss
+//! declarations resolve packets; an MI's metrics are published once **all**
+//! its packets are resolved or its deadline passes (≈1 RTT after the MI
+//! ends, the paper's "SACKs for all packets sent out in MI1" moment), with
+//! unresolved packets written off as lost.
+//!
+//! MIs complete strictly in order, so each [`MiMetrics`] carries the
+//! previous MI's average RTT — which the latency-sensitive utility of
+//! §4.4.1 needs.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use pcc_simnet::time::{SimDuration, SimTime};
+
+use crate::utility::MiMetrics;
+
+#[derive(Clone, Debug)]
+struct MiState {
+    id: u64,
+    target_rate_bps: f64,
+    started_at: SimTime,
+    ended_at: Option<SimTime>,
+    deadline: SimTime,
+    sent: u64,
+    sent_bytes: u64,
+    acked: u64,
+    acked_bytes: u64,
+    lost: u64,
+    rtt_sum_ns: u64,
+    rtt_n: u64,
+    /// Receiver-side arrival times of this MI's first and last ACKed
+    /// packets (for span-based delivery-rate measurement).
+    first_ack_recv: Option<SimTime>,
+    last_ack_recv: Option<SimTime>,
+    /// RTTs of the first and last ACKed packets (for the per-MI RTT
+    /// slope, the queue-growth observable).
+    first_ack_rtt: Option<SimDuration>,
+    last_ack_rtt: Option<SimDuration>,
+}
+
+impl MiState {
+    fn resolved(&self) -> bool {
+        self.acked + self.lost >= self.sent
+    }
+
+    fn metrics(&self, prev_avg_rtt: Option<SimDuration>, min_rtt: Option<SimDuration>) -> MiMetrics {
+        let ended = self.ended_at.expect("metrics of ended MI");
+        let duration = ended.saturating_since(self.started_at);
+        let secs = duration.as_secs_f64().max(1e-9);
+        let unresolved = self.sent.saturating_sub(self.acked + self.lost);
+        let lost = self.lost + unresolved;
+        // Delivered rate: prefer the receiver-side ACK-arrival span (the
+        // true drain rate); measuring `acked_bytes / Tm` alone inflates
+        // above link capacity when overdriving, because ACKs of an
+        // overshooting MI keep arriving after the MI ends — which would
+        // make "send faster into the buffer" look like higher throughput.
+        let duration_rate = self.acked_bytes as f64 * 8.0 / secs;
+        let throughput_bps = match (self.first_ack_recv, self.last_ack_recv) {
+            (Some(first), Some(last)) if self.acked >= 2 && last > first => {
+                let span = last.saturating_since(first).as_secs_f64();
+                let per_pkt = self.acked_bytes as f64 / self.acked as f64;
+                let span_rate = (self.acked as f64 - 1.0) * per_pkt * 8.0 / span;
+                span_rate.min(duration_rate)
+            }
+            _ => duration_rate,
+        };
+        // Per-MI RTT slope (seconds of RTT per second of wall time): the
+        // within-interval queue-growth signal. A standing queue hides rate
+        // overshoot from *level* comparisons (both ±ε trials average the
+        // same RTT), but the slope differs by 2ε·x between trials no matter
+        // how deep the queue already is.
+        let rtt_slope = match (
+            self.first_ack_recv,
+            self.last_ack_recv,
+            self.first_ack_rtt,
+            self.last_ack_rtt,
+        ) {
+            (Some(t0), Some(t1), Some(r0), Some(r1)) if t1 > t0 => {
+                let dt = t1.saturating_since(t0).as_secs_f64();
+                (r1.as_secs_f64() - r0.as_secs_f64()) / dt
+            }
+            _ => 0.0,
+        };
+        let avg_rtt = if self.rtt_n > 0 {
+            SimDuration::from_nanos(self.rtt_sum_ns / self.rtt_n)
+        } else {
+            prev_avg_rtt.unwrap_or(SimDuration::from_millis(100))
+        };
+        MiMetrics {
+            mi_id: self.id,
+            min_rtt: min_rtt.unwrap_or(avg_rtt),
+            target_rate_bps: self.target_rate_bps,
+            send_rate_bps: self.sent_bytes as f64 * 8.0 / secs,
+            throughput_bps,
+            loss_rate: if self.sent == 0 {
+                0.0
+            } else {
+                lost as f64 / self.sent as f64
+            },
+            avg_rtt,
+            prev_avg_rtt,
+            rtt_slope,
+            duration,
+            started_at: self.started_at,
+            sent: self.sent,
+            acked: self.acked,
+            lost,
+        }
+    }
+}
+
+/// The §3.1 monitor: attributes packets to monitor intervals and publishes
+/// per-MI metrics once each interval's packets are resolved.
+#[derive(Debug, Default)]
+pub struct Monitor {
+    next_id: u64,
+    current: Option<MiState>,
+    /// Ended MIs awaiting resolution, oldest first.
+    pending: VecDeque<MiState>,
+    /// seq → MI id of its *latest* transmission (ordered, so cumulative
+    /// ACKs can resolve whole prefixes).
+    seq_mi: BTreeMap<u64, u64>,
+    /// Average RTT of the most recently completed MI.
+    last_avg_rtt: Option<SimDuration>,
+    /// Minimum RTT sample ever observed (propagation estimate).
+    min_rtt: Option<SimDuration>,
+    /// Completed metrics not yet drained by the controller.
+    ready: VecDeque<MiMetrics>,
+}
+
+impl Monitor {
+    /// New monitor with no active MI.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begin a new MI at `now` with the given pacing target. Any active MI
+    /// is ended first (with `deadline` applied to it — see
+    /// [`Monitor::end_current`]). Returns the new MI's id.
+    pub fn begin(&mut self, now: SimTime, target_rate_bps: f64, prev_deadline: SimDuration) -> u64 {
+        self.end_current(now, prev_deadline);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.current = Some(MiState {
+            id,
+            target_rate_bps,
+            started_at: now,
+            ended_at: None,
+            deadline: SimTime::MAX,
+            sent: 0,
+            sent_bytes: 0,
+            acked: 0,
+            acked_bytes: 0,
+            lost: 0,
+            rtt_sum_ns: 0,
+            rtt_n: 0,
+            first_ack_recv: None,
+            last_ack_recv: None,
+            first_ack_rtt: None,
+            last_ack_rtt: None,
+        });
+        id
+    }
+
+    /// End the active MI at `now`; its unresolved packets will be written
+    /// off as lost if still unresolved at `now + deadline_slack`.
+    pub fn end_current(&mut self, now: SimTime, deadline_slack: SimDuration) {
+        if let Some(mut mi) = self.current.take() {
+            mi.ended_at = Some(now);
+            mi.deadline = now + deadline_slack;
+            self.pending.push_back(mi);
+        }
+    }
+
+    /// Id of the active MI, if any.
+    pub fn current_id(&self) -> Option<u64> {
+        self.current.as_ref().map(|m| m.id)
+    }
+
+    /// When the active MI started.
+    pub fn current_started_at(&self) -> Option<SimTime> {
+        self.current.as_ref().map(|m| m.started_at)
+    }
+
+    /// Packets sent in the active MI so far.
+    pub fn current_sent(&self) -> u64 {
+        self.current.as_ref().map(|m| m.sent).unwrap_or(0)
+    }
+
+    /// Attribute a transmission to the active MI.
+    pub fn on_sent(&mut self, seq: u64, bytes: u32) {
+        let Some(cur) = self.current.as_mut() else {
+            debug_assert!(false, "sent packet outside any MI");
+            return;
+        };
+        cur.sent += 1;
+        cur.sent_bytes += bytes as u64;
+        self.seq_mi.insert(seq, cur.id);
+    }
+
+    fn mi_mut(&mut self, id: u64) -> Option<&mut MiState> {
+        if let Some(cur) = self.current.as_mut() {
+            if cur.id == id {
+                return Some(cur);
+            }
+        }
+        self.pending.iter_mut().find(|m| m.id == id)
+    }
+
+    /// Resolve `seq` as acknowledged. `recv_at` is the receiver-side
+    /// arrival timestamp echoed in the ACK (drives span-based throughput).
+    pub fn on_ack(&mut self, seq: u64, bytes: u32, rtt: SimDuration, recv_at: SimTime) {
+        self.min_rtt = Some(match self.min_rtt {
+            Some(m) => m.min(rtt),
+            None => rtt,
+        });
+        let Some(mi_id) = self.seq_mi.remove(&seq) else {
+            return; // duplicate ACK or MI already force-completed
+        };
+        if let Some(mi) = self.mi_mut(mi_id) {
+            mi.acked += 1;
+            mi.acked_bytes += bytes as u64;
+            mi.rtt_sum_ns += rtt.as_nanos();
+            mi.rtt_n += 1;
+            if mi.first_ack_recv.is_none() {
+                mi.first_ack_recv = Some(recv_at);
+                mi.first_ack_rtt = Some(rtt);
+            }
+            mi.last_ack_recv = Some(recv_at);
+            mi.last_ack_rtt = Some(rtt);
+        }
+    }
+
+    /// Resolve every tracked sequence below `cum_ack` as delivered. The
+    /// receiver's cumulative ACK proves delivery even when the selective
+    /// ACK for a packet was lost on the reverse path — without this, ACK
+    /// loss masquerades as data loss and inflates the measured loss rate
+    /// by the reverse-path loss rate.
+    pub fn on_cum_ack(&mut self, cum_ack: u64, bytes: u32, rtt: SimDuration, recv_at: SimTime) {
+        loop {
+            let Some((&seq, _)) = self.seq_mi.range(..cum_ack).next() else {
+                break;
+            };
+            self.on_ack(seq, bytes, rtt, recv_at);
+        }
+    }
+
+    /// Resolve `seq` as lost.
+    pub fn on_loss(&mut self, seq: u64) {
+        let Some(mi_id) = self.seq_mi.remove(&seq) else {
+            return;
+        };
+        if let Some(mi) = self.mi_mut(mi_id) {
+            mi.lost += 1;
+        }
+    }
+
+    /// Publish any head-of-line MIs that are resolved (or past deadline) and
+    /// return them, oldest first.
+    pub fn poll(&mut self, now: SimTime) -> Vec<MiMetrics> {
+        while let Some(head) = self.pending.front() {
+            if head.resolved() || now >= head.deadline {
+                let mi = self.pending.pop_front().expect("non-empty");
+                // Drop stale seq attributions of a force-completed MI so a
+                // late ACK can't corrupt a future MI's counters.
+                if !mi.resolved() {
+                    self.seq_mi.retain(|_, &mut v| v != mi.id);
+                }
+                let metrics = mi.metrics(self.last_avg_rtt, self.min_rtt);
+                self.last_avg_rtt = Some(metrics.avg_rtt);
+                self.ready.push_back(metrics);
+            } else {
+                break;
+            }
+        }
+        self.ready.drain(..).collect()
+    }
+
+    /// Earliest pending deadline (for timer scheduling).
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.pending.front().map(|m| m.deadline)
+    }
+
+    /// Number of ended-but-unpublished MIs.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn mi_lifecycle_and_metrics() {
+        let mut mon = Monitor::new();
+        let id = mon.begin(t(0), 10e6, ms(50));
+        assert_eq!(mon.current_id(), Some(id));
+        // Send 10 packets of 1500 B over a 60 ms MI.
+        for seq in 0..10 {
+            mon.on_sent(seq, 1500);
+        }
+        mon.begin(t(60), 12e6, ms(50)); // ends the first MI at 60 ms
+        assert!(mon.poll(t(60)).is_empty(), "unresolved: nothing published");
+        // Resolve: 8 acked, 2 lost.
+        for seq in 0..8 {
+            mon.on_ack(seq, 1500, ms(30), t(0));
+        }
+        mon.on_loss(8);
+        mon.on_loss(9);
+        let out = mon.poll(t(70));
+        assert_eq!(out.len(), 1);
+        let m = &out[0];
+        assert_eq!(m.mi_id, id);
+        assert_eq!(m.sent, 10);
+        assert_eq!(m.acked, 8);
+        assert_eq!(m.lost, 2);
+        assert!((m.loss_rate - 0.2).abs() < 1e-12);
+        // x = 15000 B * 8 / 0.060 s = 2 Mbps; T = 12000 B * 8 / 0.060 s.
+        assert!((m.send_rate_bps - 2e6).abs() < 1e3);
+        assert!((m.throughput_bps - 1.6e6).abs() < 1e3);
+        assert_eq!(m.avg_rtt, ms(30));
+    }
+
+    #[test]
+    fn deadline_writes_off_unresolved_as_lost() {
+        let mut mon = Monitor::new();
+        mon.begin(t(0), 1e6, ms(50));
+        for seq in 0..5 {
+            mon.on_sent(seq, 1500);
+        }
+        mon.end_current(t(60), ms(40)); // deadline at 100 ms
+        mon.on_ack(0, 1500, ms(20), t(0));
+        assert!(mon.poll(t(99)).is_empty(), "before deadline");
+        let out = mon.poll(t(100));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].acked, 1);
+        assert_eq!(out[0].lost, 4, "unresolved written off");
+        assert!((out[0].loss_rate - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn late_ack_after_writeoff_is_ignored() {
+        let mut mon = Monitor::new();
+        mon.begin(t(0), 1e6, ms(10));
+        mon.on_sent(0, 1500);
+        mon.end_current(t(10), ms(10));
+        let _ = mon.poll(t(30)); // force-completed
+        mon.begin(t(30), 1e6, ms(10));
+        mon.on_sent(1, 1500);
+        mon.on_ack(0, 1500, ms(25), t(0)); // late ack for dead MI: must not touch MI 2
+        mon.end_current(t(40), ms(10));
+        mon.on_ack(1, 1500, ms(12), t(0));
+        let out = mon.poll(t(60));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].acked, 1, "only its own packet");
+        assert_eq!(out[0].sent, 1);
+    }
+
+    #[test]
+    fn completion_is_strictly_in_order() {
+        let mut mon = Monitor::new();
+        mon.begin(t(0), 1e6, ms(100));
+        mon.on_sent(0, 1500);
+        mon.begin(t(20), 1e6, ms(100)); // MI0 ends (deadline 120 ms)
+        mon.on_sent(1, 1500);
+        mon.end_current(t(40), ms(100)); // MI1 ends (deadline 140 ms)
+        // MI1 resolves first, but MI0 must still publish first.
+        mon.on_ack(1, 1500, ms(15), t(0));
+        assert!(mon.poll(t(50)).is_empty(), "head-of-line MI0 unresolved");
+        mon.on_ack(0, 1500, ms(55), t(0));
+        let out = mon.poll(t(56));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].mi_id, 0);
+        assert_eq!(out[1].mi_id, 1);
+        // prev RTT chains through.
+        assert_eq!(out[1].prev_avg_rtt, Some(out[0].avg_rtt));
+    }
+
+    #[test]
+    fn retransmission_attributed_to_latest_mi() {
+        let mut mon = Monitor::new();
+        mon.begin(t(0), 1e6, ms(20));
+        mon.on_sent(0, 1500);
+        mon.on_loss(0); // lost in MI0
+        mon.begin(t(20), 1e6, ms(20));
+        mon.on_sent(0, 1500); // retransmitted in MI1
+        mon.on_ack(0, 1500, ms(10), t(0));
+        mon.end_current(t(40), ms(20));
+        let out = mon.poll(t(40));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].lost, 1, "MI0 charged the loss");
+        assert_eq!(out[0].acked, 0);
+        assert_eq!(out[1].acked, 1, "MI1 credited the retx delivery");
+    }
+
+    #[test]
+    fn empty_mi_publishes_zeroes() {
+        let mut mon = Monitor::new();
+        mon.begin(t(0), 1e6, ms(10));
+        mon.begin(t(10), 2e6, ms(10));
+        let out = mon.poll(t(10));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].sent, 0);
+        assert_eq!(out[0].loss_rate, 0.0);
+        assert_eq!(out[0].send_rate_bps, 0.0);
+    }
+
+    #[test]
+    fn realign_shortens_current_mi() {
+        // §3.1 optimization: a rate change mid-MI ends the MI early.
+        let mut mon = Monitor::new();
+        mon.begin(t(0), 1e6, ms(10));
+        mon.on_sent(0, 1500);
+        // Re-align after only 5 ms.
+        mon.begin(t(5), 3e6, ms(10));
+        mon.on_ack(0, 1500, ms(4), t(0));
+        let out = mon.poll(t(9));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].duration, ms(5));
+        // x = 1500*8 bits / 5 ms = 2.4 Mbps.
+        assert!((out[0].send_rate_bps - 2.4e6).abs() < 1e3);
+    }
+
+    #[test]
+    fn conservation_sent_equals_acked_plus_lost() {
+        let mut mon = Monitor::new();
+        mon.begin(t(0), 1e6, ms(50));
+        for seq in 0..100 {
+            mon.on_sent(seq, 1500);
+        }
+        for seq in 0..60 {
+            mon.on_ack(seq, 1500, ms(30), t(0));
+        }
+        for seq in 60..80 {
+            mon.on_loss(seq);
+        }
+        mon.end_current(t(100), ms(10));
+        let out = mon.poll(t(200)); // past deadline: 20 unresolved -> lost
+        assert_eq!(out[0].sent, 100);
+        assert_eq!(out[0].acked + out[0].lost, 100);
+        assert_eq!(out[0].lost, 40);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// However sends/acks/losses/boundaries interleave, every published
+        /// MI satisfies acked + lost == sent and rates are finite and
+        /// non-negative.
+        #[test]
+        fn mi_conservation(script in proptest::collection::vec(0u8..5, 1..500)) {
+            let mut mon = Monitor::new();
+            let mut now = SimTime::ZERO;
+            let mut next_seq = 0u64;
+            let mut outstanding: Vec<u64> = Vec::new();
+            mon.begin(now, 1e6, SimDuration::from_millis(20));
+            let mut published = Vec::new();
+            for op in script {
+                now = now + SimDuration::from_millis(1);
+                match op {
+                    0 | 1 => {
+                        mon.on_sent(next_seq, 1500);
+                        outstanding.push(next_seq);
+                        next_seq += 1;
+                    }
+                    2 => {
+                        if !outstanding.is_empty() {
+                            let seq = outstanding.remove(0);
+                            mon.on_ack(seq, 1500, SimDuration::from_millis(10), now);
+                        }
+                    }
+                    3 => {
+                        if !outstanding.is_empty() {
+                            let seq = outstanding.remove(0);
+                            mon.on_loss(seq);
+                        }
+                    }
+                    _ => {
+                        mon.begin(now, 2e6, SimDuration::from_millis(20));
+                    }
+                }
+                published.extend(mon.poll(now));
+            }
+            // Flush everything.
+            mon.end_current(now, SimDuration::ZERO);
+            published.extend(mon.poll(now + SimDuration::from_secs(10)));
+            for m in &published {
+                prop_assert_eq!(m.acked + m.lost, m.sent, "conservation per MI");
+                prop_assert!(m.loss_rate >= 0.0 && m.loss_rate <= 1.0);
+                prop_assert!(m.send_rate_bps.is_finite() && m.send_rate_bps >= 0.0);
+                prop_assert!(m.throughput_bps <= m.send_rate_bps + 1e-6,
+                    "cannot deliver more than sent within an MI");
+            }
+            // MIs publish in id order.
+            for w in published.windows(2) {
+                prop_assert!(w[0].mi_id < w[1].mi_id);
+            }
+        }
+    }
+}

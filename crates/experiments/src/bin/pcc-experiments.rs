@@ -1,0 +1,76 @@
+//! Command-line driver: regenerate any table or figure of the paper.
+//!
+//! ```text
+//! pcc-experiments list            # show available experiments
+//! pcc-experiments fig07           # run one (scaled durations)
+//! pcc-experiments fig07 --full    # paper-scale durations
+//! pcc-experiments all             # run everything
+//! pcc-experiments all --seed 42 --out target/experiments
+//! ```
+
+use std::process::ExitCode;
+
+use pcc_experiments::{registry, Opts};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Option<String> = None;
+    let mut opts = Opts::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => opts.full = true,
+            "--seed" => {
+                i += 1;
+                opts.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed <u64>");
+            }
+            "--out" => {
+                i += 1;
+                opts.out_dir = args.get(i).expect("--out <dir>").into();
+            }
+            other if which.is_none() => which = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let which = which.unwrap_or_else(|| "list".into());
+    let reg = registry();
+    match which.as_str() {
+        "list" => {
+            println!("available experiments (run with `pcc-experiments <id> [--full]`):");
+            for (id, desc, _) in &reg {
+                println!("  {id:<8} {desc}");
+            }
+            println!("  all      run every experiment");
+            ExitCode::SUCCESS
+        }
+        "all" => {
+            for (id, desc, run) in &reg {
+                println!("\n### {id}: {desc}\n");
+                let t0 = std::time::Instant::now();
+                let _ = run(&opts);
+                println!("[{id} done in {:.1}s]", t0.elapsed().as_secs_f64());
+            }
+            println!("\nCSV output in {}", opts.out_dir.display());
+            ExitCode::SUCCESS
+        }
+        id => match reg.iter().find(|(rid, _, _)| *rid == id) {
+            Some((_, desc, run)) => {
+                println!("### {id}: {desc}\n");
+                let _ = run(&opts);
+                println!("\nCSV output in {}", opts.out_dir.display());
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown experiment '{id}'; try `pcc-experiments list`");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

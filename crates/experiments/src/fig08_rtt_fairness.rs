@@ -1,0 +1,40 @@
+//! Fig. 8 — RTT fairness: relative throughput of the long-RTT flow.
+//!
+//! Paper setup: a 10 ms flow joins a long-RTT flow (20–100 ms) on a
+//! 100 Mbps bottleneck buffered at the short flow's BDP; 500 s contention.
+//! Paper result: PCC holds the ratio near 1 across the range (convergence
+//! driven by utility, not by the control-cycle length); New Reno starves
+//! the long flow; CUBIC helps but degrades past ~60 ms.
+
+use pcc_scenarios::dynamics::rtt_fairness_ratio;
+use pcc_scenarios::Protocol;
+use pcc_simnet::time::SimDuration;
+
+use crate::{fmt, scaled, Opts, Table};
+
+/// Long-flow RTTs swept (ms), as in the paper.
+pub const LONG_RTTS_MS: &[u64] = &[20, 30, 40, 50, 60, 70, 80, 90, 100];
+
+/// Run the Fig. 8 sweep.
+pub fn run(opts: &Opts) -> Vec<Table> {
+    let contention = SimDuration::from_secs(scaled(opts, 60, 500));
+    let mut table = Table::new(
+        "Fig. 8 — RTT fairness: long-RTT/short-RTT throughput ratio",
+        &["long_rtt_ms", "pcc", "cubic", "newreno"],
+    );
+    for &rtt_ms in LONG_RTTS_MS {
+        let long = SimDuration::from_millis(rtt_ms);
+        let pcc = rtt_fairness_ratio(Protocol::pcc_default, long, contention, opts.seed);
+        let cubic = rtt_fairness_ratio(|_| Protocol::Tcp("cubic"), long, contention, opts.seed);
+        let reno = rtt_fairness_ratio(|_| Protocol::Tcp("newreno"), long, contention, opts.seed);
+        table.row(vec![
+            format!("{rtt_ms}"),
+            fmt(pcc),
+            fmt(cubic),
+            fmt(reno),
+        ]);
+    }
+    table.print();
+    let _ = table.write_csv(&opts.out_dir, "fig08_rtt_fairness");
+    vec![table]
+}

@@ -1,0 +1,46 @@
+//! Fig. 9 — shallow buffers: throughput vs bottleneck buffer size.
+//!
+//! Paper setup: 100 Mbps, 30 ms RTT, buffer swept from one packet (1.5 KB)
+//! to 1×BDP (375 KB), 100 s per point; PCC vs TCP with pacing vs CUBIC.
+//! Paper result: PCC reaches 90% capacity with a 6-packet buffer (CUBIC:
+//! 2%, paced TCP: 30%) and 25% of capacity with a single-packet buffer.
+
+use pcc_scenarios::links::run_shallow;
+use pcc_scenarios::Protocol;
+use pcc_simnet::time::{SimDuration, SimTime};
+
+use crate::{fmt, scaled, Opts, Table};
+
+/// Buffer sizes swept (bytes): 1 packet up to 1×BDP, as in the paper.
+pub const BUFFERS: &[u64] = &[
+    1_500, 3_000, 6_000, 9_000, 15_000, 30_000, 60_000, 125_000, 250_000, 375_000,
+];
+
+/// Run the Fig. 9 sweep.
+pub fn run(opts: &Opts) -> Vec<Table> {
+    let secs = scaled(opts, 30, 100);
+    let warmup = scaled(opts, 8, 20);
+    let dur = SimDuration::from_secs(secs);
+    let rtt = SimDuration::from_millis(30);
+    let mut table = Table::new(
+        "Fig. 9 — shallow buffers (100 Mbps, 30 ms): throughput [Mbps] vs buffer",
+        &["buffer_kb", "pcc", "tcp_pacing", "cubic"],
+    );
+    for &buf in BUFFERS {
+        let protos = [
+            Protocol::pcc_default(rtt),
+            Protocol::TcpPaced("newreno"),
+            Protocol::Tcp("cubic"),
+        ];
+        let mut row = vec![format!("{:.1}", buf as f64 / 1000.0)];
+        for proto in protos {
+            let r = run_shallow(proto, buf, dur, opts.seed);
+            let t = r.throughput_in(0, SimTime::from_secs(warmup), SimTime::from_secs(secs));
+            row.push(fmt(t));
+        }
+        table.row(row);
+    }
+    table.print();
+    let _ = table.write_csv(&opts.out_dir, "fig09_buffer");
+    vec![table]
+}

@@ -1,0 +1,49 @@
+//! Fig. 17 — power (throughput/delay) under AQM × protocol combinations.
+//!
+//! Paper setup: two long-running interactive flows on a 40 Mbps / 20 ms
+//! path with per-flow fair queueing; the network side is either CoDel or a
+//! bufferbloated FIFO per flow. Paper result: TCP's power collapses 10.5×
+//! without CoDel; PCC with the latency-sensitive utility achieves the same
+//! power under either AQM (CoDel never sees a queue worth dropping from)
+//! and beats TCP+CoDel by 1.55×.
+
+use pcc_scenarios::power::{pcc_interactive, run_power};
+use pcc_scenarios::{Protocol, QueueKind};
+use pcc_simnet::time::SimDuration;
+
+use crate::{fmt, scaled, Opts, Table};
+
+/// Run the Fig. 17 grid.
+pub fn run(opts: &Opts) -> Vec<Table> {
+    let dur = SimDuration::from_secs(scaled(opts, 40, 120));
+    let mut table = Table::new(
+        "Fig. 17 — power = throughput/delay (two interactive flows, FQ)",
+        &["cell", "tput_mbps", "rtt_ms", "power"],
+    );
+    let cells = [
+        ("tcp + codel + fq", Protocol::Tcp("cubic"), QueueKind::FqCodel),
+        (
+            "tcp + bufferbloat + fq",
+            Protocol::Tcp("cubic"),
+            QueueKind::Bufferbloat,
+        ),
+        ("pcc + codel + fq", pcc_interactive(), QueueKind::FqCodel),
+        (
+            "pcc + bufferbloat + fq",
+            pcc_interactive(),
+            QueueKind::Bufferbloat,
+        ),
+    ];
+    for (name, proto, queue) in cells {
+        let r = run_power(proto, queue, dur, opts.seed);
+        table.row(vec![
+            name.into(),
+            fmt(r.throughput_mbps),
+            fmt(r.rtt_ms),
+            fmt(r.power),
+        ]);
+    }
+    table.print();
+    let _ = table.write_csv(&opts.out_dir, "fig17_power");
+    vec![table]
+}

@@ -1,0 +1,167 @@
+//! # pcc-experiments — regenerate every table and figure of the paper
+//!
+//! One module per experiment; each produces [`table::Table`]s printing the
+//! same rows/series the paper reports and writes CSV under
+//! `target/experiments/`. The `pcc-experiments` binary dispatches by
+//! experiment id (`fig05`, `table1`, ... or `all`).
+//!
+//! Durations are scaled down from the paper's (hours of testbed time) —
+//! every scaling decision is recorded in `EXPERIMENTS.md` at the repo root.
+//! Pass `--full` for paper-scale durations.
+
+#![warn(missing_docs)]
+
+pub mod fig05_internet;
+pub mod fig06_satellite;
+pub mod fig07_loss;
+pub mod fig08_rtt_fairness;
+pub mod fig09_buffer;
+pub mod fig10_incast;
+pub mod fig11_rapid;
+pub mod fig12_convergence;
+pub mod fig13_jain;
+pub mod fig14_friendliness;
+pub mod fig15_fct;
+pub mod fig16_tradeoff;
+pub mod fig17_power;
+pub mod sec442_highloss;
+pub mod table;
+pub mod table1_interdc;
+
+use std::path::PathBuf;
+
+pub use table::{fmt, Table};
+
+/// Options shared by all experiments.
+#[derive(Clone, Debug)]
+pub struct Opts {
+    /// Run at paper-scale durations instead of the scaled defaults.
+    pub full: bool,
+    /// Where CSV output lands.
+    pub out_dir: PathBuf,
+    /// Base seed for all randomized components.
+    pub seed: u64,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            full: false,
+            out_dir: PathBuf::from("target/experiments"),
+            seed: 0x9CC0,
+        }
+    }
+}
+
+/// Pick the scaled or full-scale value.
+pub fn scaled(opts: &Opts, quick: u64, full: u64) -> u64 {
+    if opts.full {
+        full
+    } else {
+        quick
+    }
+}
+
+/// The experiment registry: `(id, description, runner)`.
+pub fn registry() -> Vec<(&'static str, &'static str, fn(&Opts) -> Vec<Table>)> {
+    vec![
+        (
+            "fig05",
+            "Figs. 4-5: Internet-path population, throughput ratio CDF vs CUBIC/SABUL/PCP",
+            fig05_internet::run,
+        ),
+        (
+            "table1",
+            "Table 1: inter-data-center pairs (PCC vs SABUL vs CUBIC vs Illinois)",
+            table1_interdc::run,
+        ),
+        (
+            "fig06",
+            "Fig. 6: satellite link, buffer sweep (PCC vs Hybla/Illinois/CUBIC/NewReno)",
+            fig06_satellite::run,
+        ),
+        (
+            "fig07",
+            "Fig. 7: random loss sweep (PCC vs Illinois/CUBIC)",
+            fig07_loss::run,
+        ),
+        (
+            "fig08",
+            "Fig. 8: RTT fairness (PCC vs CUBIC/NewReno)",
+            fig08_rtt_fairness::run,
+        ),
+        (
+            "fig09",
+            "Fig. 9: shallow-buffer sweep (PCC vs TCP pacing vs CUBIC)",
+            fig09_buffer::run,
+        ),
+        (
+            "fig10",
+            "Fig. 10: data-center incast (PCC vs TCP)",
+            fig10_incast::run,
+        ),
+        (
+            "fig11",
+            "Fig. 11: rapidly changing network (PCC vs CUBIC/Illinois)",
+            fig11_rapid::run,
+        ),
+        (
+            "fig12",
+            "Fig. 12: convergence dynamics of 4 staggered flows (PCC vs CUBIC)",
+            fig12_convergence::run,
+        ),
+        (
+            "fig13",
+            "Fig. 13: Jain fairness index vs time scale (PCC vs CUBIC/NewReno)",
+            fig13_jain::run,
+        ),
+        (
+            "fig14",
+            "Fig. 14: TCP friendliness vs 10-flow TCP bundles",
+            fig14_friendliness::run,
+        ),
+        (
+            "fig15",
+            "Fig. 15: short-flow completion times vs load (PCC vs TCP)",
+            fig15_fct::run,
+        ),
+        (
+            "fig16",
+            "Fig. 16: stability/reactiveness trade-off (PCC sweep + TCP points + RCT)",
+            fig16_tradeoff::run,
+        ),
+        (
+            "fig17",
+            "Fig. 17: power under {CoDel, Bufferbloat} x {TCP, PCC} with FQ",
+            fig17_power::run,
+        ),
+        (
+            "sec442",
+            "Sec. 4.4.2: extreme random loss with the loss-resilient utility under FQ",
+            sec442_highloss::run,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_unique() {
+        let reg = registry();
+        assert_eq!(reg.len(), 15);
+        let mut ids: Vec<_> = reg.iter().map(|(id, _, _)| *id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 15, "duplicate experiment ids");
+    }
+
+    #[test]
+    fn scaled_picks_by_flag() {
+        let mut o = Opts::default();
+        assert_eq!(scaled(&o, 10, 100), 10);
+        o.full = true;
+        assert_eq!(scaled(&o, 10, 100), 100);
+    }
+}

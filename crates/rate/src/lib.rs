@@ -1,0 +1,22 @@
+//! # pcc-rate — rate-based baselines: SABUL/UDT and PCP
+//!
+//! The two non-TCP transports the paper compares against in §4.1.1, both
+//! as [`pcc_transport::RateController`] plug-ins:
+//!
+//! * [`Sabul`] — UDT-style fixed-clock AIMD rate control (scientific data
+//!   transfer). Reproduces the overshoot/fall-back oscillation the paper
+//!   measures (SABUL's 11.5% average loss vs PCC's 3.1%).
+//! * [`Pcp`] — packet-train available-bandwidth probing. Reproduces the
+//!   dispersion mis-estimation failure mode (§5's "continuously wrongly
+//!   estimates ... 50−60 Mbps" on a clean 100 Mbps link).
+//!
+//! Simplifications relative to the original codebases are documented on
+//! each type; both preserve the control laws the paper's comparison is
+//! about.
+#![warn(missing_docs)]
+
+mod pcp;
+mod sabul;
+
+pub use pcp::Pcp;
+pub use sabul::Sabul;

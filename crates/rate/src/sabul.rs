@@ -1,0 +1,218 @@
+//! SABUL/UDT-style rate control — the scientific-data-transfer baseline
+//! (§4.1.1, Table 1).
+//!
+//! UDT's native control (Gu & Grossman) is rate-based AIMD driven by a
+//! 10 ms `SYN` clock: every interval without loss feedback, the packet rate
+//! gets a large additive boost whose size scales with the estimated
+//! headroom to link capacity; every loss event (NAK) cuts the rate
+//! multiplicatively by 1/9. The paper's measurements show the consequence:
+//! "SABUL shows an unstable control loop: it aggressively overshoots the
+//! network and then deeply falls back" (11.5% average loss vs PCC's 3.1%).
+//!
+//! Simplification vs UDT: we estimate link capacity from the peak observed
+//! delivery rate rather than UDT's packet-pair estimator, and NAKs are the
+//! engine's SACK-based loss detections. Both preserve the control law —
+//! fixed-clock additive increase toward a capacity guess, 1/9
+//! multiplicative decrease — which is what produces the oscillation the
+//! paper reports.
+
+use pcc_simnet::time::{SimDuration, SimTime};
+use pcc_transport::ratesender::{CtrlCtx, RateAck, RateController};
+
+/// UDT's SYN interval: the fixed control clock.
+const SYN: SimDuration = SimDuration::from_millis(10);
+/// Multiplicative decrease on a loss event (UDT: rate /= 1.125).
+const DECREASE: f64 = 1.0 / 1.125;
+/// Timer token for the SYN tick.
+const TOKEN_SYN: u64 = 1;
+
+/// SABUL/UDT-style rate controller.
+pub struct Sabul {
+    /// Current pacing rate, bits/sec.
+    rate_bps: f64,
+    /// Packet size estimate (from `on_sent`).
+    pkt_bits: f64,
+    /// Loss seen since the last SYN tick.
+    loss_since_tick: bool,
+    /// Delivery-rate estimator: bytes acked in the current window.
+    acked_bytes_window: u64,
+    window_start: SimTime,
+    /// Peak observed delivery rate ≈ capacity estimate, bits/sec.
+    capacity_est_bps: f64,
+    /// Losses observed (for reports).
+    losses: u64,
+    started: bool,
+}
+
+impl Sabul {
+    /// New controller starting at 1 Mbps.
+    pub fn new() -> Self {
+        Sabul {
+            rate_bps: 1e6,
+            pkt_bits: 1500.0 * 8.0,
+            loss_since_tick: false,
+            acked_bytes_window: 0,
+            window_start: SimTime::ZERO,
+            capacity_est_bps: 0.0,
+            losses: 0,
+            started: false,
+        }
+    }
+
+    /// Current capacity estimate (peak delivery rate seen), bits/sec.
+    pub fn capacity_estimate_bps(&self) -> f64 {
+        self.capacity_est_bps
+    }
+
+    /// UDT's increase step per SYN: `inc = max(10^ceil(log10((B−C)·S)) ·
+    /// 1.5e-6, 1/S)` packets, where B is estimated link capacity and C the
+    /// current rate (in packets/sec), S the packet size in bytes. We keep
+    /// the same log-scaled shape.
+    fn increase_pkts(&self) -> f64 {
+        let headroom_bps = (self.capacity_est_bps - self.rate_bps).max(0.0);
+        if headroom_bps <= 0.0 {
+            // At/above the believed capacity: minimal probe.
+            return 1.0 / (self.pkt_bits / 8.0);
+        }
+        let headroom_pkts = headroom_bps / self.pkt_bits;
+        // 10^ceil(log10(headroom_bits)) * beta, beta = 1.5e-6 per UDT.
+        let bits = headroom_pkts * self.pkt_bits;
+        let step = 10f64.powf(bits.log10().ceil()) * 1.5e-6;
+        step.max(1.0 / (self.pkt_bits / 8.0))
+    }
+
+    fn tick(&mut self, ctx: &mut CtrlCtx) {
+        // Refresh the capacity estimate from the delivery rate of the
+        // closing window.
+        let elapsed = ctx.now.saturating_since(self.window_start);
+        if !elapsed.is_zero() && self.acked_bytes_window > 0 {
+            let delivered = self.acked_bytes_window as f64 * 8.0 / elapsed.as_secs_f64();
+            if delivered > self.capacity_est_bps {
+                self.capacity_est_bps = delivered;
+            }
+        }
+        self.acked_bytes_window = 0;
+        self.window_start = ctx.now;
+        if !self.loss_since_tick {
+            // Additive increase: `increase_pkts` more packets per SYN.
+            let add_bps = self.increase_pkts() * self.pkt_bits / SYN.as_secs_f64();
+            self.rate_bps += add_bps;
+            ctx.set_rate(self.rate_bps);
+        }
+        self.loss_since_tick = false;
+        ctx.set_timer(ctx.now + SYN, TOKEN_SYN);
+    }
+}
+
+impl Default for Sabul {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RateController for Sabul {
+    fn name(&self) -> &'static str {
+        "sabul"
+    }
+
+    fn on_start(&mut self, ctx: &mut CtrlCtx) -> f64 {
+        self.started = true;
+        self.window_start = ctx.now;
+        ctx.set_timer(ctx.now + SYN, TOKEN_SYN);
+        self.rate_bps
+    }
+
+    fn on_sent(&mut self, _seq: u64, bytes: u32, _retx: bool, _ctx: &mut CtrlCtx) {
+        self.pkt_bits = bytes as f64 * 8.0;
+    }
+
+    fn on_ack(&mut self, _ack: &RateAck, _ctx: &mut CtrlCtx) {
+        self.acked_bytes_window += (self.pkt_bits / 8.0) as u64;
+    }
+
+    fn on_loss(&mut self, seqs: &[u64], ctx: &mut CtrlCtx) {
+        if seqs.is_empty() {
+            return;
+        }
+        self.losses += seqs.len() as u64;
+        // NAK: multiplicative decrease, at most once per SYN.
+        if !self.loss_since_tick {
+            self.rate_bps = (self.rate_bps * DECREASE).max(1e5);
+            ctx.set_rate(self.rate_bps);
+        }
+        self.loss_since_tick = true;
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut CtrlCtx) {
+        if token == TOKEN_SYN {
+            self.tick(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcc_simnet::rng::SimRng;
+    use pcc_transport::ratesender::CtrlEffects;
+
+    fn ctx<'a>(
+        now_ms: u64,
+        rng: &'a mut SimRng,
+        fx: &'a mut CtrlEffects,
+    ) -> CtrlCtx<'a> {
+        CtrlCtx::new(SimTime::from_millis(now_ms), rng, fx)
+    }
+
+    #[test]
+    fn increases_without_loss() {
+        let mut c = Sabul::new();
+        let mut rng = SimRng::new(1);
+        let mut fx = CtrlEffects::default();
+        let r0 = c.on_start(&mut ctx(0, &mut rng, &mut fx));
+        // Pretend good delivery so a capacity estimate forms.
+        c.capacity_est_bps = 100e6;
+        for t in 1..=10 {
+            c.on_timer(TOKEN_SYN, &mut ctx(t * 10, &mut rng, &mut fx));
+        }
+        assert!(c.rate_bps > r0, "rate grew: {} -> {}", r0, c.rate_bps);
+    }
+
+    #[test]
+    fn loss_cuts_by_one_ninth() {
+        let mut c = Sabul::new();
+        let mut rng = SimRng::new(2);
+        let mut fx = CtrlEffects::default();
+        c.on_start(&mut ctx(0, &mut rng, &mut fx));
+        c.rate_bps = 90e6;
+        c.on_loss(&[5], &mut ctx(15, &mut rng, &mut fx));
+        assert!((c.rate_bps - 80e6).abs() < 1e3, "90 → 80 Mbps (×8/9)");
+    }
+
+    #[test]
+    fn at_most_one_cut_per_syn() {
+        let mut c = Sabul::new();
+        let mut rng = SimRng::new(3);
+        let mut fx = CtrlEffects::default();
+        c.on_start(&mut ctx(0, &mut rng, &mut fx));
+        c.rate_bps = 90e6;
+        c.on_loss(&[1], &mut ctx(15, &mut rng, &mut fx));
+        c.on_loss(&[2, 3], &mut ctx(16, &mut rng, &mut fx));
+        assert!((c.rate_bps - 80e6).abs() < 1e3, "second NAK in same SYN ignored");
+        // After the tick, a new loss cuts again.
+        c.on_timer(TOKEN_SYN, &mut ctx(20, &mut rng, &mut fx));
+        c.on_loss(&[4], &mut ctx(21, &mut rng, &mut fx));
+        assert!(c.rate_bps < 80e6);
+    }
+
+    #[test]
+    fn increase_steps_scale_with_headroom() {
+        let mut c = Sabul::new();
+        c.rate_bps = 1e6;
+        c.capacity_est_bps = 100e6;
+        let big = c.increase_pkts();
+        c.rate_bps = 99.9e6;
+        let small = c.increase_pkts();
+        assert!(big > small, "far from capacity grows faster: {big} vs {small}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Development probe: prints diagnostics for the scenarios under tuning.
+//! Run: cargo run --release -p pcc-scenarios --example probe -- <which>
+
+use pcc_scenarios::dynamics::run_convergence;
+use pcc_scenarios::incast::run_incast;
+use pcc_scenarios::power::{pcc_interactive, run_power};
+use pcc_scenarios::{Protocol, QueueKind};
+use pcc_simnet::time::{SimDuration, SimTime};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    if which == "incast" || which == "all" {
+        println!("--- incast ---");
+        for n in [2, 4, 8, 16, 24, 33] {
+            let tcp = run_incast(|| Protocol::Tcp("newreno"), n, 256 * 1024, 2);
+            let pcc = run_incast(
+                || Protocol::pcc_default(SimDuration::from_micros(200)),
+                n,
+                256 * 1024,
+                2,
+            );
+            println!(
+                "n={n:2}  tcp: {:7.1} Mbps ({}/{} done, fct {:?})   pcc: {:7.1} Mbps ({}/{} done, fct {:?})",
+                tcp.goodput_mbps, tcp.completed, n, tcp.max_fct,
+                pcc.goodput_mbps, pcc.completed, n, pcc.max_fct,
+            );
+        }
+    }
+    if which == "power-long" {
+        println!("--- power 60s ---");
+        let dur = SimDuration::from_secs(60);
+        for (name, queue) in [
+            ("fq-codel", QueueKind::FqCodel),
+            ("fq-bloat", QueueKind::Bufferbloat),
+        ] {
+            let pcc = run_power(pcc_interactive(), queue, dur, 1);
+            println!(
+                "{name}: pcc tput={:6.2} rtt={:6.2}ms power={:8.1}",
+                pcc.throughput_mbps, pcc.rtt_ms, pcc.power,
+            );
+        }
+    }
+    if which == "power" || which == "all" {
+        println!("--- power ---");
+        let dur = SimDuration::from_secs(20);
+        for (name, queue) in [
+            ("fq-codel", QueueKind::FqCodel),
+            ("fq-bloat", QueueKind::Bufferbloat),
+        ] {
+            let tcp = run_power(Protocol::Tcp("cubic"), queue, dur, 1);
+            let pcc = run_power(pcc_interactive(), queue, dur, 1);
+            println!(
+                "{name}: tcp tput={:6.2} rtt={:6.2}ms power={:8.1} | pcc tput={:6.2} rtt={:6.2}ms power={:8.1}",
+                tcp.throughput_mbps, tcp.rtt_ms, tcp.power,
+                pcc.throughput_mbps, pcc.rtt_ms, pcc.power,
+            );
+        }
+    }
+    if which == "conv" || which == "all" {
+        println!("--- convergence (2 pcc flows) ---");
+        let r = run_convergence(
+            || Protocol::pcc_default(SimDuration::from_millis(30)),
+            2,
+            SimDuration::from_secs(20),
+            SimDuration::from_secs(120),
+            6,
+        );
+        for (i, f) in r.inner.flows.iter().enumerate() {
+            let s = &r.inner.report.flows[f.index()].series.throughput_mbps;
+            let snippet: Vec<String> = s.iter().skip(20).step_by(10).map(|v| format!("{v:5.1}")).collect();
+            println!("flow{i}: {}", snippet.join(" "));
+        }
+        println!("jain@5s = {:.3}   jain@30s = {:.3}", r.jain_at_scale(5), r.jain_at_scale(30));
+        println!("mean stddev = {:.2}", r.mean_stddev());
+    }
+    if which == "lossy" {
+        let r = pcc_scenarios::links::run_lossy(
+            Protocol::pcc_default(SimDuration::from_millis(30)),
+            0.01,
+            SimDuration::from_secs(30),
+            0x9CC0,
+        );
+        let st = &r.report.flows[0];
+        let series = &st.series.throughput_mbps;
+        let snippet: Vec<String> = series.iter().step_by(10).map(|v| format!("{v:5.1}")).collect();
+        println!("tput/1s: {}", snippet.join(" "));
+        println!("losses={} sent={} loss_rate={:.4}", st.detected_losses, st.sent_packets, st.loss_rate());
+    }
+    if which == "single" || which == "all" {
+        println!("--- single pcc flow rate trace (100 Mbps / 30 ms) ---");
+        let setup = pcc_scenarios::LinkSetup::new(100e6, SimDuration::from_millis(30), 375_000);
+        let r = pcc_scenarios::run_single(
+            Protocol::pcc_default(SimDuration::from_millis(30)),
+            setup,
+            SimDuration::from_secs(20),
+            3,
+        );
+        let st = &r.report.flows[0];
+        let series = &st.series.throughput_mbps;
+        let snippet: Vec<String> = series.iter().step_by(5).map(|v| format!("{v:5.1}")).collect();
+        println!("tput/0.5s: {}", snippet.join(" "));
+        println!(
+            "losses={} sent={} tput[10..20]={:.1}",
+            st.detected_losses,
+            st.sent_packets,
+            r.throughput_in(0, SimTime::from_secs(10), SimTime::from_secs(20))
+        );
+    }
+}
+// (appended) lossy probe

@@ -1,0 +1,34 @@
+//! # pcc-scenarios — every evaluation scenario from the paper's §4
+//!
+//! Reusable builders mapping each figure/table to a parameterized runner:
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`internet`] | Figs. 4–5 (wide-area path population) |
+//! | [`links`] | Fig. 6 (satellite), Fig. 7 (lossy), Fig. 9 (shallow buffer), Table 1 (inter-DC) |
+//! | [`dynamics`] | Fig. 8 (RTT fairness), Figs. 12–13 (convergence), Fig. 14 (friendliness), Fig. 16 (trade-off) |
+//! | [`incast`] | Fig. 10 |
+//! | [`rapid`] | Fig. 11 |
+//! | [`fct`] | Fig. 15 |
+//! | [`power`] | Fig. 17 and §4.4.2 |
+//!
+//! All scenarios take explicit durations/seeds so tests can run scaled-down
+//! versions while the `pcc-experiments` crate runs paper-scale parameters.
+
+#![warn(missing_docs)]
+
+pub mod dynamics;
+pub mod fct;
+pub mod incast;
+pub mod internet;
+pub mod links;
+pub mod power;
+pub mod protocol;
+pub mod rapid;
+pub mod setup;
+
+pub use protocol::{Protocol, UtilityKind};
+pub use setup::{
+    run_dumbbell, run_dumbbell_scheduled, run_single, FlowPlan, LinkSetup, QueueKind,
+    ScenarioResult,
+};

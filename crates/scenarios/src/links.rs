@@ -1,0 +1,192 @@
+//! Fixed-path scenarios: satellite (Fig. 6), lossy links (Fig. 7), shallow
+//! buffers (Fig. 9), and inter-data-center paths (Table 1).
+
+use pcc_simnet::time::SimDuration;
+
+use crate::protocol::Protocol;
+use crate::setup::{run_single, LinkSetup, ScenarioResult};
+
+/// Fig. 6 parameters: the WINDS satellite link — 800 ms RTT, 42 Mbps,
+/// 0.74% random loss (§4.1.3).
+pub const SATELLITE_RTT: SimDuration = SimDuration::from_millis(800);
+/// Satellite capacity.
+pub const SATELLITE_RATE_BPS: f64 = 42e6;
+/// Satellite random loss.
+pub const SATELLITE_LOSS: f64 = 0.0074;
+
+/// The satellite path with a given bottleneck buffer (Fig. 6 sweeps
+/// 1.5 KB – 1 MB).
+pub fn satellite_setup(buffer_bytes: u64) -> LinkSetup {
+    LinkSetup::new(SATELLITE_RATE_BPS, SATELLITE_RTT, buffer_bytes)
+        .with_loss(SATELLITE_LOSS)
+        .with_ack_loss(SATELLITE_LOSS)
+}
+
+/// Run one protocol on the satellite link (Fig. 6 data point).
+pub fn run_satellite(
+    protocol: Protocol,
+    buffer_bytes: u64,
+    duration: SimDuration,
+    seed: u64,
+) -> ScenarioResult {
+    run_single(protocol, satellite_setup(buffer_bytes), duration, seed)
+}
+
+/// Fig. 7 parameters: 100 Mbps, 30 ms RTT, loss swept 0–6% on both
+/// directions (§4.1.4).
+pub fn lossy_setup(loss: f64) -> LinkSetup {
+    LinkSetup::new(100e6, SimDuration::from_millis(30), 375_000)
+        .with_loss(loss)
+        .with_ack_loss(loss)
+}
+
+/// Run one protocol on the lossy link (Fig. 7 data point).
+pub fn run_lossy(
+    protocol: Protocol,
+    loss: f64,
+    duration: SimDuration,
+    seed: u64,
+) -> ScenarioResult {
+    run_single(protocol, lossy_setup(loss), duration, seed)
+}
+
+/// Fig. 9 parameters: 100 Mbps, 30 ms RTT, buffer swept 1.5 KB – 375 KB
+/// (1 packet to 1×BDP), no random loss (§4.1.6).
+pub fn shallow_setup(buffer_bytes: u64) -> LinkSetup {
+    LinkSetup::new(100e6, SimDuration::from_millis(30), buffer_bytes)
+}
+
+/// Run one protocol against a shallow buffer (Fig. 9 data point).
+pub fn run_shallow(
+    protocol: Protocol,
+    buffer_bytes: u64,
+    duration: SimDuration,
+    seed: u64,
+) -> ScenarioResult {
+    run_single(protocol, shallow_setup(buffer_bytes), duration, seed)
+}
+
+/// One Table-1 transmission pair: name and measured RTT (ms).
+#[derive(Clone, Copy, Debug)]
+pub struct InterDcPair {
+    /// "Sender → receiver" label from the paper.
+    pub name: &'static str,
+    /// Path RTT in milliseconds.
+    pub rtt_ms: f64,
+}
+
+/// The nine GENI site pairs of Table 1.
+pub const INTERDC_PAIRS: &[InterDcPair] = &[
+    InterDcPair { name: "GPO→NYSERNet", rtt_ms: 12.1 },
+    InterDcPair { name: "GPO→Missouri", rtt_ms: 46.5 },
+    InterDcPair { name: "GPO→Illinois", rtt_ms: 35.4 },
+    InterDcPair { name: "NYSERNet→Missouri", rtt_ms: 47.4 },
+    InterDcPair { name: "Wisconsin→Illinois", rtt_ms: 9.01 },
+    InterDcPair { name: "GPO→Wisc.", rtt_ms: 38.0 },
+    InterDcPair { name: "NYSERNet→Wisc.", rtt_ms: 38.3 },
+    InterDcPair { name: "Missouri→Wisc.", rtt_ms: 20.9 },
+    InterDcPair { name: "NYSERNet→Illinois", rtt_ms: 36.1 },
+];
+
+/// Table 1's reserved bandwidth: 800 Mbps end-to-end.
+pub const INTERDC_RATE_BPS: f64 = 800e6;
+
+/// The bandwidth-reserving rate limiter's small buffer (the paper
+/// attributes TCP's collapse to it; §4.1.2). 100 KB ≈ 1/12 BDP at 36 ms.
+pub const INTERDC_BUFFER_BYTES: u64 = 100_000;
+
+/// The inter-DC path for one Table-1 pair.
+pub fn interdc_setup(pair: &InterDcPair) -> LinkSetup {
+    LinkSetup::new(
+        INTERDC_RATE_BPS,
+        SimDuration::from_secs_f64(pair.rtt_ms / 1000.0),
+        INTERDC_BUFFER_BYTES,
+    )
+}
+
+/// Run one protocol on one Table-1 pair.
+pub fn run_interdc(
+    protocol: Protocol,
+    pair: &InterDcPair,
+    duration: SimDuration,
+    seed: u64,
+) -> ScenarioResult {
+    run_single(protocol, interdc_setup(pair), duration, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcc_simnet::time::SimTime;
+
+    #[test]
+    fn satellite_pcc_beats_hybla_shape() {
+        // Scaled-down Fig. 6 check: with a 64 KB buffer, PCC must clearly
+        // beat Hybla, which collapses under 0.74% random loss. PCC's
+        // starting phase doubles once per MI (~1.6 s at 800 ms RTT), so it
+        // needs ~20 s to ramp; measure steady state like the paper's 100 s
+        // runs do.
+        // The paper highlights the shallow-buffer point: PCC reaches 90%
+        // of the satellite capacity with a 7.5 KB (5-packet) bottleneck
+        // buffer, where every TCP collapses.
+        let dur = SimDuration::from_secs(60);
+        let pcc = run_satellite(
+            Protocol::pcc_default(SATELLITE_RTT),
+            7_500,
+            dur,
+            1,
+        );
+        let hybla = run_satellite(Protocol::Tcp("hybla"), 7_500, dur, 1);
+        let t_pcc = pcc.throughput_in(0, SimTime::from_secs(30), SimTime::from_secs(60));
+        let t_hybla = hybla.throughput_in(0, SimTime::from_secs(30), SimTime::from_secs(60));
+        assert!(
+            t_pcc > 3.0 * t_hybla,
+            "PCC {t_pcc} Mbps must dwarf Hybla {t_hybla} Mbps"
+        );
+        assert!(t_pcc > 25.0, "PCC near satellite capacity: {t_pcc}");
+    }
+
+    #[test]
+    fn lossy_pcc_resilient_cubic_collapses() {
+        // Fig. 7 shape at 1% loss: PCC near capacity, CUBIC collapsed.
+        let dur = SimDuration::from_secs(15);
+        let pcc = run_lossy(
+            Protocol::pcc_default(SimDuration::from_millis(30)),
+            0.01,
+            dur,
+            2,
+        );
+        let cubic = run_lossy(Protocol::Tcp("cubic"), 0.01, dur, 2);
+        let t_pcc = pcc.throughput_in(0, SimTime::from_secs(5), SimTime::from_secs(15));
+        let t_cubic = cubic.throughput_in(0, SimTime::from_secs(5), SimTime::from_secs(15));
+        assert!(t_pcc > 70.0, "PCC holds capacity under 1% loss: {t_pcc}");
+        assert!(
+            t_cubic < t_pcc / 3.0,
+            "CUBIC collapses: {t_cubic} vs {t_pcc}"
+        );
+    }
+
+    #[test]
+    fn shallow_buffer_pcc_efficient() {
+        // Fig. 9 shape: with a 9 KB (6-packet) buffer PCC reaches most of
+        // capacity while CUBIC can't.
+        let dur = SimDuration::from_secs(15);
+        let pcc = run_shallow(
+            Protocol::pcc_default(SimDuration::from_millis(30)),
+            9_000,
+            dur,
+            3,
+        );
+        let cubic = run_shallow(Protocol::Tcp("cubic"), 9_000, dur, 3);
+        let t_pcc = pcc.throughput_in(0, SimTime::from_secs(5), SimTime::from_secs(15));
+        let t_cubic = cubic.throughput_in(0, SimTime::from_secs(5), SimTime::from_secs(15));
+        assert!(t_pcc > 60.0, "PCC with 6-packet buffer: {t_pcc} Mbps");
+        assert!(t_pcc > 2.0 * t_cubic, "CUBIC starves: {t_cubic} Mbps");
+    }
+
+    #[test]
+    fn interdc_table_has_nine_pairs() {
+        assert_eq!(INTERDC_PAIRS.len(), 9);
+        assert!((interdc_setup(&INTERDC_PAIRS[0]).rtt.as_millis_f64() - 12.1).abs() < 1e-9);
+    }
+}

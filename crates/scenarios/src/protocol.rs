@@ -1,0 +1,171 @@
+//! Protocol factory: build any evaluated sender by description.
+
+use pcc_core::{
+    LatencySensitive, LossResilient, PccConfig, PccController, SafeSigmoid, SimpleThroughputLoss,
+    UtilityFunction,
+};
+use pcc_rate::{Pcp, Sabul};
+use pcc_simnet::endpoint::Endpoint;
+use pcc_simnet::time::{SimDuration, SimTime};
+use pcc_tcp::by_name;
+use pcc_transport::{
+    FlowSize, RateSender, RateSenderConfig, TransportConfig, WindowSender, WindowSenderConfig,
+};
+
+/// Which utility function a PCC sender optimizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UtilityKind {
+    /// §2.2 safe sigmoid (the default everywhere in §4.1–4.3).
+    Safe,
+    /// `T − x·L` (§2.2's naive starting point).
+    Simple,
+    /// §4.4.2 `T·(1−L)` for extreme-loss links under FQ.
+    LossResilient,
+    /// §4.4.1 latency-sensitive power objective.
+    LatencySensitive,
+}
+
+impl UtilityKind {
+    /// Instantiate the utility function.
+    pub fn build(self) -> Box<dyn UtilityFunction> {
+        match self {
+            UtilityKind::Safe => Box::new(SafeSigmoid::default()),
+            UtilityKind::Simple => Box::new(SimpleThroughputLoss),
+            UtilityKind::LossResilient => Box::new(LossResilient),
+            UtilityKind::LatencySensitive => Box::new(LatencySensitive::default()),
+        }
+    }
+}
+
+/// A protocol under evaluation.
+#[derive(Clone, Debug)]
+pub enum Protocol {
+    /// PCC with a given config and utility.
+    Pcc(PccConfig, UtilityKind),
+    /// A TCP baseline by name (`"cubic"`, `"illinois"`, ...).
+    Tcp(&'static str),
+    /// A TCP baseline with packet pacing (Fig. 9's "TCP Pacing").
+    TcpPaced(&'static str),
+    /// SABUL/UDT-style rate control.
+    Sabul,
+    /// PCP-style bandwidth probing.
+    Pcp,
+}
+
+impl Protocol {
+    /// PCC with paper defaults and the safe utility, RTT hint attached.
+    pub fn pcc_default(rtt_hint: SimDuration) -> Protocol {
+        Protocol::Pcc(PccConfig::paper().with_rtt_hint(rtt_hint), UtilityKind::Safe)
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            Protocol::Pcc(cfg, UtilityKind::Safe) if cfg.rct => "pcc".into(),
+            Protocol::Pcc(cfg, UtilityKind::Safe) => {
+                let _ = cfg;
+                "pcc-norct".into()
+            }
+            Protocol::Pcc(_, u) => format!("pcc-{u:?}").to_lowercase(),
+            Protocol::Tcp(name) => (*name).into(),
+            Protocol::TcpPaced(name) => format!("{name}-paced"),
+            Protocol::Sabul => "sabul".into(),
+            Protocol::Pcp => "pcp".into(),
+        }
+    }
+
+    /// Build the sender endpoint for a flow of `size` (use
+    /// [`FlowSize::Infinite`] for long-running throughput flows).
+    pub fn build_sender(&self, size: FlowSize, mss: u32) -> Box<dyn Endpoint> {
+        let transport = TransportConfig { mss, size };
+        match self {
+            Protocol::Pcc(cfg, util) => {
+                let ctrl = PccController::with_utility(*cfg, util.build());
+                Box::new(RateSender::new(
+                    RateSenderConfig {
+                        transport,
+                        ..Default::default()
+                    },
+                    Box::new(ctrl),
+                ))
+            }
+            Protocol::Tcp(name) => {
+                let cc = by_name(name).unwrap_or_else(|| panic!("unknown TCP variant {name}"));
+                Box::new(WindowSender::new(
+                    WindowSenderConfig {
+                        transport,
+                        ..Default::default()
+                    },
+                    cc,
+                ))
+            }
+            Protocol::TcpPaced(name) => {
+                let cc = by_name(name).unwrap_or_else(|| panic!("unknown TCP variant {name}"));
+                Box::new(WindowSender::new(
+                    WindowSenderConfig {
+                        transport,
+                        pacing: true,
+                        ..Default::default()
+                    },
+                    cc,
+                ))
+            }
+            Protocol::Sabul => Box::new(RateSender::new(
+                RateSenderConfig {
+                    transport,
+                    ..Default::default()
+                },
+                Box::new(Sabul::new()),
+            )),
+            Protocol::Pcp => Box::new(RateSender::new(
+                RateSenderConfig {
+                    transport,
+                    ..Default::default()
+                },
+                Box::new(Pcp::new()),
+            )),
+        }
+    }
+}
+
+/// The flow-start placeholder time used by builders that start immediately.
+pub const T0: SimTime = SimTime::ZERO;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Protocol::pcc_default(SimDuration::from_millis(30)).label(), "pcc");
+        assert_eq!(Protocol::Tcp("cubic").label(), "cubic");
+        assert_eq!(Protocol::TcpPaced("newreno").label(), "newreno-paced");
+        assert_eq!(
+            Protocol::Pcc(PccConfig::paper().without_rct(), UtilityKind::Safe).label(),
+            "pcc-norct"
+        );
+        assert_eq!(
+            Protocol::Pcc(PccConfig::paper(), UtilityKind::LossResilient).label(),
+            "pcc-lossresilient"
+        );
+    }
+
+    #[test]
+    fn builders_produce_endpoints() {
+        for p in [
+            Protocol::pcc_default(SimDuration::from_millis(30)),
+            Protocol::Tcp("cubic"),
+            Protocol::TcpPaced("newreno"),
+            Protocol::Sabul,
+            Protocol::Pcp,
+        ] {
+            let _ = p.build_sender(FlowSize::Infinite, 1500);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown TCP variant")]
+    fn unknown_tcp_panics() {
+        Protocol::Tcp("bbr").build_sender(FlowSize::Infinite, 1500);
+    }
+}

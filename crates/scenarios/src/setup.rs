@@ -1,0 +1,309 @@
+//! Core scenario runners: single- and multi-flow dumbbells with arbitrary
+//! queue disciplines, the building blocks every figure reuses.
+
+use pcc_simnet::link::LinkSchedule;
+use pcc_simnet::prelude::*;
+use pcc_transport::{FlowSize, SackReceiver};
+
+use crate::protocol::Protocol;
+
+/// Queue discipline selection for the bottleneck.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueKind {
+    /// Drop-tail FIFO sized by `buffer_bytes`.
+    DropTail,
+    /// Per-flow DRR fair queueing (§4.4).
+    Fq,
+    /// CoDel AQM (Fig. 17).
+    Codel,
+    /// FQ-CoDel (Fig. 17's "CoDel + FQ").
+    FqCodel,
+    /// Fair queueing with a 16 MB buffer, ignoring `buffer_bytes` (Fig.
+    /// 17's "Bufferbloat + FQ" — all four cells of that figure keep FQ).
+    Bufferbloat,
+    /// Plain FIFO with a 16 MB buffer (bufferbloat without isolation).
+    BufferbloatFifo,
+}
+
+impl QueueKind {
+    fn build(self, buffer_bytes: u64) -> Box<dyn Queue> {
+        match self {
+            QueueKind::DropTail => Box::new(DropTail::bytes(buffer_bytes)),
+            QueueKind::Fq => Box::new(FairQueue::new(buffer_bytes)),
+            QueueKind::Codel => Box::new(Codel::bytes(buffer_bytes)),
+            QueueKind::FqCodel => Box::new(fq_codel(buffer_bytes)),
+            QueueKind::Bufferbloat => Box::new(FairQueue::new(16 * 1024 * 1024)),
+            QueueKind::BufferbloatFifo => Box::new(DropTail::bufferbloat()),
+        }
+    }
+}
+
+/// A single bottleneck path description.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkSetup {
+    /// Bottleneck rate, bits/sec.
+    pub rate_bps: f64,
+    /// Path round-trip time.
+    pub rtt: SimDuration,
+    /// Bottleneck buffer, bytes.
+    pub buffer_bytes: u64,
+    /// Random loss probability on the forward path.
+    pub loss: f64,
+    /// Random loss probability on the reverse (ACK) path.
+    pub ack_loss: f64,
+    /// Queue discipline at the bottleneck.
+    pub queue: QueueKind,
+}
+
+impl LinkSetup {
+    /// A clean drop-tail path.
+    pub fn new(rate_bps: f64, rtt: SimDuration, buffer_bytes: u64) -> Self {
+        LinkSetup {
+            rate_bps,
+            rtt,
+            buffer_bytes,
+            loss: 0.0,
+            ack_loss: 0.0,
+            queue: QueueKind::DropTail,
+        }
+    }
+
+    /// Set forward random loss.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Set reverse (ACK) random loss.
+    pub fn with_ack_loss(mut self, loss: f64) -> Self {
+        self.ack_loss = loss;
+        self
+    }
+
+    /// Set the queue discipline.
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
+        self
+    }
+
+    /// Bandwidth-delay product in bytes.
+    pub fn bdp_bytes(&self) -> u64 {
+        (self.rate_bps * self.rtt.as_secs_f64() / 8.0) as u64
+    }
+}
+
+/// One flow's plan in a multi-flow scenario.
+pub struct FlowPlan {
+    /// The protocol driving the sender.
+    pub protocol: Protocol,
+    /// Path RTT for this flow.
+    pub rtt: SimDuration,
+    /// When the flow starts.
+    pub start_at: SimTime,
+    /// How much it sends.
+    pub size: FlowSize,
+}
+
+impl FlowPlan {
+    /// An infinite flow starting at t=0.
+    pub fn new(protocol: Protocol, rtt: SimDuration) -> Self {
+        FlowPlan {
+            protocol,
+            rtt,
+            start_at: SimTime::ZERO,
+            size: FlowSize::Infinite,
+        }
+    }
+
+    /// Start the flow at `t`.
+    pub fn starting_at(mut self, t: SimTime) -> Self {
+        self.start_at = t;
+        self
+    }
+
+    /// Give the flow a fixed size.
+    pub fn sized(mut self, size: FlowSize) -> Self {
+        self.size = size;
+        self
+    }
+}
+
+/// Result of a scenario run.
+pub struct ScenarioResult {
+    /// Full simulator report.
+    pub report: SimReport,
+    /// The flows, in plan order.
+    pub flows: Vec<FlowId>,
+    /// The bottleneck link.
+    pub bottleneck: LinkId,
+}
+
+impl ScenarioResult {
+    /// Whole-lifetime average delivered throughput of flow `i`, Mbit/s.
+    pub fn throughput_mbps(&self, i: usize) -> f64 {
+        self.report.flow_throughput_mbps(self.flows[i])
+    }
+
+    /// Average throughput of flow `i` over `[from, to]`, Mbit/s.
+    pub fn throughput_in(&self, i: usize, from: SimTime, to: SimTime) -> f64 {
+        self.report.avg_throughput_mbps(self.flows[i], from, to)
+    }
+
+    /// Sender-observed loss rate of flow `i`.
+    pub fn loss_rate(&self, i: usize) -> f64 {
+        self.report.flows[self.flows[i].index()].loss_rate()
+    }
+
+    /// Mean RTT of flow `i`, milliseconds.
+    pub fn mean_rtt_ms(&self, i: usize) -> f64 {
+        self.report.flows[self.flows[i].index()]
+            .mean_rtt()
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Flow completion time of flow `i`, if it finished.
+    pub fn fct(&self, i: usize) -> Option<SimDuration> {
+        self.report.flows[self.flows[i].index()].fct()
+    }
+}
+
+/// Run `plans` over a shared bottleneck described by `setup` (each flow
+/// gets its own RTT shims) until `horizon`.
+pub fn run_dumbbell(
+    setup: LinkSetup,
+    plans: Vec<FlowPlan>,
+    horizon: SimTime,
+    seed: u64,
+) -> ScenarioResult {
+    run_dumbbell_scheduled(setup, plans, horizon, seed, LinkSchedule::new(), None)
+}
+
+/// [`run_dumbbell`] with a time-varying bottleneck schedule (Fig. 11) and
+/// an optional stats sampling interval override.
+pub fn run_dumbbell_scheduled(
+    setup: LinkSetup,
+    plans: Vec<FlowPlan>,
+    horizon: SimTime,
+    seed: u64,
+    schedule: LinkSchedule,
+    sample_interval: Option<SimDuration>,
+) -> ScenarioResult {
+    let mut net = NetworkBuilder::new(SimConfig {
+        sample_interval: sample_interval.unwrap_or(SimDuration::from_millis(100)),
+        seed,
+    });
+    let bottleneck = {
+        let cfg = LinkConfig {
+            rate_bps: Some(setup.rate_bps),
+            delay: SimDuration::ZERO,
+            loss: setup.loss,
+            queue: setup.queue.build(setup.buffer_bytes),
+            schedule,
+        };
+        net.add_link(cfg)
+    };
+    let mut flows = Vec::with_capacity(plans.len());
+    for plan in plans {
+        let half = plan.rtt / 2;
+        let fwd_shim = net.add_link(LinkConfig::delay_only(half));
+        let rev_shim =
+            net.add_link(LinkConfig::delay_only(plan.rtt - half).with_loss(setup.ack_loss));
+        let sender = plan.protocol.build_sender(plan.size, 1500);
+        let flow = net.add_flow(FlowSpec {
+            sender,
+            receiver: Box::new(SackReceiver::new()),
+            fwd_path: vec![bottleneck, fwd_shim],
+            rev_path: vec![rev_shim],
+            start_at: plan.start_at,
+        });
+        flows.push(flow);
+    }
+    let report = net.build().run_until(horizon);
+    ScenarioResult {
+        report,
+        flows,
+        bottleneck,
+    }
+}
+
+/// Run one protocol alone on a path (the workhorse of Figs. 6, 7, 9 and
+/// Table 1).
+pub fn run_single(
+    protocol: Protocol,
+    setup: LinkSetup,
+    duration: SimDuration,
+    seed: u64,
+) -> ScenarioResult {
+    let rtt = setup.rtt;
+    run_dumbbell(
+        setup,
+        vec![FlowPlan::new(protocol, rtt)],
+        SimTime::ZERO + duration,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Protocol;
+
+    fn quick(proto: Protocol, setup: LinkSetup, secs: u64) -> ScenarioResult {
+        run_single(proto, setup, SimDuration::from_secs(secs), 42)
+    }
+
+    #[test]
+    fn pcc_fills_clean_link() {
+        let setup = LinkSetup::new(50e6, SimDuration::from_millis(30), 64_000);
+        let r = quick(Protocol::pcc_default(SimDuration::from_millis(30)), setup, 8);
+        let t = r.throughput_in(0, SimTime::from_secs(4), SimTime::from_secs(8));
+        assert!(t > 42.0, "PCC ≈ capacity: {t} Mbps");
+    }
+
+    #[test]
+    fn cubic_fills_clean_link() {
+        let setup = LinkSetup::new(50e6, SimDuration::from_millis(30), 187_500);
+        let r = quick(Protocol::Tcp("cubic"), setup, 8);
+        let t = r.throughput_in(0, SimTime::from_secs(4), SimTime::from_secs(8));
+        assert!(t > 40.0, "CUBIC ≈ capacity with BDP buffer: {t} Mbps");
+    }
+
+    #[test]
+    fn sabul_moves_data() {
+        let setup = LinkSetup::new(50e6, SimDuration::from_millis(30), 64_000);
+        let r = quick(Protocol::Sabul, setup, 8);
+        let t = r.throughput_in(0, SimTime::from_secs(4), SimTime::from_secs(8));
+        assert!(t > 10.0, "SABUL makes progress: {t} Mbps");
+    }
+
+    #[test]
+    fn pcp_moves_data() {
+        let setup = LinkSetup::new(50e6, SimDuration::from_millis(30), 64_000);
+        let r = quick(Protocol::Pcp, setup, 8);
+        let t = r.throughput_in(0, SimTime::from_secs(4), SimTime::from_secs(8));
+        assert!(t > 5.0, "PCP makes progress: {t} Mbps");
+    }
+
+    #[test]
+    fn multi_flow_shares_bottleneck() {
+        // PCC convergence takes tens of seconds at ±1% steps (the paper's
+        // Fig. 16 reports 30-60 s); measure after the dust settles.
+        let setup = LinkSetup::new(20e6, SimDuration::from_millis(30), 75_000);
+        let rtt = SimDuration::from_millis(30);
+        let r = run_dumbbell(
+            setup,
+            vec![
+                FlowPlan::new(Protocol::pcc_default(rtt), rtt),
+                FlowPlan::new(Protocol::pcc_default(rtt), rtt),
+            ],
+            SimTime::from_secs(90),
+            7,
+        );
+        let t0 = r.throughput_in(0, SimTime::from_secs(60), SimTime::from_secs(90));
+        let t1 = r.throughput_in(1, SimTime::from_secs(60), SimTime::from_secs(90));
+        assert!(t0 + t1 > 16.0, "link utilized: {t0}+{t1}");
+        let ratio = t0.max(t1) / t0.min(t1).max(0.01);
+        assert!(ratio < 2.0, "roughly fair: {t0} vs {t1}");
+    }
+}

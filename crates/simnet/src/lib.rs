@@ -1,0 +1,84 @@
+//! # pcc-simnet — deterministic packet-level network simulator
+//!
+//! The experiment substrate for the PCC (NSDI'15) reproduction. A
+//! discrete-event simulator in the spirit of event-driven network stacks:
+//! single-threaded, allocation-light, and **bit-deterministic** — every run
+//! with the same seed produces the identical event sequence, which makes
+//! every experiment in the paper reproducible to the byte.
+//!
+//! ## Architecture
+//!
+//! * [`event::EventQueue`] — binary-heap scheduler with deterministic
+//!   tie-breaking.
+//! * [`link::Link`] — serialization rate + propagation delay + Bernoulli
+//!   egress loss, with an attached [`queue::Queue`] discipline and optional
+//!   time-varying [`link::LinkSchedule`].
+//! * [`queue`] — DropTail, DRR [`queue::FairQueue`], RFC 8289
+//!   [`queue::Codel`], and FQ-CoDel.
+//! * [`endpoint::Endpoint`] — the protocol plug-in trait; transport
+//!   implementations (PCC, TCP variants, SABUL, PCP) live in sibling crates.
+//! * [`sim::Simulation`] — the event loop; [`sim::NetworkBuilder`] wires
+//!   links, paths, and flows.
+//! * [`stats`] — per-flow series plus the paper's metrics (Jain's index,
+//!   convergence time, percentiles).
+//!
+//! ## Example
+//!
+//! ```
+//! use pcc_simnet::prelude::*;
+//!
+//! // Endpoints come from transport crates; here a trivial no-op pair.
+//! struct Quiet;
+//! impl Endpoint for Quiet {
+//!     fn start(&mut self, _ctx: &mut EndpointCtx) {}
+//!     fn on_packet(&mut self, _pkt: &Packet, _ctx: &mut EndpointCtx) {}
+//!     fn on_timer(&mut self, _token: u64, _ctx: &mut EndpointCtx) {}
+//! }
+//!
+//! let mut net = NetworkBuilder::new(SimConfig::default());
+//! let db = Dumbbell::new(&mut net, BottleneckSpec::new(100e6, 64_000));
+//! let path = db.attach_flow(&mut net, SimDuration::from_millis(30));
+//! net.add_flow(FlowSpec {
+//!     sender: Box::new(Quiet),
+//!     receiver: Box::new(Quiet),
+//!     fwd_path: path.fwd,
+//!     rev_path: path.rev,
+//!     start_at: SimTime::ZERO,
+//! });
+//! let report = net.build().run_until(SimTime::from_secs(1));
+//! assert_eq!(report.flows.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod endpoint;
+pub mod event;
+pub mod ids;
+pub mod link;
+pub mod packet;
+pub mod queue;
+pub mod rng;
+pub mod sim;
+pub mod stats;
+pub mod time;
+pub mod topology;
+
+/// Convenient glob-import of the simulator's main types.
+pub mod prelude {
+    pub use crate::endpoint::{Action, Endpoint, EndpointCtx};
+    pub use crate::ids::{Direction, FlowId, LinkId, Side};
+    pub use crate::link::{LinkConfig, LinkSchedule, LinkStep};
+    pub use crate::packet::{AckInfo, DataInfo, Packet, PacketKind};
+    pub use crate::queue::{
+        fq_codel, BufferLimit, Codel, CodelParams, DropTail, FairQueue, Queue,
+    };
+    pub use crate::rng::SimRng;
+    pub use crate::sim::{
+        FlowSpec, LinkReport, NetworkBuilder, SimConfig, SimReport, Simulation,
+    };
+    pub use crate::stats::{
+        convergence_time, jain_index, jain_index_at_scale, mean, percentile, std_dev, FlowStats,
+    };
+    pub use crate::time::{rate_bps, tx_time, SimDuration, SimTime};
+    pub use crate::topology::{BottleneckSpec, Dumbbell, FlowPath};
+}

@@ -1,0 +1,189 @@
+//! Deterministic randomness for the simulator.
+//!
+//! A single master seed fans out into independent per-component streams via
+//! SplitMix64, so adding a component (a new link's loss process, a new flow's
+//! monitor-interval jitter) never perturbs the random stream of any other
+//! component. Runs with the same master seed are bit-identical.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// SplitMix64 step; used to derive independent stream seeds from a master
+/// seed combined with a component tag.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic random stream.
+pub struct SimRng {
+    seed: u64,
+    rng: StdRng,
+}
+
+impl SimRng {
+    /// Create a stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child stream tagged by `tag`.
+    ///
+    /// The child depends only on this stream's seed and `tag`, not on how
+    /// much of this stream has been consumed.
+    pub fn derive(&self, tag: u64) -> SimRng {
+        SimRng::new(splitmix64(self.seed ^ splitmix64(tag.wrapping_add(1))))
+    }
+
+    /// The seed of this stream.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.random_range(0.0..1.0)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.rng.random_range(lo..hi)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.rng.random_range(lo..hi)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.rng.random_bool(p)
+        }
+    }
+
+    /// Exponentially distributed value with the given mean (inter-arrival
+    /// times of a Poisson process).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+
+    /// Fisher-Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.rng.random_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// A random boolean (fair coin).
+    pub fn coin(&mut self) -> bool {
+        self.rng.random_bool(0.5)
+    }
+}
+
+impl std::fmt::Debug for SimRng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SimRng(seed={:#x})", self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn derive_is_independent_of_consumption() {
+        let mut a = SimRng::new(7);
+        let b = SimRng::new(7);
+        // Consume some of `a`, then derive: children must match.
+        for _ in 0..10 {
+            a.uniform();
+        }
+        let mut ca = a.derive(3);
+        let mut cb = b.derive(3);
+        for _ in 0..20 {
+            assert_eq!(ca.uniform().to_bits(), cb.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn derive_different_tags_differ() {
+        let root = SimRng::new(1);
+        let mut c1 = root.derive(1);
+        let mut c2 = root.derive(2);
+        let s1: Vec<u64> = (0..8).map(|_| c1.uniform().to_bits()).collect();
+        let s2: Vec<u64> = (0..8).map(|_| c2.uniform().to_bits()).collect();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(5);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn chance_rate_roughly_correct() {
+        let mut r = SimRng::new(11);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| r.chance(0.3)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate={rate}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = SimRng::new(13);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(2.5)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.5).abs() < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    fn range_degenerate() {
+        let mut r = SimRng::new(17);
+        assert_eq!(r.range_f64(5.0, 5.0), 5.0);
+        assert_eq!(r.range_u64(9, 9), 9);
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = SimRng::new(19);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+}

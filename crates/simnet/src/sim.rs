@@ -1,0 +1,719 @@
+//! The simulation engine: wires flows onto link paths and runs the event
+//! loop to a horizon.
+//!
+//! Construction goes through [`NetworkBuilder`]: add links, add flows (each
+//! with a boxed sender and receiver [`Endpoint`] and explicit forward/reverse
+//! link paths), then [`NetworkBuilder::build`] and [`Simulation::run_until`].
+//! The run produces a [`SimReport`] with per-flow statistics and series.
+
+use crate::endpoint::{Action, Endpoint, EndpointCtx};
+use crate::event::{Event, EventQueue};
+use crate::ids::{Direction, FlowId, LinkId, Side};
+use crate::link::{Link, LinkConfig, LinkOutcome, LinkStats};
+use crate::packet::Packet;
+use crate::queue::QueueStats;
+use crate::rng::SimRng;
+use crate::stats::FlowStats;
+use crate::time::{SimDuration, SimTime};
+
+/// Global simulation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Statistics sampling interval (throughput/RTT series resolution).
+    pub sample_interval: SimDuration,
+    /// Master seed; all per-link and per-flow streams derive from it.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            sample_interval: SimDuration::from_millis(100),
+            seed: 0x5043_4331, // "PCC1"
+        }
+    }
+}
+
+/// A flow being added to the network.
+pub struct FlowSpec {
+    /// Sender endpoint (drives data transmission).
+    pub sender: Box<dyn Endpoint>,
+    /// Receiver endpoint (generates ACKs).
+    pub receiver: Box<dyn Endpoint>,
+    /// Links traversed by data packets, in order.
+    pub fwd_path: Vec<LinkId>,
+    /// Links traversed by ACKs, in order.
+    pub rev_path: Vec<LinkId>,
+    /// When the sender's `start` fires.
+    pub start_at: SimTime,
+}
+
+struct FlowRuntime {
+    sender: Box<dyn Endpoint>,
+    receiver: Box<dyn Endpoint>,
+    fwd_path: Vec<LinkId>,
+    rev_path: Vec<LinkId>,
+    start_at: SimTime,
+    sender_rng: SimRng,
+    receiver_rng: SimRng,
+    stats: FlowStats,
+    // Sampling accumulators (reset every sample tick).
+    window_delivered_bytes: u64,
+    window_goodput_bytes: u64,
+    window_rtt_sum_ns: u64,
+    window_rtt_count: u64,
+    window_losses: u64,
+    last_rate_bps: f64,
+    finished: bool,
+}
+
+/// Per-link summary in the final report.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkReport {
+    /// Link id.
+    pub id: LinkId,
+    /// Link counters (offered/transmitted/egress loss).
+    pub stats: LinkStats,
+    /// Queue counters (drops, peak backlog).
+    pub queue: QueueStats,
+}
+
+/// The outcome of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Per-flow statistics, indexed by `FlowId`.
+    pub flows: Vec<FlowStats>,
+    /// Per-link statistics, indexed by `LinkId`.
+    pub links: Vec<LinkReport>,
+    /// The sampling interval the series were recorded at.
+    pub sample_interval: SimDuration,
+    /// When the run ended.
+    pub ended_at: SimTime,
+    /// Total events processed (for performance accounting).
+    pub events_processed: u64,
+}
+
+impl SimReport {
+    /// Average delivered throughput of `flow` in Mbit/s over `[from, to]`.
+    pub fn avg_throughput_mbps(&self, flow: FlowId, from: SimTime, to: SimTime) -> f64 {
+        self.flows[flow.index()].avg_throughput_mbps(self.sample_interval, from, to)
+    }
+
+    /// Average goodput of `flow` in Mbit/s over `[from, to]`.
+    pub fn avg_goodput_mbps(&self, flow: FlowId, from: SimTime, to: SimTime) -> f64 {
+        self.flows[flow.index()].avg_goodput_mbps(self.sample_interval, from, to)
+    }
+
+    /// Whole-run average delivered throughput of `flow` in Mbit/s, measured
+    /// from the flow's start to the run end (or completion).
+    pub fn flow_throughput_mbps(&self, flow: FlowId) -> f64 {
+        let st = &self.flows[flow.index()];
+        let end = st.completed_at.unwrap_or(self.ended_at);
+        let dur = end.saturating_since(st.started_at).as_secs_f64();
+        if dur <= 0.0 {
+            return 0.0;
+        }
+        st.delivered_bytes as f64 * 8.0 / dur / 1e6
+    }
+}
+
+/// Builder for a [`Simulation`].
+pub struct NetworkBuilder {
+    config: SimConfig,
+    links: Vec<Link>,
+    flows: Vec<FlowRuntime>,
+    rng: SimRng,
+}
+
+impl NetworkBuilder {
+    /// Start building a network with the given config.
+    pub fn new(config: SimConfig) -> Self {
+        let rng = SimRng::new(config.seed);
+        NetworkBuilder {
+            config,
+            links: Vec::new(),
+            flows: Vec::new(),
+            rng,
+        }
+    }
+
+    /// Add a link; returns its id.
+    pub fn add_link(&mut self, config: LinkConfig) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        let rng = self.rng.derive(0x4C49_4E4B_0000 + id.0 as u64);
+        self.links.push(Link::new(id, config, rng));
+        id
+    }
+
+    /// Add a flow; returns its id.
+    pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
+        let id = FlowId(self.flows.len() as u32);
+        assert!(
+            !spec.fwd_path.is_empty(),
+            "flow needs at least one forward link"
+        );
+        assert!(
+            !spec.rev_path.is_empty(),
+            "flow needs at least one reverse link"
+        );
+        let sender_rng = self.rng.derive(0x534E_4400_0000 + id.0 as u64);
+        let receiver_rng = self.rng.derive(0x5243_5600_0000 + id.0 as u64);
+        let mut stats = FlowStats::default();
+        stats.started_at = spec.start_at;
+        self.flows.push(FlowRuntime {
+            sender: spec.sender,
+            receiver: spec.receiver,
+            fwd_path: spec.fwd_path,
+            rev_path: spec.rev_path,
+            start_at: spec.start_at,
+            sender_rng,
+            receiver_rng,
+            stats,
+            window_delivered_bytes: 0,
+            window_goodput_bytes: 0,
+            window_rtt_sum_ns: 0,
+            window_rtt_count: 0,
+            window_losses: 0,
+            last_rate_bps: 0.0,
+            finished: false,
+        });
+        id
+    }
+
+    /// Finalize into a runnable [`Simulation`].
+    pub fn build(self) -> Simulation {
+        Simulation {
+            now: SimTime::ZERO,
+            events: EventQueue::new(),
+            links: self.links,
+            flows: self.flows,
+            config: self.config,
+            scratch: Vec::new(),
+            events_processed: 0,
+            started: false,
+        }
+    }
+}
+
+/// A runnable simulation.
+pub struct Simulation {
+    now: SimTime,
+    events: EventQueue,
+    links: Vec<Link>,
+    flows: Vec<FlowRuntime>,
+    config: SimConfig,
+    scratch: Vec<Action>,
+    events_processed: u64,
+    started: bool,
+}
+
+impl Simulation {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn bootstrap(&mut self) {
+        for (i, f) in self.flows.iter().enumerate() {
+            self.events
+                .schedule(f.start_at, Event::FlowStart { flow: FlowId(i as u32) });
+        }
+        for (i, l) in self.links.iter().enumerate() {
+            if let Some(step) = l.schedule().step(0) {
+                self.events.schedule(
+                    step.at,
+                    Event::LinkUpdate {
+                        link: LinkId(i as u32),
+                        step: 0,
+                    },
+                );
+            }
+        }
+        self.events
+            .schedule(SimTime::ZERO + self.config.sample_interval, Event::Sample);
+        self.started = true;
+    }
+
+    /// Run until `horizon` (inclusive), then produce the report.
+    pub fn run_until(mut self, horizon: SimTime) -> SimReport {
+        if !self.started {
+            self.bootstrap();
+        }
+        while let Some((at, event)) = self.events.pop() {
+            if at > horizon {
+                break;
+            }
+            self.now = at;
+            self.events_processed += 1;
+            self.dispatch(event, horizon);
+        }
+        self.now = horizon;
+        self.finalize()
+    }
+
+    fn dispatch(&mut self, event: Event, horizon: SimTime) {
+        match event {
+            Event::FlowStart { flow } => {
+                self.call_endpoint(flow, Side::Sender, |e, ctx| e.start(ctx));
+                self.call_endpoint(flow, Side::Receiver, |e, ctx| e.start(ctx));
+            }
+            Event::Timer { flow, side, token } => {
+                self.call_endpoint(flow, side, |e, ctx| e.on_timer(token, ctx));
+            }
+            Event::TxComplete { link } => {
+                let res = self.links[link.index()].tx_complete(self.now);
+                if let Some(next) = res.next_tx_done {
+                    self.events.schedule(next, Event::TxComplete { link });
+                }
+                if let Some((mut pkt, arrive_at)) = res.delivered {
+                    pkt.hop += 1;
+                    self.events.schedule(arrive_at, Event::Arrive { packet: pkt });
+                }
+            }
+            Event::Arrive { packet } => {
+                self.route(packet);
+            }
+            Event::LinkUpdate { link, step } => {
+                if let Some(next_at) = self.links[link.index()].apply_step(step) {
+                    self.events
+                        .schedule(next_at, Event::LinkUpdate { link, step: step + 1 });
+                }
+            }
+            Event::Sample => {
+                self.take_sample();
+                let next = self.now + self.config.sample_interval;
+                if next <= horizon {
+                    self.events.schedule(next, Event::Sample);
+                }
+            }
+        }
+    }
+
+    /// Move `pkt` along its path: offer to the next link, or deliver to the
+    /// destination endpoint if all links are traversed.
+    fn route(&mut self, mut pkt: Packet) {
+        let flow = &self.flows[pkt.flow.index()];
+        let path = match pkt.dir {
+            Direction::Forward => &flow.fwd_path,
+            Direction::Reverse => &flow.rev_path,
+        };
+        let hop = pkt.hop as usize;
+        if hop >= path.len() {
+            self.deliver(pkt);
+            return;
+        }
+        let link_id = path[hop];
+        let link = &mut self.links[link_id.index()];
+        if link.rate_bps().is_none() {
+            // Pure-delay link: apply loss, then propagate.
+            let _ = link.offer(pkt, self.now); // counts `offered`
+            if !link.roll_loss() {
+                let at = link.propagate(self.now);
+                pkt.hop += 1;
+                self.events.schedule(at, Event::Arrive { packet: pkt });
+            }
+            return;
+        }
+        match link.offer(pkt, self.now) {
+            LinkOutcome::Accepted { start_tx: Some(done) } => {
+                self.events.schedule(done, Event::TxComplete { link: link_id });
+            }
+            LinkOutcome::Accepted { start_tx: None } => {}
+            LinkOutcome::Dropped => {}
+        }
+    }
+
+    /// Hand a fully propagated packet to its destination endpoint.
+    fn deliver(&mut self, pkt: Packet) {
+        let flow_id = pkt.flow;
+        let side = match pkt.dir {
+            Direction::Forward => Side::Receiver,
+            Direction::Reverse => Side::Sender,
+        };
+        if pkt.is_data() {
+            let st = &mut self.flows[flow_id.index()].stats;
+            st.delivered_bytes += pkt.bytes as u64;
+            st.delivered_packets += 1;
+            self.flows[flow_id.index()].window_delivered_bytes += pkt.bytes as u64;
+        }
+        self.call_endpoint(flow_id, side, |e, ctx| e.on_packet(&pkt, ctx));
+    }
+
+    /// Invoke an endpoint callback and apply the actions it emitted.
+    fn call_endpoint(
+        &mut self,
+        flow: FlowId,
+        side: Side,
+        f: impl FnOnce(&mut dyn Endpoint, &mut EndpointCtx),
+    ) {
+        let mut actions = std::mem::take(&mut self.scratch);
+        actions.clear();
+        {
+            let rt = &mut self.flows[flow.index()];
+            let (endpoint, rng) = match side {
+                Side::Sender => (&mut rt.sender, &mut rt.sender_rng),
+                Side::Receiver => (&mut rt.receiver, &mut rt.receiver_rng),
+            };
+            let mut ctx = EndpointCtx::new(self.now, flow, side, rng, &mut actions);
+            f(endpoint.as_mut(), &mut ctx);
+        }
+        // Apply actions outside the endpoint borrow.
+        for action in actions.drain(..) {
+            self.apply_action(flow, side, action);
+        }
+        self.scratch = actions;
+    }
+
+    fn apply_action(&mut self, flow: FlowId, side: Side, action: Action) {
+        match action {
+            Action::Send(mut pkt) => {
+                pkt.flow = flow;
+                pkt.dir = match side {
+                    Side::Sender => Direction::Forward,
+                    Side::Receiver => Direction::Reverse,
+                };
+                pkt.hop = 0;
+                if side == Side::Sender && pkt.is_data() {
+                    self.flows[flow.index()].stats.sent_packets += 1;
+                }
+                self.route(pkt);
+            }
+            Action::SetTimer { at, token } => {
+                let at = if at < self.now { self.now } else { at };
+                self.events.schedule(at, Event::Timer { flow, side, token });
+            }
+            Action::RecordRate(bps) => {
+                let rt = &mut self.flows[flow.index()];
+                rt.last_rate_bps = bps;
+                rt.stats.rate_log.push((self.now, bps));
+            }
+            Action::RecordRtt(rtt) => {
+                let rt = &mut self.flows[flow.index()];
+                rt.stats.rtt_sum_ns += rtt.as_nanos();
+                rt.stats.rtt_samples += 1;
+                rt.window_rtt_sum_ns += rtt.as_nanos();
+                rt.window_rtt_count += 1;
+            }
+            Action::RecordLoss(n) => {
+                let rt = &mut self.flows[flow.index()];
+                rt.stats.detected_losses += n;
+                rt.window_losses += n;
+            }
+            Action::RecordGoodput(bytes) => {
+                let rt = &mut self.flows[flow.index()];
+                rt.stats.goodput_bytes += bytes;
+                rt.window_goodput_bytes += bytes;
+            }
+            Action::Finish => {
+                let rt = &mut self.flows[flow.index()];
+                if !rt.finished {
+                    rt.finished = true;
+                    rt.stats.completed_at = Some(self.now);
+                }
+            }
+        }
+    }
+
+    fn take_sample(&mut self) {
+        let dt = self.config.sample_interval.as_secs_f64();
+        for rt in &mut self.flows {
+            let tput = rt.window_delivered_bytes as f64 * 8.0 / dt / 1e6;
+            let goodput = rt.window_goodput_bytes as f64 * 8.0 / dt / 1e6;
+            let rtt_ms = if rt.window_rtt_count > 0 {
+                (rt.window_rtt_sum_ns as f64 / rt.window_rtt_count as f64) / 1e6
+            } else {
+                f64::NAN
+            };
+            rt.stats.series.throughput_mbps.push(tput);
+            rt.stats.series.goodput_mbps.push(goodput);
+            rt.stats.series.rate_mbps.push(rt.last_rate_bps / 1e6);
+            rt.stats.series.rtt_ms.push(rtt_ms);
+            rt.stats.series.losses.push(rt.window_losses);
+            rt.window_delivered_bytes = 0;
+            rt.window_goodput_bytes = 0;
+            rt.window_rtt_sum_ns = 0;
+            rt.window_rtt_count = 0;
+            rt.window_losses = 0;
+        }
+    }
+
+    fn finalize(self) -> SimReport {
+        SimReport {
+            flows: self.flows.into_iter().map(|f| f.stats).collect(),
+            links: self
+                .links
+                .iter()
+                .map(|l| LinkReport {
+                    id: l.id(),
+                    stats: l.stats(),
+                    queue: l.queue_stats(),
+                })
+                .collect(),
+            sample_interval: self.config.sample_interval,
+            ended_at: self.now,
+            events_processed: self.events_processed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::AckInfo;
+
+    /// A sender that emits `count` packets at fixed spacing, one per timer.
+    struct TickSender {
+        next_seq: u64,
+        count: u64,
+        spacing: SimDuration,
+        acked: u64,
+    }
+
+    impl Endpoint for TickSender {
+        fn start(&mut self, ctx: &mut EndpointCtx) {
+            ctx.set_timer(ctx.now, 0);
+        }
+        fn on_packet(&mut self, pkt: &Packet, ctx: &mut EndpointCtx) {
+            let ack = pkt.as_ack().expect("sender gets ACKs");
+            self.acked += 1;
+            ctx.record_rtt(ctx.now.saturating_since(ack.echo_sent_at));
+            if self.acked == self.count {
+                ctx.finish();
+            }
+        }
+        fn on_timer(&mut self, _token: u64, ctx: &mut EndpointCtx) {
+            if self.next_seq < self.count {
+                ctx.send_data(self.next_seq, 1500, false);
+                self.next_seq += 1;
+                ctx.set_timer(ctx.now + self.spacing, 0);
+            }
+        }
+    }
+
+    /// A receiver that ACKs every data packet.
+    struct EchoReceiver {
+        received: u64,
+    }
+
+    impl Endpoint for EchoReceiver {
+        fn start(&mut self, _ctx: &mut EndpointCtx) {}
+        fn on_packet(&mut self, pkt: &Packet, ctx: &mut EndpointCtx) {
+            let d = pkt.as_data().expect("receiver gets data");
+            self.received += 1;
+            ctx.record_goodput(pkt.bytes as u64);
+            ctx.send_ack(AckInfo {
+                acked_seq: d.seq,
+                cum_ack: self.received,
+                echo_sent_at: d.sent_at,
+                recv_at: ctx.now,
+                recv_bytes: self.received * 1500,
+                probe_train: d.probe_train,
+                of_retx: d.retx,
+            });
+        }
+        fn on_timer(&mut self, _token: u64, _ctx: &mut EndpointCtx) {}
+    }
+
+    fn two_way_net(rate_bps: f64, one_way: SimDuration) -> (NetworkBuilder, LinkId, LinkId) {
+        let mut nb = NetworkBuilder::new(SimConfig {
+            sample_interval: SimDuration::from_millis(100),
+            seed: 7,
+        });
+        let fwd = nb.add_link(LinkConfig::bottleneck(rate_bps, one_way, 64_000));
+        let rev = nb.add_link(LinkConfig::delay_only(one_way));
+        (nb, fwd, rev)
+    }
+
+    #[test]
+    fn packets_flow_end_to_end() {
+        let (mut nb, fwd, rev) = two_way_net(10e6, SimDuration::from_millis(10));
+        let flow = nb.add_flow(FlowSpec {
+            sender: Box::new(TickSender {
+                next_seq: 0,
+                count: 100,
+                spacing: SimDuration::from_millis(2),
+                acked: 0,
+            }),
+            receiver: Box::new(EchoReceiver { received: 0 }),
+            fwd_path: vec![fwd],
+            rev_path: vec![rev],
+            start_at: SimTime::ZERO,
+        });
+        let report = nb.build().run_until(SimTime::from_secs(2));
+        let st = &report.flows[flow.index()];
+        assert_eq!(st.sent_packets, 100);
+        assert_eq!(st.delivered_packets, 100);
+        assert_eq!(st.delivered_bytes, 150_000);
+        assert_eq!(st.goodput_bytes, 150_000);
+        assert!(st.completed_at.is_some(), "all ACKs received => finished");
+        // RTT = 10ms fwd prop + 1.2ms serialization + 10ms rev = ~21.2ms.
+        let rtt = st.mean_rtt().expect("rtt measured");
+        assert!(
+            (rtt.as_millis_f64() - 21.2).abs() < 0.5,
+            "rtt={}",
+            rtt.as_millis_f64()
+        );
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = |seed: u64| {
+            let mut nb = NetworkBuilder::new(SimConfig {
+                sample_interval: SimDuration::from_millis(50),
+                seed,
+            });
+            let fwd = nb.add_link(
+                LinkConfig::bottleneck(5e6, SimDuration::from_millis(5), 20_000).with_loss(0.05),
+            );
+            let rev = nb.add_link(LinkConfig::delay_only(SimDuration::from_millis(5)));
+            nb.add_flow(FlowSpec {
+                sender: Box::new(TickSender {
+                    next_seq: 0,
+                    count: 500,
+                    spacing: SimDuration::from_millis(1),
+                    acked: 0,
+                }),
+                receiver: Box::new(EchoReceiver { received: 0 }),
+                fwd_path: vec![fwd],
+                rev_path: vec![rev],
+                start_at: SimTime::ZERO,
+            });
+            let r = nb.build().run_until(SimTime::from_secs(2));
+            (
+                r.flows[0].delivered_packets,
+                r.flows[0].delivered_bytes,
+                r.events_processed,
+            )
+        };
+        assert_eq!(run(42), run(42), "same seed, identical run");
+        assert_ne!(
+            run(42).0,
+            run(43).0,
+            "different seed, different loss pattern (with overwhelming probability)"
+        );
+    }
+
+    #[test]
+    fn egress_loss_reduces_delivery() {
+        let mut nb = NetworkBuilder::new(SimConfig {
+            sample_interval: SimDuration::from_millis(100),
+            seed: 3,
+        });
+        let fwd = nb.add_link(
+            LinkConfig::bottleneck(100e6, SimDuration::from_millis(1), 1 << 20).with_loss(0.5),
+        );
+        let rev = nb.add_link(LinkConfig::delay_only(SimDuration::from_millis(1)));
+        let flow = nb.add_flow(FlowSpec {
+            sender: Box::new(TickSender {
+                next_seq: 0,
+                count: 2000,
+                spacing: SimDuration::from_micros(200),
+                acked: 0,
+            }),
+            receiver: Box::new(EchoReceiver { received: 0 }),
+            fwd_path: vec![fwd],
+            rev_path: vec![rev],
+            start_at: SimTime::ZERO,
+        });
+        let report = nb.build().run_until(SimTime::from_secs(2));
+        let st = &report.flows[flow.index()];
+        let delivery = st.delivered_packets as f64 / st.sent_packets as f64;
+        assert!(
+            (delivery - 0.5).abs() < 0.05,
+            "~50% delivery, got {delivery}"
+        );
+        assert_eq!(report.links[fwd.index()].stats.egress_lost
+            + report.flows[flow.index()].delivered_packets, 2000);
+    }
+
+    #[test]
+    fn bottleneck_paces_delivery_rate() {
+        // Sender injects at 30 Mbps into a 10 Mbps bottleneck with a large
+        // buffer: delivery rate must equal the bottleneck rate.
+        let (mut nb, fwd, rev) = two_way_net(10e6, SimDuration::from_millis(5));
+        let _ = rev;
+        let rev2 = nb.add_link(LinkConfig::delay_only(SimDuration::from_millis(5)));
+        let flow = nb.add_flow(FlowSpec {
+            sender: Box::new(TickSender {
+                next_seq: 0,
+                count: 100_000,
+                spacing: SimDuration::from_micros(400), // 1500B/400us = 30 Mbps
+                acked: 0,
+            }),
+            receiver: Box::new(EchoReceiver { received: 0 }),
+            fwd_path: vec![fwd],
+            rev_path: vec![rev2],
+            start_at: SimTime::ZERO,
+        });
+        let report = nb.build().run_until(SimTime::from_secs(3));
+        let tput = report.avg_throughput_mbps(flow, SimTime::from_secs(1), SimTime::from_secs(3));
+        assert!(
+            (tput - 10.0).abs() < 0.5,
+            "delivery pinned at bottleneck: {tput} Mbps"
+        );
+        // The queue must have dropped the excess.
+        assert!(report.links[fwd.index()].queue.dropped_tail > 0);
+    }
+
+    #[test]
+    fn sample_series_lengths_match() {
+        let (mut nb, fwd, rev) = two_way_net(10e6, SimDuration::from_millis(5));
+        let flow = nb.add_flow(FlowSpec {
+            sender: Box::new(TickSender {
+                next_seq: 0,
+                count: 10,
+                spacing: SimDuration::from_millis(1),
+                acked: 0,
+            }),
+            receiver: Box::new(EchoReceiver { received: 0 }),
+            fwd_path: vec![fwd],
+            rev_path: vec![rev],
+            start_at: SimTime::ZERO,
+        });
+        let report = nb.build().run_until(SimTime::from_secs(1));
+        let s = &report.flows[flow.index()].series;
+        // 1s horizon, 100ms sampling => 10 samples.
+        assert_eq!(s.throughput_mbps.len(), 10);
+        assert_eq!(s.goodput_mbps.len(), 10);
+        assert_eq!(s.rate_mbps.len(), 10);
+        assert_eq!(s.rtt_ms.len(), 10);
+        assert_eq!(s.losses.len(), 10);
+    }
+
+    #[test]
+    fn link_schedule_changes_rate_mid_run() {
+        use crate::link::{LinkSchedule, LinkStep};
+        let mut sched = LinkSchedule::new();
+        sched.push(LinkStep {
+            at: SimTime::from_secs(1),
+            rate_bps: Some(2e6),
+            delay: None,
+            loss: None,
+        });
+        let mut nb = NetworkBuilder::new(SimConfig {
+            sample_interval: SimDuration::from_millis(100),
+            seed: 5,
+        });
+        let fwd = nb.add_link(
+            LinkConfig::bottleneck(10e6, SimDuration::from_millis(5), 1 << 20).with_schedule(sched),
+        );
+        let rev = nb.add_link(LinkConfig::delay_only(SimDuration::from_millis(5)));
+        let flow = nb.add_flow(FlowSpec {
+            sender: Box::new(TickSender {
+                next_seq: 0,
+                count: 100_000,
+                spacing: SimDuration::from_micros(1500), // 8 Mbps injection
+                acked: 0,
+            }),
+            receiver: Box::new(EchoReceiver { received: 0 }),
+            fwd_path: vec![fwd],
+            rev_path: vec![rev],
+            start_at: SimTime::ZERO,
+        });
+        let report = nb.build().run_until(SimTime::from_secs(3));
+        let before = report.avg_throughput_mbps(flow, SimTime::from_millis(200), SimTime::from_secs(1));
+        let after = report.avg_throughput_mbps(flow, SimTime::from_secs(2), SimTime::from_secs(3));
+        assert!((before - 8.0).abs() < 0.5, "pre-change ~8 Mbps: {before}");
+        assert!((after - 2.0).abs() < 0.3, "post-change pinned at 2 Mbps: {after}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Topology helpers: canonical shapes used across the paper's evaluation.
+//!
+//! The workhorse is the **dumbbell**: `n` flows sharing one bottleneck link,
+//! each flow with its own RTT realized as pure-delay shims on either side of
+//! the bottleneck. Forward path: `bottleneck → fwd shim(RTT/2)`; reverse
+//! path: `rev shim(RTT/2)`. All queueing happens at the bottleneck, exactly
+//! as in the paper's Emulab setups.
+
+use crate::ids::LinkId;
+use crate::link::LinkConfig;
+use crate::queue::{DropTail, Queue};
+use crate::sim::NetworkBuilder;
+use crate::time::SimDuration;
+
+/// Paths for one flow through a dumbbell.
+#[derive(Clone, Debug)]
+pub struct FlowPath {
+    /// Links for data packets, in order.
+    pub fwd: Vec<LinkId>,
+    /// Links for ACKs, in order.
+    pub rev: Vec<LinkId>,
+}
+
+/// Description of a shared bottleneck.
+pub struct BottleneckSpec {
+    /// Bottleneck rate in bits/sec.
+    pub rate_bps: f64,
+    /// Bottleneck buffer in bytes (drop-tail unless a queue is supplied).
+    pub buffer_bytes: u64,
+    /// Random egress loss probability on the bottleneck.
+    pub loss: f64,
+    /// Optional custom queue discipline (FQ, CoDel, ...).
+    pub queue: Option<Box<dyn Queue>>,
+}
+
+impl BottleneckSpec {
+    /// Drop-tail bottleneck with no random loss.
+    pub fn new(rate_bps: f64, buffer_bytes: u64) -> Self {
+        BottleneckSpec {
+            rate_bps,
+            buffer_bytes,
+            loss: 0.0,
+            queue: None,
+        }
+    }
+
+    /// Set the random loss probability.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Use a custom queue discipline.
+    pub fn with_queue(mut self, queue: Box<dyn Queue>) -> Self {
+        self.queue = Some(queue);
+        self
+    }
+}
+
+/// A dumbbell under construction: one shared bottleneck, per-flow RTT shims.
+pub struct Dumbbell {
+    bottleneck: LinkId,
+}
+
+impl Dumbbell {
+    /// Install the shared bottleneck into `net`.
+    pub fn new(net: &mut NetworkBuilder, spec: BottleneckSpec) -> Self {
+        let queue: Box<dyn Queue> = spec
+            .queue
+            .unwrap_or_else(|| Box::new(DropTail::bytes(spec.buffer_bytes)));
+        let cfg = LinkConfig {
+            rate_bps: Some(spec.rate_bps),
+            delay: SimDuration::ZERO,
+            loss: spec.loss,
+            queue,
+            schedule: Default::default(),
+        };
+        Dumbbell {
+            bottleneck: net.add_link(cfg),
+        }
+    }
+
+    /// The shared bottleneck link.
+    pub fn bottleneck(&self) -> LinkId {
+        self.bottleneck
+    }
+
+    /// Add per-flow delay shims realizing a round-trip time of `rtt`; data
+    /// packets cross the bottleneck then the forward shim, ACKs cross the
+    /// reverse shim only.
+    pub fn attach_flow(&self, net: &mut NetworkBuilder, rtt: SimDuration) -> FlowPath {
+        let half = rtt / 2;
+        let fwd_shim = net.add_link(LinkConfig::delay_only(half));
+        let rev_shim = net.add_link(LinkConfig::delay_only(rtt - half));
+        FlowPath {
+            fwd: vec![self.bottleneck, fwd_shim],
+            rev: vec![rev_shim],
+        }
+    }
+
+    /// Like [`Dumbbell::attach_flow`] but with random loss on the reverse
+    /// (ACK) path as well — satellite links lose ACKs too.
+    pub fn attach_flow_with_ack_loss(
+        &self,
+        net: &mut NetworkBuilder,
+        rtt: SimDuration,
+        ack_loss: f64,
+    ) -> FlowPath {
+        let half = rtt / 2;
+        let fwd_shim = net.add_link(LinkConfig::delay_only(half));
+        let rev_shim = net.add_link(LinkConfig::delay_only(rtt - half).with_loss(ack_loss));
+        FlowPath {
+            fwd: vec![self.bottleneck, fwd_shim],
+            rev: vec![rev_shim],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimConfig;
+
+    #[test]
+    fn dumbbell_wires_paths() {
+        let mut net = NetworkBuilder::new(SimConfig::default());
+        let db = Dumbbell::new(&mut net, BottleneckSpec::new(100e6, 64_000));
+        let p1 = db.attach_flow(&mut net, SimDuration::from_millis(30));
+        let p2 = db.attach_flow(&mut net, SimDuration::from_millis(60));
+        assert_eq!(p1.fwd[0], db.bottleneck(), "data crosses bottleneck first");
+        assert_eq!(p2.fwd[0], db.bottleneck());
+        assert_ne!(p1.fwd[1], p2.fwd[1], "per-flow shims are distinct");
+        assert_eq!(p1.fwd.len(), 2);
+        assert_eq!(p1.rev.len(), 1);
+    }
+
+    #[test]
+    fn rtt_split_covers_odd_nanos() {
+        let mut net = NetworkBuilder::new(SimConfig::default());
+        let db = Dumbbell::new(&mut net, BottleneckSpec::new(1e6, 1 << 16));
+        // Odd RTT: halves must sum exactly.
+        let rtt = SimDuration::from_nanos(30_000_001);
+        let _ = db.attach_flow(&mut net, rtt);
+        let half = rtt / 2;
+        assert_eq!(half + (rtt - half), rtt);
+    }
+}

@@ -1,0 +1,180 @@
+//! TCP BIC (Xu, Harfoush, Rhee 2004) — CUBIC's predecessor, included in
+//! the Fig. 16 stability comparison.
+//!
+//! Binary increase: below the last-known maximum the window binary-searches
+//! toward it (fast far away, slow close up); above it, max probing
+//! accelerates away. Constants follow Linux `tcp_bic.c`.
+
+use pcc_simnet::time::SimTime;
+use pcc_transport::window::{CcAck, WindowCc};
+
+use crate::common::{slow_start, INITIAL_CWND, MIN_SSTHRESH};
+
+/// Don't binary-search below this window; behave like Reno.
+const LOW_WINDOW: f64 = 14.0;
+/// Max window growth per RTT (packets).
+const MAX_INCREMENT: f64 = 16.0;
+/// Binary-search divisor (Linux `BICTCP_B`).
+const B: f64 = 4.0;
+/// Smoothing for the plateau near the old maximum.
+const SMOOTH_PART: f64 = 20.0;
+/// Multiplicative decrease factor (Linux: 819/1024).
+const BETA: f64 = 819.0 / 1024.0;
+
+/// TCP BIC congestion control.
+#[derive(Clone, Debug)]
+pub struct Bic {
+    cwnd: f64,
+    ssthresh: f64,
+    /// Window right before the last reduction.
+    last_max: f64,
+}
+
+impl Bic {
+    /// New instance with IW10.
+    pub fn new() -> Self {
+        Bic {
+            cwnd: INITIAL_CWND,
+            ssthresh: f64::MAX,
+            last_max: 0.0,
+        }
+    }
+
+    /// Packets that must be ACKed for cwnd to grow by 1 (Linux `cnt`).
+    fn cnt(&self) -> f64 {
+        if self.cwnd < LOW_WINDOW {
+            // Reno region.
+            return self.cwnd;
+        }
+        if self.cwnd < self.last_max {
+            // Binary search toward last_max.
+            let dist = (self.last_max - self.cwnd) / B;
+            if dist > MAX_INCREMENT {
+                self.cwnd / MAX_INCREMENT
+            } else if dist <= 1.0 {
+                self.cwnd * SMOOTH_PART / B
+            } else {
+                self.cwnd / dist
+            }
+        } else {
+            // Max probing.
+            if self.cwnd < self.last_max + B {
+                self.cwnd * SMOOTH_PART / B
+            } else if self.cwnd < self.last_max + MAX_INCREMENT * (B - 1.0) {
+                self.cwnd * (B - 1.0) / (self.cwnd - self.last_max)
+            } else {
+                self.cwnd / MAX_INCREMENT
+            }
+        }
+    }
+}
+
+impl Default for Bic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WindowCc for Bic {
+    fn name(&self) -> &'static str {
+        "bic"
+    }
+
+    fn on_ack(&mut self, ack: &CcAck) {
+        if self.cwnd < self.ssthresh {
+            slow_start(&mut self.cwnd, ack.newly_acked);
+            return;
+        }
+        for _ in 0..ack.newly_acked {
+            self.cwnd += 1.0 / self.cnt();
+        }
+    }
+
+    fn on_loss_event(&mut self, _now: SimTime) {
+        // Fast convergence.
+        if self.cwnd < self.last_max {
+            self.last_max = self.cwnd * (2.0 - (1.0 - BETA)) / 2.0;
+        } else {
+            self.last_max = self.cwnd;
+        }
+        self.ssthresh = if self.cwnd < LOW_WINDOW {
+            (self.cwnd / 2.0).max(MIN_SSTHRESH)
+        } else {
+            (self.cwnd * BETA).max(MIN_SSTHRESH)
+        };
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.last_max = self.cwnd;
+        self.ssthresh = (self.cwnd * BETA).max(MIN_SSTHRESH);
+        self.cwnd = 1.0;
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::drive_acks;
+
+    #[test]
+    fn gentle_decrease_above_low_window() {
+        let mut cc = Bic::new();
+        drive_acks(&mut cc, 90, 1); // 100
+        let before = cc.cwnd();
+        cc.on_loss_event(SimTime::ZERO);
+        assert!((cc.cwnd() - before * BETA).abs() < 1e-9, "~20% cut only");
+    }
+
+    #[test]
+    fn reno_halving_below_low_window() {
+        let mut cc = Bic::new();
+        cc.on_loss_event(SimTime::ZERO); // from 10 (< LOW_WINDOW): halve
+        assert_eq!(cc.cwnd(), 5.0);
+    }
+
+    #[test]
+    fn binary_search_fast_when_far_slow_when_near() {
+        let mut cc = Bic::new();
+        drive_acks(&mut cc, 190, 1); // cwnd 200
+        cc.on_loss_event(SimTime::ZERO); // last_max=200, cwnd=159.9
+        let far_cnt = cc.cnt();
+        // Grow until near last_max.
+        while cc.cwnd() < cc.last_max - 2.0 {
+            drive_acks(&mut cc, 1, 1);
+        }
+        let near_cnt = cc.cnt();
+        assert!(
+            near_cnt > far_cnt,
+            "growth slows near the old max: cnt {near_cnt} vs {far_cnt}"
+        );
+    }
+
+    #[test]
+    fn max_probing_accelerates_past_old_peak() {
+        let mut cc = Bic::new();
+        drive_acks(&mut cc, 90, 1); // 100
+        cc.on_loss_event(SimTime::ZERO); // last_max 100
+        // Push well past the old max.
+        while cc.cwnd() < cc.last_max + 2.0 {
+            drive_acks(&mut cc, 1, 1);
+        }
+        let just_past = cc.cnt();
+        while cc.cwnd() < cc.last_max + MAX_INCREMENT * (B - 1.0) + 5.0 {
+            drive_acks(&mut cc, 1, 1);
+        }
+        let far_past = cc.cnt();
+        assert!(
+            far_past < just_past,
+            "probing accelerates with distance: {far_past} vs {just_past}"
+        );
+    }
+}

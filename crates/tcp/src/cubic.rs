@@ -1,0 +1,225 @@
+//! TCP CUBIC (Ha, Rhee, Xu 2008; RFC 8312) — the Linux default since
+//! 2.6.19 and the paper's primary Internet baseline.
+//!
+//! Window growth is a cubic function of wall-clock time since the last
+//! loss, `W(t) = C(t−K)³ + W_max`, making growth RTT-independent (the
+//! motivation for Fig. 8's RTT-fairness comparison), with a TCP-friendly
+//! region that keeps it no slower than Reno on short paths.
+
+use pcc_simnet::time::SimTime;
+use pcc_transport::window::{CcAck, WindowCc};
+
+use crate::common::{slow_start, INITIAL_CWND, MIN_SSTHRESH};
+
+/// CUBIC's scaling constant (RFC 8312: 0.4).
+const C: f64 = 0.4;
+/// Multiplicative decrease factor (RFC 8312: β = 0.7).
+const BETA: f64 = 0.7;
+
+/// CUBIC congestion control.
+#[derive(Clone, Debug)]
+pub struct Cubic {
+    cwnd: f64,
+    ssthresh: f64,
+    /// Window size just before the last reduction.
+    w_max: f64,
+    /// Start of the current congestion-avoidance epoch.
+    epoch_start: Option<SimTime>,
+    /// Time offset of the cubic's inflection point.
+    k: f64,
+    /// Fast-convergence memory of the previous `w_max`.
+    w_last_max: f64,
+}
+
+impl Cubic {
+    /// New instance with IW10.
+    pub fn new() -> Self {
+        Cubic {
+            cwnd: INITIAL_CWND,
+            ssthresh: f64::MAX,
+            w_max: 0.0,
+            epoch_start: None,
+            k: 0.0,
+            w_last_max: 0.0,
+        }
+    }
+
+    fn enter_epoch(&mut self, now: SimTime) {
+        self.epoch_start = Some(now);
+        self.k = if self.cwnd < self.w_max {
+            ((self.w_max - self.cwnd) / C).cbrt()
+        } else {
+            0.0
+        };
+    }
+
+    fn w_cubic(&self, t: f64) -> f64 {
+        C * (t - self.k).powi(3) + self.w_max
+    }
+}
+
+impl Default for Cubic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WindowCc for Cubic {
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+
+    fn on_ack(&mut self, ack: &CcAck) {
+        if self.cwnd < self.ssthresh {
+            slow_start(&mut self.cwnd, ack.newly_acked);
+            return;
+        }
+        if self.epoch_start.is_none() {
+            self.enter_epoch(ack.now);
+        }
+        let t = ack
+            .now
+            .saturating_since(self.epoch_start.expect("set above"))
+            .as_secs_f64();
+        let rtt = ack.srtt.as_secs_f64();
+        // Target one RTT ahead on the cubic curve.
+        let target = self.w_cubic(t + rtt);
+        // TCP-friendly region (RFC 8312 §4.2): CUBIC must not be slower
+        // than standard AIMD with its β: W_est = W_max·β + [3(1−β)/(1+β)]·(t/RTT).
+        let w_est = self.w_max * BETA + (3.0 * (1.0 - BETA) / (1.0 + BETA)) * (t / rtt.max(1e-6));
+        for _ in 0..ack.newly_acked {
+            let goal = target.max(w_est);
+            if goal > self.cwnd {
+                self.cwnd += (goal - self.cwnd) / self.cwnd;
+            } else {
+                // Max-probing plateau: creep forward slowly.
+                self.cwnd += 0.01 / self.cwnd;
+            }
+        }
+    }
+
+    fn on_loss_event(&mut self, now: SimTime) {
+        // Fast convergence (RFC 8312 §4.6): if the loss came below the
+        // previous W_max, release bandwidth by remembering a smaller peak.
+        if self.cwnd < self.w_last_max {
+            self.w_max = self.cwnd * (2.0 - BETA) / 2.0;
+        } else {
+            self.w_max = self.cwnd;
+        }
+        self.w_last_max = self.cwnd;
+        self.ssthresh = (self.cwnd * BETA).max(MIN_SSTHRESH);
+        self.cwnd = self.ssthresh;
+        self.epoch_start = None;
+        let _ = now;
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.w_max = self.cwnd;
+        self.w_last_max = self.cwnd;
+        self.ssthresh = (self.cwnd * BETA).max(MIN_SSTHRESH);
+        self.cwnd = 1.0;
+        self.epoch_start = None;
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ack_at, drive_acks, drive_acks_timed};
+    use pcc_simnet::time::SimDuration;
+
+    #[test]
+    fn loss_reduces_by_beta() {
+        let mut cc = Cubic::new();
+        drive_acks(&mut cc, 90, 1); // slow start to 100
+        let before = cc.cwnd();
+        cc.on_loss_event(SimTime::from_secs(1));
+        assert!((cc.cwnd() - before * BETA).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concave_recovery_toward_w_max() {
+        let mut cc = Cubic::new();
+        drive_acks(&mut cc, 90, 1);
+        let w_before_loss = cc.cwnd();
+        cc.on_loss_event(SimTime::from_secs(1));
+        // Drive ACKs over several seconds: cwnd must approach W_max and
+        // plateau near it (concave region).
+        let rtt = SimDuration::from_millis(30);
+        let mut now = SimTime::from_secs(1);
+        let mut last = cc.cwnd();
+        let mut grew = 0;
+        for _ in 0..200 {
+            now = drive_acks_timed(&mut cc, 10, 1, now, SimDuration::from_millis(3), rtt);
+            if cc.cwnd() > last {
+                grew += 1;
+            }
+            last = cc.cwnd();
+        }
+        assert!(grew > 100, "cwnd keeps growing");
+        assert!(
+            cc.cwnd() > w_before_loss * 0.9,
+            "recovers toward W_max: {} vs {}",
+            cc.cwnd(),
+            w_before_loss
+        );
+    }
+
+    #[test]
+    fn inflection_point_k_matches_rfc() {
+        // After a loss at W = 1000: W_max = 1000, cwnd = 700, and
+        // K = cbrt(W_max·(1−β)/C) = cbrt(300/0.4) ≈ 9.086 s (RFC 8312 §4.1).
+        let mut cc = Cubic::new();
+        drive_acks(&mut cc, 990, 1); // slow start to 1000
+        cc.on_loss_event(SimTime::from_secs(5));
+        cc.enter_epoch(SimTime::from_secs(5));
+        assert!((cc.w_max - 1000.0).abs() < 1e-9);
+        assert!((cc.cwnd() - 700.0).abs() < 1e-9);
+        let expected_k = (1000.0 * (1.0 - BETA) / C).cbrt();
+        assert!((cc.k - expected_k).abs() < 1e-9, "K = {}", cc.k);
+        // The curve anchors: W(0) = cwnd at reduction, W(K) = W_max, and
+        // it grows monotonically through the concave and convex regions.
+        assert!((cc.w_cubic(0.0) - 700.0).abs() < 1e-6);
+        assert!((cc.w_cubic(cc.k) - 1000.0).abs() < 1e-9);
+        assert!(cc.w_cubic(2.0) > cc.w_cubic(1.0));
+        assert!(cc.w_cubic(cc.k + 2.0) > cc.w_cubic(cc.k + 1.0));
+        // Wall-clock (not RTT) drives the curve — the design property the
+        // paper's Fig. 8 RTT-fairness experiment leans on.
+        assert!(cc.w_cubic(12.0) > 1000.0, "convex growth past K");
+    }
+
+    #[test]
+    fn fast_convergence_shrinks_peak() {
+        let mut cc = Cubic::new();
+        drive_acks(&mut cc, 90, 1);
+        cc.on_loss_event(SimTime::ZERO);
+        let w1 = cc.w_max;
+        // Second loss below the previous peak triggers fast convergence.
+        cc.on_loss_event(SimTime::from_millis(100));
+        assert!(cc.w_max < w1, "fast convergence lowers the target peak");
+    }
+
+    #[test]
+    fn tcp_friendly_region_floors_growth() {
+        let mut cc = Cubic::new();
+        drive_acks(&mut cc, 20, 1); // cwnd 30
+        cc.on_loss_event(SimTime::ZERO);
+        let after_loss = cc.cwnd();
+        // With a long RTT and small window, W_est (Reno-like) dominates.
+        let rtt = SimDuration::from_millis(200);
+        let mut now = SimTime::ZERO;
+        for _ in 0..50 {
+            cc.on_ack(&ack_at(1, now, rtt));
+            now = now + SimDuration::from_millis(40);
+        }
+        assert!(cc.cwnd() > after_loss, "friendly region keeps growing");
+    }
+}

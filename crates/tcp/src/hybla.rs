@@ -1,0 +1,143 @@
+//! TCP Hybla (Caini & Firrincieli 2004) — the satellite-link baseline.
+//!
+//! Hybla normalizes window growth to a reference RTT (25 ms): a flow with
+//! RTT ρ times the reference grows `2^ρ − 1` per ACK in slow start and
+//! `ρ²/cwnd` per ACK in congestion avoidance, so long-RTT (GEO satellite)
+//! flows ramp as fast as terrestrial ones. The loss response stays Reno's
+//! halving — which is exactly why it still collapses under the random loss
+//! of a real satellite link (Fig. 6: 17× below PCC).
+
+use pcc_simnet::time::{SimDuration, SimTime};
+use pcc_transport::window::{CcAck, WindowCc};
+
+use crate::common::{INITIAL_CWND, MIN_SSTHRESH};
+
+/// Hybla's reference RTT (25 ms, per the paper and Linux tcp_hybla.c).
+const RTT0: SimDuration = SimDuration::from_millis(25);
+
+/// TCP Hybla congestion control.
+#[derive(Clone, Debug)]
+pub struct Hybla {
+    cwnd: f64,
+    ssthresh: f64,
+    /// ρ = max(RTT/RTT₀, 1).
+    rho: f64,
+}
+
+impl Hybla {
+    /// New instance with IW10.
+    pub fn new() -> Self {
+        Hybla {
+            cwnd: INITIAL_CWND,
+            ssthresh: f64::MAX,
+            rho: 1.0,
+        }
+    }
+
+    fn update_rho(&mut self, srtt: SimDuration) {
+        self.rho = (srtt.as_secs_f64() / RTT0.as_secs_f64()).max(1.0);
+    }
+
+    /// Current RTT-normalization factor ρ.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+}
+
+impl Default for Hybla {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WindowCc for Hybla {
+    fn name(&self) -> &'static str {
+        "hybla"
+    }
+
+    fn on_ack(&mut self, ack: &CcAck) {
+        self.update_rho(ack.srtt);
+        if self.cwnd < self.ssthresh {
+            // cwnd += 2^ρ − 1 per ACK; like Linux tcp_hybla.c, the slow-
+            // start exponent is clamped (ρ ≤ 16) or the window goes
+            // astronomical within a single ACK on GEO-satellite RTTs.
+            self.cwnd += (2f64.powf(self.rho.min(16.0)) - 1.0) * ack.newly_acked as f64;
+        } else {
+            // cwnd += ρ²/cwnd per ACK.
+            self.cwnd += self.rho * self.rho * ack.newly_acked as f64 / self.cwnd;
+        }
+    }
+
+    fn on_loss_event(&mut self, _now: SimTime) {
+        self.ssthresh = (self.cwnd / 2.0).max(MIN_SSTHRESH);
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.ssthresh = (self.cwnd / 2.0).max(MIN_SSTHRESH);
+        self.cwnd = 1.0;
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::ack_at;
+
+    #[test]
+    fn short_rtt_behaves_like_reno() {
+        let mut cc = Hybla::new();
+        // 25 ms RTT ⇒ ρ = 1 ⇒ slow start +1/ack, CA +1/cwnd.
+        cc.on_ack(&ack_at(1, SimTime::ZERO, SimDuration::from_millis(25)));
+        assert!((cc.rho() - 1.0).abs() < 1e-9);
+        assert_eq!(cc.cwnd(), 11.0);
+    }
+
+    #[test]
+    fn rho_floors_at_one() {
+        let mut cc = Hybla::new();
+        cc.on_ack(&ack_at(1, SimTime::ZERO, SimDuration::from_millis(5)));
+        assert_eq!(cc.rho(), 1.0, "sub-reference RTT does not slow growth");
+    }
+
+    #[test]
+    fn long_rtt_ramps_aggressively() {
+        // 800 ms satellite RTT ⇒ ρ = 32 ⇒ slow-start adds 2^32−1... in
+        // practice cwnd explodes per ACK, compensating the slow ACK clock.
+        let mut cc = Hybla::new();
+        let before = cc.cwnd();
+        cc.on_ack(&ack_at(1, SimTime::ZERO, SimDuration::from_millis(250)));
+        // ρ = 10 ⇒ +1023 per ack.
+        assert!((cc.rho() - 10.0).abs() < 1e-9);
+        assert!((cc.cwnd() - (before + 1023.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ca_growth_scales_with_rho_squared() {
+        let mut cc = Hybla::new();
+        cc.on_loss_event(SimTime::ZERO); // force CA (cwnd 5, ssthresh 5)
+        let w = cc.cwnd();
+        cc.on_ack(&ack_at(1, SimTime::ZERO, SimDuration::from_millis(50)));
+        // ρ = 2 ⇒ +4/cwnd.
+        assert!((cc.cwnd() - (w + 4.0 / w)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_still_halves() {
+        let mut cc = Hybla::new();
+        for _ in 0..5 {
+            cc.on_ack(&ack_at(1, SimTime::ZERO, SimDuration::from_millis(800)));
+        }
+        let before = cc.cwnd();
+        cc.on_loss_event(SimTime::ZERO);
+        assert!((cc.cwnd() - before / 2.0).abs() < 1e-6, "hardwired halving");
+    }
+}

@@ -1,0 +1,75 @@
+//! # pcc-tcp — the TCP congestion-control baselines
+//!
+//! Faithful implementations of every TCP variant the paper evaluates
+//! against, each as a [`pcc_transport::WindowCc`] plug-in for the shared
+//! [`pcc_transport::WindowSender`] loss-recovery engine:
+//!
+//! | Algorithm | Paper role |
+//! |---|---|
+//! | [`NewReno`] | textbook AIMD (Figs. 6, 8, 16) |
+//! | [`Cubic`] | Linux default, high-BDP baseline (everywhere) |
+//! | [`Illinois`] | loss+delay adaptive AIMD (Table 1, Figs. 6, 7, 11) |
+//! | [`Hybla`] | satellite-optimized (Fig. 6) |
+//! | [`Vegas`] | delay-based (Fig. 16) |
+//! | [`Bic`] | binary increase (Fig. 16) |
+//! | [`Westwood`] | bandwidth-estimate backoff (Fig. 16) |
+//!
+//! "TCP pacing" (Fig. 9) is any of these run with
+//! [`pcc_transport::WindowSenderConfig::pacing`] enabled.
+
+#![warn(missing_docs)]
+
+mod bic;
+mod common;
+mod cubic;
+mod hybla;
+mod illinois;
+mod newreno;
+#[cfg(test)]
+pub(crate) mod testutil;
+mod vegas;
+mod westwood;
+
+pub use bic::Bic;
+pub use cubic::Cubic;
+pub use hybla::Hybla;
+pub use illinois::Illinois;
+pub use newreno::NewReno;
+pub use vegas::Vegas;
+pub use westwood::Westwood;
+
+use pcc_transport::window::WindowCc;
+
+/// All baseline names, in the order used by reports.
+pub const ALL_VARIANTS: &[&str] = &[
+    "newreno", "cubic", "illinois", "hybla", "vegas", "bic", "westwood",
+];
+
+/// Construct a baseline by name (`"cubic"`, `"illinois"`, ...).
+pub fn by_name(name: &str) -> Option<Box<dyn WindowCc>> {
+    Some(match name {
+        "newreno" | "reno" => Box::new(NewReno::new()),
+        "cubic" => Box::new(Cubic::new()),
+        "illinois" => Box::new(Illinois::new()),
+        "hybla" => Box::new(Hybla::new()),
+        "vegas" => Box::new(Vegas::new()),
+        "bic" => Box::new(Bic::new()),
+        "westwood" => Box::new(Westwood::new()),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_covers_all_variants() {
+        for name in ALL_VARIANTS {
+            let cc = by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(cc.name(), *name);
+            assert!(cc.cwnd() >= 1.0);
+        }
+        assert!(by_name("bbr").is_none());
+    }
+}

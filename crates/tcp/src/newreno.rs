@@ -1,0 +1,105 @@
+//! TCP New Reno (RFC 5681/6582): the textbook AIMD baseline.
+//!
+//! Slow start doubles per RTT; congestion avoidance adds one packet per
+//! RTT; a loss event halves the window. This is the paper's canonical
+//! example of a hardwired event→response mapping: "a packet loss halves the
+//! congestion window size" regardless of why the loss happened.
+
+use pcc_simnet::time::SimTime;
+use pcc_transport::window::{CcAck, WindowCc};
+
+use crate::common::{reno_ca, slow_start, INITIAL_CWND, MIN_SSTHRESH};
+
+/// New Reno congestion control.
+#[derive(Clone, Debug)]
+pub struct NewReno {
+    cwnd: f64,
+    ssthresh: f64,
+}
+
+impl NewReno {
+    /// New instance with IW10.
+    pub fn new() -> Self {
+        NewReno {
+            cwnd: INITIAL_CWND,
+            ssthresh: f64::MAX,
+        }
+    }
+}
+
+impl Default for NewReno {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WindowCc for NewReno {
+    fn name(&self) -> &'static str {
+        "newreno"
+    }
+
+    fn on_ack(&mut self, ack: &CcAck) {
+        if self.cwnd < self.ssthresh {
+            slow_start(&mut self.cwnd, ack.newly_acked);
+        } else {
+            reno_ca(&mut self.cwnd, ack.newly_acked);
+        }
+    }
+
+    fn on_loss_event(&mut self, _now: SimTime) {
+        self.ssthresh = (self.cwnd / 2.0).max(MIN_SSTHRESH);
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.ssthresh = (self.cwnd / 2.0).max(MIN_SSTHRESH);
+        self.cwnd = 1.0;
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ack, drive_acks};
+
+    #[test]
+    fn slow_start_then_ca() {
+        let mut cc = NewReno::new();
+        assert!(cc.in_slow_start());
+        drive_acks(&mut cc, 10, 1);
+        assert_eq!(cc.cwnd(), 20.0, "doubled in slow start");
+        cc.on_loss_event(SimTime::ZERO);
+        assert_eq!(cc.cwnd(), 10.0, "halved");
+        assert_eq!(cc.ssthresh(), 10.0);
+        assert!(!cc.in_slow_start());
+        cc.on_ack(&ack(1));
+        assert!((cc.cwnd() - 10.1).abs() < 1e-9, "CA adds 1/cwnd");
+    }
+
+    #[test]
+    fn rto_collapses_to_one() {
+        let mut cc = NewReno::new();
+        drive_acks(&mut cc, 30, 1);
+        cc.on_rto(SimTime::ZERO);
+        assert_eq!(cc.cwnd(), 1.0);
+        assert_eq!(cc.ssthresh(), 20.0);
+        assert!(cc.in_slow_start());
+    }
+
+    #[test]
+    fn repeated_losses_floor_at_min() {
+        let mut cc = NewReno::new();
+        for _ in 0..20 {
+            cc.on_loss_event(SimTime::ZERO);
+        }
+        assert_eq!(cc.cwnd(), MIN_SSTHRESH);
+    }
+}

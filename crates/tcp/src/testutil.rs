@@ -1,0 +1,48 @@
+//! Test helpers for exercising `WindowCc` implementations directly.
+
+use pcc_simnet::time::{SimDuration, SimTime};
+use pcc_transport::window::{CcAck, WindowCc};
+
+/// A synthetic ACK with a 30 ms RTT and sane defaults.
+pub fn ack(newly_acked: u32) -> CcAck {
+    ack_at(newly_acked, SimTime::ZERO, SimDuration::from_millis(30))
+}
+
+/// A synthetic ACK at a given time/RTT.
+pub fn ack_at(newly_acked: u32, now: SimTime, rtt: SimDuration) -> CcAck {
+    CcAck {
+        now,
+        rtt,
+        srtt: rtt,
+        min_rtt: rtt,
+        max_rtt: rtt,
+        newly_acked,
+        in_flight: 10,
+        mss: 1500,
+    }
+}
+
+/// Feed `n` ACKs of `per` packets each.
+pub fn drive_acks(cc: &mut dyn WindowCc, n: u32, per: u32) {
+    for _ in 0..n {
+        cc.on_ack(&ack(per));
+    }
+}
+
+/// Feed ACKs spread over time with a given RTT (for time-based algorithms
+/// like CUBIC): `n` acks, one every `spacing`, each acking `per` packets.
+pub fn drive_acks_timed(
+    cc: &mut dyn WindowCc,
+    n: u32,
+    per: u32,
+    start: SimTime,
+    spacing: SimDuration,
+    rtt: SimDuration,
+) -> SimTime {
+    let mut now = start;
+    for _ in 0..n {
+        cc.on_ack(&ack_at(per, now, rtt));
+        now = now + spacing;
+    }
+    now
+}

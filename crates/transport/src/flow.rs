@@ -1,0 +1,77 @@
+//! Flow sizing: infinite (throughput experiments) or sized (FCT/incast).
+
+use pcc_simnet::packet::DEFAULT_DATA_BYTES;
+
+/// How much data a flow carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowSize {
+    /// Backlogged forever (long-running throughput experiments).
+    Infinite,
+    /// Exactly this many bytes, then the flow completes.
+    Bytes(u64),
+}
+
+impl FlowSize {
+    /// Number of packets to send at `mss` bytes per packet (ceiling), or
+    /// `None` for unbounded flows.
+    pub fn packets(&self, mss: u32) -> Option<u64> {
+        match *self {
+            FlowSize::Infinite => None,
+            FlowSize::Bytes(b) => Some(b.div_ceil(mss as u64)),
+        }
+    }
+
+    /// True if `next_seq` has reached the end of the flow.
+    pub fn exhausted(&self, next_seq: u64, mss: u32) -> bool {
+        match self.packets(mss) {
+            None => false,
+            Some(n) => next_seq >= n,
+        }
+    }
+
+    /// Convenience: a sized flow of `kb` kilobytes (paper's incast uses
+    /// 64/128/256 KB).
+    pub fn kb(kb: u64) -> FlowSize {
+        FlowSize::Bytes(kb * 1024)
+    }
+}
+
+/// Common transport constants shared by all sender implementations.
+#[derive(Clone, Copy, Debug)]
+pub struct TransportConfig {
+    /// Packet size on the wire (headers included).
+    pub mss: u32,
+    /// How much data the flow carries.
+    pub size: FlowSize,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            mss: DEFAULT_DATA_BYTES,
+            size: FlowSize::Infinite,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_count_rounds_up() {
+        assert_eq!(FlowSize::Bytes(1500).packets(1500), Some(1));
+        assert_eq!(FlowSize::Bytes(1501).packets(1500), Some(2));
+        assert_eq!(FlowSize::Bytes(0).packets(1500), Some(0));
+        assert_eq!(FlowSize::Infinite.packets(1500), None);
+    }
+
+    #[test]
+    fn exhaustion() {
+        let s = FlowSize::kb(64); // 65536 bytes => 44 packets of 1500
+        assert_eq!(s.packets(1500), Some(44));
+        assert!(!s.exhausted(43, 1500));
+        assert!(s.exhausted(44, 1500));
+        assert!(!FlowSize::Infinite.exhausted(u64::MAX / 2, 1500));
+    }
+}

@@ -1,0 +1,30 @@
+//! # pcc-transport — transport machinery for the PCC reproduction
+//!
+//! Substrate shared by every protocol in the evaluation:
+//!
+//! * [`sack::Scoreboard`] — per-packet fate tracking with RFC 6675-style
+//!   reordering-threshold loss detection plus timeout detection.
+//! * [`rtt::RttEstimator`] — SRTT/RTTVAR/RTO per RFC 6298.
+//! * [`receiver::SackReceiver`] — the single receiver used by all senders
+//!   (per-packet selective ACKs; §2.3: "TCP SACK is enough feedback").
+//! * [`window::WindowSender`] — TCP engine with the [`window::WindowCc`]
+//!   plug-in trait for the baseline algorithms (`pcc-tcp` crate).
+//! * [`ratesender::RateSender`] — paced rate-based engine with the
+//!   [`ratesender::RateController`] plug-in trait for PCC (`pcc-core`) and
+//!   the SABUL/PCP baselines (`pcc-rate`).
+
+#![warn(missing_docs)]
+
+pub mod flow;
+pub mod ratesender;
+pub mod receiver;
+pub mod rtt;
+pub mod sack;
+pub mod window;
+
+pub use flow::{FlowSize, TransportConfig};
+pub use ratesender::{CtrlCtx, CtrlEffects, RateAck, RateController, RateSender, RateSenderConfig};
+pub use receiver::SackReceiver;
+pub use rtt::RttEstimator;
+pub use sack::{AckOutcome, Scoreboard};
+pub use window::{CcAck, WindowCc, WindowSender, WindowSenderConfig};

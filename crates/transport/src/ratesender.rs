@@ -1,0 +1,510 @@
+//! Rate-based paced sender.
+//!
+//! The engine PCC runs on (§3: "the Sending Module sends packets ... at a
+//! certain sending rate instructed by the Performance-oriented Rate Control
+//! Module"), also reused by the SABUL- and PCP-style baselines. The sender
+//! paces packets at a controller-chosen rate, provides reliability
+//! (SACK-scoreboard loss detection + retransmission), and forwards every
+//! packet event — sent, acked, lost — to the [`RateController`], which is
+//! where all control intelligence lives.
+
+use std::collections::VecDeque;
+
+use pcc_simnet::endpoint::{Endpoint, EndpointCtx};
+use pcc_simnet::packet::Packet;
+use pcc_simnet::rng::SimRng;
+use pcc_simnet::time::{SimDuration, SimTime};
+
+use crate::flow::TransportConfig;
+use crate::rtt::RttEstimator;
+use crate::sack::Scoreboard;
+
+/// Ack event forwarded to the controller.
+#[derive(Clone, Copy, Debug)]
+pub struct RateAck {
+    /// Current time.
+    pub now: SimTime,
+    /// The acknowledged sequence.
+    pub seq: u64,
+    /// Exact RTT of the acknowledged transmission.
+    pub rtt: SimDuration,
+    /// Receiver-side arrival timestamp (for dispersion probing).
+    pub recv_at: SimTime,
+    /// Probe-train tag echoed by the receiver, if any.
+    pub probe_train: Option<u32>,
+    /// The acked transmission was a retransmission.
+    pub of_retx: bool,
+    /// Receiver's cumulative ack point.
+    pub cum_ack: u64,
+}
+
+/// Effects a controller requests during a callback.
+#[derive(Debug, Default)]
+pub struct CtrlEffects {
+    new_rate: Option<f64>,
+    timers: Vec<(SimTime, u64)>,
+}
+
+impl CtrlEffects {
+    /// Take the requested rate change and timers (used by engines hosting a
+    /// controller outside the simulator, e.g. the real-network UDP sender).
+    pub fn drain(&mut self) -> (Option<f64>, Vec<(SimTime, u64)>) {
+        (self.new_rate.take(), std::mem::take(&mut self.timers))
+    }
+}
+
+/// Controller-side view during a callback: clock, RNG, and effect sink.
+pub struct CtrlCtx<'a> {
+    /// Current time.
+    pub now: SimTime,
+    /// Deterministic per-flow random stream.
+    pub rng: &'a mut SimRng,
+    effects: &'a mut CtrlEffects,
+}
+
+impl<'a> CtrlCtx<'a> {
+    /// Build a context (also used directly by controller unit tests).
+    pub fn new(now: SimTime, rng: &'a mut SimRng, effects: &'a mut CtrlEffects) -> Self {
+        CtrlCtx { now, rng, effects }
+    }
+
+    /// Change the pacing rate (bits/sec), effective immediately.
+    pub fn set_rate(&mut self, bps: f64) {
+        self.effects.new_rate = Some(bps.max(1.0));
+    }
+
+    /// Arm a controller timer; `token` is redelivered in
+    /// [`RateController::on_timer`].
+    pub fn set_timer(&mut self, at: SimTime, token: u64) {
+        self.effects.timers.push((at, token));
+    }
+}
+
+/// A rate-control algorithm driving a paced sender.
+pub trait RateController: Send {
+    /// Controller name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Called once at flow start; returns the initial rate in bits/sec.
+    fn on_start(&mut self, ctx: &mut CtrlCtx) -> f64;
+
+    /// A data packet left the sender.
+    fn on_sent(&mut self, seq: u64, bytes: u32, retx: bool, ctx: &mut CtrlCtx);
+
+    /// An ACK arrived.
+    fn on_ack(&mut self, ack: &RateAck, ctx: &mut CtrlCtx);
+
+    /// Sequences newly declared lost.
+    fn on_loss(&mut self, seqs: &[u64], ctx: &mut CtrlCtx);
+
+    /// A previously armed controller timer fired.
+    fn on_timer(&mut self, token: u64, ctx: &mut CtrlCtx);
+
+    /// Probe-train tag to stamp on the next outgoing data packet, if the
+    /// controller is currently probing (dispersion-based controllers like
+    /// PCP). The receiver echoes the tag in its ACKs.
+    fn probe_tag(&self) -> Option<u32> {
+        None
+    }
+}
+
+/// Engine knobs for the paced sender.
+#[derive(Clone, Copy, Debug)]
+pub struct RateSenderConfig {
+    /// Transport basics (MSS, flow size).
+    pub transport: TransportConfig,
+    /// Hard cap on packets in flight (memory guard; generously above any
+    /// BDP in the evaluation).
+    pub max_in_flight: u64,
+    /// Minimum RTO used for timeout-based loss declaration. Rate-based
+    /// user-space transports are not bound by TCP's conservative 200 ms
+    /// convention — PCC's monitor resolves packet fates at MI+RTT
+    /// granularity (§3.1), so tail losses are declared quickly.
+    pub min_rto: SimDuration,
+}
+
+impl Default for RateSenderConfig {
+    fn default() -> Self {
+        RateSenderConfig {
+            transport: TransportConfig::default(),
+            max_in_flight: 65_536,
+            min_rto: SimDuration::from_millis(10),
+        }
+    }
+}
+
+const TOKEN_KIND_SHIFT: u64 = 56;
+const TOKEN_PACE: u64 = 1 << TOKEN_KIND_SHIFT;
+const TOKEN_SCAN: u64 = 2 << TOKEN_KIND_SHIFT;
+/// Controller tokens are passed through with this tag.
+const TOKEN_CTRL: u64 = 3 << TOKEN_KIND_SHIFT;
+const TOKEN_GEN_MASK: u64 = (1 << TOKEN_KIND_SHIFT) - 1;
+
+/// Rate-based sender endpoint: pacing + reliability around a
+/// [`RateController`].
+pub struct RateSender {
+    cfg: RateSenderConfig,
+    ctrl: Box<dyn RateController>,
+    sb: Scoreboard,
+    rtt: RttEstimator,
+    retx_queue: VecDeque<u64>,
+    rate_bps: f64,
+    pace_gen: u64,
+    pace_armed: bool,
+    scan_armed: bool,
+    finished: bool,
+    effects: CtrlEffects,
+}
+
+impl RateSender {
+    /// Build a sender around a rate controller.
+    pub fn new(cfg: RateSenderConfig, ctrl: Box<dyn RateController>) -> Self {
+        RateSender {
+            cfg,
+            ctrl,
+            sb: Scoreboard::new(),
+            rtt: RttEstimator::new(cfg.min_rto, SimDuration::from_secs(120)),
+            retx_queue: VecDeque::new(),
+            rate_bps: 1.0,
+            pace_gen: 0,
+            pace_armed: false,
+            scan_armed: false,
+            finished: false,
+            effects: CtrlEffects::default(),
+        }
+    }
+
+    /// The controller's name.
+    pub fn controller_name(&self) -> &'static str {
+        self.ctrl.name()
+    }
+
+    /// Current pacing rate in bits/sec.
+    pub fn rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+
+    fn mss(&self) -> u32 {
+        self.cfg.transport.mss
+    }
+
+    fn has_work(&self) -> bool {
+        !self.retx_queue.is_empty()
+            || !self
+                .cfg
+                .transport
+                .size
+                .exhausted(self.sb.next_seq(), self.mss())
+    }
+
+    /// Apply rate changes / timers the controller requested.
+    fn apply_effects(&mut self, ctx: &mut EndpointCtx) {
+        if let Some(rate) = self.effects.new_rate.take() {
+            if rate != self.rate_bps {
+                self.rate_bps = rate;
+                ctx.record_rate(rate);
+            }
+        }
+        for (at, token) in self.effects.timers.drain(..) {
+            debug_assert!(token <= TOKEN_GEN_MASK, "controller token too large");
+            ctx.set_timer(at, TOKEN_CTRL | (token & TOKEN_GEN_MASK));
+        }
+    }
+
+    fn with_ctrl(
+        &mut self,
+        ctx: &mut EndpointCtx,
+        f: impl FnOnce(&mut dyn RateController, &mut CtrlCtx),
+    ) {
+        let mut effects = std::mem::take(&mut self.effects);
+        {
+            let mut cc = CtrlCtx::new(ctx.now, ctx.rng(), &mut effects);
+            f(self.ctrl.as_mut(), &mut cc);
+        }
+        self.effects = effects;
+        self.apply_effects(ctx);
+    }
+
+    fn arm_pacer(&mut self, ctx: &mut EndpointCtx, at: SimTime) {
+        self.pace_gen += 1;
+        self.pace_armed = true;
+        ctx.set_timer(at, TOKEN_PACE | (self.pace_gen & TOKEN_GEN_MASK));
+    }
+
+    fn pace_gap(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.mss() as f64 * 8.0 / self.rate_bps.max(1.0))
+    }
+
+    fn on_pace_tick(&mut self, ctx: &mut EndpointCtx) {
+        self.pace_armed = false;
+        if self.finished {
+            return;
+        }
+        if self.sb.in_flight() >= self.cfg.max_in_flight {
+            // Flow-window blocked; re-check one pace gap later.
+            self.arm_pacer(ctx, ctx.now + self.pace_gap());
+            return;
+        }
+        let sent = self.send_one(ctx);
+        if sent && self.has_work() {
+            self.arm_pacer(ctx, ctx.now + self.pace_gap());
+        }
+        // If idle (nothing to send), the pacer re-arms when work arrives
+        // (ack opens window / retransmission queued).
+    }
+
+    fn send_one(&mut self, ctx: &mut EndpointCtx) -> bool {
+        while let Some(&seq) = self.retx_queue.front() {
+            if !self.sb.is_lost(seq) {
+                self.retx_queue.pop_front();
+                continue;
+            }
+            self.retx_queue.pop_front();
+            self.sb.on_send(seq, ctx.now, true);
+            ctx.send_data(seq, self.mss(), true);
+            let mss = self.mss();
+            self.with_ctrl(ctx, |c, cc| c.on_sent(seq, mss, true, cc));
+            return true;
+        }
+        let next = self.sb.next_seq();
+        if self.cfg.transport.size.exhausted(next, self.mss()) {
+            return false;
+        }
+        self.sb.on_send(next, ctx.now, false);
+        match self.ctrl.probe_tag() {
+            Some(train) => ctx.send_probe(next, self.mss(), train),
+            None => ctx.send_data(next, self.mss(), false),
+        }
+        let mss = self.mss();
+        self.with_ctrl(ctx, |c, cc| c.on_sent(next, mss, false, cc));
+        true
+    }
+
+    fn arm_scan(&mut self, ctx: &mut EndpointCtx) {
+        if self.scan_armed || self.finished {
+            return;
+        }
+        self.scan_armed = true;
+        let interval = self
+            .rtt
+            .srtt_or(SimDuration::from_millis(100))
+            .max(SimDuration::from_millis(10));
+        ctx.set_timer(ctx.now + interval, TOKEN_SCAN);
+    }
+
+    fn scan_losses(&mut self, ctx: &mut EndpointCtx) {
+        let rto = self.rtt.rto();
+        let lost = self.sb.detect_losses(ctx.now, rto);
+        if lost.is_empty() {
+            return;
+        }
+        ctx.record_loss(lost.len() as u64);
+        let was_idle = !self.pace_armed;
+        self.retx_queue.extend(lost.iter().copied());
+        self.with_ctrl(ctx, |c, cc| c.on_loss(&lost, cc));
+        if was_idle && !self.finished {
+            self.arm_pacer(ctx, ctx.now);
+        }
+    }
+
+    fn check_finished(&mut self, ctx: &mut EndpointCtx) {
+        if self.finished {
+            return;
+        }
+        if let Some(total) = self.cfg.transport.size.packets(self.mss()) {
+            if self.sb.all_acked_below(total) {
+                self.finished = true;
+                ctx.finish();
+            }
+        }
+    }
+}
+
+impl Endpoint for RateSender {
+    fn start(&mut self, ctx: &mut EndpointCtx) {
+        let mut effects = std::mem::take(&mut self.effects);
+        let initial = {
+            let mut cc = CtrlCtx::new(ctx.now, ctx.rng(), &mut effects);
+            self.ctrl.on_start(&mut cc)
+        };
+        self.effects = effects;
+        self.rate_bps = initial.max(1.0);
+        ctx.record_rate(self.rate_bps);
+        self.apply_effects(ctx);
+        self.arm_pacer(ctx, ctx.now);
+        self.arm_scan(ctx);
+    }
+
+    fn on_packet(&mut self, pkt: &Packet, ctx: &mut EndpointCtx) {
+        let Some(info) = pkt.as_ack() else {
+            debug_assert!(false, "sender got non-ACK");
+            return;
+        };
+        let out = self.sb.on_ack(info, ctx.now);
+        if let Some(rtt) = out.rtt {
+            self.rtt.on_sample(rtt);
+            ctx.record_rtt(rtt);
+            let ack = RateAck {
+                now: ctx.now,
+                seq: info.acked_seq,
+                rtt,
+                recv_at: info.recv_at,
+                probe_train: info.probe_train,
+                of_retx: info.of_retx,
+                cum_ack: info.cum_ack,
+            };
+            self.with_ctrl(ctx, |c, cc| c.on_ack(&ack, cc));
+        }
+        self.scan_losses(ctx);
+        self.check_finished(ctx);
+        // Wake the pacer if it went idle and there is work again.
+        if !self.finished && !self.pace_armed && self.has_work() {
+            self.arm_pacer(ctx, ctx.now);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut EndpointCtx) {
+        let kind = token & !TOKEN_GEN_MASK;
+        let gen = token & TOKEN_GEN_MASK;
+        match kind {
+            TOKEN_PACE => {
+                if gen == (self.pace_gen & TOKEN_GEN_MASK) {
+                    self.on_pace_tick(ctx);
+                }
+            }
+            TOKEN_SCAN => {
+                self.scan_armed = false;
+                self.scan_losses(ctx);
+                self.arm_scan(ctx);
+            }
+            TOKEN_CTRL => {
+                self.with_ctrl(ctx, |c, cc| c.on_timer(gen, cc));
+                if !self.finished && !self.pace_armed && self.has_work() {
+                    self.arm_pacer(ctx, ctx.now);
+                }
+            }
+            _ => debug_assert!(false, "unknown timer token"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowSize;
+    use crate::receiver::SackReceiver;
+    use pcc_simnet::prelude::*;
+
+    /// Fixed-rate controller for engine tests.
+    struct FixedRate {
+        bps: f64,
+        acks: u64,
+        losses: u64,
+        sent: u64,
+    }
+
+    impl FixedRate {
+        fn new(bps: f64) -> Self {
+            FixedRate {
+                bps,
+                acks: 0,
+                losses: 0,
+                sent: 0,
+            }
+        }
+    }
+
+    impl RateController for FixedRate {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn on_start(&mut self, _ctx: &mut CtrlCtx) -> f64 {
+            self.bps
+        }
+        fn on_sent(&mut self, _seq: u64, _bytes: u32, _retx: bool, _ctx: &mut CtrlCtx) {
+            self.sent += 1;
+        }
+        fn on_ack(&mut self, _ack: &RateAck, _ctx: &mut CtrlCtx) {
+            self.acks += 1;
+        }
+        fn on_loss(&mut self, seqs: &[u64], _ctx: &mut CtrlCtx) {
+            self.losses += seqs.len() as u64;
+        }
+        fn on_timer(&mut self, _token: u64, _ctx: &mut CtrlCtx) {}
+    }
+
+    fn run_fixed(
+        ctrl_bps: f64,
+        link_mbps: f64,
+        loss: f64,
+        secs: u64,
+        size: FlowSize,
+        seed: u64,
+    ) -> (SimReport, FlowId) {
+        let mut net = NetworkBuilder::new(SimConfig {
+            sample_interval: SimDuration::from_millis(100),
+            seed,
+        });
+        let db = Dumbbell::new(&mut net, BottleneckSpec::new(link_mbps * 1e6, 64_000).with_loss(loss));
+        let path = db.attach_flow(&mut net, SimDuration::from_millis(30));
+        let cfg = RateSenderConfig {
+            transport: TransportConfig { mss: 1500, size },
+            ..Default::default()
+        };
+        let flow = net.add_flow(FlowSpec {
+            sender: Box::new(RateSender::new(cfg, Box::new(FixedRate::new(ctrl_bps)))),
+            receiver: Box::new(SackReceiver::new()),
+            fwd_path: path.fwd,
+            rev_path: path.rev,
+            start_at: SimTime::ZERO,
+        });
+        (net.build().run_until(SimTime::from_secs(secs)), flow)
+    }
+
+    #[test]
+    fn paces_at_requested_rate() {
+        let (report, flow) = run_fixed(5e6, 100.0, 0.0, 10, FlowSize::Infinite, 1);
+        let tput = report.avg_throughput_mbps(flow, SimTime::from_secs(1), SimTime::from_secs(10));
+        assert!((tput - 5.0).abs() < 0.25, "paced at 5 Mbps, got {tput}");
+    }
+
+    #[test]
+    fn overdriving_pins_at_bottleneck() {
+        let (report, flow) = run_fixed(50e6, 10.0, 0.0, 10, FlowSize::Infinite, 2);
+        let tput = report.avg_throughput_mbps(flow, SimTime::from_secs(1), SimTime::from_secs(10));
+        assert!((tput - 10.0).abs() < 0.5, "pinned at 10 Mbps, got {tput}");
+    }
+
+    #[test]
+    fn sized_flow_completes_under_loss() {
+        let (report, flow) = run_fixed(10e6, 100.0, 0.1, 30, FlowSize::kb(256), 3);
+        let st = &report.flows[flow.index()];
+        assert!(
+            st.completed_at.is_some(),
+            "reliability: 256 KB must complete despite 10% loss"
+        );
+        assert!(st.detected_losses > 0);
+    }
+
+    #[test]
+    fn detects_losses_close_to_link_rate() {
+        let (report, flow) = run_fixed(20e6, 100.0, 0.05, 10, FlowSize::Infinite, 4);
+        let st = &report.flows[flow.index()];
+        let detected = st.detected_losses as f64;
+        let sent = st.sent_packets as f64;
+        let rate = detected / sent;
+        assert!(
+            (rate - 0.05).abs() < 0.015,
+            "detected loss fraction {rate} vs configured 0.05"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_fixed(8e6, 10.0, 0.02, 5, FlowSize::Infinite, 77).0;
+        let b = run_fixed(8e6, 10.0, 0.02, 5, FlowSize::Infinite, 77).0;
+        assert_eq!(a.flows[0].delivered_bytes, b.flows[0].delivered_bytes);
+        assert_eq!(a.flows[0].detected_losses, b.flows[0].detected_losses);
+        assert_eq!(a.events_processed, b.events_processed);
+    }
+}

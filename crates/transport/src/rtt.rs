@@ -1,0 +1,180 @@
+//! RTT estimation per RFC 6298 (SRTT / RTTVAR / RTO).
+
+use pcc_simnet::time::SimDuration;
+
+/// Smoothed RTT estimator with RTO computation.
+#[derive(Clone, Debug)]
+pub struct RttEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    min_rtt: SimDuration,
+    max_rtt: SimDuration,
+    latest: SimDuration,
+    min_rto: SimDuration,
+    max_rto: SimDuration,
+    samples: u64,
+}
+
+impl RttEstimator {
+    /// New estimator with the given RTO clamp. The paper-era Linux default
+    /// is a 200 ms minimum RTO and 120 s maximum.
+    pub fn new(min_rto: SimDuration, max_rto: SimDuration) -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            min_rtt: SimDuration::MAX,
+            max_rtt: SimDuration::ZERO,
+            latest: SimDuration::ZERO,
+            min_rto,
+            max_rto,
+            samples: 0,
+        }
+    }
+
+    /// Estimator with Linux-like defaults (200 ms min RTO).
+    pub fn default_tcp() -> Self {
+        Self::new(SimDuration::from_millis(200), SimDuration::from_secs(120))
+    }
+
+    /// Feed one RTT sample.
+    pub fn on_sample(&mut self, rtt: SimDuration) {
+        self.samples += 1;
+        self.latest = rtt;
+        self.min_rtt = self.min_rtt.min(rtt);
+        self.max_rtt = self.max_rtt.max(rtt);
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - R'|
+                let err = if rtt > srtt { rtt - srtt } else { srtt - rtt };
+                self.rttvar = SimDuration::from_nanos(
+                    (3 * self.rttvar.as_nanos() + err.as_nanos()) / 4,
+                );
+                // SRTT = 7/8 SRTT + 1/8 R'
+                self.srtt = Some(SimDuration::from_nanos(
+                    (7 * srtt.as_nanos() + rtt.as_nanos()) / 8,
+                ));
+            }
+        }
+    }
+
+    /// Smoothed RTT; `None` until the first sample.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// Smoothed RTT, or `fallback` before the first sample.
+    pub fn srtt_or(&self, fallback: SimDuration) -> SimDuration {
+        self.srtt.unwrap_or(fallback)
+    }
+
+    /// Minimum RTT seen (propagation-delay estimate).
+    pub fn min_rtt(&self) -> Option<SimDuration> {
+        if self.samples == 0 {
+            None
+        } else {
+            Some(self.min_rtt)
+        }
+    }
+
+    /// Maximum RTT seen.
+    pub fn max_rtt(&self) -> Option<SimDuration> {
+        if self.samples == 0 {
+            None
+        } else {
+            Some(self.max_rtt)
+        }
+    }
+
+    /// Most recent sample.
+    pub fn latest(&self) -> Option<SimDuration> {
+        if self.samples == 0 {
+            None
+        } else {
+            Some(self.latest)
+        }
+    }
+
+    /// Retransmission timeout: `SRTT + 4·RTTVAR`, clamped to the configured
+    /// bounds; a conservative 1 s before any sample (RFC 6298 §2.1).
+    pub fn rto(&self) -> SimDuration {
+        match self.srtt {
+            None => SimDuration::from_secs(1).max(self.min_rto),
+            Some(srtt) => {
+                let raw = srtt + self.rttvar * 4;
+                raw.max(self.min_rto).min(self.max_rto)
+            }
+        }
+    }
+
+    /// Number of samples consumed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RttEstimator::default_tcp();
+        assert!(e.srtt().is_none());
+        assert_eq!(e.rto(), SimDuration::from_secs(1));
+        e.on_sample(ms(100));
+        assert_eq!(e.srtt(), Some(ms(100)));
+        assert_eq!(e.min_rtt(), Some(ms(100)));
+        // RTO = 100 + 4*50 = 300ms.
+        assert_eq!(e.rto(), ms(300));
+    }
+
+    #[test]
+    fn converges_to_constant_rtt() {
+        let mut e = RttEstimator::default_tcp();
+        for _ in 0..100 {
+            e.on_sample(ms(50));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!((srtt.as_millis_f64() - 50.0).abs() < 0.5);
+        // Variance decays toward zero, so RTO approaches min_rto.
+        assert_eq!(e.rto(), ms(200), "clamped at min RTO");
+    }
+
+    #[test]
+    fn tracks_min_and_max() {
+        let mut e = RttEstimator::default_tcp();
+        e.on_sample(ms(80));
+        e.on_sample(ms(20));
+        e.on_sample(ms(140));
+        assert_eq!(e.min_rtt(), Some(ms(20)));
+        assert_eq!(e.max_rtt(), Some(ms(140)));
+        assert_eq!(e.latest(), Some(ms(140)));
+        assert_eq!(e.samples(), 3);
+    }
+
+    #[test]
+    fn rto_grows_with_variance() {
+        let mut stable = RttEstimator::default_tcp();
+        let mut jittery = RttEstimator::default_tcp();
+        for i in 0..50 {
+            stable.on_sample(ms(100));
+            jittery.on_sample(ms(if i % 2 == 0 { 50 } else { 150 }));
+        }
+        assert!(jittery.rto() > stable.rto());
+    }
+
+    #[test]
+    fn rto_clamped_to_max() {
+        let mut e = RttEstimator::new(ms(200), SimDuration::from_secs(2));
+        e.on_sample(SimDuration::from_secs(10));
+        assert_eq!(e.rto(), SimDuration::from_secs(2));
+    }
+}

@@ -1,0 +1,513 @@
+//! The SACK scoreboard: per-packet fate tracking and loss detection.
+//!
+//! Both sender kinds (window-based TCP and rate-based PCC/SABUL/PCP) share
+//! this structure. It records every transmission, matches incoming selective
+//! ACKs, and detects losses two ways:
+//!
+//! * **Reordering threshold** (RFC 6675 `DupThresh`): an unacked original
+//!   transmission is lost once a packet sent ≥ 3 sequence numbers later has
+//!   been SACKed.
+//! * **Timeout**: any transmission (including retransmissions, whose
+//!   sequence-based detection would be ambiguous) is lost once it has been
+//!   outstanding longer than the supplied RTO.
+
+use std::collections::VecDeque;
+
+use pcc_simnet::packet::AckInfo;
+use pcc_simnet::time::{SimDuration, SimTime};
+
+/// Fate of one sequence number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SeqState {
+    /// In flight, fate unknown.
+    Outstanding,
+    /// SACKed (or cumulatively acked).
+    Acked,
+    /// Declared lost, waiting for retransmission to be scheduled.
+    Lost,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SeqEntry {
+    state: SeqState,
+    /// Time of the most recent transmission of this sequence.
+    last_sent_at: SimTime,
+    /// Number of retransmissions so far (0 = original only).
+    retx_count: u32,
+}
+
+/// Outcome of processing one ACK.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AckOutcome {
+    /// Sequences newly acknowledged (cumulative + selective) by this ACK.
+    pub newly_acked: u64,
+    /// Exact RTT of the acknowledged transmission (receiver echoes the
+    /// packet's send timestamp, so even retransmissions yield clean samples).
+    pub rtt: Option<SimDuration>,
+    /// This ACK acknowledged something not seen before.
+    pub advanced: bool,
+}
+
+/// SACK scoreboard over packet-granularity sequence numbers.
+#[derive(Clone, Debug)]
+pub struct Scoreboard {
+    /// Entry `i` describes sequence `base + i`.
+    entries: VecDeque<SeqEntry>,
+    /// All sequences `< base` are acked and pruned.
+    base: u64,
+    /// Highest sequence ever sent, plus one.
+    high_seq: u64,
+    /// Highest SACKed sequence, plus one (0 = nothing sacked).
+    high_sacked: u64,
+    /// Packets currently considered in flight.
+    in_flight: u64,
+    /// Total losses declared.
+    losses: u64,
+    /// Reordering threshold in packets.
+    dup_thresh: u64,
+}
+
+impl Default for Scoreboard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scoreboard {
+    /// Empty scoreboard with the standard reordering threshold of 3.
+    pub fn new() -> Self {
+        Scoreboard {
+            entries: VecDeque::new(),
+            base: 0,
+            high_seq: 0,
+            high_sacked: 0,
+            in_flight: 0,
+            losses: 0,
+            dup_thresh: 3,
+        }
+    }
+
+    fn entry(&self, seq: u64) -> Option<&SeqEntry> {
+        if seq < self.base {
+            return None;
+        }
+        self.entries.get((seq - self.base) as usize)
+    }
+
+    /// Index of `seq` in `entries`, if tracked.
+    fn idx(&self, seq: u64) -> Option<usize> {
+        if seq < self.base {
+            return None;
+        }
+        let i = (seq - self.base) as usize;
+        (i < self.entries.len()).then_some(i)
+    }
+
+    /// Record a transmission of `seq` at `now`. New sequences must be sent
+    /// in order; retransmissions may target any outstanding sequence.
+    pub fn on_send(&mut self, seq: u64, now: SimTime, retx: bool) {
+        if !retx {
+            assert_eq!(seq, self.high_seq, "new data must be sent in order");
+            self.entries.push_back(SeqEntry {
+                state: SeqState::Outstanding,
+                last_sent_at: now,
+                retx_count: 0,
+            });
+            self.high_seq += 1;
+            self.in_flight += 1;
+        } else if let Some(i) = self.idx(seq) {
+            let e = &mut self.entries[i];
+            debug_assert_ne!(e.state, SeqState::Acked, "retransmitting acked seq");
+            if e.state == SeqState::Lost {
+                // Back in flight.
+                self.in_flight += 1;
+            }
+            e.state = SeqState::Outstanding;
+            e.last_sent_at = now;
+            e.retx_count += 1;
+        }
+    }
+
+    /// Process a SACK. Returns what the ACK newly covered.
+    pub fn on_ack(&mut self, info: &AckInfo, now: SimTime) -> AckOutcome {
+        let mut out = AckOutcome::default();
+        // Selective part.
+        if let Some(i) = self.idx(info.acked_seq) {
+            let e = &mut self.entries[i];
+            if e.state != SeqState::Acked {
+                if e.state == SeqState::Outstanding {
+                    self.in_flight -= 1;
+                }
+                e.state = SeqState::Acked;
+                out.newly_acked += 1;
+                out.advanced = true;
+                out.rtt = Some(now.saturating_since(info.echo_sent_at));
+            }
+        }
+        if info.acked_seq + 1 > self.high_sacked {
+            self.high_sacked = info.acked_seq + 1;
+            out.advanced = true;
+        }
+        // Cumulative part: everything below cum_ack is acked.
+        if info.cum_ack > self.base {
+            let upto = info.cum_ack.min(self.high_seq);
+            for seq in self.base..upto {
+                let i = (seq - self.base) as usize;
+                let e = &mut self.entries[i];
+                if e.state != SeqState::Acked {
+                    if e.state == SeqState::Outstanding {
+                        self.in_flight -= 1;
+                    }
+                    e.state = SeqState::Acked;
+                    out.newly_acked += 1;
+                    out.advanced = true;
+                }
+            }
+            self.high_sacked = self.high_sacked.max(upto);
+            // Prune.
+            while self.base < upto {
+                self.entries.pop_front();
+                self.base += 1;
+            }
+        }
+        out
+    }
+
+    /// Declare losses per the reordering-threshold and timeout rules.
+    /// Returns the newly lost sequences (oldest first); the caller should
+    /// queue them for retransmission.
+    pub fn detect_losses(&mut self, now: SimTime, rto: SimDuration) -> Vec<u64> {
+        let mut lost = Vec::new();
+        let dup_cutoff = self.high_sacked.saturating_sub(self.dup_thresh);
+        for i in 0..self.entries.len() {
+            let seq = self.base + i as u64;
+            let e = &mut self.entries[i];
+            if e.state != SeqState::Outstanding {
+                continue;
+            }
+            let reorder_lost = e.retx_count == 0 && seq < dup_cutoff;
+            let timeout_lost = now.saturating_since(e.last_sent_at) >= rto;
+            if reorder_lost || timeout_lost {
+                e.state = SeqState::Lost;
+                self.in_flight -= 1;
+                self.losses += 1;
+                lost.push(seq);
+            }
+        }
+        lost
+    }
+
+    /// Declare every outstanding packet lost (used on RTO).
+    pub fn mark_all_lost(&mut self) -> Vec<u64> {
+        let mut lost = Vec::new();
+        for i in 0..self.entries.len() {
+            let seq = self.base + i as u64;
+            let e = &mut self.entries[i];
+            if e.state == SeqState::Outstanding {
+                e.state = SeqState::Lost;
+                self.in_flight -= 1;
+                self.losses += 1;
+                lost.push(seq);
+            }
+        }
+        lost
+    }
+
+    /// Oldest sequence not yet acked, if any (`== cum ack` point).
+    pub fn oldest_unacked(&self) -> Option<u64> {
+        for i in 0..self.entries.len() {
+            if self.entries[i].state != SeqState::Acked {
+                return Some(self.base + i as u64);
+            }
+        }
+        None
+    }
+
+    /// Send time of the oldest outstanding transmission.
+    pub fn oldest_outstanding_sent_at(&self) -> Option<SimTime> {
+        self.entries
+            .iter()
+            .filter(|e| e.state == SeqState::Outstanding)
+            .map(|e| e.last_sent_at)
+            .min()
+    }
+
+    /// True when every sequence below `upper` has been acked.
+    pub fn all_acked_below(&self, upper: u64) -> bool {
+        if self.base >= upper {
+            return true;
+        }
+        (self.base..upper.min(self.high_seq))
+            .all(|seq| matches!(self.entry(seq), Some(e) if e.state == SeqState::Acked))
+            && self.high_seq >= upper
+    }
+
+    /// Packets currently in flight (sent, not acked, not declared lost).
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Cumulative-ack point (all sequences below are acked and pruned —
+    /// equals `base`, which may lag the true cum-ack until pruning).
+    pub fn cum_ack(&self) -> u64 {
+        self.base
+    }
+
+    /// Next fresh sequence number.
+    pub fn next_seq(&self) -> u64 {
+        self.high_seq
+    }
+
+    /// Highest SACKed sequence plus one.
+    pub fn high_sacked(&self) -> u64 {
+        self.high_sacked
+    }
+
+    /// Total losses declared over the scoreboard's lifetime.
+    pub fn total_losses(&self) -> u64 {
+        self.losses
+    }
+
+    /// Retransmission count for `seq` (0 when unknown).
+    pub fn retx_count(&self, seq: u64) -> u32 {
+        self.entry(seq).map(|e| e.retx_count).unwrap_or(0)
+    }
+
+    /// True if `seq` is currently marked lost (awaiting retransmission).
+    pub fn is_lost(&self, seq: u64) -> bool {
+        matches!(self.entry(seq), Some(e) if e.state == SeqState::Lost)
+    }
+
+    /// True if `seq` has been acked (or pruned, implying acked).
+    pub fn is_acked(&self, seq: u64) -> bool {
+        seq < self.base || matches!(self.entry(seq), Some(e) if e.state == SeqState::Acked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn ack(acked_seq: u64, cum_ack: u64, sent_at: SimTime) -> AckInfo {
+        AckInfo {
+            acked_seq,
+            cum_ack,
+            echo_sent_at: sent_at,
+            recv_at: SimTime::ZERO,
+            recv_bytes: 0,
+            probe_train: None,
+            of_retx: false,
+        }
+    }
+
+    #[test]
+    fn in_order_ack_flow() {
+        let mut sb = Scoreboard::new();
+        for s in 0..5 {
+            sb.on_send(s, t(s), false);
+        }
+        assert_eq!(sb.in_flight(), 5);
+        let out = sb.on_ack(&ack(0, 1, t(0)), t(30));
+        assert_eq!(out.newly_acked, 1);
+        assert_eq!(out.rtt, Some(SimDuration::from_millis(30)));
+        assert_eq!(sb.cum_ack(), 1);
+        assert_eq!(sb.in_flight(), 4);
+        let out = sb.on_ack(&ack(4, 5, t(4)), t(34));
+        assert_eq!(out.newly_acked, 4, "cumulative covers 1..4 plus sack of 4");
+        assert_eq!(sb.in_flight(), 0);
+        assert!(sb.all_acked_below(5));
+    }
+
+    #[test]
+    fn duplicate_ack_is_no_op() {
+        let mut sb = Scoreboard::new();
+        sb.on_send(0, t(0), false);
+        let first = sb.on_ack(&ack(0, 1, t(0)), t(10));
+        assert_eq!(first.newly_acked, 1);
+        let dup = sb.on_ack(&ack(0, 1, t(0)), t(12));
+        assert_eq!(dup.newly_acked, 0);
+        assert!(!dup.advanced);
+        assert_eq!(dup.rtt, None);
+    }
+
+    #[test]
+    fn reorder_threshold_loss() {
+        let mut sb = Scoreboard::new();
+        for s in 0..6 {
+            sb.on_send(s, t(s), false);
+        }
+        // Seq 0 never arrives; SACKs for 1, 2, 3 arrive.
+        for s in 1..=3 {
+            sb.on_ack(&ack(s, 0, t(s)), t(30 + s));
+        }
+        // high_sacked = 4, dup_thresh 3 => seqs < 1 are lost.
+        let lost = sb.detect_losses(t(40), SimDuration::from_secs(60));
+        assert_eq!(lost, vec![0]);
+        assert!(sb.is_lost(0));
+        assert_eq!(sb.total_losses(), 1);
+        // A second scan declares nothing new.
+        assert!(sb.detect_losses(t(41), SimDuration::from_secs(60)).is_empty());
+    }
+
+    #[test]
+    fn timeout_loss_for_retransmission() {
+        let mut sb = Scoreboard::new();
+        for s in 0..5 {
+            sb.on_send(s, t(0), false);
+        }
+        for s in 1..=4 {
+            sb.on_ack(&ack(s, 0, t(0)), t(20 + s));
+        }
+        let lost = sb.detect_losses(t(30), SimDuration::from_secs(60));
+        assert_eq!(lost, vec![0]);
+        // Retransmit seq 0; it's back in flight and immune to the
+        // reordering rule (retx_count > 0)...
+        sb.on_send(0, t(31), true);
+        assert!(sb.detect_losses(t(32), SimDuration::from_secs(60)).is_empty());
+        // ...but a timeout declares it lost again.
+        let lost = sb.detect_losses(t(300), SimDuration::from_millis(200));
+        assert_eq!(lost, vec![0]);
+        assert_eq!(sb.retx_count(0), 1);
+    }
+
+    #[test]
+    fn mark_all_lost_on_rto() {
+        let mut sb = Scoreboard::new();
+        for s in 0..4 {
+            sb.on_send(s, t(0), false);
+        }
+        sb.on_ack(&ack(1, 0, t(0)), t(10));
+        let lost = sb.mark_all_lost();
+        assert_eq!(lost, vec![0, 2, 3]);
+        assert_eq!(sb.in_flight(), 0);
+    }
+
+    #[test]
+    fn oldest_unacked_tracking() {
+        let mut sb = Scoreboard::new();
+        assert_eq!(sb.oldest_unacked(), None);
+        for s in 0..3 {
+            sb.on_send(s, t(s), false);
+        }
+        assert_eq!(sb.oldest_unacked(), Some(0));
+        sb.on_ack(&ack(0, 1, t(0)), t(10));
+        assert_eq!(sb.oldest_unacked(), Some(1));
+        sb.on_ack(&ack(2, 1, t(2)), t(12));
+        assert_eq!(sb.oldest_unacked(), Some(1), "hole at 1");
+    }
+
+    #[test]
+    fn retx_restores_inflight_accounting() {
+        let mut sb = Scoreboard::new();
+        sb.on_send(0, t(0), false);
+        sb.on_send(1, t(0), false);
+        sb.on_send(2, t(0), false);
+        sb.on_send(3, t(0), false);
+        for s in 1..=3 {
+            sb.on_ack(&ack(s, 0, t(0)), t(10));
+        }
+        assert_eq!(sb.in_flight(), 1);
+        let lost = sb.detect_losses(t(20), SimDuration::from_secs(60));
+        assert_eq!(lost, vec![0]);
+        assert_eq!(sb.in_flight(), 0);
+        sb.on_send(0, t(21), true);
+        assert_eq!(sb.in_flight(), 1);
+        sb.on_ack(&ack(0, 4, t(21)), t(40));
+        assert_eq!(sb.in_flight(), 0);
+        assert!(sb.all_acked_below(4));
+        assert_eq!(sb.cum_ack(), 4);
+    }
+
+    #[test]
+    fn prune_keeps_indices_valid() {
+        let mut sb = Scoreboard::new();
+        for s in 0..100 {
+            sb.on_send(s, t(s), false);
+        }
+        sb.on_ack(&ack(49, 50, t(49)), t(80));
+        assert_eq!(sb.cum_ack(), 50);
+        // Later sequences still addressable.
+        sb.on_ack(&ack(75, 50, t(75)), t(100));
+        assert!(sb.is_acked(75));
+        assert!(!sb.is_acked(74));
+        assert!(sb.is_acked(10), "pruned implies acked");
+    }
+
+    #[test]
+    fn all_acked_below_requires_data_sent() {
+        let mut sb = Scoreboard::new();
+        sb.on_send(0, t(0), false);
+        sb.on_ack(&ack(0, 1, t(0)), t(1));
+        assert!(sb.all_acked_below(1));
+        assert!(!sb.all_acked_below(5), "seqs 1..5 never sent");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Conservation: sent = acked + lost-pending + in-flight, under any
+        /// interleaving of sends, acks, and loss scans.
+        #[test]
+        fn scoreboard_conservation(script in proptest::collection::vec(0u8..4, 1..400)) {
+            let mut sb = Scoreboard::new();
+            let mut now = SimTime::ZERO;
+            let mut next_ackable = 0u64;
+            for op in script {
+                now = now + SimDuration::from_millis(1);
+                match op {
+                    0 => {
+                        let seq = sb.next_seq();
+                        sb.on_send(seq, now, false);
+                    }
+                    1 => {
+                        // Ack the oldest unacked (simulating in-order receipt).
+                        if let Some(seq) = sb.oldest_unacked() {
+                            if seq < sb.next_seq() {
+                                let info = AckInfo {
+                                    acked_seq: seq,
+                                    cum_ack: seq + 1,
+                                    echo_sent_at: now,
+                                    recv_at: now,
+                                    recv_bytes: 0,
+                                    probe_train: None,
+                                    of_retx: false,
+                                };
+                                sb.on_ack(&info, now);
+                                next_ackable = next_ackable.max(seq + 1);
+                            }
+                        }
+                    }
+                    2 => {
+                        let _ = sb.detect_losses(now, SimDuration::from_millis(50));
+                    }
+                    _ => {
+                        // Retransmit the first lost seq, if any.
+                        let base = sb.cum_ack();
+                        for seq in base..sb.next_seq() {
+                            if sb.is_lost(seq) {
+                                sb.on_send(seq, now, true);
+                                break;
+                            }
+                        }
+                    }
+                }
+                // Invariants that must hold after every operation:
+                // in_flight is never negative (type-level) and never exceeds
+                // the number of unacked sequences.
+                let unacked = (sb.cum_ack()..sb.next_seq())
+                    .filter(|&s| !sb.is_acked(s))
+                    .count() as u64;
+                prop_assert!(sb.in_flight() <= unacked);
+                prop_assert!(sb.high_sacked() <= sb.next_seq());
+            }
+        }
+    }
+}

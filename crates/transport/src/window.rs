@@ -1,0 +1,642 @@
+//! Window-based (TCP-style) sender.
+//!
+//! A complete loss-recovery engine — SACK scoreboard, fast retransmit via
+//! reordering threshold, retransmission timeouts with exponential backoff,
+//! recovery episodes — with the congestion-control *decision* delegated to a
+//! [`WindowCc`] implementation (New Reno, CUBIC, Illinois, Hybla, Vegas,
+//! BIC, Westwood live in the `pcc-tcp` crate).
+//!
+//! This mirrors how Linux factors `tcp_output.c`/`tcp_input.c` from the
+//! pluggable `tcp_congestion_ops`, and is exactly the structure the paper
+//! criticizes: packet-level events (dupACKs, RTO) hardwired to control
+//! responses (multiplicative decrease), regardless of actual performance.
+//!
+//! Optional packet pacing (`cwnd/SRTT` release rate) reproduces the "TCP
+//! pacing" baseline of Fig. 9.
+
+use std::collections::VecDeque;
+
+use pcc_simnet::endpoint::{Endpoint, EndpointCtx};
+use pcc_simnet::packet::Packet;
+use pcc_simnet::time::{SimDuration, SimTime};
+
+use crate::flow::TransportConfig;
+use crate::rtt::RttEstimator;
+use crate::sack::Scoreboard;
+
+/// Everything a congestion-control algorithm sees on each ACK.
+#[derive(Clone, Copy, Debug)]
+pub struct CcAck {
+    /// Current time.
+    pub now: SimTime,
+    /// Exact RTT of the acknowledged transmission.
+    pub rtt: SimDuration,
+    /// Smoothed RTT.
+    pub srtt: SimDuration,
+    /// Minimum RTT observed (propagation estimate).
+    pub min_rtt: SimDuration,
+    /// Maximum RTT observed.
+    pub max_rtt: SimDuration,
+    /// Packets newly acknowledged by this ACK.
+    pub newly_acked: u32,
+    /// Packets currently in flight.
+    pub in_flight: u64,
+    /// Packet size in bytes.
+    pub mss: u32,
+}
+
+/// A pluggable window-based congestion-control algorithm.
+///
+/// Implementations own their `cwnd`/`ssthresh`; the sender engine reads
+/// [`WindowCc::cwnd`] to gate transmission and notifies the algorithm of
+/// ACKs (outside recovery), loss events (entering fast recovery), and RTOs.
+pub trait WindowCc: Send {
+    /// Algorithm name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Process an ACK (called only outside recovery episodes).
+    fn on_ack(&mut self, ack: &CcAck);
+
+    /// A loss event begins a recovery episode (fast retransmit).
+    fn on_loss_event(&mut self, now: SimTime);
+
+    /// Retransmission timeout fired.
+    fn on_rto(&mut self, now: SimTime);
+
+    /// Current congestion window in packets.
+    fn cwnd(&self) -> f64;
+
+    /// Current slow-start threshold in packets.
+    fn ssthresh(&self) -> f64;
+
+    /// True while in slow start.
+    fn in_slow_start(&self) -> bool {
+        self.cwnd() < self.ssthresh()
+    }
+}
+
+/// Tuning knobs for the sender engine (not the CC algorithm).
+#[derive(Clone, Copy, Debug)]
+pub struct WindowSenderConfig {
+    /// Transport basics (MSS, flow size).
+    pub transport: TransportConfig,
+    /// Pace packets at `cwnd/SRTT` instead of ack-clocked bursts.
+    pub pacing: bool,
+    /// Minimum RTO (Linux default 200 ms; the incast experiment depends on
+    /// this constant, as the paper notes).
+    pub min_rto: SimDuration,
+    /// Receiver-window-like clamp on the effective window, packets. Real
+    /// stacks are bounded by the advertised window; 20 000 packets (30 MB)
+    /// models a well-tuned host and comfortably exceeds every BDP in the
+    /// paper's evaluation (max 18 MB).
+    pub max_cwnd_pkts: f64,
+    /// Segmentation-offload burst size in packets. Paper-era kernels hand
+    /// the NIC up to 64 KB (≈44 MSS) per TSO/GSO chunk, which leaves the
+    /// host at line rate back-to-back; this burstiness — not the congestion
+    /// window math — is what murders TCP on shallow buffers (Figs. 6/9,
+    /// Table 1). `1` disables aggregation. Ignored in pacing mode (pacing
+    /// exists precisely to kill these bursts).
+    pub tso_burst_pkts: u32,
+    /// How long segments may wait for a burst to fill before the NIC
+    /// flushes anyway (models the offload flush timer).
+    pub tso_flush: SimDuration,
+}
+
+impl Default for WindowSenderConfig {
+    fn default() -> Self {
+        WindowSenderConfig {
+            transport: TransportConfig::default(),
+            pacing: false,
+            min_rto: SimDuration::from_millis(200),
+            max_cwnd_pkts: 20_000.0,
+            tso_burst_pkts: 44,
+            tso_flush: SimDuration::from_millis(1),
+        }
+    }
+}
+
+const TOKEN_KIND_SHIFT: u64 = 56;
+const TOKEN_RTO: u64 = 1 << TOKEN_KIND_SHIFT;
+const TOKEN_PACE: u64 = 2 << TOKEN_KIND_SHIFT;
+const TOKEN_TSO: u64 = 3 << TOKEN_KIND_SHIFT;
+const TOKEN_GEN_MASK: u64 = (1 << TOKEN_KIND_SHIFT) - 1;
+
+/// Window-based sender endpoint.
+pub struct WindowSender {
+    cfg: WindowSenderConfig,
+    cc: Box<dyn WindowCc>,
+    sb: Scoreboard,
+    rtt: RttEstimator,
+    retx_queue: VecDeque<u64>,
+    /// While `Some`, a recovery episode is active until cum-ack passes it.
+    recovery_point: Option<u64>,
+    rto_gen: u64,
+    rto_backoff: u32,
+    pace_gen: u64,
+    pace_armed: bool,
+    tso_gen: u64,
+    tso_armed: bool,
+    finished: bool,
+    last_rate_report: (SimTime, f64),
+}
+
+impl WindowSender {
+    /// Build a sender around a congestion-control algorithm.
+    pub fn new(cfg: WindowSenderConfig, cc: Box<dyn WindowCc>) -> Self {
+        WindowSender {
+            cfg,
+            cc,
+            sb: Scoreboard::new(),
+            rtt: RttEstimator::new(cfg.min_rto, SimDuration::from_secs(120)),
+            retx_queue: VecDeque::new(),
+            recovery_point: None,
+            rto_gen: 0,
+            rto_backoff: 0,
+            pace_gen: 0,
+            pace_armed: false,
+            tso_gen: 0,
+            tso_armed: false,
+            finished: false,
+            last_rate_report: (SimTime::MAX, 0.0),
+        }
+    }
+
+    /// The congestion-control algorithm's name.
+    pub fn cc_name(&self) -> &'static str {
+        self.cc.name()
+    }
+
+    /// Total losses the scoreboard has declared.
+    pub fn losses(&self) -> u64 {
+        self.sb.total_losses()
+    }
+
+    fn mss(&self) -> u32 {
+        self.cfg.transport.mss
+    }
+
+    fn in_recovery(&self) -> bool {
+        self.recovery_point.is_some()
+    }
+
+    fn cwnd_pkts(&self) -> u64 {
+        self.cc.cwnd().max(1.0).min(self.cfg.max_cwnd_pkts) as u64
+    }
+
+    /// Effective pacing rate `cwnd/SRTT` in bits/sec.
+    fn pacing_rate(&self) -> f64 {
+        let srtt = self.rtt.srtt_or(SimDuration::from_millis(100));
+        let cwnd = self.cc.cwnd().min(self.cfg.max_cwnd_pkts);
+        cwnd * self.mss() as f64 * 8.0 / srtt.as_secs_f64().max(1e-6)
+    }
+
+    /// Something to transmit right now?
+    fn has_work(&self) -> bool {
+        !self.retx_queue.is_empty()
+            || !self
+                .cfg
+                .transport
+                .size
+                .exhausted(self.sb.next_seq(), self.mss())
+    }
+
+    /// Transmit one packet (retransmissions first). Returns false if there
+    /// was nothing to send.
+    fn send_one(&mut self, ctx: &mut EndpointCtx) -> bool {
+        // Skip retx entries that got acked while queued.
+        while let Some(&seq) = self.retx_queue.front() {
+            if self.sb.is_acked(seq) || !self.sb.is_lost(seq) {
+                self.retx_queue.pop_front();
+                continue;
+            }
+            self.retx_queue.pop_front();
+            self.sb.on_send(seq, ctx.now, true);
+            ctx.send_data(seq, self.mss(), true);
+            return true;
+        }
+        let next = self.sb.next_seq();
+        if self.cfg.transport.size.exhausted(next, self.mss()) {
+            return false;
+        }
+        self.sb.on_send(next, ctx.now, false);
+        ctx.send_data(next, self.mss(), false);
+        true
+    }
+
+    /// New packets the window and remaining data allow right now.
+    fn sendable_new(&self) -> u64 {
+        let room = self.cwnd_pkts().saturating_sub(self.sb.in_flight());
+        match self.cfg.transport.size.packets(self.mss()) {
+            None => room,
+            Some(total) => room.min(total.saturating_sub(self.sb.next_seq())),
+        }
+    }
+
+    /// Fill the congestion window (ack-clocked mode) or arm the pacer.
+    ///
+    /// In ack-clocked mode, new data goes through segmentation-offload
+    /// aggregation: segments are released in bursts of `tso_burst_pkts`
+    /// (or after `tso_flush`), back-to-back — the burstiness of a real
+    /// offloading NIC. Retransmissions bypass aggregation.
+    fn try_send(&mut self, ctx: &mut EndpointCtx) {
+        if self.finished {
+            return;
+        }
+        if self.cfg.pacing {
+            if !self.pace_armed && self.has_work() && self.sb.in_flight() < self.cwnd_pkts() {
+                self.arm_pacer(ctx, ctx.now);
+            }
+            return;
+        }
+        // Loss repair is never held back by offload aggregation.
+        while !self.retx_queue.is_empty() && self.sb.in_flight() < self.cwnd_pkts() {
+            if !self.send_one(ctx) {
+                break;
+            }
+        }
+        let burst = self.cfg.tso_burst_pkts.max(1) as u64;
+        let n = self.sendable_new();
+        if n > 0 {
+            let last_chunk = match self.cfg.transport.size.packets(self.mss()) {
+                Some(total) => self.sb.next_seq() + n >= total,
+                None => false,
+            };
+            if n >= burst || last_chunk {
+                for _ in 0..n {
+                    if !self.send_one(ctx) {
+                        break;
+                    }
+                }
+            } else {
+                self.arm_tso_flush(ctx);
+            }
+        }
+        self.arm_rto(ctx);
+    }
+
+    fn arm_tso_flush(&mut self, ctx: &mut EndpointCtx) {
+        if self.tso_armed {
+            return;
+        }
+        self.tso_armed = true;
+        self.tso_gen += 1;
+        ctx.set_timer(
+            ctx.now + self.cfg.tso_flush,
+            TOKEN_TSO | (self.tso_gen & TOKEN_GEN_MASK),
+        );
+    }
+
+    fn on_tso_flush(&mut self, ctx: &mut EndpointCtx) {
+        self.tso_armed = false;
+        if self.finished || self.cfg.pacing {
+            return;
+        }
+        let n = self.sendable_new();
+        for _ in 0..n {
+            if !self.send_one(ctx) {
+                break;
+            }
+        }
+        if n > 0 {
+            self.arm_rto(ctx);
+        }
+    }
+
+    fn arm_pacer(&mut self, ctx: &mut EndpointCtx, at: SimTime) {
+        self.pace_gen += 1;
+        self.pace_armed = true;
+        ctx.set_timer(at, TOKEN_PACE | (self.pace_gen & TOKEN_GEN_MASK));
+    }
+
+    fn on_pace_tick(&mut self, ctx: &mut EndpointCtx) {
+        self.pace_armed = false;
+        if self.finished {
+            return;
+        }
+        if self.sb.in_flight() < self.cwnd_pkts() && self.send_one(ctx) {
+            self.arm_rto(ctx);
+            if self.has_work() {
+                let gap = SimDuration::from_secs_f64(
+                    self.mss() as f64 * 8.0 / self.pacing_rate().max(1.0),
+                );
+                self.arm_pacer(ctx, ctx.now + gap);
+            }
+        }
+        // If window-blocked, the next ACK re-arms the pacer via try_send.
+    }
+
+    fn arm_rto(&mut self, ctx: &mut EndpointCtx) {
+        if self.sb.in_flight() == 0 && self.retx_queue.is_empty() {
+            return;
+        }
+        self.rto_gen += 1;
+        let backoff = 1u64 << self.rto_backoff.min(6);
+        let at = ctx.now + SimDuration::from_nanos(self.rtt.rto().as_nanos() * backoff);
+        ctx.set_timer(at, TOKEN_RTO | (self.rto_gen & TOKEN_GEN_MASK));
+    }
+
+    fn on_rto_fire(&mut self, ctx: &mut EndpointCtx) {
+        if self.finished || (self.sb.in_flight() == 0 && self.retx_queue.is_empty()) {
+            return;
+        }
+        self.cc.on_rto(ctx.now);
+        self.rto_backoff += 1;
+        let lost = self.sb.mark_all_lost();
+        ctx.record_loss(lost.len() as u64);
+        self.retx_queue.clear();
+        self.retx_queue.extend(lost);
+        // RTO aborts any recovery episode; slow-start restart.
+        self.recovery_point = None;
+        self.report_rate(ctx);
+        self.try_send(ctx);
+        self.arm_rto(ctx);
+    }
+
+    fn report_rate(&mut self, ctx: &mut EndpointCtx) {
+        let rate = self.pacing_rate();
+        let (last_t, last_r) = self.last_rate_report;
+        let due = last_t == SimTime::MAX
+            || ctx.now.saturating_since(last_t) >= SimDuration::from_millis(100)
+            || (last_r > 0.0 && ((rate - last_r) / last_r).abs() > 0.05);
+        if due {
+            self.last_rate_report = (ctx.now, rate);
+            ctx.record_rate(rate);
+        }
+    }
+
+    fn check_finished(&mut self, ctx: &mut EndpointCtx) {
+        if self.finished {
+            return;
+        }
+        if let Some(total) = self.cfg.transport.size.packets(self.mss()) {
+            if self.sb.all_acked_below(total) {
+                self.finished = true;
+                ctx.finish();
+            }
+        }
+    }
+}
+
+impl Endpoint for WindowSender {
+    fn start(&mut self, ctx: &mut EndpointCtx) {
+        self.report_rate(ctx);
+        self.try_send(ctx);
+        self.arm_rto(ctx);
+    }
+
+    fn on_packet(&mut self, pkt: &Packet, ctx: &mut EndpointCtx) {
+        let Some(info) = pkt.as_ack() else {
+            debug_assert!(false, "sender got non-ACK");
+            return;
+        };
+        let out = self.sb.on_ack(info, ctx.now);
+        if let Some(rtt) = out.rtt {
+            self.rtt.on_sample(rtt);
+            ctx.record_rtt(rtt);
+            self.rto_backoff = 0;
+        }
+        // Loss detection via reordering threshold (fast retransmit).
+        let losses = self.sb.detect_losses(ctx.now, self.rtt.rto());
+        if !losses.is_empty() {
+            ctx.record_loss(losses.len() as u64);
+            if !self.in_recovery() {
+                self.cc.on_loss_event(ctx.now);
+                self.recovery_point = Some(self.sb.next_seq());
+            }
+            self.retx_queue.extend(losses);
+        }
+        // Recovery exit: cumulative ack passed the recovery point.
+        if let Some(rp) = self.recovery_point {
+            if self.sb.cum_ack() >= rp {
+                self.recovery_point = None;
+            }
+        }
+        // Window growth only outside recovery (standard behaviour).
+        if out.newly_acked > 0 && !self.in_recovery() {
+            let ack = CcAck {
+                now: ctx.now,
+                rtt: out.rtt.unwrap_or_else(|| self.rtt.srtt_or(SimDuration::from_millis(100))),
+                srtt: self.rtt.srtt_or(SimDuration::from_millis(100)),
+                min_rtt: self.rtt.min_rtt().unwrap_or(SimDuration::from_millis(100)),
+                max_rtt: self.rtt.max_rtt().unwrap_or(SimDuration::from_millis(100)),
+                newly_acked: out.newly_acked.min(u32::MAX as u64) as u32,
+                in_flight: self.sb.in_flight(),
+                mss: self.mss(),
+            };
+            self.cc.on_ack(&ack);
+        }
+        self.report_rate(ctx);
+        self.check_finished(ctx);
+        self.try_send(ctx);
+        if out.newly_acked > 0 {
+            self.arm_rto(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut EndpointCtx) {
+        let kind = token & !TOKEN_GEN_MASK;
+        let gen = token & TOKEN_GEN_MASK;
+        match kind {
+            TOKEN_RTO => {
+                if gen == (self.rto_gen & TOKEN_GEN_MASK) {
+                    self.on_rto_fire(ctx);
+                }
+            }
+            TOKEN_PACE => {
+                if gen == (self.pace_gen & TOKEN_GEN_MASK) {
+                    self.on_pace_tick(ctx);
+                }
+            }
+            TOKEN_TSO => {
+                if gen == (self.tso_gen & TOKEN_GEN_MASK) {
+                    self.on_tso_flush(ctx);
+                }
+            }
+            _ => debug_assert!(false, "unknown timer token"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowSize;
+    use crate::receiver::SackReceiver;
+    use pcc_simnet::link::LinkConfig;
+    use pcc_simnet::prelude::*;
+
+    /// Minimal Reno-like CC for engine tests (the real variants live in
+    /// `pcc-tcp`).
+    struct MiniReno {
+        cwnd: f64,
+        ssthresh: f64,
+    }
+
+    impl MiniReno {
+        fn new() -> Self {
+            MiniReno {
+                cwnd: 10.0,
+                ssthresh: f64::MAX,
+            }
+        }
+    }
+
+    impl WindowCc for MiniReno {
+        fn name(&self) -> &'static str {
+            "mini-reno"
+        }
+        fn on_ack(&mut self, ack: &CcAck) {
+            for _ in 0..ack.newly_acked {
+                if self.cwnd < self.ssthresh {
+                    self.cwnd += 1.0;
+                } else {
+                    self.cwnd += 1.0 / self.cwnd;
+                }
+            }
+        }
+        fn on_loss_event(&mut self, _now: SimTime) {
+            self.ssthresh = (self.cwnd / 2.0).max(2.0);
+            self.cwnd = self.ssthresh;
+        }
+        fn on_rto(&mut self, _now: SimTime) {
+            self.ssthresh = (self.cwnd / 2.0).max(2.0);
+            self.cwnd = 1.0;
+        }
+        fn cwnd(&self) -> f64 {
+            self.cwnd
+        }
+        fn ssthresh(&self) -> f64 {
+            self.ssthresh
+        }
+    }
+
+    fn run_tcp(
+        rate_mbps: f64,
+        rtt_ms: u64,
+        buffer: u64,
+        loss: f64,
+        secs: u64,
+        size: FlowSize,
+        pacing: bool,
+    ) -> (SimReport, FlowId) {
+        let mut net = NetworkBuilder::new(SimConfig {
+            sample_interval: SimDuration::from_millis(100),
+            seed: 12,
+        });
+        let db = Dumbbell::new(
+            &mut net,
+            BottleneckSpec::new(rate_mbps * 1e6, buffer).with_loss(loss),
+        );
+        let path = db.attach_flow(&mut net, SimDuration::from_millis(rtt_ms));
+        let cfg = WindowSenderConfig {
+            transport: TransportConfig { mss: 1500, size },
+            pacing,
+            ..Default::default()
+        };
+        let flow = net.add_flow(FlowSpec {
+            sender: Box::new(WindowSender::new(cfg, Box::new(MiniReno::new()))),
+            receiver: Box::new(SackReceiver::new()),
+            fwd_path: path.fwd,
+            rev_path: path.rev,
+            start_at: SimTime::ZERO,
+        });
+        (net.build().run_until(SimTime::from_secs(secs)), flow)
+    }
+
+    #[test]
+    fn fills_clean_pipe() {
+        // 10 Mbps, 30 ms RTT, BDP buffer: Reno should keep the pipe full.
+        let (report, flow) = run_tcp(10.0, 30, 37_500, 0.0, 10, FlowSize::Infinite, false);
+        let tput = report.avg_throughput_mbps(flow, SimTime::from_secs(2), SimTime::from_secs(10));
+        assert!(tput > 9.0, "utilization {tput} Mbps of 10");
+    }
+
+    #[test]
+    fn recovers_from_random_loss() {
+        // With 0.1% loss the flow must keep making progress (not stall).
+        let (report, flow) = run_tcp(10.0, 30, 37_500, 0.001, 20, FlowSize::Infinite, false);
+        let tput = report.avg_throughput_mbps(flow, SimTime::from_secs(5), SimTime::from_secs(20));
+        assert!(tput > 2.0, "progress under loss: {tput} Mbps");
+        assert!(report.flows[flow.index()].detected_losses > 0);
+    }
+
+    #[test]
+    fn sized_flow_completes_reliably_under_loss() {
+        // 100 KB across a 5% lossy link: every byte must eventually arrive.
+        let (report, flow) = run_tcp(10.0, 20, 37_500, 0.05, 30, FlowSize::kb(100), false);
+        let st = &report.flows[flow.index()];
+        assert!(st.completed_at.is_some(), "flow must complete");
+        assert_eq!(st.goodput_bytes, 100 * 1024 / 1500 * 1500 + 1500); // 69 pkts
+    }
+
+    #[test]
+    fn goodput_never_exceeds_sent_unique_data() {
+        let (report, flow) = run_tcp(5.0, 20, 18_750, 0.02, 10, FlowSize::Infinite, false);
+        let st = &report.flows[flow.index()];
+        assert!(st.goodput_bytes <= st.delivered_bytes);
+        assert!(st.delivered_packets <= st.sent_packets);
+    }
+
+    #[test]
+    fn pacing_mode_moves_data() {
+        let (report, flow) = run_tcp(10.0, 30, 37_500, 0.0, 10, FlowSize::Infinite, true);
+        let tput = report.avg_throughput_mbps(flow, SimTime::from_secs(2), SimTime::from_secs(10));
+        assert!(tput > 8.0, "paced utilization {tput} Mbps of 10");
+    }
+
+    #[test]
+    fn pacing_smooths_queue_occupancy() {
+        // Paced TCP should have a lower peak backlog than burst TCP in slow
+        // start on a deep buffer.
+        let (burst, _) = run_tcp(10.0, 30, 1 << 20, 0.0, 5, FlowSize::Infinite, false);
+        let (paced, _) = run_tcp(10.0, 30, 1 << 20, 0.0, 5, FlowSize::Infinite, true);
+        let burst_peak = burst.links[0].queue.max_backlog_bytes;
+        let paced_peak = paced.links[0].queue.max_backlog_bytes;
+        assert!(
+            paced_peak <= burst_peak,
+            "paced peak {paced_peak} vs burst {burst_peak}"
+        );
+    }
+
+    #[test]
+    fn survives_total_blackout_then_resumes() {
+        // Link dies (100% loss) for 2 s mid-flow; RTO backoff must not wedge
+        // the connection; after healing the flow resumes.
+        let mut net = NetworkBuilder::new(SimConfig {
+            sample_interval: SimDuration::from_millis(100),
+            seed: 99,
+        });
+        let mut sched = LinkSchedule::new();
+        sched.push(LinkStep {
+            at: SimTime::from_secs(3),
+            rate_bps: None,
+            delay: None,
+            loss: Some(1.0),
+        });
+        sched.push(LinkStep {
+            at: SimTime::from_secs(5),
+            rate_bps: None,
+            delay: None,
+            loss: Some(0.0),
+        });
+        let fwd = net.add_link(
+            LinkConfig::bottleneck(10e6, SimDuration::from_millis(10), 64_000)
+                .with_schedule(sched),
+        );
+        let rev = net.add_link(LinkConfig::delay_only(SimDuration::from_millis(10)));
+        let flow = net.add_flow(FlowSpec {
+            sender: Box::new(WindowSender::new(
+                WindowSenderConfig::default(),
+                Box::new(MiniReno::new()),
+            )),
+            receiver: Box::new(SackReceiver::new()),
+            fwd_path: vec![fwd],
+            rev_path: vec![rev],
+            start_at: SimTime::ZERO,
+        });
+        let report = net.build().run_until(SimTime::from_secs(12));
+        let resumed =
+            report.avg_throughput_mbps(flow, SimTime::from_secs(8), SimTime::from_secs(12));
+        assert!(resumed > 5.0, "flow resumed after blackout: {resumed} Mbps");
+    }
+}

@@ -1,0 +1,20 @@
+//! # pcc-udp — PCC over real UDP sockets
+//!
+//! The paper ships a user-space prototype on UDT that "can deliver real
+//! data today" (§1). This crate is that shape in Rust: a paced UDP sender
+//! driven by the *same* [`pcc_core::PccController`] object that runs in the
+//! simulator (real time mapped onto the controller's clock), with
+//! SACK-scoreboard reliability, plus a per-datagram-acking receiver.
+//!
+//! See `examples/udp_transfer.rs` at the workspace root for a loopback
+//! demonstration, and `crates/udp/tests/loopback.rs` for the integration
+//! test.
+
+#![warn(missing_docs)]
+
+pub mod receiver;
+pub mod sender;
+pub mod wire;
+
+pub use receiver::{receive, ReceiverReport};
+pub use sender::{send_pcc, send_with, SenderReport, UdpSenderConfig};

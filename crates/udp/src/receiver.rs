@@ -1,0 +1,60 @@
+//! The UDP receiver: per-datagram SACK generation, like the simulator's
+//! `SackReceiver` but over a real socket.
+
+use std::collections::BTreeSet;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+use bytes::Bytes;
+use tokio::net::UdpSocket;
+
+use crate::wire::{decode, encode_ack, AckPacket, Frame};
+
+/// Outcome of one receive session.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReceiverReport {
+    /// Unique data bytes accepted.
+    pub unique_bytes: u64,
+    /// Total datagrams seen.
+    pub datagrams: u64,
+    /// Duplicates among them.
+    pub duplicates: u64,
+}
+
+/// Receive `expected_bytes` of payload on `socket`, acking every datagram,
+/// then return. The sender address is learned from the first datagram.
+pub async fn receive(socket: &UdpSocket, expected_bytes: u64) -> std::io::Result<ReceiverReport> {
+    let start = Instant::now();
+    let mut buf = vec![0u8; 65_536];
+    let mut cum_ack = 0u64;
+    let mut ooo: BTreeSet<u64> = BTreeSet::new();
+    let mut report = ReceiverReport::default();
+    let mut peer: Option<SocketAddr> = None;
+    while report.unique_bytes < expected_bytes {
+        let (n, from) = socket.recv_from(&mut buf).await?;
+        let Some(Frame::Data(h, payload)) = decode(Bytes::copy_from_slice(&buf[..n])) else {
+            continue;
+        };
+        peer.get_or_insert(from);
+        report.datagrams += 1;
+        let fresh = h.seq >= cum_ack && !ooo.contains(&h.seq);
+        if fresh {
+            ooo.insert(h.seq);
+            while ooo.remove(&cum_ack) {
+                cum_ack += 1;
+            }
+            report.unique_bytes += payload.len() as u64;
+        } else {
+            report.duplicates += 1;
+        }
+        let ack = AckPacket {
+            acked_seq: h.seq,
+            cum_ack,
+            echo_sent_us: h.sent_us,
+            recv_us: start.elapsed().as_micros() as u64,
+            of_retx: h.retx,
+        };
+        socket.send_to(&encode_ack(&ack), from).await?;
+    }
+    Ok(report)
+}

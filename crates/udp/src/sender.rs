@@ -1,0 +1,218 @@
+//! The UDP sender: the paper's user-space prototype shape — a paced sender
+//! whose rate is dictated by a [`PccController`] (or any
+//! [`RateController`]), with SACK-scoreboard reliability. The controller is
+//! the *same object* that drives the simulator: real time is mapped onto
+//! [`SimTime`] and controller timers run on a tokio timer wheel.
+
+use std::collections::{BinaryHeap, VecDeque};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use tokio::net::UdpSocket;
+use tokio::time::sleep_until;
+
+use pcc_core::{PccConfig, PccController};
+use pcc_simnet::packet::AckInfo;
+use pcc_simnet::rng::SimRng;
+use pcc_simnet::time::{SimDuration, SimTime};
+use pcc_transport::ratesender::{CtrlCtx, CtrlEffects, RateAck, RateController};
+use pcc_transport::rtt::RttEstimator;
+use pcc_transport::sack::Scoreboard;
+
+use crate::wire::{decode, encode_data, DataHeader, Frame};
+
+/// Sender configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct UdpSenderConfig {
+    /// Payload bytes per datagram.
+    pub payload: usize,
+    /// Total payload bytes to deliver.
+    pub total_bytes: u64,
+    /// RNG seed for the controller's randomized trials.
+    pub seed: u64,
+}
+
+impl Default for UdpSenderConfig {
+    fn default() -> Self {
+        UdpSenderConfig {
+            payload: 1200,
+            total_bytes: 8 * 1024 * 1024,
+            seed: 1,
+        }
+    }
+}
+
+/// Outcome of one send session.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SenderReport {
+    /// Wall-clock transfer time.
+    pub elapsed: Duration,
+    /// Payload goodput in Mbit/s.
+    pub goodput_mbps: f64,
+    /// Datagrams sent (including retransmissions).
+    pub sent: u64,
+    /// Losses detected.
+    pub losses: u64,
+    /// Final controller rate, bits/sec.
+    pub final_rate_bps: f64,
+}
+
+#[derive(PartialEq, Eq)]
+struct TimerEntry(SimTime, u64);
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.0.cmp(&self.0) // min-heap
+    }
+}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Send `cfg.total_bytes` to `peer` over `socket`, paced by a PCC
+/// controller with the given config.
+pub async fn send_pcc(
+    socket: &UdpSocket,
+    peer: SocketAddr,
+    cfg: UdpSenderConfig,
+    pcc: PccConfig,
+) -> std::io::Result<SenderReport> {
+    let ctrl = PccController::new(pcc);
+    send_with(socket, peer, cfg, Box::new(ctrl)).await
+}
+
+/// Send with an arbitrary rate controller (PCC, SABUL, PCP, ...).
+pub async fn send_with(
+    socket: &UdpSocket,
+    peer: SocketAddr,
+    cfg: UdpSenderConfig,
+    mut ctrl: Box<dyn RateController>,
+) -> std::io::Result<SenderReport> {
+    let start = Instant::now();
+    let now_sim = |t0: Instant| SimTime::from_nanos(t0.elapsed().as_nanos() as u64);
+    let mut rng = SimRng::new(cfg.seed);
+    let mut effects = CtrlEffects::default();
+    let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
+    let mut sb = Scoreboard::new();
+    let mut rtt = RttEstimator::new(SimDuration::from_millis(10), SimDuration::from_secs(10));
+    let mut retx: VecDeque<u64> = VecDeque::new();
+    let total_pkts = cfg.total_bytes.div_ceil(cfg.payload as u64);
+    let payload = vec![0xA5u8; cfg.payload];
+    let mut report = SenderReport::default();
+
+    let mut rate_bps = {
+        let mut cc = CtrlCtx::new(now_sim(start), &mut rng, &mut effects);
+        ctrl.on_start(&mut cc).max(1_000.0)
+    };
+    let mut next_send = Instant::now();
+    let mut buf = vec![0u8; 65_536];
+
+    // Drain controller effects into local state.
+    macro_rules! apply_effects {
+        () => {{
+            let (new_rate, new_timers) = effects.drain();
+            if let Some(r) = new_rate {
+                rate_bps = r.max(1_000.0);
+            }
+            for (at, token) in new_timers {
+                timers.push(TimerEntry(at, token));
+            }
+        }};
+    }
+    apply_effects!();
+
+    while !sb.all_acked_below(total_pkts) {
+        let now = now_sim(start);
+        // Fire due controller timers.
+        while timers.peek().map(|t| t.0 <= now).unwrap_or(false) {
+            let TimerEntry(_, token) = timers.pop().expect("peeked");
+            let mut cc = CtrlCtx::new(now, &mut rng, &mut effects);
+            ctrl.on_timer(token, &mut cc);
+            drop(cc);
+            apply_effects!();
+        }
+        // Timeout-based loss detection.
+        let lost = sb.detect_losses(now, rtt.rto());
+        if !lost.is_empty() {
+            report.losses += lost.len() as u64;
+            retx.extend(lost.iter().copied());
+            let mut cc = CtrlCtx::new(now, &mut rng, &mut effects);
+            ctrl.on_loss(&lost, &mut cc);
+            drop(cc);
+            apply_effects!();
+        }
+        // Pace one packet if due.
+        let due = Instant::now() >= next_send;
+        let has_new = sb.next_seq() < total_pkts;
+        let has_work = has_new || !retx.is_empty();
+        if due && has_work {
+            let (seq, is_retx) = match retx.pop_front() {
+                Some(s) if sb.is_lost(s) => (s, true),
+                _ if has_new => (sb.next_seq(), false),
+                _ => (0, false), // stale retx entry and no new data: skip
+            };
+            if is_retx || has_new {
+                let h = DataHeader {
+                    seq,
+                    sent_us: start.elapsed().as_micros() as u64,
+                    retx: is_retx,
+                };
+                socket.send_to(&encode_data(&h, &payload), peer).await?;
+                sb.on_send(seq, now, is_retx);
+                report.sent += 1;
+                let mut cc = CtrlCtx::new(now, &mut rng, &mut effects);
+                ctrl.on_sent(seq, (cfg.payload + 40) as u32, is_retx, &mut cc);
+                drop(cc);
+                apply_effects!();
+                let gap = (cfg.payload + 40) as f64 * 8.0 / rate_bps;
+                next_send = Instant::now() + Duration::from_secs_f64(gap);
+            }
+        }
+        // Wait for whichever comes first: pacing slot or an ACK.
+        let wakeup = tokio::time::Instant::from_std(next_send);
+        tokio::select! {
+            r = socket.recv_from(&mut buf) => {
+                let (n, _) = r?;
+                if let Some(Frame::Ack(a)) = decode(bytes::Bytes::copy_from_slice(&buf[..n])) {
+                    let now = now_sim(start);
+                    let echo = SimTime::from_nanos(a.echo_sent_us * 1_000);
+                    let sample = now.saturating_since(echo);
+                    rtt.on_sample(sample);
+                    let info = AckInfo {
+                        acked_seq: a.acked_seq,
+                        cum_ack: a.cum_ack,
+                        echo_sent_at: echo,
+                        recv_at: SimTime::from_nanos(a.recv_us * 1_000),
+                        recv_bytes: 0,
+                        probe_train: None,
+                        of_retx: a.of_retx,
+                    };
+                    let out = sb.on_ack(&info, now);
+                    if out.rtt.is_some() {
+                        let ev = RateAck {
+                            now,
+                            seq: a.acked_seq,
+                            rtt: sample,
+                            recv_at: info.recv_at,
+                            probe_train: None,
+                            of_retx: a.of_retx,
+                            cum_ack: a.cum_ack,
+                        };
+                        let mut cc = CtrlCtx::new(now, &mut rng, &mut effects);
+                        ctrl.on_ack(&ev, &mut cc);
+                        drop(cc);
+                        apply_effects!();
+                    }
+                }
+            }
+            _ = sleep_until(wakeup), if has_work => {}
+        }
+    }
+    report.elapsed = start.elapsed();
+    report.goodput_mbps =
+        cfg.total_bytes as f64 * 8.0 / report.elapsed.as_secs_f64().max(1e-9) / 1e6;
+    report.final_rate_bps = rate_bps;
+    Ok(report)
+}

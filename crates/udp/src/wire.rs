@@ -1,0 +1,173 @@
+//! Wire format for the UDP transport: fixed 40-byte headers, no payload
+//! compression, everything big-endian. Mirrors the simulator's packet
+//! metadata so the same controller logic drives both.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic tag guarding against stray datagrams.
+pub const MAGIC: u32 = 0x9CC0_2015;
+/// Header length for both packet kinds.
+pub const HEADER_LEN: usize = 40;
+
+/// A data segment header (payload follows).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DataHeader {
+    /// Packet-granularity sequence number.
+    pub seq: u64,
+    /// Sender timestamp, microseconds since sender start.
+    pub sent_us: u64,
+    /// Retransmission flag.
+    pub retx: bool,
+}
+
+/// A selective acknowledgement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AckPacket {
+    /// The sequence being acknowledged.
+    pub acked_seq: u64,
+    /// Cumulative ack point.
+    pub cum_ack: u64,
+    /// Echo of the data packet's `sent_us`.
+    pub echo_sent_us: u64,
+    /// Receiver timestamp, microseconds since receiver start.
+    pub recv_us: u64,
+    /// The acked packet was a retransmission.
+    pub of_retx: bool,
+}
+
+/// Either side of the protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Data with its payload.
+    Data(DataHeader, Bytes),
+    /// An ACK.
+    Ack(AckPacket),
+}
+
+const KIND_DATA: u8 = 1;
+const KIND_ACK: u8 = 2;
+
+/// Encode a data frame.
+pub fn encode_data(h: &DataHeader, payload: &[u8]) -> Bytes {
+    let mut b = BytesMut::with_capacity(HEADER_LEN + payload.len());
+    b.put_u32(MAGIC);
+    b.put_u8(KIND_DATA);
+    b.put_u8(h.retx as u8);
+    b.put_u16(0); // reserved
+    b.put_u64(h.seq);
+    b.put_u64(h.sent_us);
+    b.put_u64(0); // reserved
+    b.put_u64(0); // reserved
+    debug_assert_eq!(b.len(), HEADER_LEN);
+    b.extend_from_slice(payload);
+    b.freeze()
+}
+
+/// Encode an ACK frame.
+pub fn encode_ack(a: &AckPacket) -> Bytes {
+    let mut b = BytesMut::with_capacity(HEADER_LEN);
+    b.put_u32(MAGIC);
+    b.put_u8(KIND_ACK);
+    b.put_u8(a.of_retx as u8);
+    b.put_u16(0);
+    b.put_u64(a.acked_seq);
+    b.put_u64(a.cum_ack);
+    b.put_u64(a.echo_sent_us);
+    b.put_u64(a.recv_us);
+    debug_assert_eq!(b.len(), HEADER_LEN);
+    b.freeze()
+}
+
+/// Decode any frame; `None` for foreign or truncated datagrams.
+pub fn decode(mut buf: Bytes) -> Option<Frame> {
+    if buf.len() < HEADER_LEN || buf.get_u32() != MAGIC {
+        return None;
+    }
+    let kind = buf.get_u8();
+    let flag = buf.get_u8() != 0;
+    let _ = buf.get_u16();
+    match kind {
+        KIND_DATA => {
+            let seq = buf.get_u64();
+            let sent_us = buf.get_u64();
+            let _ = buf.get_u64();
+            let _ = buf.get_u64();
+            Some(Frame::Data(
+                DataHeader {
+                    seq,
+                    sent_us,
+                    retx: flag,
+                },
+                buf,
+            ))
+        }
+        KIND_ACK => Some(Frame::Ack(AckPacket {
+            acked_seq: buf.get_u64(),
+            cum_ack: buf.get_u64(),
+            echo_sent_us: buf.get_u64(),
+            recv_us: buf.get_u64(),
+            of_retx: flag,
+        })),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_roundtrip() {
+        let h = DataHeader {
+            seq: 123456789,
+            sent_us: 42_000_000,
+            retx: true,
+        };
+        let payload = vec![7u8; 1000];
+        let wire = encode_data(&h, &payload);
+        assert_eq!(wire.len(), HEADER_LEN + 1000);
+        match decode(wire).expect("decodes") {
+            Frame::Data(h2, p) => {
+                assert_eq!(h, h2);
+                assert_eq!(p.len(), 1000);
+                assert!(p.iter().all(|&b| b == 7));
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ack_roundtrip() {
+        let a = AckPacket {
+            acked_seq: 55,
+            cum_ack: 50,
+            echo_sent_us: 999,
+            recv_us: 1001,
+            of_retx: false,
+        };
+        match decode(encode_ack(&a)).expect("decodes") {
+            Frame::Ack(a2) => assert_eq!(a, a2),
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(decode(Bytes::from_static(b"nonsense")), None);
+        let mut junk = BytesMut::new();
+        junk.put_u32(MAGIC);
+        junk.put_u8(99); // unknown kind
+        junk.extend_from_slice(&[0u8; 64]);
+        assert_eq!(decode(junk.freeze()), None);
+        // Truncated.
+        let a = AckPacket {
+            acked_seq: 1,
+            cum_ack: 1,
+            echo_sent_us: 0,
+            recv_us: 0,
+            of_retx: false,
+        };
+        let short = encode_ack(&a).slice(0..10);
+        assert_eq!(decode(short), None);
+    }
+}

@@ -1,0 +1,33 @@
+//! Loopback integration test: real datagrams, real clock, PCC control.
+
+use pcc_core::PccConfig;
+use pcc_simnet::time::SimDuration;
+use pcc_udp::{receive, send_pcc, UdpSenderConfig};
+use tokio::net::UdpSocket;
+
+#[tokio::test]
+async fn pcc_transfers_over_loopback() {
+    let rx_sock = UdpSocket::bind("127.0.0.1:0").await.expect("bind rx");
+    let rx_addr = rx_sock.local_addr().expect("addr");
+    let tx_sock = UdpSocket::bind("127.0.0.1:0").await.expect("bind tx");
+
+    let total: u64 = 2 * 1024 * 1024; // 2 MB keeps CI fast
+    let rx = tokio::spawn(async move { receive(&rx_sock, total).await });
+
+    let cfg = UdpSenderConfig {
+        payload: 1200,
+        total_bytes: total,
+        seed: 3,
+    };
+    let pcc = PccConfig::paper().with_rtt_hint(SimDuration::from_millis(2));
+    let report = send_pcc(&tx_sock, rx_addr, cfg, pcc).await.expect("send");
+    let rx_report = rx.await.expect("join").expect("receive");
+
+    assert!(rx_report.unique_bytes >= total, "all payload arrived");
+    assert!(report.sent >= total / 1200, "sent at least the payload");
+    assert!(
+        report.goodput_mbps > 1.0,
+        "loopback goodput sane: {} Mbps",
+        report.goodput_mbps
+    );
+}

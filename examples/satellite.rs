@@ -1,0 +1,44 @@
+//! Satellite-link shoot-out (the paper's §4.1.3 motivation): PCC vs the
+//! TCP variants engineered for exactly this link — on exactly this link.
+//!
+//! Emulates the WINDS satellite Internet system: 800 ms RTT, 42 Mbps,
+//! 0.74% random loss, shallow 7.5 KB bottleneck buffer.
+//!
+//! ```text
+//! cargo run --release --example satellite
+//! ```
+
+use pcc::scenarios::links::{run_satellite, SATELLITE_RTT};
+use pcc::scenarios::Protocol;
+use pcc::simnet::time::{SimDuration, SimTime};
+
+fn main() {
+    let buffer = 7_500; // five packets — the paper's highlighted point
+    let dur = SimDuration::from_secs(60);
+    println!("WINDS satellite link: 42 Mbps, 800 ms RTT, 0.74% loss, {buffer} B buffer");
+    println!("(steady state measured over the last 30 s of a 60 s run)\n");
+    let contenders = [
+        Protocol::pcc_default(SATELLITE_RTT),
+        Protocol::Tcp("hybla"),
+        Protocol::Tcp("illinois"),
+        Protocol::Tcp("cubic"),
+        Protocol::Tcp("newreno"),
+    ];
+    let mut results = Vec::new();
+    for proto in contenders {
+        let label = proto.label();
+        let r = run_satellite(proto, buffer, dur, 7);
+        let tput = r.throughput_in(0, SimTime::from_secs(30), SimTime::from_secs(60));
+        results.push((label, tput));
+    }
+    let pcc_tput = results[0].1;
+    for (label, tput) in &results {
+        let vs = if *tput > 0.01 { pcc_tput / tput } else { f64::INFINITY };
+        println!("  {label:<10} {tput:7.2} Mbps   (PCC is {vs:5.1}x)");
+    }
+    println!(
+        "\nPCC reaches {:.0}% of the satellite capacity; the specially\n\
+         engineered TCPs never recover from random loss plus the tiny buffer.",
+        100.0 * pcc_tput / 42.0
+    );
+}

@@ -1,0 +1,143 @@
+//! Cross-crate integration tests: the paper's headline claims, verified
+//! end-to-end through the facade crate at scaled-down durations.
+//!
+//! These complement the per-crate unit/property tests: each test here spans
+//! simulator + transport + controller + scenario layers at once.
+
+use pcc::prelude::*;
+use pcc::scenarios::links::{run_lossy, run_satellite, run_shallow, SATELLITE_RTT};
+use pcc::scenarios::power::{pcc_interactive, pcc_loss_resilient, run_high_loss, run_power};
+use pcc::scenarios::{run_dumbbell, FlowPlan, LinkSetup, Protocol, QueueKind};
+
+fn secs(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+/// §4.1.4 / Fig. 7: PCC holds near-capacity at 1% random loss where CUBIC
+/// collapses by an order of magnitude.
+#[test]
+fn claim_random_loss_resilience() {
+    let dur = SimDuration::from_secs(20);
+    let pcc = run_lossy(Protocol::pcc_default(SimDuration::from_millis(30)), 0.01, dur, 1);
+    let cubic = run_lossy(Protocol::Tcp("cubic"), 0.01, dur, 1);
+    let t_pcc = pcc.throughput_in(0, secs(8), secs(20));
+    let t_cubic = cubic.throughput_in(0, secs(8), secs(20));
+    assert!(t_pcc > 80.0, "PCC ≈ capacity at 1% loss: {t_pcc:.1}");
+    assert!(t_pcc > 8.0 * t_cubic, "CUBIC collapses: {t_cubic:.1}");
+}
+
+/// §4.1.3 / Fig. 6: on the satellite link with a 5-packet buffer, PCC
+/// dwarfs the satellite-engineered Hybla.
+#[test]
+fn claim_satellite() {
+    let dur = SimDuration::from_secs(60);
+    let pcc = run_satellite(Protocol::pcc_default(SATELLITE_RTT), 7_500, dur, 2);
+    let hybla = run_satellite(Protocol::Tcp("hybla"), 7_500, dur, 2);
+    let t_pcc = pcc.throughput_in(0, secs(30), secs(60));
+    let t_hybla = hybla.throughput_in(0, secs(30), secs(60));
+    assert!(t_pcc > 25.0, "PCC most of 42 Mbps: {t_pcc:.1}");
+    assert!(t_pcc > 3.0 * t_hybla, "Hybla far behind: {t_hybla:.1}");
+}
+
+/// §4.1.6 / Fig. 9: PCC needs only a 6-packet buffer for high utilization.
+#[test]
+fn claim_shallow_buffer() {
+    let dur = SimDuration::from_secs(15);
+    let pcc = run_shallow(Protocol::pcc_default(SimDuration::from_millis(30)), 9_000, dur, 3);
+    let t = pcc.throughput_in(0, secs(5), secs(15));
+    assert!(t > 60.0, "PCC with 9 KB buffer on 100 Mbps: {t:.1}");
+}
+
+/// §2.2 / Fig. 12: two selfish PCC flows converge to a fair, stable split.
+#[test]
+fn claim_fair_convergence() {
+    let rtt = SimDuration::from_millis(30);
+    let setup = LinkSetup::new(50e6, rtt, 187_500);
+    let r = run_dumbbell(
+        setup,
+        vec![
+            FlowPlan::new(Protocol::pcc_default(rtt), rtt),
+            FlowPlan::new(Protocol::pcc_default(rtt), rtt).starting_at(secs(10)),
+        ],
+        secs(140),
+        4,
+    );
+    let t0 = r.throughput_in(0, secs(100), secs(140));
+    let t1 = r.throughput_in(1, secs(100), secs(140));
+    assert!(t0 + t1 > 42.0, "link stays utilized: {t0:.1}+{t1:.1}");
+    let ratio = t0.max(t1) / t0.min(t1).max(0.01);
+    assert!(ratio < 1.6, "near-fair split: {t0:.1} vs {t1:.1}");
+}
+
+/// §4.4.1 / Fig. 17: with the latency utility, PCC's power is the same
+/// with and without CoDel — the AQM has nothing left to do.
+#[test]
+fn claim_aqm_agnostic_power() {
+    let dur = SimDuration::from_secs(30);
+    let codel = run_power(pcc_interactive(), QueueKind::FqCodel, dur, 5);
+    let bloat = run_power(pcc_interactive(), QueueKind::Bufferbloat, dur, 5);
+    let ratio = codel.power / bloat.power.max(1e-9);
+    assert!(
+        (0.4..2.5).contains(&ratio),
+        "power parity: codel {:.0} vs bloat {:.0}",
+        codel.power,
+        bloat.power
+    );
+}
+
+/// §4.4.2: the loss-resilient utility pushes through 30% random loss.
+#[test]
+fn claim_extreme_loss_with_fq() {
+    let dur = SimDuration::from_secs(25);
+    let frac = run_high_loss(pcc_loss_resilient(), 0.3, dur, 6);
+    assert!(frac > 0.6, "≥60% of achievable at 30% loss: {frac:.2}");
+}
+
+/// Determinism across the whole stack: same seed ⇒ identical bytes.
+#[test]
+fn claim_deterministic_replay() {
+    let run = |seed| {
+        let r = run_lossy(
+            Protocol::pcc_default(SimDuration::from_millis(30)),
+            0.02,
+            SimDuration::from_secs(5),
+            seed,
+        );
+        (
+            r.report.flows[0].delivered_bytes,
+            r.report.flows[0].detected_losses,
+            r.report.events_processed,
+        )
+    };
+    assert_eq!(run(9), run(9));
+    assert_ne!(run(9), run(10));
+}
+
+/// The full protocol zoo moves data on a plain link through the facade.
+#[test]
+fn claim_all_protocols_functional() {
+    let rtt = SimDuration::from_millis(20);
+    for proto in [
+        Protocol::pcc_default(rtt),
+        Protocol::Tcp("newreno"),
+        Protocol::Tcp("cubic"),
+        Protocol::Tcp("illinois"),
+        Protocol::Tcp("hybla"),
+        Protocol::Tcp("vegas"),
+        Protocol::Tcp("bic"),
+        Protocol::Tcp("westwood"),
+        Protocol::TcpPaced("newreno"),
+        Protocol::Sabul,
+        Protocol::Pcp,
+    ] {
+        let label = proto.label();
+        let r = pcc::scenarios::run_single(
+            proto,
+            LinkSetup::new(20e6, rtt, 75_000),
+            SimDuration::from_secs(10),
+            11,
+        );
+        let t = r.throughput_in(0, secs(4), secs(10));
+        assert!(t > 2.0, "{label} moves data: {t:.2} Mbps");
+    }
+}
