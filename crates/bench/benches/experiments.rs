@@ -11,7 +11,10 @@ fn main() {
         opts.full = true;
     }
     println!("Regenerating every PCC (NSDI'15) table and figure (scaled durations).");
-    println!("Pass --full for paper-scale runs. CSV lands in {}\n", opts.out_dir.display());
+    println!(
+        "Pass --full for paper-scale runs. CSV lands in {}\n",
+        opts.out_dir.display()
+    );
     for (id, desc, run) in registry() {
         println!("\n### {id}: {desc}\n");
         let t0 = std::time::Instant::now();

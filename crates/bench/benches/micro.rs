@@ -1,8 +1,10 @@
-//! Criterion micro-benchmarks: simulator substrate hot paths.
+//! Micro-benchmarks: simulator substrate hot paths.
+//!
+//! `cargo bench -p pcc-bench --bench micro`
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use pcc_bench::bench;
 use pcc_core::{MiMetrics, SafeSigmoid, UtilityFunction};
 use pcc_scenarios::{run_single, LinkSetup, Protocol};
 use pcc_simnet::event::{Event, EventQueue};
@@ -11,63 +13,51 @@ use pcc_simnet::packet::Packet;
 use pcc_simnet::queue::{fq_codel, Codel, DropTail, FairQueue, Queue};
 use pcc_simnet::time::{SimDuration, SimTime};
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1000u64 {
-                q.schedule(SimTime::from_nanos((i * 7919) % 10_000), Event::Sample);
-            }
-            while let Some(e) = q.pop() {
-                black_box(e);
-            }
-        })
+fn bench_event_queue() {
+    bench("event_queue_push_pop_1k", 20, 20, || {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.schedule(SimTime::from_nanos((i * 7919) % 10_000), Event::Sample);
+        }
+        while let Some(e) = q.pop() {
+            black_box(e);
+        }
     });
 }
 
-fn bench_queues(c: &mut Criterion) {
-    let mut group = c.benchmark_group("qdisc_enq_deq_1k");
-    let pkt = |s| Packet::data(FlowId(s as u32 % 8), s, 1500, SimTime::ZERO, false);
-    group.bench_function("droptail", |b| {
-        b.iter(|| {
-            let mut q = DropTail::bytes(1 << 20);
-            for s in 0..1000 {
-                q.enqueue(pkt(s), SimTime::from_nanos(s * 1000));
-            }
-            while q.dequeue(SimTime::from_millis(2)).is_some() {}
-        })
+fn bench_queues() {
+    let pkt = |s: u64| Packet::data(FlowId(s as u32 % 8), s, 1500, SimTime::ZERO, false);
+    bench("qdisc_droptail_1k", 20, 20, || {
+        let mut q = DropTail::bytes(1 << 20);
+        for s in 0..1000 {
+            q.enqueue(pkt(s), SimTime::from_nanos(s * 1000));
+        }
+        while q.dequeue(SimTime::from_millis(2)).is_some() {}
     });
-    group.bench_function("fair_queue", |b| {
-        b.iter(|| {
-            let mut q = FairQueue::new(1 << 20);
-            for s in 0..1000 {
-                q.enqueue(pkt(s), SimTime::from_nanos(s * 1000));
-            }
-            while q.dequeue(SimTime::from_millis(2)).is_some() {}
-        })
+    bench("qdisc_fair_queue_1k", 20, 20, || {
+        let mut q = FairQueue::new(1 << 20);
+        for s in 0..1000 {
+            q.enqueue(pkt(s), SimTime::from_nanos(s * 1000));
+        }
+        while q.dequeue(SimTime::from_millis(2)).is_some() {}
     });
-    group.bench_function("codel", |b| {
-        b.iter(|| {
-            let mut q = Codel::bytes(1 << 20);
-            for s in 0..1000 {
-                q.enqueue(pkt(s), SimTime::from_nanos(s * 1000));
-            }
-            while q.dequeue(SimTime::from_millis(2)).is_some() {}
-        })
+    bench("qdisc_codel_1k", 20, 20, || {
+        let mut q = Codel::bytes(1 << 20);
+        for s in 0..1000 {
+            q.enqueue(pkt(s), SimTime::from_nanos(s * 1000));
+        }
+        while q.dequeue(SimTime::from_millis(2)).is_some() {}
     });
-    group.bench_function("fq_codel", |b| {
-        b.iter(|| {
-            let mut q = fq_codel(1 << 20);
-            for s in 0..1000 {
-                q.enqueue(pkt(s), SimTime::from_nanos(s * 1000));
-            }
-            while q.dequeue(SimTime::from_millis(2)).is_some() {}
-        })
+    bench("qdisc_fq_codel_1k", 20, 20, || {
+        let mut q = fq_codel(1 << 20);
+        for s in 0..1000 {
+            q.enqueue(pkt(s), SimTime::from_nanos(s * 1000));
+        }
+        while q.dequeue(SimTime::from_millis(2)).is_some() {}
     });
-    group.finish();
 }
 
-fn bench_utility(c: &mut Criterion) {
+fn bench_utility() {
     let u = SafeSigmoid::default();
     let m = MiMetrics {
         mi_id: 0,
@@ -85,42 +75,33 @@ fn bench_utility(c: &mut Criterion) {
         acked: 494,
         lost: 6,
     };
-    c.bench_function("safe_sigmoid_utility", |b| {
-        b.iter(|| black_box(u.utility(black_box(&m))))
+    bench("safe_sigmoid_utility", 20, 5, || {
+        black_box(u.utility(black_box(&m)));
     });
 }
 
-fn bench_full_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("full_sim_5s");
-    group.sample_size(10);
-    group.bench_function("pcc_100mbps", |b| {
-        b.iter(|| {
-            run_single(
-                Protocol::pcc_default(SimDuration::from_millis(30)),
-                LinkSetup::new(100e6, SimDuration::from_millis(30), 375_000),
-                SimDuration::from_secs(5),
-                1,
-            )
-        })
+fn bench_full_sim() {
+    bench("full_sim_5s_pcc_100mbps", 5, 1, || {
+        run_single(
+            Protocol::pcc_default(SimDuration::from_millis(30)),
+            LinkSetup::new(100e6, SimDuration::from_millis(30), 375_000),
+            SimDuration::from_secs(5),
+            1,
+        );
     });
-    group.bench_function("cubic_100mbps", |b| {
-        b.iter(|| {
-            run_single(
-                Protocol::Tcp("cubic"),
-                LinkSetup::new(100e6, SimDuration::from_millis(30), 375_000),
-                SimDuration::from_secs(5),
-                1,
-            )
-        })
+    bench("full_sim_5s_cubic_100mbps", 5, 1, || {
+        run_single(
+            Protocol::Tcp("cubic"),
+            LinkSetup::new(100e6, SimDuration::from_millis(30), 375_000),
+            SimDuration::from_secs(5),
+            1,
+        );
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_queues,
-    bench_utility,
-    bench_full_sim
-);
-criterion_main!(benches);
+fn main() {
+    bench_event_queue();
+    bench_queues();
+    bench_utility();
+    bench_full_sim();
+}

@@ -87,7 +87,10 @@ impl PccConfig {
 
     /// Set the experiment granularity bounds.
     pub fn with_eps(mut self, eps_min: f64, eps_max: f64) -> Self {
-        assert!(eps_min > 0.0 && eps_min <= eps_max, "0 < eps_min <= eps_max");
+        assert!(
+            eps_min > 0.0 && eps_min <= eps_max,
+            "0 < eps_min <= eps_max"
+        );
         self.eps_min = eps_min;
         self.eps_max = eps_max;
         self

@@ -160,7 +160,10 @@ mod tests {
     #[test]
     fn alpha_rule() {
         assert_eq!(FluidModel::paper(100.0, 2).alpha, 100.0);
-        assert_eq!(FluidModel::paper(100.0, 47).alpha, 100.0 + 1.2000000000000028);
+        assert_eq!(
+            FluidModel::paper(100.0, 47).alpha,
+            100.0 + 1.2000000000000028
+        );
         // 2.2 * 46 = 101.2
     }
 

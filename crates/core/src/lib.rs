@@ -2,7 +2,8 @@
 //!
 //! The primary contribution of *PCC: Re-architecting Congestion Control for
 //! Consistent High Performance* (Dong, Li, Zarchy, Godfrey, Schapira —
-//! NSDI 2015), implemented as a [`pcc_transport::RateController`]:
+//! NSDI 2015), implemented as a rate-driving
+//! [`pcc_transport::CongestionControl`]:
 //!
 //! * [`monitor`] — monitor intervals (§3.1): continuous measurement windows
 //!   aggregating SACK feedback into `(rate → throughput, loss, RTT)` facts.
@@ -13,12 +14,19 @@
 //! * [`fluid`] — the game-theoretic model behind Theorems 1–2, with
 //!   numerical verification in its test-suite.
 //!
+//! Because [`PccController`] speaks the unified congestion-control API, the
+//! *same object* drives the deterministic simulator
+//! ([`pcc_transport::CcSender`]) and the real-UDP datapath (`pcc-udp`).
+//! [`register_algorithms`] installs the PCC×utility family (`pcc`,
+//! `pcc-simple`, `pcc-lossresilient`, `pcc-latency`) into the
+//! [`pcc_transport::registry`].
+//!
 //! ## Quick start (simulation)
 //!
 //! ```
 //! use pcc_core::{PccConfig, PccController};
 //! use pcc_simnet::prelude::*;
-//! use pcc_transport::{RateSender, RateSenderConfig, SackReceiver};
+//! use pcc_transport::{CcSender, CcSenderConfig, SackReceiver};
 //!
 //! let mut net = NetworkBuilder::new(SimConfig::default());
 //! let db = Dumbbell::new(&mut net, BottleneckSpec::new(100e6, 64_000));
@@ -27,7 +35,7 @@
 //!     PccConfig::paper().with_rtt_hint(SimDuration::from_millis(30)),
 //! );
 //! let flow = net.add_flow(FlowSpec {
-//!     sender: Box::new(RateSender::new(RateSenderConfig::default(), Box::new(pcc))),
+//!     sender: Box::new(CcSender::new(CcSenderConfig::default(), Box::new(pcc))),
 //!     receiver: Box::new(SackReceiver::new()),
 //!     fwd_path: path.fwd,
 //!     rev_path: path.rev,
@@ -54,3 +62,56 @@ pub use utility::{
     sigmoid, CustomUtility, LatencyGradient, LatencySensitive, LossResilient, MiMetrics,
     SafeSigmoid, SimpleThroughputLoss, UtilityFunction,
 };
+
+use pcc_transport::registry::{self, CcParams};
+
+fn pcc_with(
+    params: &CcParams,
+    utility: Box<dyn UtilityFunction>,
+) -> Box<dyn pcc_transport::CongestionControl> {
+    let cfg = PccConfig::paper().with_rtt_hint(params.rtt_hint);
+    Box::new(PccController::with_utility(cfg, utility).with_mss(params.mss))
+}
+
+/// Register the PCC×utility family with the workspace-wide
+/// [`pcc_transport::registry`]:
+///
+/// * `pcc` — the §2.2 safe sigmoid objective (the default everywhere);
+/// * `pcc-simple` — the naive `T − x·L` starting point;
+/// * `pcc-lossresilient` — §4.4.2's `T·(1−L)` for extreme-loss links;
+/// * `pcc-latency` — §4.4.1's latency-sensitive power objective.
+///
+/// Idempotent.
+pub fn register_algorithms() {
+    registry::register(
+        "pcc",
+        Box::new(|p| pcc_with(p, Box::new(SafeSigmoid::default()))),
+    );
+    registry::register(
+        "pcc-simple",
+        Box::new(|p| pcc_with(p, Box::new(SimpleThroughputLoss))),
+    );
+    registry::register(
+        "pcc-lossresilient",
+        Box::new(|p| pcc_with(p, Box::new(LossResilient))),
+    );
+    registry::register(
+        "pcc-latency",
+        Box::new(|p| pcc_with(p, Box::new(LatencySensitive::default()))),
+    );
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn pcc_family_registers() {
+        register_algorithms();
+        let params = CcParams::default();
+        for name in ["pcc", "pcc-simple", "pcc-lossresilient", "pcc-latency"] {
+            let cc = registry::by_name(name, &params).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(cc.name(), "pcc");
+        }
+    }
+}

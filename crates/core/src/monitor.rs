@@ -48,7 +48,11 @@ impl MiState {
         self.acked + self.lost >= self.sent
     }
 
-    fn metrics(&self, prev_avg_rtt: Option<SimDuration>, min_rtt: Option<SimDuration>) -> MiMetrics {
+    fn metrics(
+        &self,
+        prev_avg_rtt: Option<SimDuration>,
+        min_rtt: Option<SimDuration>,
+    ) -> MiMetrics {
         let ended = self.ended_at.expect("metrics of ended MI");
         let duration = ended.saturating_since(self.started_at);
         let secs = duration.as_secs_f64().max(1e-9);
@@ -86,11 +90,11 @@ impl MiState {
             }
             _ => 0.0,
         };
-        let avg_rtt = if self.rtt_n > 0 {
-            SimDuration::from_nanos(self.rtt_sum_ns / self.rtt_n)
-        } else {
-            prev_avg_rtt.unwrap_or(SimDuration::from_millis(100))
-        };
+        let avg_rtt = self
+            .rtt_sum_ns
+            .checked_div(self.rtt_n)
+            .map(SimDuration::from_nanos)
+            .unwrap_or_else(|| prev_avg_rtt.unwrap_or(SimDuration::from_millis(100)));
         MiMetrics {
             mi_id: self.id,
             min_rtt: min_rtt.unwrap_or(avg_rtt),
@@ -242,10 +246,7 @@ impl Monitor {
     /// loss masquerades as data loss and inflates the measured loss rate
     /// by the reverse-path loss rate.
     pub fn on_cum_ack(&mut self, cum_ack: u64, bytes: u32, rtt: SimDuration, recv_at: SimTime) {
-        loop {
-            let Some((&seq, _)) = self.seq_mi.range(..cum_ack).next() else {
-                break;
-            };
+        while let Some((&seq, _)) = self.seq_mi.range(..cum_ack).next() {
             self.on_ack(seq, bytes, rtt, recv_at);
         }
     }
@@ -378,7 +379,7 @@ mod tests {
         mon.begin(t(20), 1e6, ms(100)); // MI0 ends (deadline 120 ms)
         mon.on_sent(1, 1500);
         mon.end_current(t(40), ms(100)); // MI1 ends (deadline 140 ms)
-        // MI1 resolves first, but MI0 must still publish first.
+                                         // MI1 resolves first, but MI0 must still publish first.
         mon.on_ack(1, 1500, ms(15), t(0));
         assert!(mon.poll(t(50)).is_empty(), "head-of-line MI0 unresolved");
         mon.on_ack(0, 1500, ms(55), t(0));
@@ -474,7 +475,7 @@ mod proptests {
             mon.begin(now, 1e6, SimDuration::from_millis(20));
             let mut published = Vec::new();
             for op in script {
-                now = now + SimDuration::from_millis(1);
+                now += SimDuration::from_millis(1);
                 match op {
                     0 | 1 => {
                         mon.on_sent(next_seq, 1500);

@@ -301,9 +301,15 @@ mod tests {
 
     #[test]
     fn sigmoid_shape() {
-        assert!((sigmoid(100.0, -0.05) - 1.0).abs() < 0.01, "≈1 well below knee");
+        assert!(
+            (sigmoid(100.0, -0.05) - 1.0).abs() < 0.01,
+            "≈1 well below knee"
+        );
         assert!(sigmoid(100.0, 0.05) < 0.01, "≈0 well above knee");
-        assert!((sigmoid(100.0, 0.0) - 0.5).abs() < 1e-12, "exactly 1/2 at knee");
+        assert!(
+            (sigmoid(100.0, 0.0) - 0.5).abs() < 1e-12,
+            "exactly 1/2 at knee"
+        );
         // No overflow at extremes.
         assert!(sigmoid(100.0, 1e9).is_finite());
         assert!(sigmoid(100.0, -1e9).is_finite());

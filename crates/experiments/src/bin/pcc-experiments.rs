@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! pcc-experiments list            # show available experiments
+//! pcc-experiments algos           # show every registered CC algorithm
 //! pcc-experiments fig07           # run one (scaled durations)
 //! pcc-experiments fig07 --full    # paper-scale durations
 //! pcc-experiments all             # run everything
@@ -48,6 +49,15 @@ fn main() -> ExitCode {
                 println!("  {id:<8} {desc}");
             }
             println!("  all      run every experiment");
+            println!("  algos    list every registered congestion-control algorithm");
+            ExitCode::SUCCESS
+        }
+        "algos" => {
+            pcc_scenarios::install_registry();
+            println!("registered congestion-control algorithms (datapath-agnostic):");
+            for name in pcc_transport::registry::names() {
+                println!("  {name}");
+            }
             ExitCode::SUCCESS
         }
         "all" => {

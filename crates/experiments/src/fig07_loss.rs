@@ -13,9 +13,7 @@ use pcc_simnet::time::{SimDuration, SimTime};
 use crate::{fmt, scaled, Opts, Table};
 
 /// Loss rates swept (both directions), matching the paper's axis.
-pub const LOSS_RATES: &[f64] = &[
-    0.0, 0.001, 0.002, 0.005, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06,
-];
+pub const LOSS_RATES: &[f64] = &[0.0, 0.001, 0.002, 0.005, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06];
 
 /// Run the Fig. 7 sweep.
 pub fn run(opts: &Opts) -> Vec<Table> {

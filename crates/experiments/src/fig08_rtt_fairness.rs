@@ -27,12 +27,7 @@ pub fn run(opts: &Opts) -> Vec<Table> {
         let pcc = rtt_fairness_ratio(Protocol::pcc_default, long, contention, opts.seed);
         let cubic = rtt_fairness_ratio(|_| Protocol::Tcp("cubic"), long, contention, opts.seed);
         let reno = rtt_fairness_ratio(|_| Protocol::Tcp("newreno"), long, contention, opts.seed);
-        table.row(vec![
-            format!("{rtt_ms}"),
-            fmt(pcc),
-            fmt(cubic),
-            fmt(reno),
-        ]);
+        table.row(vec![format!("{rtt_ms}"), fmt(pcc), fmt(cubic), fmt(reno)]);
     }
     table.print();
     let _ = table.write_csv(&opts.out_dir, "fig08_rtt_fairness");

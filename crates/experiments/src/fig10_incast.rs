@@ -34,8 +34,7 @@ pub fn run(opts: &Opts) -> Vec<Table> {
                 let seed = opts.seed ^ (t << 8) ^ (n as u64) ^ (kb << 16);
                 pcc_sum += run_incast(|| Protocol::pcc_default(INCAST_RTT), n, kb * 1024, seed)
                     .goodput_mbps;
-                tcp_sum +=
-                    run_incast(|| Protocol::Tcp("newreno"), n, kb * 1024, seed).goodput_mbps;
+                tcp_sum += run_incast(|| Protocol::Tcp("newreno"), n, kb * 1024, seed).goodput_mbps;
             }
             row.push(fmt(pcc_sum / trials as f64));
             row.push(fmt(tcp_sum / trials as f64));

@@ -29,8 +29,7 @@ pub fn run(opts: &Opts) -> Vec<Table> {
         let rtt = SimDuration::from_millis(rtt_ms);
         let mut row = vec![format!("{mbps:.0}Mbps,{rtt_ms}ms")];
         for &k in KS {
-            let vs_pcc =
-                normal_tcp_throughput(Selfish::Pcc, k, mbps * 1e6, rtt, dur, opts.seed);
+            let vs_pcc = normal_tcp_throughput(Selfish::Pcc, k, mbps * 1e6, rtt, dur, opts.seed);
             let vs_bundle =
                 normal_tcp_throughput(Selfish::TcpBundle, k, mbps * 1e6, rtt, dur, opts.seed);
             row.push(format!("{:.2}", vs_pcc / vs_bundle.max(1e-3)));

@@ -20,7 +20,13 @@ pub fn run(opts: &Opts) -> Vec<Table> {
     let mut table = Table::new(
         "Fig. 15 — 100 KB flow completion times [ms] (15 Mbps, 60 ms RTT)",
         &[
-            "load", "pcc_med", "tcp_med", "pcc_avg", "tcp_avg", "pcc_p95", "tcp_p95",
+            "load",
+            "pcc_med",
+            "tcp_med",
+            "pcc_avg",
+            "tcp_avg",
+            "pcc_p95",
+            "tcp_p95",
             "pcc_incomplete",
         ],
     );

@@ -21,7 +21,11 @@ pub fn run(opts: &Opts) -> Vec<Table> {
         &["cell", "tput_mbps", "rtt_ms", "power"],
     );
     let cells = [
-        ("tcp + codel + fq", Protocol::Tcp("cubic"), QueueKind::FqCodel),
+        (
+            "tcp + codel + fq",
+            Protocol::Tcp("cubic"),
+            QueueKind::FqCodel,
+        ),
         (
             "tcp + bufferbloat + fq",
             Protocol::Tcp("cubic"),

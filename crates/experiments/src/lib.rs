@@ -62,8 +62,11 @@ pub fn scaled(opts: &Opts, quick: u64, full: u64) -> u64 {
     }
 }
 
-/// The experiment registry: `(id, description, runner)`.
-pub fn registry() -> Vec<(&'static str, &'static str, fn(&Opts) -> Vec<Table>)> {
+/// One experiment entry: `(id, description, runner)`.
+pub type ExperimentEntry = (&'static str, &'static str, fn(&Opts) -> Vec<Table>);
+
+/// The experiment registry.
+pub fn registry() -> Vec<ExperimentEntry> {
     vec![
         (
             "fig05",

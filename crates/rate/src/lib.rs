@@ -1,7 +1,8 @@
 //! # pcc-rate — rate-based baselines: SABUL/UDT and PCP
 //!
 //! The two non-TCP transports the paper compares against in §4.1.1, both
-//! as [`pcc_transport::RateController`] plug-ins:
+//! as rate-driving [`pcc_transport::CongestionControl`] implementations
+//! (they call `set_rate` only, so any engine runs them paced):
 //!
 //! * [`Sabul`] — UDT-style fixed-clock AIMD rate control (scientific data
 //!   transfer). Reproduces the overshoot/fall-back oscillation the paper
@@ -12,7 +13,8 @@
 //!
 //! Simplifications relative to the original codebases are documented on
 //! each type; both preserve the control laws the paper's comparison is
-//! about.
+//! about. [`register_algorithms`] installs them as `sabul` and `pcp` in
+//! the workspace-wide [`pcc_transport::registry`].
 #![warn(missing_docs)]
 
 mod pcp;
@@ -20,3 +22,32 @@ mod sabul;
 
 pub use pcp::Pcp;
 pub use sabul::Sabul;
+
+use pcc_transport::registry;
+
+/// Register `sabul` and `pcp` with the workspace-wide
+/// [`pcc_transport::registry`]. Idempotent.
+pub fn register_algorithms() {
+    registry::register("sabul", Box::new(|_| Box::new(Sabul::new())));
+    registry::register("pcp", Box::new(|_| Box::new(Pcp::new())));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcc_transport::registry::CcParams;
+
+    #[test]
+    fn baselines_register() {
+        register_algorithms();
+        let params = CcParams::default();
+        assert_eq!(
+            registry::by_name("sabul", &params).expect("sabul").name(),
+            "sabul"
+        );
+        assert_eq!(
+            registry::by_name("pcp", &params).expect("pcp").name(),
+            "pcp"
+        );
+    }
+}

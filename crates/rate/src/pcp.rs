@@ -21,7 +21,7 @@
 use std::collections::HashMap;
 
 use pcc_simnet::time::{SimDuration, SimTime};
-use pcc_transport::ratesender::{CtrlCtx, RateAck, RateController};
+use pcc_transport::cc::{AckEvent, CongestionControl, Ctx as CtrlCtx, LossEvent, SentEvent};
 
 /// Packets per probe train.
 const TRAIN_LEN: u32 = 8;
@@ -121,21 +121,20 @@ impl Default for Pcp {
     }
 }
 
-impl RateController for Pcp {
+impl CongestionControl for Pcp {
     fn name(&self) -> &'static str {
         "pcp"
     }
 
-    fn on_start(&mut self, ctx: &mut CtrlCtx) -> f64 {
+    fn on_start(&mut self, ctx: &mut CtrlCtx) {
         ctx.set_timer(ctx.now + POLL, TOKEN_POLL);
-        let rate = self.rate_bps;
+        ctx.set_rate(self.rate_bps);
         self.start_train(ctx);
-        rate
     }
 
-    fn on_sent(&mut self, _seq: u64, bytes: u32, retx: bool, ctx: &mut CtrlCtx) {
-        self.pkt_bits = bytes as f64 * 8.0;
-        if retx {
+    fn on_sent(&mut self, ev: &SentEvent, ctx: &mut CtrlCtx) {
+        self.pkt_bits = ev.bytes as f64 * 8.0;
+        if ev.retx {
             return;
         }
         if let Some((_id, left)) = self.tagging.as_mut() {
@@ -150,8 +149,8 @@ impl RateController for Pcp {
     }
 
     /// The engine tags probe packets for us via `probe_train`; we only need
-    /// to say *which* train id to stamp. See `RateSender::send_probe` use.
-    fn on_ack(&mut self, ack: &RateAck, ctx: &mut CtrlCtx) {
+    /// to say *which* train id to stamp. See `CcSender`'s probe-tag path.
+    fn on_ack(&mut self, ack: &AckEvent, ctx: &mut CtrlCtx) {
         if let Some(train) = ack.probe_train {
             let finished = {
                 let obs = self.trains.entry(train).or_default();
@@ -168,8 +167,8 @@ impl RateController for Pcp {
         }
     }
 
-    fn on_loss(&mut self, seqs: &[u64], ctx: &mut CtrlCtx) {
-        if seqs.is_empty() {
+    fn on_loss(&mut self, loss: &LossEvent, ctx: &mut CtrlCtx) {
+        if loss.seqs.is_empty() {
             return;
         }
         // Loss means the estimate was optimistic: back off to the last
@@ -200,17 +199,37 @@ impl RateController for Pcp {
 mod tests {
     use super::*;
     use pcc_simnet::rng::SimRng;
-    use pcc_transport::ratesender::CtrlEffects;
+    use pcc_transport::cc::{Effects as CtrlEffects, LossKind};
 
-    fn ack_with_train(train: u32, recv_ms_x10: u64) -> RateAck {
-        RateAck {
+    fn ack_with_train(train: u32, recv_ms_x10: u64) -> AckEvent {
+        let rtt = SimDuration::from_millis(30);
+        AckEvent {
             now: SimTime::from_millis(recv_ms_x10 / 10 + 30),
             seq: 0,
-            rtt: SimDuration::from_millis(30),
+            rtt,
+            sampled: true,
+            srtt: rtt,
+            min_rtt: rtt,
+            max_rtt: rtt,
             recv_at: SimTime::from_nanos(recv_ms_x10 * 100_000),
             probe_train: Some(train),
             of_retx: false,
             cum_ack: 0,
+            newly_acked: 1,
+            in_flight: 8,
+            mss: 1500,
+            in_recovery: false,
+        }
+    }
+
+    fn loss_of(seqs: &[u64]) -> LossEvent<'_> {
+        LossEvent {
+            now: SimTime::ZERO,
+            seqs,
+            kind: LossKind::Detected,
+            new_episode: true,
+            in_flight: 0,
+            mss: 1500,
         }
     }
 
@@ -274,7 +293,10 @@ mod tests {
         c.last_estimate_bps = Some(10e6);
         let mut rng = SimRng::new(5);
         let mut fx = CtrlEffects::default();
-        c.on_loss(&[1, 2], &mut CtrlCtx::new(SimTime::ZERO, &mut rng, &mut fx));
+        c.on_loss(
+            &loss_of(&[1, 2]),
+            &mut CtrlCtx::new(SimTime::ZERO, &mut rng, &mut fx),
+        );
         assert!((c.rate_bps - 8e6).abs() < 1e3, "0.8×est: {}", c.rate_bps);
     }
 
@@ -288,7 +310,14 @@ mod tests {
         for s in 0..TRAIN_LEN as u64 {
             let mut fx2 = CtrlEffects::default();
             let mut rng2 = SimRng::new(7);
-            c.on_sent(s, 1500, false, &mut CtrlCtx::new(SimTime::ZERO, &mut rng2, &mut fx2));
+            let ev = SentEvent {
+                now: SimTime::ZERO,
+                seq: s,
+                bytes: 1500,
+                retx: false,
+                in_flight: s + 1,
+            };
+            c.on_sent(&ev, &mut CtrlCtx::new(SimTime::ZERO, &mut rng2, &mut fx2));
         }
         assert!(c.probe_tag().is_none(), "train fully tagged");
     }

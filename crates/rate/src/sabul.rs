@@ -17,7 +17,7 @@
 //! paper reports.
 
 use pcc_simnet::time::{SimDuration, SimTime};
-use pcc_transport::ratesender::{CtrlCtx, RateAck, RateController};
+use pcc_transport::cc::{AckEvent, CongestionControl, Ctx as CtrlCtx, LossEvent, SentEvent};
 
 /// UDT's SYN interval: the fixed control clock.
 const SYN: SimDuration = SimDuration::from_millis(10);
@@ -110,31 +110,35 @@ impl Default for Sabul {
     }
 }
 
-impl RateController for Sabul {
+impl CongestionControl for Sabul {
     fn name(&self) -> &'static str {
         "sabul"
     }
 
-    fn on_start(&mut self, ctx: &mut CtrlCtx) -> f64 {
+    fn on_start(&mut self, ctx: &mut CtrlCtx) {
         self.started = true;
         self.window_start = ctx.now;
         ctx.set_timer(ctx.now + SYN, TOKEN_SYN);
-        self.rate_bps
+        ctx.set_rate(self.rate_bps);
     }
 
-    fn on_sent(&mut self, _seq: u64, bytes: u32, _retx: bool, _ctx: &mut CtrlCtx) {
-        self.pkt_bits = bytes as f64 * 8.0;
+    fn on_sent(&mut self, ev: &SentEvent, _ctx: &mut CtrlCtx) {
+        self.pkt_bits = ev.bytes as f64 * 8.0;
     }
 
-    fn on_ack(&mut self, _ack: &RateAck, _ctx: &mut CtrlCtx) {
+    fn on_ack(&mut self, ack: &AckEvent, _ctx: &mut CtrlCtx) {
+        if !ack.sampled {
+            // Keep the delivery-rate estimator on exact samples only.
+            return;
+        }
         self.acked_bytes_window += (self.pkt_bits / 8.0) as u64;
     }
 
-    fn on_loss(&mut self, seqs: &[u64], ctx: &mut CtrlCtx) {
-        if seqs.is_empty() {
+    fn on_loss(&mut self, loss: &LossEvent, ctx: &mut CtrlCtx) {
+        if loss.seqs.is_empty() {
             return;
         }
-        self.losses += seqs.len() as u64;
+        self.losses += loss.seqs.len() as u64;
         // NAK: multiplicative decrease, at most once per SYN.
         if !self.loss_since_tick {
             self.rate_bps = (self.rate_bps * DECREASE).max(1e5);
@@ -154,14 +158,21 @@ impl RateController for Sabul {
 mod tests {
     use super::*;
     use pcc_simnet::rng::SimRng;
-    use pcc_transport::ratesender::CtrlEffects;
+    use pcc_transport::cc::{Effects as CtrlEffects, LossKind};
 
-    fn ctx<'a>(
-        now_ms: u64,
-        rng: &'a mut SimRng,
-        fx: &'a mut CtrlEffects,
-    ) -> CtrlCtx<'a> {
+    fn ctx<'a>(now_ms: u64, rng: &'a mut SimRng, fx: &'a mut CtrlEffects) -> CtrlCtx<'a> {
         CtrlCtx::new(SimTime::from_millis(now_ms), rng, fx)
+    }
+
+    fn loss_of(seqs: &[u64]) -> LossEvent<'_> {
+        LossEvent {
+            now: SimTime::ZERO,
+            seqs,
+            kind: LossKind::Detected,
+            new_episode: true,
+            in_flight: 0,
+            mss: 1500,
+        }
     }
 
     #[test]
@@ -169,7 +180,8 @@ mod tests {
         let mut c = Sabul::new();
         let mut rng = SimRng::new(1);
         let mut fx = CtrlEffects::default();
-        let r0 = c.on_start(&mut ctx(0, &mut rng, &mut fx));
+        c.on_start(&mut ctx(0, &mut rng, &mut fx));
+        let r0 = c.rate_bps;
         // Pretend good delivery so a capacity estimate forms.
         c.capacity_est_bps = 100e6;
         for t in 1..=10 {
@@ -185,7 +197,7 @@ mod tests {
         let mut fx = CtrlEffects::default();
         c.on_start(&mut ctx(0, &mut rng, &mut fx));
         c.rate_bps = 90e6;
-        c.on_loss(&[5], &mut ctx(15, &mut rng, &mut fx));
+        c.on_loss(&loss_of(&[5]), &mut ctx(15, &mut rng, &mut fx));
         assert!((c.rate_bps - 80e6).abs() < 1e3, "90 → 80 Mbps (×8/9)");
     }
 
@@ -196,12 +208,15 @@ mod tests {
         let mut fx = CtrlEffects::default();
         c.on_start(&mut ctx(0, &mut rng, &mut fx));
         c.rate_bps = 90e6;
-        c.on_loss(&[1], &mut ctx(15, &mut rng, &mut fx));
-        c.on_loss(&[2, 3], &mut ctx(16, &mut rng, &mut fx));
-        assert!((c.rate_bps - 80e6).abs() < 1e3, "second NAK in same SYN ignored");
+        c.on_loss(&loss_of(&[1]), &mut ctx(15, &mut rng, &mut fx));
+        c.on_loss(&loss_of(&[2, 3]), &mut ctx(16, &mut rng, &mut fx));
+        assert!(
+            (c.rate_bps - 80e6).abs() < 1e3,
+            "second NAK in same SYN ignored"
+        );
         // After the tick, a new loss cuts again.
         c.on_timer(TOKEN_SYN, &mut ctx(20, &mut rng, &mut fx));
-        c.on_loss(&[4], &mut ctx(21, &mut rng, &mut fx));
+        c.on_loss(&loss_of(&[4]), &mut ctx(21, &mut rng, &mut fx));
         assert!(c.rate_bps < 80e6);
     }
 
@@ -213,6 +228,9 @@ mod tests {
         let big = c.increase_pkts();
         c.rate_bps = 99.9e6;
         let small = c.increase_pkts();
-        assert!(big > small, "far from capacity grows faster: {big} vs {small}");
+        assert!(
+            big > small,
+            "far from capacity grows faster: {big} vs {small}"
+        );
     }
 }

@@ -67,10 +67,19 @@ fn main() {
         );
         for (i, f) in r.inner.flows.iter().enumerate() {
             let s = &r.inner.report.flows[f.index()].series.throughput_mbps;
-            let snippet: Vec<String> = s.iter().skip(20).step_by(10).map(|v| format!("{v:5.1}")).collect();
+            let snippet: Vec<String> = s
+                .iter()
+                .skip(20)
+                .step_by(10)
+                .map(|v| format!("{v:5.1}"))
+                .collect();
             println!("flow{i}: {}", snippet.join(" "));
         }
-        println!("jain@5s = {:.3}   jain@30s = {:.3}", r.jain_at_scale(5), r.jain_at_scale(30));
+        println!(
+            "jain@5s = {:.3}   jain@30s = {:.3}",
+            r.jain_at_scale(5),
+            r.jain_at_scale(30)
+        );
         println!("mean stddev = {:.2}", r.mean_stddev());
     }
     if which == "lossy" {
@@ -82,9 +91,18 @@ fn main() {
         );
         let st = &r.report.flows[0];
         let series = &st.series.throughput_mbps;
-        let snippet: Vec<String> = series.iter().step_by(10).map(|v| format!("{v:5.1}")).collect();
+        let snippet: Vec<String> = series
+            .iter()
+            .step_by(10)
+            .map(|v| format!("{v:5.1}"))
+            .collect();
         println!("tput/1s: {}", snippet.join(" "));
-        println!("losses={} sent={} loss_rate={:.4}", st.detected_losses, st.sent_packets, st.loss_rate());
+        println!(
+            "losses={} sent={} loss_rate={:.4}",
+            st.detected_losses,
+            st.sent_packets,
+            st.loss_rate()
+        );
     }
     if which == "single" || which == "all" {
         println!("--- single pcc flow rate trace (100 Mbps / 30 ms) ---");
@@ -97,7 +115,11 @@ fn main() {
         );
         let st = &r.report.flows[0];
         let series = &st.series.throughput_mbps;
-        let snippet: Vec<String> = series.iter().step_by(5).map(|v| format!("{v:5.1}")).collect();
+        let snippet: Vec<String> = series
+            .iter()
+            .step_by(5)
+            .map(|v| format!("{v:5.1}"))
+            .collect();
         println!("tput/0.5s: {}", snippet.join(" "));
         println!(
             "losses={} sent={} tput[10..20]={:.1}",

@@ -56,7 +56,7 @@ pub fn run_fct(
     assert!((0.0..1.0).contains(&load), "load must be in (0,1)");
     // Poisson arrivals: λ = load·C / flow size.
     let lambda = load * FCT_RATE_BPS / (FCT_FLOW_BYTES as f64 * 8.0);
-    let mut arr_rng = SimRng::new(seed ^ 0xA11C_E5);
+    let mut arr_rng = SimRng::new(seed ^ 0x00A1_1CE5);
     let mut plans = Vec::new();
     let mut t = 0.0;
     let horizon_secs = duration.as_secs_f64();

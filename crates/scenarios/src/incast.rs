@@ -44,9 +44,7 @@ pub fn run_incast(
 ) -> IncastResult {
     let setup = LinkSetup::new(INCAST_RATE_BPS, INCAST_RTT, INCAST_BUFFER_BYTES);
     let plans = (0..n)
-        .map(|_| {
-            FlowPlan::new(mk_protocol(), INCAST_RTT).sized(FlowSize::Bytes(block_bytes))
-        })
+        .map(|_| FlowPlan::new(mk_protocol(), INCAST_RTT).sized(FlowSize::Bytes(block_bytes)))
         .collect();
     // Generous horizon: even a collapsed TCP round finishes in seconds.
     let horizon = SimTime::from_secs(30);

@@ -27,7 +27,7 @@ pub mod protocol;
 pub mod rapid;
 pub mod setup;
 
-pub use protocol::{Protocol, UtilityKind};
+pub use protocol::{install_registry, Protocol, UtilityKind};
 pub use setup::{
     run_dumbbell, run_dumbbell_scheduled, run_single, FlowPlan, LinkSetup, QueueKind,
     ScenarioResult,

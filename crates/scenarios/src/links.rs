@@ -77,15 +77,42 @@ pub struct InterDcPair {
 
 /// The nine GENI site pairs of Table 1.
 pub const INTERDC_PAIRS: &[InterDcPair] = &[
-    InterDcPair { name: "GPO→NYSERNet", rtt_ms: 12.1 },
-    InterDcPair { name: "GPO→Missouri", rtt_ms: 46.5 },
-    InterDcPair { name: "GPO→Illinois", rtt_ms: 35.4 },
-    InterDcPair { name: "NYSERNet→Missouri", rtt_ms: 47.4 },
-    InterDcPair { name: "Wisconsin→Illinois", rtt_ms: 9.01 },
-    InterDcPair { name: "GPO→Wisc.", rtt_ms: 38.0 },
-    InterDcPair { name: "NYSERNet→Wisc.", rtt_ms: 38.3 },
-    InterDcPair { name: "Missouri→Wisc.", rtt_ms: 20.9 },
-    InterDcPair { name: "NYSERNet→Illinois", rtt_ms: 36.1 },
+    InterDcPair {
+        name: "GPO→NYSERNet",
+        rtt_ms: 12.1,
+    },
+    InterDcPair {
+        name: "GPO→Missouri",
+        rtt_ms: 46.5,
+    },
+    InterDcPair {
+        name: "GPO→Illinois",
+        rtt_ms: 35.4,
+    },
+    InterDcPair {
+        name: "NYSERNet→Missouri",
+        rtt_ms: 47.4,
+    },
+    InterDcPair {
+        name: "Wisconsin→Illinois",
+        rtt_ms: 9.01,
+    },
+    InterDcPair {
+        name: "GPO→Wisc.",
+        rtt_ms: 38.0,
+    },
+    InterDcPair {
+        name: "NYSERNet→Wisc.",
+        rtt_ms: 38.3,
+    },
+    InterDcPair {
+        name: "Missouri→Wisc.",
+        rtt_ms: 20.9,
+    },
+    InterDcPair {
+        name: "NYSERNet→Illinois",
+        rtt_ms: 36.1,
+    },
 ];
 
 /// Table 1's reserved bandwidth: 800 Mbps end-to-end.
@@ -130,12 +157,7 @@ mod tests {
         // of the satellite capacity with a 7.5 KB (5-packet) bottleneck
         // buffer, where every TCP collapses.
         let dur = SimDuration::from_secs(60);
-        let pcc = run_satellite(
-            Protocol::pcc_default(SATELLITE_RTT),
-            7_500,
-            dur,
-            1,
-        );
+        let pcc = run_satellite(Protocol::pcc_default(SATELLITE_RTT), 7_500, dur, 1);
         let hybla = run_satellite(Protocol::Tcp("hybla"), 7_500, dur, 1);
         let t_pcc = pcc.throughput_in(0, SimTime::from_secs(30), SimTime::from_secs(60));
         let t_hybla = hybla.throughput_in(0, SimTime::from_secs(30), SimTime::from_secs(60));

@@ -1,16 +1,38 @@
 //! Protocol factory: build any evaluated sender by description.
+//!
+//! Every variant resolves through the workspace-wide
+//! [`pcc_transport::registry`] (installed by [`install_registry`], which
+//! [`Protocol::build_sender`] calls automatically), and every sender is the
+//! same engine — [`CcSender`] — hosting whatever
+//! [`pcc_transport::CongestionControl`] the description names. Unknown
+//! names are a typed [`UnknownAlgorithm`] error, never a panic.
+
+use std::sync::Once;
 
 use pcc_core::{
     LatencySensitive, LossResilient, PccConfig, PccController, SafeSigmoid, SimpleThroughputLoss,
     UtilityFunction,
 };
-use pcc_rate::{Pcp, Sabul};
 use pcc_simnet::endpoint::Endpoint;
 use pcc_simnet::time::{SimDuration, SimTime};
-use pcc_tcp::by_name;
-use pcc_transport::{
-    FlowSize, RateSender, RateSenderConfig, TransportConfig, WindowSender, WindowSenderConfig,
-};
+use pcc_transport::registry::{self, CcParams, UnknownAlgorithm};
+use pcc_transport::{CcSender, CcSenderConfig, CongestionControl, FlowSize, TransportConfig};
+
+/// Install every algorithm in the workspace — the PCC×utility family from
+/// `pcc-core`, the seven TCP baselines (plus `-paced` variants) from
+/// `pcc-tcp`, and SABUL/PCP from `pcc-rate` — into the
+/// [`pcc_transport::registry`]. Idempotent and cheap; called automatically
+/// by [`Protocol::build_sender`]. Twin of `pcc_udp::install_registry`
+/// (neither crate can depend on the other without warping the graph); a
+/// new algorithm crate must be added to BOTH registration lists.
+pub fn install_registry() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        pcc_core::register_algorithms();
+        pcc_tcp::register_algorithms();
+        pcc_rate::register_algorithms();
+    });
+}
 
 /// Which utility function a PCC sender optimizes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,81 +72,107 @@ pub enum Protocol {
     Sabul,
     /// PCP-style bandwidth probing.
     Pcp,
+    /// Any registered algorithm by registry name (`"pcc-lossresilient"`,
+    /// `"cubic-paced"`, ...).
+    Named(String),
 }
 
 impl Protocol {
     /// PCC with paper defaults and the safe utility, RTT hint attached.
     pub fn pcc_default(rtt_hint: SimDuration) -> Protocol {
-        Protocol::Pcc(PccConfig::paper().with_rtt_hint(rtt_hint), UtilityKind::Safe)
+        Protocol::Pcc(
+            PccConfig::paper().with_rtt_hint(rtt_hint),
+            UtilityKind::Safe,
+        )
     }
 
     /// Short label for tables.
     pub fn label(&self) -> String {
         match self {
             Protocol::Pcc(cfg, UtilityKind::Safe) if cfg.rct => "pcc".into(),
-            Protocol::Pcc(cfg, UtilityKind::Safe) => {
-                let _ = cfg;
-                "pcc-norct".into()
-            }
+            Protocol::Pcc(_, UtilityKind::Safe) => "pcc-norct".into(),
             Protocol::Pcc(_, u) => format!("pcc-{u:?}").to_lowercase(),
             Protocol::Tcp(name) => (*name).into(),
             Protocol::TcpPaced(name) => format!("{name}-paced"),
             Protocol::Sabul => "sabul".into(),
             Protocol::Pcp => "pcp".into(),
+            Protocol::Named(name) => name.clone(),
+        }
+    }
+
+    /// The registry name this protocol resolves through, or `None` for the
+    /// directly-constructed custom-config PCC variant.
+    fn registry_name(&self) -> Option<String> {
+        match self {
+            Protocol::Pcc(..) => None,
+            Protocol::Tcp(name) => Some((*name).into()),
+            Protocol::TcpPaced(name) => Some(format!("{name}-paced")),
+            Protocol::Sabul => Some("sabul".into()),
+            Protocol::Pcp => Some("pcp".into()),
+            Protocol::Named(name) => Some(name.clone()),
+        }
+    }
+
+    /// Build just the congestion-control algorithm (shared by the
+    /// simulator path here and by real-datapath callers that bring their
+    /// own engine). `params` seeds pre-sample state — MSS, and the RTT
+    /// hint that paced variants derive their initial pacing rate from.
+    pub fn build_cc(
+        &self,
+        params: &CcParams,
+    ) -> Result<Box<dyn CongestionControl>, UnknownAlgorithm> {
+        install_registry();
+        match self {
+            Protocol::Pcc(cfg, util) => Ok(Box::new(
+                PccController::with_utility(*cfg, util.build()).with_mss(params.mss),
+            )),
+            other => {
+                let name = other.registry_name().expect("non-Pcc has a name");
+                registry::by_name(&name, params)
+            }
         }
     }
 
     /// Build the sender endpoint for a flow of `size` (use
-    /// [`FlowSize::Infinite`] for long-running throughput flows).
-    pub fn build_sender(&self, size: FlowSize, mss: u32) -> Box<dyn Endpoint> {
-        let transport = TransportConfig { mss, size };
-        match self {
-            Protocol::Pcc(cfg, util) => {
-                let ctrl = PccController::with_utility(*cfg, util.build());
-                Box::new(RateSender::new(
-                    RateSenderConfig {
-                        transport,
-                        ..Default::default()
-                    },
-                    Box::new(ctrl),
-                ))
-            }
-            Protocol::Tcp(name) => {
-                let cc = by_name(name).unwrap_or_else(|| panic!("unknown TCP variant {name}"));
-                Box::new(WindowSender::new(
-                    WindowSenderConfig {
-                        transport,
-                        ..Default::default()
-                    },
-                    cc,
-                ))
-            }
-            Protocol::TcpPaced(name) => {
-                let cc = by_name(name).unwrap_or_else(|| panic!("unknown TCP variant {name}"));
-                Box::new(WindowSender::new(
-                    WindowSenderConfig {
-                        transport,
-                        pacing: true,
-                        ..Default::default()
-                    },
-                    cc,
-                ))
-            }
-            Protocol::Sabul => Box::new(RateSender::new(
-                RateSenderConfig {
-                    transport,
-                    ..Default::default()
-                },
-                Box::new(Sabul::new()),
-            )),
-            Protocol::Pcp => Box::new(RateSender::new(
-                RateSenderConfig {
-                    transport,
-                    ..Default::default()
-                },
-                Box::new(Pcp::new()),
-            )),
-        }
+    /// [`FlowSize::Infinite`] for long-running throughput flows). Unknown
+    /// algorithm names surface as a typed [`UnknownAlgorithm`] error.
+    /// Prefer [`Protocol::build_sender_hinted`] when the path RTT is known.
+    pub fn build_sender(
+        &self,
+        size: FlowSize,
+        mss: u32,
+    ) -> Result<Box<dyn Endpoint>, UnknownAlgorithm> {
+        self.build_sender_with(size, &CcParams::default().with_mss(mss))
+    }
+
+    /// [`Protocol::build_sender`] with the flow's path RTT threaded into
+    /// the algorithm's construction parameters.
+    pub fn build_sender_hinted(
+        &self,
+        size: FlowSize,
+        mss: u32,
+        rtt_hint: SimDuration,
+    ) -> Result<Box<dyn Endpoint>, UnknownAlgorithm> {
+        self.build_sender_with(
+            size,
+            &CcParams::default().with_mss(mss).with_rtt_hint(rtt_hint),
+        )
+    }
+
+    fn build_sender_with(
+        &self,
+        size: FlowSize,
+        params: &CcParams,
+    ) -> Result<Box<dyn Endpoint>, UnknownAlgorithm> {
+        let cc = self.build_cc(params)?;
+        let cfg = CcSenderConfig {
+            transport: TransportConfig {
+                mss: params.mss,
+                size,
+            },
+            ..Default::default()
+        };
+        Ok(Box::new(CcSender::new(cfg, cc)))
     }
 }
 
@@ -137,7 +185,10 @@ mod tests {
 
     #[test]
     fn labels() {
-        assert_eq!(Protocol::pcc_default(SimDuration::from_millis(30)).label(), "pcc");
+        assert_eq!(
+            Protocol::pcc_default(SimDuration::from_millis(30)).label(),
+            "pcc"
+        );
         assert_eq!(Protocol::Tcp("cubic").label(), "cubic");
         assert_eq!(Protocol::TcpPaced("newreno").label(), "newreno-paced");
         assert_eq!(
@@ -148,6 +199,7 @@ mod tests {
             Protocol::Pcc(PccConfig::paper(), UtilityKind::LossResilient).label(),
             "pcc-lossresilient"
         );
+        assert_eq!(Protocol::Named("cubic-paced".into()).label(), "cubic-paced");
     }
 
     #[test]
@@ -158,14 +210,39 @@ mod tests {
             Protocol::TcpPaced("newreno"),
             Protocol::Sabul,
             Protocol::Pcp,
+            Protocol::Named("pcc-lossresilient".into()),
+            Protocol::Named("illinois".into()),
         ] {
-            let _ = p.build_sender(FlowSize::Infinite, 1500);
+            assert!(
+                p.build_sender(FlowSize::Infinite, 1500).is_ok(),
+                "buildable: {}",
+                p.label()
+            );
         }
     }
 
     #[test]
-    #[should_panic(expected = "unknown TCP variant")]
-    fn unknown_tcp_panics() {
-        Protocol::Tcp("bbr").build_sender(FlowSize::Infinite, 1500);
+    fn unknown_tcp_is_typed_error() {
+        let err = match Protocol::Tcp("bbr").build_sender(FlowSize::Infinite, 1500) {
+            Ok(_) => panic!("bbr must not resolve"),
+            Err(e) => e,
+        };
+        assert_eq!(err.name, "bbr");
+        assert!(
+            err.known.contains(&"cubic".to_string()),
+            "lists known: {err}"
+        );
+    }
+
+    #[test]
+    fn every_registered_name_builds_a_sender() {
+        install_registry();
+        for name in registry::names() {
+            let p = Protocol::Named(name.clone());
+            assert!(
+                p.build_sender(FlowSize::Infinite, 1500).is_ok(),
+                "{name} builds"
+            );
+        }
     }
 }

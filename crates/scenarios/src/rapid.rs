@@ -95,7 +95,7 @@ pub fn run_rapid_change(
                 loss: Some(loss),
             });
         }
-        at = at + step;
+        at += step;
         if at >= horizon {
             break;
         }
@@ -164,7 +164,10 @@ mod tests {
         let dur = SimDuration::from_secs(60);
         let pcc = run_rapid_change(
             Protocol::pcc_default(SimDuration::from_millis(50)),
-            step, dur, 13, 2,
+            step,
+            dur,
+            13,
+            2,
         );
         let cubic = run_rapid_change(Protocol::Tcp("cubic"), step, dur, 13, 2);
         let opt = pcc.optimal_mbps(SimTime::ZERO + dur);

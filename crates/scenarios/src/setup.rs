@@ -209,7 +209,10 @@ pub fn run_dumbbell_scheduled(
         let fwd_shim = net.add_link(LinkConfig::delay_only(half));
         let rev_shim =
             net.add_link(LinkConfig::delay_only(plan.rtt - half).with_loss(setup.ack_loss));
-        let sender = plan.protocol.build_sender(plan.size, 1500);
+        let sender = plan
+            .protocol
+            .build_sender_hinted(plan.size, 1500, plan.rtt)
+            .unwrap_or_else(|e| panic!("scenario plan references an unknown algorithm: {e}"));
         let flow = net.add_flow(FlowSpec {
             sender,
             receiver: Box::new(SackReceiver::new()),
@@ -256,7 +259,11 @@ mod tests {
     #[test]
     fn pcc_fills_clean_link() {
         let setup = LinkSetup::new(50e6, SimDuration::from_millis(30), 64_000);
-        let r = quick(Protocol::pcc_default(SimDuration::from_millis(30)), setup, 8);
+        let r = quick(
+            Protocol::pcc_default(SimDuration::from_millis(30)),
+            setup,
+            8,
+        );
         let t = r.throughput_in(0, SimTime::from_secs(4), SimTime::from_secs(8));
         assert!(t > 42.0, "PCC ≈ capacity: {t} Mbps");
     }

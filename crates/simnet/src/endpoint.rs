@@ -84,7 +84,8 @@ impl<'a> EndpointCtx<'a> {
     /// Send an ACK (receivers only).
     pub fn send_ack(&mut self, info: AckInfo) {
         debug_assert_eq!(self.side, Side::Receiver, "only receivers send ACKs");
-        self.actions.push(Action::Send(Packet::ack(self.flow, info, self.now)));
+        self.actions
+            .push(Action::Send(Packet::ack(self.flow, info, self.now)));
     }
 
     /// Arm a timer.
@@ -173,7 +174,13 @@ mod tests {
     fn probe_packets_tagged() {
         let mut rng = SimRng::new(1);
         let mut actions = Vec::new();
-        let mut ctx = EndpointCtx::new(SimTime::ZERO, FlowId(0), Side::Sender, &mut rng, &mut actions);
+        let mut ctx = EndpointCtx::new(
+            SimTime::ZERO,
+            FlowId(0),
+            Side::Sender,
+            &mut rng,
+            &mut actions,
+        );
         ctx.send_probe(5, 1500, 3);
         match &actions[0] {
             Action::Send(p) => {

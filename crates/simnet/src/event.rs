@@ -22,7 +22,11 @@ pub enum Event {
     /// endpoint, if it was the last hop).
     Arrive { packet: Packet },
     /// An endpoint timer fires. `token` is opaque to the simulator.
-    Timer { flow: FlowId, side: Side, token: u64 },
+    Timer {
+        flow: FlowId,
+        side: Side,
+        token: u64,
+    },
     /// A flow's sender should start transmitting.
     FlowStart { flow: FlowId },
     /// Apply step `step` of a link's time-varying parameter schedule.

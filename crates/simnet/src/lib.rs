@@ -69,13 +69,9 @@ pub mod prelude {
     pub use crate::ids::{Direction, FlowId, LinkId, Side};
     pub use crate::link::{LinkConfig, LinkSchedule, LinkStep};
     pub use crate::packet::{AckInfo, DataInfo, Packet, PacketKind};
-    pub use crate::queue::{
-        fq_codel, BufferLimit, Codel, CodelParams, DropTail, FairQueue, Queue,
-    };
+    pub use crate::queue::{fq_codel, BufferLimit, Codel, CodelParams, DropTail, FairQueue, Queue};
     pub use crate::rng::SimRng;
-    pub use crate::sim::{
-        FlowSpec, LinkReport, NetworkBuilder, SimConfig, SimReport, Simulation,
-    };
+    pub use crate::sim::{FlowSpec, LinkReport, NetworkBuilder, SimConfig, SimReport, Simulation};
     pub use crate::stats::{
         convergence_time, jain_index, jain_index_at_scale, mean, percentile, std_dev, FlowStats,
     };

@@ -419,7 +419,9 @@ mod tests {
     fn pure_delay_link() {
         let mut l = mk_link(LinkConfig::delay_only(SimDuration::from_millis(25)));
         let out = l.offer(data(0), SimTime::from_millis(5));
-        assert!(matches!(out, LinkOutcome::Accepted { start_tx: Some(t) } if t == SimTime::from_millis(5)));
+        assert!(
+            matches!(out, LinkOutcome::Accepted { start_tx: Some(t) } if t == SimTime::from_millis(5))
+        );
         assert_eq!(
             l.propagate(SimTime::from_millis(5)),
             SimTime::from_millis(30)
@@ -428,9 +430,8 @@ mod tests {
 
     #[test]
     fn loss_rate_statistics() {
-        let mut l = mk_link(
-            LinkConfig::bottleneck(1e9, SimDuration::ZERO, 1 << 20).with_loss(0.25),
-        );
+        let mut l =
+            mk_link(LinkConfig::bottleneck(1e9, SimDuration::ZERO, 1 << 20).with_loss(0.25));
         let n = 100_000;
         let losses = (0..n).filter(|_| l.roll_loss()).count();
         let rate = losses as f64 / n as f64;

@@ -311,10 +311,7 @@ impl Queue for FairQueue {
             }
             // CoDel pass (FQ-CoDel): may shed head packets of this flow.
             if self.flows[slot].codel.is_some() {
-                loop {
-                    let Some(head) = self.flows[slot].q.front().copied() else {
-                        break;
-                    };
+                while let Some(head) = self.flows[slot].q.front().copied() {
                     let backlog = self.flows[slot].bytes;
                     let verdict = self.flows[slot]
                         .codel
@@ -693,7 +690,7 @@ mod tests {
         let mut now = t(0);
         for s in 0..1000u64 {
             q.enqueue(pkt(0, s, 1500), now);
-            now = now + SimDuration::from_millis(1);
+            now += SimDuration::from_millis(1);
             assert!(q.dequeue(now).is_some());
         }
         assert_eq!(q.stats().dropped(), 0);
@@ -707,10 +704,10 @@ mod tests {
         let mut now = t(0);
         for seq in 0..400u64 {
             q.enqueue(pkt(0, seq, 1500), now);
-            now = now + SimDuration::from_micros(250);
+            now += SimDuration::from_micros(250);
         }
         for _ in 0..300 {
-            now = now + SimDuration::from_millis(2);
+            now += SimDuration::from_millis(2);
             let _ = q.dequeue(now);
         }
         assert!(
@@ -728,7 +725,7 @@ mod tests {
             q.enqueue(pkt(0, s, 1500), now);
         }
         for _ in 0..150 {
-            now = now + SimDuration::from_millis(3);
+            now += SimDuration::from_millis(3);
             let _ = q.dequeue(now);
         }
         assert!(q.stats().dropped_aqm > 0);
@@ -737,7 +734,7 @@ mod tests {
         // Low-latency phase: no more drops.
         for s in 0..100u64 {
             q.enqueue(pkt(0, 1000 + s, 1500), now);
-            now = now + SimDuration::from_micros(500);
+            now += SimDuration::from_micros(500);
             assert!(q.dequeue(now).is_some());
         }
         assert_eq!(q.stats().dropped_aqm, drops_after_drain);
@@ -761,11 +758,11 @@ mod tests {
             if s % 50 == 0 {
                 q.enqueue(pkt(2, s, 1500), now);
             }
-            now = now + SimDuration::from_micros(100);
+            now += SimDuration::from_micros(100);
         }
         let mut delivered = [0u64; 3];
         for _ in 0..800 {
-            now = now + SimDuration::from_millis(1);
+            now += SimDuration::from_millis(1);
             if let Some(p) = q.dequeue(now) {
                 delivered[p.flow.0 as usize] += 1;
             }
@@ -798,7 +795,7 @@ mod proptests {
         let mut now = SimTime::ZERO;
         let mut seq = 0u64;
         for op in ops {
-            now = now + step;
+            now += step;
             match *op {
                 Op::Enq { flow, bytes } => {
                     q.enqueue(Packet::data(FlowId(flow), seq, bytes, now, false), now);

@@ -4,12 +4,14 @@
 //! SplitMix64, so adding a component (a new link's loss process, a new flow's
 //! monitor-interval jitter) never perturbs the random stream of any other
 //! component. Runs with the same master seed are bit-identical.
-
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna) seeded
+//! through SplitMix64 — no external crates, so the byte stream is stable
+//! across toolchains and builds.
 
 /// SplitMix64 step; used to derive independent stream seeds from a master
-/// seed combined with a component tag.
+/// seed combined with a component tag, and to expand a 64-bit seed into the
+/// generator's 256-bit state.
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -17,19 +19,26 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// A deterministic random stream.
+/// A deterministic random stream (xoshiro256++).
 pub struct SimRng {
     seed: u64,
-    rng: StdRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Create a stream from a seed.
     pub fn new(seed: u64) -> Self {
-        SimRng {
-            seed,
-            rng: StdRng::seed_from_u64(seed),
+        // Expand the 64-bit seed into 256 bits of state via SplitMix64, the
+        // initialization the xoshiro authors recommend. The state is never
+        // all-zero because splitmix64 is a bijection chain seeded off
+        // distinct offsets.
+        let mut s = [0u64; 4];
+        let mut z = seed;
+        for slot in &mut s {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            *slot = splitmix64(z);
         }
+        SimRng { seed, state: s }
     }
 
     /// Derive an independent child stream tagged by `tag`.
@@ -45,9 +54,24 @@ impl SimRng {
         self.seed
     }
 
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
     /// Uniform in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.rng.random_range(0.0..1.0)
+        // 53 high bits → the densest uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[lo, hi)`.
@@ -55,7 +79,7 @@ impl SimRng {
         if hi <= lo {
             return lo;
         }
-        self.rng.random_range(lo..hi)
+        lo + (hi - lo) * self.uniform()
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -63,7 +87,12 @@ impl SimRng {
         if hi <= lo {
             return lo;
         }
-        self.rng.random_range(lo..hi)
+        let span = hi - lo;
+        // Multiply-shift bounded generation (Lemire) without the rejection
+        // step: the bias is < 2^-64 per draw, far below anything a
+        // simulation statistic can resolve.
+        let hi128 = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        lo + hi128
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
@@ -73,28 +102,29 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.rng.random_bool(p)
+            self.uniform() < p
         }
     }
 
     /// Exponentially distributed value with the given mean (inter-arrival
     /// times of a Poisson process).
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        let u: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
+        // 1 − uniform() ∈ (0, 1]; ln of it is finite and ≤ 0.
+        let u = 1.0 - self.uniform();
         -mean * u.ln()
     }
 
     /// Fisher-Yates shuffle.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.rng.random_range(0..=i);
+            let j = self.range_u64(0, i as u64 + 1) as usize;
             items.swap(i, j);
         }
     }
 
     /// A random boolean (fair coin).
     pub fn coin(&mut self) -> bool {
-        self.rng.random_bool(0.5)
+        self.next_u64() & 1 == 0
     }
 }
 
@@ -174,6 +204,29 @@ mod tests {
         let mut r = SimRng::new(17);
         assert_eq!(r.range_f64(5.0, 5.0), 5.0);
         assert_eq!(r.range_u64(9, 9), 9);
+    }
+
+    #[test]
+    fn range_u64_within_bounds() {
+        let mut r = SimRng::new(23);
+        for _ in 0..10_000 {
+            let v = r.range_u64(10, 20);
+            assert!((10..20).contains(&v), "out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn uniform_mean_and_bounds() {
+        let mut r = SimRng::new(29);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
     }
 
     #[test]

@@ -54,16 +54,15 @@ pub struct FlowStats {
 impl FlowStats {
     /// Mean RTT over the flow's lifetime.
     pub fn mean_rtt(&self) -> Option<SimDuration> {
-        if self.rtt_samples == 0 {
-            None
-        } else {
-            Some(SimDuration::from_nanos(self.rtt_sum_ns / self.rtt_samples))
-        }
+        self.rtt_sum_ns
+            .checked_div(self.rtt_samples)
+            .map(SimDuration::from_nanos)
     }
 
     /// Flow completion time, if the flow finished.
     pub fn fct(&self) -> Option<SimDuration> {
-        self.completed_at.map(|t| t.saturating_since(self.started_at))
+        self.completed_at
+            .map(|t| t.saturating_since(self.started_at))
     }
 
     /// Average delivered throughput in Mbit/s over `[from, to]`.
@@ -256,8 +255,12 @@ mod tests {
     fn jain_at_scale_smooths_alternation() {
         // Two flows alternating 10/0 and 0/10: unfair at scale 1, perfectly
         // fair at scale 2.
-        let a: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 10.0 } else { 0.0 }).collect();
-        let b: Vec<f64> = (0..100).map(|i| if i % 2 == 1 { 10.0 } else { 0.0 }).collect();
+        let a: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 10.0 } else { 0.0 })
+            .collect();
+        let b: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 1 { 10.0 } else { 0.0 })
+            .collect();
         let fine = jain_index_at_scale(&[&a, &b], 1);
         let coarse = jain_index_at_scale(&[&a, &b], 2);
         assert!(fine < 0.6, "fine-scale unfair: {fine}");
@@ -287,21 +290,27 @@ mod tests {
     fn convergence_found() {
         // Ramp up, then stable around 10.
         let mut s: Vec<f64> = (0..10).map(|i| i as f64).collect();
-        s.extend(std::iter::repeat(10.0).take(20));
+        s.extend(std::iter::repeat_n(10.0, 20));
         let t = convergence_time(&s, 10.0, 0.25, 5).expect("converges");
         assert_eq!(t, 8, "samples 8,9 are within 25% of 10");
     }
 
     #[test]
     fn convergence_never() {
-        let s: Vec<f64> = (0..50).map(|i| if i % 2 == 0 { 1.0 } else { 20.0 }).collect();
+        let s: Vec<f64> = (0..50)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 20.0 })
+            .collect();
         assert_eq!(convergence_time(&s, 10.0, 0.25, 5), None);
     }
 
     #[test]
     fn convergence_requires_full_window() {
         let s = vec![10.0, 10.0, 10.0];
-        assert_eq!(convergence_time(&s, 10.0, 0.25, 5), None, "series shorter than window");
+        assert_eq!(
+            convergence_time(&s, 10.0, 0.25, 5),
+            None,
+            "series shorter than window"
+        );
     }
 
     #[test]
@@ -311,8 +320,14 @@ mod tests {
         let m = window_mean(&s, iv, SimTime::from_secs(1), SimTime::from_secs(3));
         assert!((m - 2.5).abs() < 1e-12);
         // Degenerate windows.
-        assert_eq!(window_mean(&s, iv, SimTime::from_secs(3), SimTime::from_secs(3)), 0.0);
-        assert_eq!(window_mean(&[], iv, SimTime::ZERO, SimTime::from_secs(10)), 0.0);
+        assert_eq!(
+            window_mean(&s, iv, SimTime::from_secs(3), SimTime::from_secs(3)),
+            0.0
+        );
+        assert_eq!(
+            window_mean(&[], iv, SimTime::ZERO, SimTime::from_secs(10)),
+            0.0
+        );
     }
 
     #[test]

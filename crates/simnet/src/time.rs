@@ -154,7 +154,7 @@ impl SimDuration {
 /// Returns [`SimDuration::ZERO`] for non-positive or non-finite rates so an
 /// "infinite-rate" link degenerates to a pure-delay element.
 pub fn tx_time(bytes: u64, rate_bps: f64) -> SimDuration {
-    if !(rate_bps > 0.0) || !rate_bps.is_finite() {
+    if !rate_bps.is_finite() || rate_bps <= 0.0 {
         return SimDuration::ZERO;
     }
     let secs = (bytes as f64 * 8.0) / rate_bps;

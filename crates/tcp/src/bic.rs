@@ -5,8 +5,8 @@
 //! toward it (fast far away, slow close up); above it, max probing
 //! accelerates away. Constants follow Linux `tcp_bic.c`.
 
+use crate::window::{CcAck, WindowAlgo};
 use pcc_simnet::time::SimTime;
-use pcc_transport::window::{CcAck, WindowCc};
 
 use crate::common::{slow_start, INITIAL_CWND, MIN_SSTHRESH};
 
@@ -75,7 +75,7 @@ impl Default for Bic {
     }
 }
 
-impl WindowCc for Bic {
+impl WindowAlgo for Bic {
     fn name(&self) -> &'static str {
         "bic"
     }
@@ -163,7 +163,7 @@ mod tests {
         let mut cc = Bic::new();
         drive_acks(&mut cc, 90, 1); // 100
         cc.on_loss_event(SimTime::ZERO); // last_max 100
-        // Push well past the old max.
+                                         // Push well past the old max.
         while cc.cwnd() < cc.last_max + 2.0 {
             drive_acks(&mut cc, 1, 1);
         }

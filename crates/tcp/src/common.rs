@@ -4,8 +4,11 @@
 /// in the paper's era).
 pub const INITIAL_CWND: f64 = 10.0;
 
-/// Floor for the congestion window.
-#[allow(dead_code)]
+/// Floor for the congestion window the engine is ever asked to run with.
+/// Enforced by the [`crate::window::Windowed`] adapter for every variant:
+/// whatever a variant's internal state says (e.g. cwnd = 1 after an RTO),
+/// the effective window stays at least this, so the flow always keeps
+/// enough packets moving for SACK-based loss detection to function.
 pub const MIN_CWND: f64 = 2.0;
 
 /// Floor for the slow-start threshold after a loss.

@@ -6,8 +6,8 @@
 //! motivation for Fig. 8's RTT-fairness comparison), with a TCP-friendly
 //! region that keeps it no slower than Reno on short paths.
 
+use crate::window::{CcAck, WindowAlgo};
 use pcc_simnet::time::SimTime;
-use pcc_transport::window::{CcAck, WindowCc};
 
 use crate::common::{slow_start, INITIAL_CWND, MIN_SSTHRESH};
 
@@ -64,7 +64,7 @@ impl Default for Cubic {
     }
 }
 
-impl WindowCc for Cubic {
+impl WindowAlgo for Cubic {
     fn name(&self) -> &'static str {
         "cubic"
     }
@@ -218,7 +218,7 @@ mod tests {
         let mut now = SimTime::ZERO;
         for _ in 0..50 {
             cc.on_ack(&ack_at(1, now, rtt));
-            now = now + SimDuration::from_millis(40);
+            now += SimDuration::from_millis(40);
         }
         assert!(cc.cwnd() > after_loss, "friendly region keeps growing");
     }

@@ -7,8 +7,8 @@
 //! halving — which is exactly why it still collapses under the random loss
 //! of a real satellite link (Fig. 6: 17× below PCC).
 
+use crate::window::{CcAck, WindowAlgo};
 use pcc_simnet::time::{SimDuration, SimTime};
-use pcc_transport::window::{CcAck, WindowCc};
 
 use crate::common::{INITIAL_CWND, MIN_SSTHRESH};
 
@@ -50,7 +50,7 @@ impl Default for Hybla {
     }
 }
 
-impl WindowCc for Hybla {
+impl WindowAlgo for Hybla {
     fn name(&self) -> &'static str {
         "hybla"
     }

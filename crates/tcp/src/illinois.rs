@@ -8,8 +8,8 @@
 //! decrease factor β does the opposite. The *event→response* wiring stays
 //! hardwired: a loss still always shrinks the window.
 
+use crate::window::{CcAck, WindowAlgo};
 use pcc_simnet::time::{SimDuration, SimTime};
-use pcc_transport::window::{CcAck, WindowCc};
 
 use crate::common::{slow_start, INITIAL_CWND, MIN_SSTHRESH};
 
@@ -99,7 +99,7 @@ impl Default for Illinois {
     }
 }
 
-impl WindowCc for Illinois {
+impl WindowAlgo for Illinois {
     fn name(&self) -> &'static str {
         "illinois"
     }
@@ -154,11 +154,7 @@ mod tests {
 
     fn feed_epoch(cc: &mut Illinois, rtt_ms: u64, n: u32) {
         for _ in 0..n {
-            cc.on_ack(&ack_at(
-                1,
-                SimTime::ZERO,
-                SimDuration::from_millis(rtt_ms),
-            ));
+            cc.on_ack(&ack_at(1, SimTime::ZERO, SimDuration::from_millis(rtt_ms)));
         }
     }
 
@@ -167,7 +163,7 @@ mod tests {
         let mut cc = Illinois::new();
         drive_acks(&mut cc, 90, 1); // slow start to 100
         cc.on_loss_event(SimTime::ZERO); // enter CA
-        // Establish delay range: base 20 ms, max 100 ms.
+                                         // Establish delay range: base 20 ms, max 100 ms.
         feed_epoch(&mut cc, 100, 1);
         feed_epoch(&mut cc, 20, 1);
         // Run epochs at the base RTT: queueing delay 0 ⇒ α → α_max.
@@ -191,7 +187,7 @@ mod tests {
         cc.on_loss_event(SimTime::ZERO);
         feed_epoch(&mut cc, 20, 1); // base
         feed_epoch(&mut cc, 100, 1); // max
-        // Run epochs near max RTT: α → α_min, β → β_max.
+                                     // Run epochs near max RTT: α → α_min, β → β_max.
         for _ in 0..4 {
             let n = cc.cwnd() as u32 + 1;
             feed_epoch(&mut cc, 95, n);

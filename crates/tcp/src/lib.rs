@@ -1,8 +1,11 @@
 //! # pcc-tcp — the TCP congestion-control baselines
 //!
 //! Faithful implementations of every TCP variant the paper evaluates
-//! against, each as a [`pcc_transport::WindowCc`] plug-in for the shared
-//! [`pcc_transport::WindowSender`] loss-recovery engine:
+//! against. Each variant implements the crate-local [`WindowAlgo`]
+//! sub-API (cwnd/ssthresh, the `tcp_congestion_ops` shape) and is adapted
+//! onto the workspace-wide [`pcc_transport::CongestionControl`] trait by
+//! [`window::Windowed`], so the same [`pcc_transport::CcSender`] engine —
+//! and the real-UDP datapath — runs any of them:
 //!
 //! | Algorithm | Paper role |
 //! |---|---|
@@ -14,8 +17,15 @@
 //! | [`Bic`] | binary increase (Fig. 16) |
 //! | [`Westwood`] | bandwidth-estimate backoff (Fig. 16) |
 //!
-//! "TCP pacing" (Fig. 9) is any of these run with
-//! [`pcc_transport::WindowSenderConfig::pacing`] enabled.
+//! "TCP pacing" (Fig. 9) is any of these wrapped in
+//! [`window::PacedWindowed`], which sets a `cwnd/SRTT` pacing rate *and*
+//! the window — two effects on the unified API rather than an engine
+//! config flag. Request it from [`by_name`] with a `-paced` suffix
+//! (`"cubic-paced"`).
+//!
+//! Construction goes through [`by_name`] (typed [`UnknownAlgorithm`]
+//! errors, never a panic) or the workspace-wide
+//! [`pcc_transport::registry`] after [`register_algorithms`] has run.
 
 #![warn(missing_docs)]
 
@@ -28,6 +38,8 @@ mod newreno;
 #[cfg(test)]
 pub(crate) mod testutil;
 mod vegas;
+pub mod window;
+
 mod westwood;
 
 pub use bic::Bic;
@@ -37,16 +49,17 @@ pub use illinois::Illinois;
 pub use newreno::NewReno;
 pub use vegas::Vegas;
 pub use westwood::Westwood;
+pub use window::{CcAck, PacedWindowed, WindowAlgo, Windowed};
 
-use pcc_transport::window::WindowCc;
+use pcc_transport::cc::CongestionControl;
+use pcc_transport::registry::{self, CcParams, UnknownAlgorithm};
 
 /// All baseline names, in the order used by reports.
 pub const ALL_VARIANTS: &[&str] = &[
     "newreno", "cubic", "illinois", "hybla", "vegas", "bic", "westwood",
 ];
 
-/// Construct a baseline by name (`"cubic"`, `"illinois"`, ...).
-pub fn by_name(name: &str) -> Option<Box<dyn WindowCc>> {
+fn algo_by_name(name: &str) -> Option<Box<dyn WindowAlgo>> {
     Some(match name {
         "newreno" | "reno" => Box::new(NewReno::new()),
         "cubic" => Box::new(Cubic::new()),
@@ -59,6 +72,57 @@ pub fn by_name(name: &str) -> Option<Box<dyn WindowCc>> {
     })
 }
 
+fn unknown(name: &str) -> UnknownAlgorithm {
+    let mut known: Vec<String> = ALL_VARIANTS.iter().map(|v| v.to_string()).collect();
+    known.extend(ALL_VARIANTS.iter().map(|v| format!("{v}-paced")));
+    UnknownAlgorithm {
+        name: name.to_string(),
+        known,
+    }
+}
+
+/// Construct a baseline by name (`"cubic"`, `"illinois"`, ...; append
+/// `-paced` for the pacing variant), ready to plug into any engine.
+/// Unknown names are a typed error.
+pub fn by_name(name: &str) -> Result<Box<dyn CongestionControl>, UnknownAlgorithm> {
+    by_name_with(name, &CcParams::default())
+}
+
+/// [`by_name`] with explicit construction parameters (MSS and RTT hint
+/// seed the paced variants' initial pacing rate).
+pub fn by_name_with(
+    name: &str,
+    params: &CcParams,
+) -> Result<Box<dyn CongestionControl>, UnknownAlgorithm> {
+    if let Some(plain) = name.strip_suffix("-paced") {
+        let algo = algo_by_name(plain).ok_or_else(|| unknown(name))?;
+        return Ok(Box::new(PacedWindowed::new(algo, params)));
+    }
+    let algo = algo_by_name(name).ok_or_else(|| unknown(name))?;
+    Ok(Box::new(Windowed::new(algo)))
+}
+
+/// Register every TCP baseline (and its `-paced` variant) with the
+/// workspace-wide [`pcc_transport::registry`]. Idempotent.
+pub fn register_algorithms() {
+    for name in ALL_VARIANTS {
+        let plain = name.to_string();
+        registry::register(
+            name,
+            Box::new(move |params| by_name_with(&plain, params).expect("variant list is static")),
+        );
+        let paced = format!("{name}-paced");
+        let paced_inner = paced.clone();
+        registry::register(
+            &paced,
+            Box::new(move |params| {
+                by_name_with(&paced_inner, params).expect("variant list is static")
+            }),
+        );
+    }
+    registry::register_alias("reno", "newreno");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,10 +130,40 @@ mod tests {
     #[test]
     fn factory_covers_all_variants() {
         for name in ALL_VARIANTS {
-            let cc = by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            let cc = by_name(name).unwrap_or_else(|_| panic!("missing {name}"));
             assert_eq!(cc.name(), *name);
-            assert!(cc.cwnd() >= 1.0);
+            let paced = by_name(&format!("{name}-paced"))
+                .unwrap_or_else(|_| panic!("missing {name}-paced"));
+            assert_eq!(paced.name(), *name);
         }
-        assert!(by_name("bbr").is_none());
+    }
+
+    #[test]
+    fn unknown_name_is_typed_error() {
+        let err = match by_name("bbr") {
+            Ok(_) => panic!("bbr is not implemented"),
+            Err(e) => e,
+        };
+        assert_eq!(err.name, "bbr");
+        assert!(err.known.contains(&"cubic".to_string()));
+        assert!(err.to_string().contains("bbr"));
+    }
+
+    #[test]
+    fn registration_installs_all_names() {
+        register_algorithms();
+        let params = pcc_transport::registry::CcParams::default();
+        for name in ALL_VARIANTS {
+            assert!(
+                pcc_transport::registry::by_name(name, &params).is_ok(),
+                "{name} registered"
+            );
+            assert!(
+                pcc_transport::registry::by_name(&format!("{name}-paced"), &params).is_ok(),
+                "{name}-paced registered"
+            );
+        }
+        let reno = pcc_transport::registry::by_name("reno", &params).expect("alias");
+        assert_eq!(reno.name(), "newreno");
     }
 }

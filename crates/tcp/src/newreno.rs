@@ -5,8 +5,8 @@
 //! example of a hardwired event→response mapping: "a packet loss halves the
 //! congestion window size" regardless of why the loss happened.
 
+use crate::window::{CcAck, WindowAlgo};
 use pcc_simnet::time::SimTime;
-use pcc_transport::window::{CcAck, WindowCc};
 
 use crate::common::{reno_ca, slow_start, INITIAL_CWND, MIN_SSTHRESH};
 
@@ -33,7 +33,7 @@ impl Default for NewReno {
     }
 }
 
-impl WindowCc for NewReno {
+impl WindowAlgo for NewReno {
     fn name(&self) -> &'static str {
         "newreno"
     }

@@ -1,7 +1,7 @@
-//! Test helpers for exercising `WindowCc` implementations directly.
+//! Test helpers for exercising [`WindowAlgo`] implementations directly.
 
+use crate::window::{CcAck, WindowAlgo};
 use pcc_simnet::time::{SimDuration, SimTime};
-use pcc_transport::window::{CcAck, WindowCc};
 
 /// A synthetic ACK with a 30 ms RTT and sane defaults.
 pub fn ack(newly_acked: u32) -> CcAck {
@@ -23,7 +23,7 @@ pub fn ack_at(newly_acked: u32, now: SimTime, rtt: SimDuration) -> CcAck {
 }
 
 /// Feed `n` ACKs of `per` packets each.
-pub fn drive_acks(cc: &mut dyn WindowCc, n: u32, per: u32) {
+pub fn drive_acks(cc: &mut dyn WindowAlgo, n: u32, per: u32) {
     for _ in 0..n {
         cc.on_ack(&ack(per));
     }
@@ -32,7 +32,7 @@ pub fn drive_acks(cc: &mut dyn WindowCc, n: u32, per: u32) {
 /// Feed ACKs spread over time with a given RTT (for time-based algorithms
 /// like CUBIC): `n` acks, one every `spacing`, each acking `per` packets.
 pub fn drive_acks_timed(
-    cc: &mut dyn WindowCc,
+    cc: &mut dyn WindowAlgo,
     n: u32,
     per: u32,
     start: SimTime,
@@ -42,7 +42,7 @@ pub fn drive_acks_timed(
     let mut now = start;
     for _ in 0..n {
         cc.on_ack(&ack_at(per, now, rtt));
-        now = now + spacing;
+        now += spacing;
     }
     now
 }

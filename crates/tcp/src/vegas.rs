@@ -6,8 +6,8 @@
 //! `diff` between α = 2 and β = 4 packets. Gentle and stable — but it
 //! needs an accurate baseRTT and gets starved by loss-based competitors.
 
+use crate::window::{CcAck, WindowAlgo};
 use pcc_simnet::time::{SimDuration, SimTime};
-use pcc_transport::window::{CcAck, WindowCc};
 
 use crate::common::{INITIAL_CWND, MIN_SSTHRESH};
 
@@ -81,7 +81,7 @@ impl Default for Vegas {
     }
 }
 
-impl WindowCc for Vegas {
+impl WindowAlgo for Vegas {
     fn name(&self) -> &'static str {
         "vegas"
     }
@@ -151,7 +151,7 @@ mod tests {
         let mut cc = Vegas::new();
         cc.on_loss_event(SimTime::ZERO);
         epoch(&mut cc, 20); // establish baseRTT = 20 ms
-        // Grow the window a bit first.
+                            // Grow the window a bit first.
         epoch(&mut cc, 20);
         let w = cc.cwnd();
         // RTT quadruples: diff = cwnd·(60/80) > β ⇒ −1.

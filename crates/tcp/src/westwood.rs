@@ -6,8 +6,8 @@
 //! — so random loss that doesn't reduce delivered bandwidth doesn't shrink
 //! the operating point as much. Growth is Reno's.
 
+use crate::window::{CcAck, WindowAlgo};
 use pcc_simnet::time::{SimDuration, SimTime};
-use pcc_transport::window::{CcAck, WindowCc};
 
 use crate::common::{reno_ca, slow_start, INITIAL_CWND, MIN_SSTHRESH};
 
@@ -75,7 +75,7 @@ impl Default for Westwood {
     }
 }
 
-impl WindowCc for Westwood {
+impl WindowAlgo for Westwood {
     fn name(&self) -> &'static str {
         "westwood"
     }
@@ -134,7 +134,7 @@ mod tests {
         let gap = SimDuration::from_nanos(1_000_000_000 / pkts_per_sec);
         for _ in 0..(secs * pkts_per_sec) {
             cc.on_ack(&ack_at(1, now, SimDuration::from_millis(50)));
-            now = now + gap;
+            now += gap;
         }
         now
     }

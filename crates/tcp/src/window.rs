@@ -1,0 +1,313 @@
+//! The classic cwnd/ssthresh sub-API and its adapter onto the unified
+//! [`CongestionControl`] trait.
+//!
+//! Every TCP baseline in this crate is, structurally, the same thing: a
+//! little state machine that owns a congestion window and a slow-start
+//! threshold, grows on ACKs, shrinks on loss events, and collapses on RTO.
+//! [`WindowAlgo`] captures exactly that shape (it mirrors Linux's
+//! `tcp_congestion_ops`), and [`Windowed`] adapts any such algorithm onto
+//! the workspace-wide [`CongestionControl`] API by translating the unified
+//! event vocabulary:
+//!
+//! * `on_ack` with `newly_acked > 0` outside recovery → [`WindowAlgo::on_ack`];
+//! * `on_loss` with [`LossKind::Detected`] opening a new episode →
+//!   [`WindowAlgo::on_loss_event`];
+//! * `on_loss` with [`LossKind::Timeout`] → [`WindowAlgo::on_rto`];
+//!
+//! and pushing the resulting window through [`Ctx::set_cwnd`] after every
+//! callback, floored at [`MIN_CWND`](crate::common::MIN_CWND) so the
+//! engine can always keep loss detection alive.
+//!
+//! [`PacedWindowed`] additionally derives a pacing rate (`cwnd/SRTT`) and
+//! sets *both* effects — the paper's Fig. 9 "TCP pacing" baseline as a
+//! trivial composition rather than an engine config flag.
+
+use pcc_simnet::time::{SimDuration, SimTime};
+use pcc_transport::cc::{AckEvent, CongestionControl, Ctx, LossEvent, LossKind};
+use pcc_transport::registry::CcParams;
+
+use crate::common::MIN_CWND;
+
+/// Everything a classic window algorithm sees on each (growth-eligible)
+/// ACK.
+#[derive(Clone, Copy, Debug)]
+pub struct CcAck {
+    /// Current time.
+    pub now: SimTime,
+    /// Exact RTT of the acknowledged transmission.
+    pub rtt: SimDuration,
+    /// Smoothed RTT.
+    pub srtt: SimDuration,
+    /// Minimum RTT observed (propagation estimate).
+    pub min_rtt: SimDuration,
+    /// Maximum RTT observed.
+    pub max_rtt: SimDuration,
+    /// Packets newly acknowledged by this ACK.
+    pub newly_acked: u32,
+    /// Packets currently in flight.
+    pub in_flight: u64,
+    /// Packet size in bytes.
+    pub mss: u32,
+}
+
+/// A classic window-based congestion-control algorithm (cwnd + ssthresh).
+///
+/// Implementations own their `cwnd`/`ssthresh`; the [`Windowed`] adapter
+/// reads [`WindowAlgo::cwnd`] after each event and forwards it to the
+/// engine. This is a convenience sub-API for this crate's TCP baselines —
+/// engines and datapaths only ever see [`CongestionControl`].
+pub trait WindowAlgo: Send {
+    /// Algorithm name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Process an ACK (called only outside recovery episodes).
+    fn on_ack(&mut self, ack: &CcAck);
+
+    /// A loss event begins a recovery episode (fast retransmit).
+    fn on_loss_event(&mut self, now: SimTime);
+
+    /// Retransmission timeout fired.
+    fn on_rto(&mut self, now: SimTime);
+
+    /// Current congestion window in packets.
+    fn cwnd(&self) -> f64;
+
+    /// Current slow-start threshold in packets.
+    fn ssthresh(&self) -> f64;
+
+    /// True while in slow start.
+    fn in_slow_start(&self) -> bool {
+        self.cwnd() < self.ssthresh()
+    }
+}
+
+/// Adapter: any [`WindowAlgo`] as a [`CongestionControl`].
+pub struct Windowed {
+    inner: Box<dyn WindowAlgo>,
+}
+
+impl Windowed {
+    /// Wrap a window algorithm.
+    pub fn new(inner: Box<dyn WindowAlgo>) -> Self {
+        Windowed { inner }
+    }
+
+    /// The wrapped algorithm's effective window: its cwnd, floored at
+    /// [`MIN_CWND`].
+    pub fn effective_cwnd(&self) -> f64 {
+        self.inner.cwnd().max(MIN_CWND)
+    }
+
+    fn push_cwnd(&self, ctx: &mut Ctx) {
+        ctx.set_cwnd(self.effective_cwnd());
+    }
+
+    fn translate(ack: &AckEvent) -> CcAck {
+        CcAck {
+            now: ack.now,
+            rtt: ack.rtt,
+            srtt: ack.srtt,
+            min_rtt: ack.min_rtt,
+            max_rtt: ack.max_rtt,
+            newly_acked: ack.newly_acked,
+            in_flight: ack.in_flight,
+            mss: ack.mss,
+        }
+    }
+}
+
+impl CongestionControl for Windowed {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.push_cwnd(ctx);
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, ctx: &mut Ctx) {
+        // Window growth only outside recovery episodes and only for ACKs
+        // that advance the scoreboard (standard TCP behaviour).
+        if ack.newly_acked > 0 && !ack.in_recovery {
+            self.inner.on_ack(&Self::translate(ack));
+        }
+        self.push_cwnd(ctx);
+    }
+
+    fn on_loss(&mut self, loss: &LossEvent, ctx: &mut Ctx) {
+        match loss.kind {
+            LossKind::Detected => {
+                if loss.new_episode {
+                    self.inner.on_loss_event(loss.now);
+                }
+            }
+            LossKind::Timeout => self.inner.on_rto(loss.now),
+        }
+        self.push_cwnd(ctx);
+    }
+}
+
+/// Adapter: a [`WindowAlgo`] with pacing — sets the congestion window
+/// *and* a `cwnd/SRTT` pacing rate, so the engine releases packets
+/// smoothly instead of in ack-clocked TSO bursts (Fig. 9's "TCP Pacing").
+pub struct PacedWindowed {
+    inner: Windowed,
+    mss: u32,
+    last_srtt: SimDuration,
+}
+
+impl PacedWindowed {
+    /// Wrap a window algorithm; `params` seeds the pre-sample pacing rate.
+    pub fn new(inner: Box<dyn WindowAlgo>, params: &CcParams) -> Self {
+        PacedWindowed {
+            inner: Windowed::new(inner),
+            mss: params.mss,
+            last_srtt: params.rtt_hint,
+        }
+    }
+
+    fn push_rate(&self, ctx: &mut Ctx) {
+        let srtt = self.last_srtt.as_secs_f64().max(1e-6);
+        ctx.set_rate(self.inner.effective_cwnd() * self.mss as f64 * 8.0 / srtt);
+    }
+}
+
+impl CongestionControl for PacedWindowed {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.inner.on_start(ctx);
+        self.push_rate(ctx);
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, ctx: &mut Ctx) {
+        self.mss = ack.mss;
+        self.last_srtt = ack.srtt;
+        self.inner.on_ack(ack, ctx);
+        self.push_rate(ctx);
+    }
+
+    fn on_loss(&mut self, loss: &LossEvent, ctx: &mut Ctx) {
+        self.mss = loss.mss;
+        self.inner.on_loss(loss, ctx);
+        self.push_rate(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NewReno;
+    use pcc_simnet::rng::SimRng;
+    use pcc_transport::cc::Effects;
+
+    fn ack_event(newly_acked: u32, in_recovery: bool) -> AckEvent {
+        let rtt = SimDuration::from_millis(30);
+        AckEvent {
+            now: SimTime::ZERO,
+            seq: 0,
+            rtt,
+            sampled: true,
+            srtt: rtt,
+            min_rtt: rtt,
+            max_rtt: rtt,
+            recv_at: SimTime::ZERO,
+            probe_train: None,
+            of_retx: false,
+            cum_ack: 0,
+            newly_acked,
+            in_flight: 10,
+            mss: 1500,
+            in_recovery,
+        }
+    }
+
+    fn drain_cwnd(fx: &mut Effects) -> Option<f64> {
+        let (_, cwnd, _) = fx.drain();
+        cwnd
+    }
+
+    #[test]
+    fn adapter_grows_outside_recovery_only() {
+        let mut cc = Windowed::new(Box::new(NewReno::new()));
+        let mut rng = SimRng::new(1);
+        let mut fx = Effects::default();
+        cc.on_start(&mut Ctx::new(SimTime::ZERO, &mut rng, &mut fx));
+        assert_eq!(drain_cwnd(&mut fx), Some(10.0), "IW10");
+        cc.on_ack(
+            &ack_event(5, false),
+            &mut Ctx::new(SimTime::ZERO, &mut rng, &mut fx),
+        );
+        assert_eq!(drain_cwnd(&mut fx), Some(15.0), "slow start grows");
+        cc.on_ack(
+            &ack_event(5, true),
+            &mut Ctx::new(SimTime::ZERO, &mut rng, &mut fx),
+        );
+        assert_eq!(drain_cwnd(&mut fx), Some(15.0), "frozen in recovery");
+    }
+
+    #[test]
+    fn adapter_maps_loss_kinds() {
+        let mut cc = Windowed::new(Box::new(NewReno::new()));
+        let mut rng = SimRng::new(1);
+        let mut fx = Effects::default();
+        cc.on_start(&mut Ctx::new(SimTime::ZERO, &mut rng, &mut fx));
+        let _ = fx.drain();
+        let seqs = [3u64, 4];
+        let loss = LossEvent {
+            now: SimTime::ZERO,
+            seqs: &seqs,
+            kind: LossKind::Detected,
+            new_episode: true,
+            in_flight: 8,
+            mss: 1500,
+        };
+        cc.on_loss(&loss, &mut Ctx::new(SimTime::ZERO, &mut rng, &mut fx));
+        assert_eq!(drain_cwnd(&mut fx), Some(5.0), "halved on loss event");
+        let repeat = LossEvent {
+            new_episode: false,
+            ..loss
+        };
+        cc.on_loss(&repeat, &mut Ctx::new(SimTime::ZERO, &mut rng, &mut fx));
+        assert_eq!(drain_cwnd(&mut fx), Some(5.0), "same episode: no re-cut");
+    }
+
+    #[test]
+    fn min_cwnd_floor_enforced_after_rto() {
+        let mut cc = Windowed::new(Box::new(NewReno::new()));
+        let mut rng = SimRng::new(1);
+        let mut fx = Effects::default();
+        cc.on_start(&mut Ctx::new(SimTime::ZERO, &mut rng, &mut fx));
+        let _ = fx.drain();
+        let seqs = [0u64];
+        let loss = LossEvent {
+            now: SimTime::ZERO,
+            seqs: &seqs,
+            kind: LossKind::Timeout,
+            new_episode: true,
+            in_flight: 0,
+            mss: 1500,
+        };
+        cc.on_loss(&loss, &mut Ctx::new(SimTime::ZERO, &mut rng, &mut fx));
+        // NewReno internally collapses to cwnd = 1 on RTO; the adapter
+        // floors the window handed to the engine at MIN_CWND.
+        let cwnd = drain_cwnd(&mut fx).expect("cwnd pushed");
+        assert_eq!(cwnd, MIN_CWND, "floor enforced: {cwnd}");
+    }
+
+    #[test]
+    fn paced_adapter_sets_both_effects() {
+        let params = CcParams::default().with_rtt_hint(SimDuration::from_millis(100));
+        let mut cc = PacedWindowed::new(Box::new(NewReno::new()), &params);
+        let mut rng = SimRng::new(1);
+        let mut fx = Effects::default();
+        cc.on_start(&mut Ctx::new(SimTime::ZERO, &mut rng, &mut fx));
+        let (rate, cwnd, _) = fx.drain();
+        assert_eq!(cwnd, Some(10.0));
+        // 10 pkts × 1500 B × 8 / 100 ms = 1.2 Mbps.
+        let rate = rate.expect("pacing rate set");
+        assert!((rate - 1.2e6).abs() < 1.0, "rate {rate}");
+    }
+}

@@ -1,0 +1,259 @@
+//! The unified congestion-control API.
+//!
+//! The paper's architectural claim (§3) is that control intelligence should
+//! be a pluggable module over a dumb sending engine. This module is that
+//! plug: **one** trait — [`CongestionControl`] — with a uniform event
+//! vocabulary (`on_start`, `on_sent`, `on_ack`, `on_loss`, `on_timer`) and
+//! an [`Effects`] sink through which an algorithm requests a pacing rate, a
+//! congestion window, *or both*.
+//!
+//! This replaces the seed design's two disjoint traits (`RateController`
+//! for PCC/SABUL/PCP over a paced engine, `WindowCc` for the TCP variants
+//! over an ack-clocked engine), which locked every algorithm to one engine
+//! and one datapath. With a single vocabulary:
+//!
+//! * rate-based algorithms (PCC, SABUL, PCP) call [`Ctx::set_rate`];
+//! * window-based algorithms (the TCPs) call [`Ctx::set_cwnd`];
+//! * hybrid algorithms (paced TCP, BBR-style designs) call both;
+//!
+//! and the one engine ([`crate::sender::CcSender`] in simulation,
+//! `pcc-udp`'s sender on real sockets) enforces whichever combination the
+//! algorithm requested. The same boxed algorithm object runs unchanged on
+//! either datapath.
+
+use pcc_simnet::rng::SimRng;
+use pcc_simnet::time::{SimDuration, SimTime};
+
+/// Everything an algorithm sees when an ACK arrives.
+#[derive(Clone, Copy, Debug)]
+pub struct AckEvent {
+    /// Current time.
+    pub now: SimTime,
+    /// The acknowledged sequence.
+    pub seq: u64,
+    /// RTT attributed to this ACK: the exact sample when one was taken
+    /// (see [`AckEvent::sampled`]), otherwise the smoothed RTT.
+    pub rtt: SimDuration,
+    /// True when [`AckEvent::rtt`] is an exact per-packet sample (false for
+    /// e.g. ACKs of retransmissions, where the sample would be ambiguous).
+    pub sampled: bool,
+    /// Smoothed RTT.
+    pub srtt: SimDuration,
+    /// Minimum RTT observed (propagation estimate).
+    pub min_rtt: SimDuration,
+    /// Maximum RTT observed.
+    pub max_rtt: SimDuration,
+    /// Receiver-side arrival timestamp (for dispersion probing).
+    pub recv_at: SimTime,
+    /// Probe-train tag echoed by the receiver, if any.
+    pub probe_train: Option<u32>,
+    /// The acked transmission was a retransmission.
+    pub of_retx: bool,
+    /// Receiver's cumulative ack point.
+    pub cum_ack: u64,
+    /// Packets newly acknowledged by this ACK (0 for pure duplicates).
+    pub newly_acked: u32,
+    /// Packets currently in flight.
+    pub in_flight: u64,
+    /// Packet size in bytes.
+    pub mss: u32,
+    /// True while the engine is inside a loss-recovery episode. Window
+    /// algorithms conventionally freeze growth here; rate algorithms are
+    /// free to ignore it.
+    pub in_recovery: bool,
+}
+
+/// A data packet left the sender.
+#[derive(Clone, Copy, Debug)]
+pub struct SentEvent {
+    /// Current time.
+    pub now: SimTime,
+    /// Sequence transmitted.
+    pub seq: u64,
+    /// Bytes on the wire.
+    pub bytes: u32,
+    /// This was a retransmission.
+    pub retx: bool,
+    /// Packets in flight after this send.
+    pub in_flight: u64,
+}
+
+/// Why a batch of sequences was declared lost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LossKind {
+    /// Reordering-threshold / deadline detection (fast-retransmit-style).
+    Detected,
+    /// A retransmission timeout fired and all in-flight data was marked
+    /// lost.
+    Timeout,
+}
+
+/// Sequences newly declared lost.
+#[derive(Clone, Copy, Debug)]
+pub struct LossEvent<'a> {
+    /// Current time.
+    pub now: SimTime,
+    /// The sequences (packet granularity).
+    pub seqs: &'a [u64],
+    /// Detection mechanism.
+    pub kind: LossKind,
+    /// True when this detection *begins* a recovery episode (the engine
+    /// suppresses the flag for further detections until the episode ends).
+    /// Window algorithms react once per episode; rate algorithms usually
+    /// count every loss.
+    pub new_episode: bool,
+    /// Packets in flight after removing the lost ones.
+    pub in_flight: u64,
+    /// Packet size in bytes.
+    pub mss: u32,
+}
+
+/// Control decisions an algorithm requests during a callback.
+///
+/// The engine applies whatever subset was set: a pacing rate, a congestion
+/// window, or both. Timers are redelivered through
+/// [`CongestionControl::on_timer`] with their token.
+#[derive(Debug, Default)]
+pub struct Effects {
+    new_rate: Option<f64>,
+    new_cwnd: Option<f64>,
+    timers: Vec<(SimTime, u64)>,
+}
+
+impl Effects {
+    /// Take everything requested so far: `(rate, cwnd, timers)`. Used by
+    /// engines hosting an algorithm outside the simulator (e.g. the
+    /// real-network UDP sender) as well as by [`crate::sender::CcSender`].
+    pub fn drain(&mut self) -> (Option<f64>, Option<f64>, Vec<(SimTime, u64)>) {
+        (
+            self.new_rate.take(),
+            self.new_cwnd.take(),
+            std::mem::take(&mut self.timers),
+        )
+    }
+
+    /// True if nothing was requested.
+    pub fn is_empty(&self) -> bool {
+        self.new_rate.is_none() && self.new_cwnd.is_none() && self.timers.is_empty()
+    }
+}
+
+/// Algorithm-side view during a callback: clock, RNG, and effect sink.
+pub struct Ctx<'a> {
+    /// Current time.
+    pub now: SimTime,
+    /// Deterministic per-flow random stream.
+    pub rng: &'a mut SimRng,
+    effects: &'a mut Effects,
+}
+
+impl<'a> Ctx<'a> {
+    /// Build a context (also used directly by algorithm unit tests).
+    pub fn new(now: SimTime, rng: &'a mut SimRng, effects: &'a mut Effects) -> Self {
+        Ctx { now, rng, effects }
+    }
+
+    /// Request a pacing rate (bits/sec), effective immediately. Floored at
+    /// 1 bps — an engine never stalls on a zero or negative rate.
+    pub fn set_rate(&mut self, bps: f64) {
+        self.effects.new_rate = Some(if bps.is_finite() { bps.max(1.0) } else { 1.0 });
+    }
+
+    /// Request a congestion window (packets), effective immediately.
+    /// Floored at one packet.
+    pub fn set_cwnd(&mut self, pkts: f64) {
+        self.effects.new_cwnd = Some(if pkts.is_finite() { pkts.max(1.0) } else { 1.0 });
+    }
+
+    /// Arm an algorithm timer; `token` is redelivered in
+    /// [`CongestionControl::on_timer`].
+    pub fn set_timer(&mut self, at: SimTime, token: u64) {
+        self.effects.timers.push((at, token));
+    }
+}
+
+/// A congestion-control algorithm: the single plug-in point for every
+/// protocol in the evaluation, rate-based, window-based, or hybrid.
+///
+/// Lifecycle: the engine calls [`CongestionControl::on_start`] once, then
+/// forwards packet events (`on_sent` / `on_ack` / `on_loss`) and timer
+/// expirations (`on_timer`). During any callback the algorithm may request
+/// effects through [`Ctx`]; the engine applies them when the callback
+/// returns.
+pub trait CongestionControl: Send {
+    /// Algorithm name (for reports and the registry).
+    fn name(&self) -> &'static str;
+
+    /// Called once at flow start. The algorithm must request its initial
+    /// operating point here: a rate ([`Ctx::set_rate`]), a window
+    /// ([`Ctx::set_cwnd`]), or both. What it sets determines which
+    /// machinery the engine runs (pacing, window clocking, or both).
+    fn on_start(&mut self, ctx: &mut Ctx);
+
+    /// A data packet left the sender.
+    fn on_sent(&mut self, ev: &SentEvent, ctx: &mut Ctx) {
+        let _ = (ev, ctx);
+    }
+
+    /// An ACK arrived.
+    fn on_ack(&mut self, ack: &AckEvent, ctx: &mut Ctx);
+
+    /// Sequences were newly declared lost.
+    fn on_loss(&mut self, loss: &LossEvent, ctx: &mut Ctx);
+
+    /// A previously armed algorithm timer fired.
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
+        let _ = (token, ctx);
+    }
+
+    /// Probe-train tag to stamp on the next outgoing data packet, if the
+    /// algorithm is currently probing (dispersion-based designs like PCP).
+    /// The receiver echoes the tag in its ACKs.
+    fn probe_tag(&self) -> Option<u32> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effects_floor_rate_and_cwnd() {
+        let mut fx = Effects::default();
+        let mut rng = SimRng::new(1);
+        let mut ctx = Ctx::new(SimTime::ZERO, &mut rng, &mut fx);
+        ctx.set_rate(-5.0);
+        ctx.set_cwnd(0.0);
+        let (rate, cwnd, _) = fx.drain();
+        assert_eq!(rate, Some(1.0));
+        assert_eq!(cwnd, Some(1.0));
+    }
+
+    #[test]
+    fn effects_reject_non_finite() {
+        let mut fx = Effects::default();
+        let mut rng = SimRng::new(1);
+        let mut ctx = Ctx::new(SimTime::ZERO, &mut rng, &mut fx);
+        ctx.set_rate(f64::NAN);
+        ctx.set_cwnd(f64::INFINITY);
+        let (rate, cwnd, _) = fx.drain();
+        assert_eq!(rate, Some(1.0));
+        assert_eq!(cwnd, Some(1.0));
+    }
+
+    #[test]
+    fn effects_collect_timers_in_order() {
+        let mut fx = Effects::default();
+        let mut rng = SimRng::new(1);
+        let mut ctx = Ctx::new(SimTime::ZERO, &mut rng, &mut fx);
+        ctx.set_timer(SimTime::from_millis(5), 7);
+        ctx.set_timer(SimTime::from_millis(1), 9);
+        let (_, _, timers) = fx.drain();
+        assert_eq!(
+            timers,
+            vec![(SimTime::from_millis(5), 7), (SimTime::from_millis(1), 9)]
+        );
+        assert!(fx.is_empty());
+    }
+}

@@ -1,30 +1,47 @@
 //! # pcc-transport — transport machinery for the PCC reproduction
 //!
-//! Substrate shared by every protocol in the evaluation:
+//! Substrate shared by every protocol in the evaluation, organized around
+//! the paper's §3 split: dumb sending machinery below, pluggable control
+//! intelligence above.
 //!
+//! * [`cc::CongestionControl`] — **the** control-plane API: one trait with
+//!   a uniform event vocabulary (`on_start` / `on_sent` / `on_ack` /
+//!   `on_loss` / `on_timer`) and an effects sink that can set a pacing
+//!   rate, a congestion window, or both. PCC, the TCP variants, SABUL and
+//!   PCP all implement it; so can BBR-style hybrids that need rate *and*
+//!   cwnd.
+//! * [`sender::CcSender`] — the one sender engine: SACK reliability plus
+//!   transmission scheduling that enforces whatever operating point the
+//!   algorithm requested (pacing, window clocking with TSO burstiness and
+//!   RTO machinery, or both).
+//! * [`registry`] — datapath-agnostic algorithm registry: construct any
+//!   registered algorithm [`registry::by_name`]; unknown names are a typed
+//!   [`registry::UnknownAlgorithm`] error, never a panic.
 //! * [`sack::Scoreboard`] — per-packet fate tracking with RFC 6675-style
 //!   reordering-threshold loss detection plus timeout detection.
 //! * [`rtt::RttEstimator`] — SRTT/RTTVAR/RTO per RFC 6298.
 //! * [`receiver::SackReceiver`] — the single receiver used by all senders
 //!   (per-packet selective ACKs; §2.3: "TCP SACK is enough feedback").
-//! * [`window::WindowSender`] — TCP engine with the [`window::WindowCc`]
-//!   plug-in trait for the baseline algorithms (`pcc-tcp` crate).
-//! * [`ratesender::RateSender`] — paced rate-based engine with the
-//!   [`ratesender::RateController`] plug-in trait for PCC (`pcc-core`) and
-//!   the SABUL/PCP baselines (`pcc-rate`).
+//!
+//! The seed design's two parallel engines (`RateSender` for rate
+//! controllers, `WindowSender` for window algorithms) and their two traits
+//! are gone; both roles are modes of [`sender::CcSender`], selected by
+//! what the algorithm sets in `on_start`.
 
 #![warn(missing_docs)]
 
+pub mod cc;
 pub mod flow;
-pub mod ratesender;
 pub mod receiver;
+pub mod registry;
 pub mod rtt;
 pub mod sack;
-pub mod window;
+pub mod sender;
 
+pub use cc::{AckEvent, CongestionControl, Ctx, Effects, LossEvent, LossKind, SentEvent};
 pub use flow::{FlowSize, TransportConfig};
-pub use ratesender::{CtrlCtx, CtrlEffects, RateAck, RateController, RateSender, RateSenderConfig};
 pub use receiver::SackReceiver;
+pub use registry::{CcParams, UnknownAlgorithm};
 pub use rtt::RttEstimator;
 pub use sack::{AckOutcome, Scoreboard};
-pub use window::{CcAck, WindowCc, WindowSender, WindowSenderConfig};
+pub use sender::{CcSender, CcSenderConfig};

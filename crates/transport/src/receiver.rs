@@ -149,7 +149,9 @@ mod tests {
     fn duplicates_suppressed_from_goodput() {
         let mut rx = SackReceiver::new();
         let first = drive(&mut rx, data(0), SimTime::from_millis(1));
-        assert!(first.iter().any(|a| matches!(a, Action::RecordGoodput(1500))));
+        assert!(first
+            .iter()
+            .any(|a| matches!(a, Action::RecordGoodput(1500))));
         let second = drive(&mut rx, data(0), SimTime::from_millis(2));
         assert!(
             !second.iter().any(|a| matches!(a, Action::RecordGoodput(_))),

@@ -1,0 +1,200 @@
+//! Datapath-agnostic algorithm registry.
+//!
+//! Every congestion-control algorithm in the workspace registers a named
+//! factory here; anything that needs a sender — the scenario builders, the
+//! experiments binary, the real-UDP datapath — resolves algorithms through
+//! [`by_name`] and receives a `Box<dyn CongestionControl>` it can hand to
+//! any engine. Lookups of unknown names return a typed
+//! [`UnknownAlgorithm`] error (never a panic), which lists the registered
+//! names for discoverability.
+//!
+//! Registration is explicit because the algorithm crates sit *above* this
+//! crate in the dependency graph (they implement the trait defined here):
+//! each of `pcc-core`, `pcc-tcp`, and `pcc-rate` exposes a
+//! `register_algorithms()` function, and the aggregation layers
+//! (`pcc-scenarios`' `install_registry`, the `pcc` facade) call them once
+//! at startup. Registering the same name twice is idempotent by design
+//! (last registration wins), so multiple entry points may install the
+//! defaults without coordination.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use pcc_simnet::time::SimDuration;
+
+use crate::cc::CongestionControl;
+
+/// Construction parameters handed to algorithm factories.
+#[derive(Clone, Copy, Debug)]
+pub struct CcParams {
+    /// Packet size on the wire, bytes.
+    pub mss: u32,
+    /// A-priori RTT estimate for algorithms that need one before the first
+    /// sample (PCC's starting rate, paced-TCP's initial pacing rate).
+    pub rtt_hint: SimDuration,
+}
+
+impl Default for CcParams {
+    fn default() -> Self {
+        CcParams {
+            mss: 1500,
+            rtt_hint: SimDuration::from_millis(100),
+        }
+    }
+}
+
+impl CcParams {
+    /// Set the RTT hint.
+    pub fn with_rtt_hint(mut self, rtt: SimDuration) -> Self {
+        self.rtt_hint = rtt;
+        self
+    }
+
+    /// Set the MSS.
+    pub fn with_mss(mut self, mss: u32) -> Self {
+        self.mss = mss;
+        self
+    }
+}
+
+/// A named algorithm constructor.
+pub type CcFactory = Box<dyn Fn(&CcParams) -> Box<dyn CongestionControl> + Send + Sync>;
+
+/// Lookup failure: the requested name is not registered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownAlgorithm {
+    /// The name that failed to resolve.
+    pub name: String,
+    /// Names that *are* registered, sorted (empty if nothing registered
+    /// yet — a hint that no `register_algorithms()` ran).
+    pub known: Vec<String>,
+}
+
+impl std::fmt::Display for UnknownAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.known.is_empty() {
+            write!(
+                f,
+                "unknown congestion-control algorithm `{}` (registry is empty — was \
+                 install_registry()/register_algorithms() called?)",
+                self.name
+            )
+        } else {
+            write!(
+                f,
+                "unknown congestion-control algorithm `{}`; registered: {}",
+                self.name,
+                self.known.join(", ")
+            )
+        }
+    }
+}
+
+impl std::error::Error for UnknownAlgorithm {}
+
+fn table() -> &'static RwLock<BTreeMap<String, Arc<CcFactory>>> {
+    static TABLE: OnceLock<RwLock<BTreeMap<String, Arc<CcFactory>>>> = OnceLock::new();
+    TABLE.get_or_init(|| RwLock::new(BTreeMap::new()))
+}
+
+/// Register (or replace) a named algorithm factory.
+pub fn register(name: &str, factory: CcFactory) {
+    table()
+        .write()
+        .expect("registry poisoned")
+        .insert(name.to_string(), Arc::new(factory));
+}
+
+/// Register the same factory under an alias.
+pub fn register_alias(alias: &str, target: &str) {
+    let target = target.to_string();
+    register(
+        alias,
+        Box::new(move |params| {
+            by_name(&target, params).expect("alias target registered before alias")
+        }),
+    );
+}
+
+/// Construct an algorithm by name. Unknown names are a typed error, never
+/// a panic.
+pub fn by_name(
+    name: &str,
+    params: &CcParams,
+) -> Result<Box<dyn CongestionControl>, UnknownAlgorithm> {
+    // Clone the factory handle and drop the guard *before* invoking it:
+    // alias factories re-enter `by_name`, and a recursive read acquisition
+    // can deadlock std's RwLock whenever a writer is queued between them.
+    let resolved = {
+        let table = table().read().expect("registry poisoned");
+        match table.get(name) {
+            Some(factory) => Ok(Arc::clone(factory)),
+            None => Err(UnknownAlgorithm {
+                name: name.to_string(),
+                known: table.keys().cloned().collect(),
+            }),
+        }
+    };
+    resolved.map(|factory| factory(params))
+}
+
+/// All registered names, sorted.
+pub fn names() -> Vec<String> {
+    table()
+        .read()
+        .expect("registry poisoned")
+        .keys()
+        .cloned()
+        .collect()
+}
+
+/// True if `name` is registered.
+pub fn contains(name: &str) -> bool {
+    table()
+        .read()
+        .expect("registry poisoned")
+        .contains_key(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::{AckEvent, Ctx, LossEvent};
+
+    struct Dummy;
+    impl CongestionControl for Dummy {
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.set_rate(1e6);
+        }
+        fn on_ack(&mut self, _ack: &AckEvent, _ctx: &mut Ctx) {}
+        fn on_loss(&mut self, _loss: &LossEvent, _ctx: &mut Ctx) {}
+    }
+
+    #[test]
+    fn lookup_roundtrip_and_typed_error() {
+        register("test-dummy", Box::new(|_| Box::new(Dummy)));
+        let cc = by_name("test-dummy", &CcParams::default()).expect("registered");
+        assert_eq!(cc.name(), "dummy");
+
+        let err = match by_name("no-such-algo", &CcParams::default()) {
+            Ok(_) => panic!("lookup must fail"),
+            Err(e) => e,
+        };
+        assert_eq!(err.name, "no-such-algo");
+        assert!(err.known.contains(&"test-dummy".to_string()));
+        let msg = err.to_string();
+        assert!(msg.contains("no-such-algo"), "{msg}");
+    }
+
+    #[test]
+    fn aliases_resolve_to_target() {
+        register("test-target", Box::new(|_| Box::new(Dummy)));
+        register_alias("test-alias", "test-target");
+        let cc = by_name("test-alias", &CcParams::default()).expect("alias works");
+        assert_eq!(cc.name(), "dummy");
+        assert!(contains("test-alias"));
+    }
+}

@@ -350,7 +350,9 @@ mod tests {
         assert!(sb.is_lost(0));
         assert_eq!(sb.total_losses(), 1);
         // A second scan declares nothing new.
-        assert!(sb.detect_losses(t(41), SimDuration::from_secs(60)).is_empty());
+        assert!(sb
+            .detect_losses(t(41), SimDuration::from_secs(60))
+            .is_empty());
     }
 
     #[test]
@@ -367,7 +369,9 @@ mod tests {
         // Retransmit seq 0; it's back in flight and immune to the
         // reordering rule (retx_count > 0)...
         sb.on_send(0, t(31), true);
-        assert!(sb.detect_losses(t(32), SimDuration::from_secs(60)).is_empty());
+        assert!(sb
+            .detect_losses(t(32), SimDuration::from_secs(60))
+            .is_empty());
         // ...but a timeout declares it lost again.
         let lost = sb.detect_losses(t(300), SimDuration::from_millis(200));
         assert_eq!(lost, vec![0]);
@@ -461,7 +465,7 @@ mod proptests {
             let mut now = SimTime::ZERO;
             let mut next_ackable = 0u64;
             for op in script {
-                now = now + SimDuration::from_millis(1);
+                now += SimDuration::from_millis(1);
                 match op {
                     0 => {
                         let seq = sb.next_seq();

@@ -1,0 +1,1069 @@
+//! The one sender engine.
+//!
+//! [`CcSender`] hosts any [`CongestionControl`] algorithm and enforces
+//! whichever operating point the algorithm requests through its
+//! [`Effects`](crate::cc::Effects): a pacing rate, a congestion window, or
+//! both. This collapses the seed design's two engines (`RateSender` /
+//! `WindowSender`) into one, so *any* algorithm runs on *any* datapath —
+//! the paper's §3 split between dumb sending machinery and pluggable
+//! control intelligence, taken to its conclusion.
+//!
+//! What the algorithm sets in `on_start` engages the matching machinery:
+//!
+//! * **rate only** (PCC, SABUL, PCP): packets are paced at the requested
+//!   rate; losses are declared by a periodic SRTT-clocked scan over the
+//!   SACK scoreboard (user-space transports are not bound by TCP's
+//!   conservative RTO conventions, so the default loss-declaration floor
+//!   is 10 ms);
+//! * **cwnd only** (the TCP variants): classic ack-clocked transmission
+//!   with segmentation-offload burstiness, fast-retransmit recovery
+//!   episodes, and an RTO timer with exponential backoff (200 ms floor, the
+//!   Linux default the paper's incast experiment depends on);
+//! * **both** (paced TCP, BBR-style hybrids): paced release *gated* by the
+//!   window, with the full TCP loss machinery.
+//!
+//! Reliability (SACK scoreboard + retransmission) is engine business in
+//! every mode; algorithms only decide how fast data may leave.
+
+use std::collections::VecDeque;
+
+use pcc_simnet::endpoint::{Endpoint, EndpointCtx};
+use pcc_simnet::packet::Packet;
+use pcc_simnet::time::{SimDuration, SimTime};
+
+use crate::cc::{AckEvent, CongestionControl, Ctx, Effects, LossEvent, LossKind, SentEvent};
+use crate::flow::TransportConfig;
+use crate::rtt::RttEstimator;
+use crate::sack::Scoreboard;
+
+/// Engine knobs (transport machinery, not algorithm parameters).
+#[derive(Clone, Copy, Debug)]
+pub struct CcSenderConfig {
+    /// Transport basics (MSS, flow size).
+    pub transport: TransportConfig,
+    /// Hard cap on packets in flight (memory guard; generously above any
+    /// BDP in the evaluation). Applies in every mode.
+    pub max_in_flight: u64,
+    /// Floor for the retransmission timeout. `None` picks the mode default
+    /// once the algorithm has declared itself: 200 ms when it drives a
+    /// congestion window (TCP's convention — the incast experiment depends
+    /// on it), 10 ms for pure rate control (PCC's monitor resolves packet
+    /// fates at MI+RTT granularity, §3.1).
+    pub min_rto: Option<SimDuration>,
+    /// Receiver-window-like clamp on the effective window, packets. Real
+    /// stacks are bounded by the advertised window; 20 000 packets (30 MB)
+    /// models a well-tuned host and comfortably exceeds every BDP in the
+    /// paper's evaluation (max 18 MB).
+    pub max_cwnd_pkts: f64,
+    /// Segmentation-offload burst size in packets, for ack-clocked (cwnd,
+    /// unpaced) operation. Paper-era kernels hand the NIC up to 64 KB
+    /// (≈44 MSS) per TSO/GSO chunk, which leaves the host at line rate
+    /// back-to-back; this burstiness — not the congestion window math — is
+    /// what murders TCP on shallow buffers (Figs. 6/9, Table 1). `1`
+    /// disables aggregation. Irrelevant whenever a pacing rate is set
+    /// (pacing exists precisely to kill these bursts).
+    pub tso_burst_pkts: u32,
+    /// How long segments may wait for a burst to fill before the NIC
+    /// flushes anyway (models the offload flush timer).
+    pub tso_flush: SimDuration,
+}
+
+impl Default for CcSenderConfig {
+    fn default() -> Self {
+        CcSenderConfig {
+            transport: TransportConfig::default(),
+            max_in_flight: 65_536,
+            min_rto: None,
+            max_cwnd_pkts: 20_000.0,
+            tso_burst_pkts: 44,
+            tso_flush: SimDuration::from_millis(1),
+        }
+    }
+}
+
+/// Mode defaults for the RTO floor (see [`CcSenderConfig::min_rto`]).
+pub const WINDOWED_MIN_RTO: SimDuration = SimDuration::from_millis(200);
+/// RTO floor for pure rate control.
+pub const RATE_MIN_RTO: SimDuration = SimDuration::from_millis(10);
+
+const TOKEN_KIND_SHIFT: u64 = 56;
+const TOKEN_PACE: u64 = 1 << TOKEN_KIND_SHIFT;
+const TOKEN_SCAN: u64 = 2 << TOKEN_KIND_SHIFT;
+/// Algorithm tokens are passed through with this tag.
+const TOKEN_CTRL: u64 = 3 << TOKEN_KIND_SHIFT;
+const TOKEN_RTO: u64 = 4 << TOKEN_KIND_SHIFT;
+const TOKEN_TSO: u64 = 5 << TOKEN_KIND_SHIFT;
+const TOKEN_GEN_MASK: u64 = (1 << TOKEN_KIND_SHIFT) - 1;
+
+/// The unified sender endpoint: reliability + transmission scheduling
+/// around a [`CongestionControl`] algorithm.
+pub struct CcSender {
+    cfg: CcSenderConfig,
+    cc: Box<dyn CongestionControl>,
+    sb: Scoreboard,
+    rtt: RttEstimator,
+    retx_queue: VecDeque<u64>,
+    /// Pacing rate, bits/sec; `Some` iff the algorithm drives a rate.
+    rate_bps: Option<f64>,
+    /// Congestion window, packets; `Some` iff the algorithm drives a cwnd.
+    cwnd_pkts: Option<f64>,
+    /// While `Some`, a recovery episode is active until cum-ack passes it
+    /// (windowed machinery only).
+    recovery_point: Option<u64>,
+    rto_gen: u64,
+    rto_backoff: u32,
+    pace_gen: u64,
+    pace_armed: bool,
+    scan_armed: bool,
+    tso_gen: u64,
+    tso_armed: bool,
+    finished: bool,
+    last_rate_report: (SimTime, f64),
+    effects: Effects,
+}
+
+impl CcSender {
+    /// Build a sender around a congestion-control algorithm.
+    pub fn new(cfg: CcSenderConfig, cc: Box<dyn CongestionControl>) -> Self {
+        CcSender {
+            cfg,
+            cc,
+            sb: Scoreboard::new(),
+            // Replaced in `start()` once the algorithm has declared its
+            // mode (the RTO floor differs between modes).
+            rtt: RttEstimator::new(RATE_MIN_RTO, SimDuration::from_secs(120)),
+            retx_queue: VecDeque::new(),
+            rate_bps: None,
+            cwnd_pkts: None,
+            recovery_point: None,
+            rto_gen: 0,
+            rto_backoff: 0,
+            pace_gen: 0,
+            pace_armed: false,
+            scan_armed: false,
+            tso_gen: 0,
+            tso_armed: false,
+            finished: false,
+            last_rate_report: (SimTime::MAX, 0.0),
+            effects: Effects::default(),
+        }
+    }
+
+    /// The algorithm's name.
+    pub fn cc_name(&self) -> &'static str {
+        self.cc.name()
+    }
+
+    /// Current pacing rate in bits/sec, if the algorithm drives one.
+    pub fn rate_bps(&self) -> Option<f64> {
+        self.rate_bps
+    }
+
+    /// Current congestion window in packets, if the algorithm drives one.
+    pub fn cwnd_pkts(&self) -> Option<f64> {
+        self.cwnd_pkts
+    }
+
+    /// Total losses the scoreboard has declared.
+    pub fn losses(&self) -> u64 {
+        self.sb.total_losses()
+    }
+
+    fn mss(&self) -> u32 {
+        self.cfg.transport.mss
+    }
+
+    /// The algorithm drives a pacing rate.
+    fn paced(&self) -> bool {
+        self.rate_bps.is_some()
+    }
+
+    /// The algorithm drives a congestion window (engages TCP loss
+    /// machinery: recovery episodes, RTO backoff).
+    fn windowed(&self) -> bool {
+        self.cwnd_pkts.is_some()
+    }
+
+    fn in_recovery(&self) -> bool {
+        self.recovery_point.is_some()
+    }
+
+    /// Effective in-flight limit right now: the memory guard, tightened by
+    /// the congestion window when the algorithm drives one.
+    fn flight_limit(&self) -> u64 {
+        let mut limit = self.cfg.max_in_flight;
+        if let Some(cwnd) = self.cwnd_pkts {
+            limit = limit.min(cwnd.max(1.0).min(self.cfg.max_cwnd_pkts) as u64);
+        }
+        limit
+    }
+
+    /// Rate to report for windowed algorithms without an explicit pacing
+    /// rate: the classic `cwnd/SRTT` estimate.
+    fn derived_rate(&self) -> f64 {
+        match self.rate_bps {
+            Some(r) => r,
+            None => {
+                let srtt = self.rtt.srtt_or(SimDuration::from_millis(100));
+                let cwnd = self.cwnd_pkts.unwrap_or(1.0).min(self.cfg.max_cwnd_pkts);
+                cwnd * self.mss() as f64 * 8.0 / srtt.as_secs_f64().max(1e-6)
+            }
+        }
+    }
+
+    fn pace_gap(&self) -> SimDuration {
+        let rate = self.rate_bps.unwrap_or(1.0).max(1.0);
+        SimDuration::from_secs_f64(self.mss() as f64 * 8.0 / rate)
+    }
+
+    fn has_work(&self) -> bool {
+        !self.retx_queue.is_empty()
+            || !self
+                .cfg
+                .transport
+                .size
+                .exhausted(self.sb.next_seq(), self.mss())
+    }
+
+    /// Apply rate/cwnd changes and timers the algorithm requested.
+    fn apply_effects(&mut self, ctx: &mut EndpointCtx) {
+        let (rate, cwnd, timers) = self.effects.drain();
+        if let Some(rate) = rate {
+            if self.rate_bps != Some(rate) {
+                self.rate_bps = Some(rate);
+                if self.windowed() {
+                    // Hybrid algorithms update the rate every ACK; keep the
+                    // throttled reporting path so samples stay bounded.
+                    self.report_rate(ctx);
+                } else {
+                    ctx.record_rate(rate);
+                }
+            }
+        }
+        if let Some(cwnd) = cwnd {
+            self.cwnd_pkts = Some(cwnd);
+        }
+        for (at, token) in timers {
+            debug_assert!(token <= TOKEN_GEN_MASK, "algorithm token too large");
+            ctx.set_timer(at, TOKEN_CTRL | (token & TOKEN_GEN_MASK));
+        }
+    }
+
+    fn with_cc(
+        &mut self,
+        ctx: &mut EndpointCtx,
+        f: impl FnOnce(&mut dyn CongestionControl, &mut Ctx),
+    ) {
+        let mut effects = std::mem::take(&mut self.effects);
+        {
+            let mut cc = Ctx::new(ctx.now, ctx.rng(), &mut effects);
+            f(self.cc.as_mut(), &mut cc);
+        }
+        self.effects = effects;
+        self.apply_effects(ctx);
+    }
+
+    /// Transmit one packet (retransmissions first). Returns false if there
+    /// was nothing to send.
+    fn send_one(&mut self, ctx: &mut EndpointCtx) -> bool {
+        // Skip retx entries that got acked (or un-lost) while queued.
+        while let Some(&seq) = self.retx_queue.front() {
+            if self.sb.is_acked(seq) || !self.sb.is_lost(seq) {
+                self.retx_queue.pop_front();
+                continue;
+            }
+            self.retx_queue.pop_front();
+            self.sb.on_send(seq, ctx.now, true);
+            ctx.send_data(seq, self.mss(), true);
+            let ev = SentEvent {
+                now: ctx.now,
+                seq,
+                bytes: self.mss(),
+                retx: true,
+                in_flight: self.sb.in_flight(),
+            };
+            self.with_cc(ctx, |c, cc| c.on_sent(&ev, cc));
+            return true;
+        }
+        let next = self.sb.next_seq();
+        if self.cfg.transport.size.exhausted(next, self.mss()) {
+            return false;
+        }
+        self.sb.on_send(next, ctx.now, false);
+        match self.cc.probe_tag() {
+            Some(train) => ctx.send_probe(next, self.mss(), train),
+            None => ctx.send_data(next, self.mss(), false),
+        }
+        let ev = SentEvent {
+            now: ctx.now,
+            seq: next,
+            bytes: self.mss(),
+            retx: false,
+            in_flight: self.sb.in_flight(),
+        };
+        self.with_cc(ctx, |c, cc| c.on_sent(&ev, cc));
+        true
+    }
+
+    // ---- paced release ---------------------------------------------------
+
+    fn arm_pacer(&mut self, ctx: &mut EndpointCtx, at: SimTime) {
+        self.pace_gen += 1;
+        self.pace_armed = true;
+        ctx.set_timer(at, TOKEN_PACE | (self.pace_gen & TOKEN_GEN_MASK));
+    }
+
+    fn on_pace_tick(&mut self, ctx: &mut EndpointCtx) {
+        self.pace_armed = false;
+        if self.finished {
+            return;
+        }
+        if self.sb.in_flight() >= self.flight_limit() {
+            if self.windowed() {
+                // Window-blocked: the next ACK re-arms the pacer.
+                return;
+            }
+            // Flow-window blocked (memory guard); re-check one gap later.
+            self.arm_pacer(ctx, ctx.now + self.pace_gap());
+            return;
+        }
+        if self.send_one(ctx) {
+            if self.windowed() {
+                self.arm_rto(ctx);
+            }
+            if self.has_work() {
+                self.arm_pacer(ctx, ctx.now + self.pace_gap());
+            }
+        }
+        // If idle (nothing to send), the pacer re-arms when work arrives
+        // (ack opens window / retransmission queued).
+    }
+
+    /// Wake the pacer if it went idle and there is work (and window room)
+    /// again.
+    fn wake_pacer(&mut self, ctx: &mut EndpointCtx) {
+        if !self.finished
+            && !self.pace_armed
+            && self.has_work()
+            && self.sb.in_flight() < self.flight_limit()
+        {
+            self.arm_pacer(ctx, ctx.now);
+        }
+    }
+
+    // ---- ack-clocked release (cwnd without a pacing rate) ----------------
+
+    /// New packets the window and remaining data allow right now.
+    fn sendable_new(&self) -> u64 {
+        let room = self.flight_limit().saturating_sub(self.sb.in_flight());
+        match self.cfg.transport.size.packets(self.mss()) {
+            None => room,
+            Some(total) => room.min(total.saturating_sub(self.sb.next_seq())),
+        }
+    }
+
+    /// Fill the congestion window (ack-clocked mode) or wake the pacer.
+    ///
+    /// In ack-clocked mode, new data goes through segmentation-offload
+    /// aggregation: segments are released in bursts of `tso_burst_pkts`
+    /// (or after `tso_flush`), back-to-back — the burstiness of a real
+    /// offloading NIC. Retransmissions bypass aggregation.
+    fn try_send(&mut self, ctx: &mut EndpointCtx) {
+        if self.finished {
+            return;
+        }
+        if self.paced() {
+            self.wake_pacer(ctx);
+            return;
+        }
+        // Loss repair is never held back by offload aggregation.
+        while !self.retx_queue.is_empty() && self.sb.in_flight() < self.flight_limit() {
+            if !self.send_one(ctx) {
+                break;
+            }
+        }
+        let burst = self.cfg.tso_burst_pkts.max(1) as u64;
+        let n = self.sendable_new();
+        if n > 0 {
+            let last_chunk = match self.cfg.transport.size.packets(self.mss()) {
+                Some(total) => self.sb.next_seq() + n >= total,
+                None => false,
+            };
+            if n >= burst || last_chunk {
+                for _ in 0..n {
+                    if !self.send_one(ctx) {
+                        break;
+                    }
+                }
+            } else {
+                self.arm_tso_flush(ctx);
+            }
+        }
+        self.arm_rto(ctx);
+    }
+
+    fn arm_tso_flush(&mut self, ctx: &mut EndpointCtx) {
+        if self.tso_armed {
+            return;
+        }
+        self.tso_armed = true;
+        self.tso_gen += 1;
+        ctx.set_timer(
+            ctx.now + self.cfg.tso_flush,
+            TOKEN_TSO | (self.tso_gen & TOKEN_GEN_MASK),
+        );
+    }
+
+    fn on_tso_flush(&mut self, ctx: &mut EndpointCtx) {
+        self.tso_armed = false;
+        if self.finished || self.paced() {
+            return;
+        }
+        let n = self.sendable_new();
+        for _ in 0..n {
+            if !self.send_one(ctx) {
+                break;
+            }
+        }
+        if n > 0 {
+            self.arm_rto(ctx);
+        }
+    }
+
+    // ---- loss machinery --------------------------------------------------
+
+    /// Declare losses via the scoreboard and notify the algorithm. The
+    /// windowed machinery additionally tracks recovery episodes.
+    fn scan_losses(&mut self, ctx: &mut EndpointCtx) {
+        let rto = self.rtt.rto();
+        let lost = self.sb.detect_losses(ctx.now, rto);
+        if lost.is_empty() {
+            return;
+        }
+        ctx.record_loss(lost.len() as u64);
+        let new_episode = if self.windowed() {
+            if self.in_recovery() {
+                false
+            } else {
+                self.recovery_point = Some(self.sb.next_seq());
+                true
+            }
+        } else {
+            true
+        };
+        self.retx_queue.extend(lost.iter().copied());
+        let ev = LossEvent {
+            now: ctx.now,
+            seqs: &lost,
+            kind: LossKind::Detected,
+            new_episode,
+            in_flight: self.sb.in_flight(),
+            mss: self.mss(),
+        };
+        self.with_cc(ctx, |c, cc| c.on_loss(&ev, cc));
+        if self.paced() {
+            self.wake_pacer(ctx);
+        }
+    }
+
+    fn arm_scan(&mut self, ctx: &mut EndpointCtx) {
+        if self.scan_armed || self.finished {
+            return;
+        }
+        self.scan_armed = true;
+        let interval = self
+            .rtt
+            .srtt_or(SimDuration::from_millis(100))
+            .max(SimDuration::from_millis(10));
+        ctx.set_timer(ctx.now + interval, TOKEN_SCAN);
+    }
+
+    fn arm_rto(&mut self, ctx: &mut EndpointCtx) {
+        if self.sb.in_flight() == 0 && self.retx_queue.is_empty() {
+            return;
+        }
+        self.rto_gen += 1;
+        let backoff = 1u64 << self.rto_backoff.min(6);
+        let at = ctx.now + SimDuration::from_nanos(self.rtt.rto().as_nanos() * backoff);
+        ctx.set_timer(at, TOKEN_RTO | (self.rto_gen & TOKEN_GEN_MASK));
+    }
+
+    fn on_rto_fire(&mut self, ctx: &mut EndpointCtx) {
+        if self.finished || (self.sb.in_flight() == 0 && self.retx_queue.is_empty()) {
+            return;
+        }
+        self.rto_backoff += 1;
+        let lost = self.sb.mark_all_lost();
+        ctx.record_loss(lost.len() as u64);
+        self.retx_queue.clear();
+        self.retx_queue.extend(lost.iter().copied());
+        // RTO aborts any recovery episode; slow-start restart.
+        self.recovery_point = None;
+        let ev = LossEvent {
+            now: ctx.now,
+            seqs: &lost,
+            kind: LossKind::Timeout,
+            new_episode: true,
+            in_flight: self.sb.in_flight(),
+            mss: self.mss(),
+        };
+        self.with_cc(ctx, |c, cc| c.on_loss(&ev, cc));
+        self.report_rate(ctx);
+        self.try_send(ctx);
+        self.arm_rto(ctx);
+    }
+
+    // ---- reporting / completion -----------------------------------------
+
+    fn report_rate(&mut self, ctx: &mut EndpointCtx) {
+        let rate = self.derived_rate();
+        let (last_t, last_r) = self.last_rate_report;
+        let due = last_t == SimTime::MAX
+            || ctx.now.saturating_since(last_t) >= SimDuration::from_millis(100)
+            || (last_r > 0.0 && ((rate - last_r) / last_r).abs() > 0.05);
+        if due {
+            self.last_rate_report = (ctx.now, rate);
+            ctx.record_rate(rate);
+        }
+    }
+
+    fn check_finished(&mut self, ctx: &mut EndpointCtx) {
+        if self.finished {
+            return;
+        }
+        if let Some(total) = self.cfg.transport.size.packets(self.mss()) {
+            if self.sb.all_acked_below(total) {
+                self.finished = true;
+                ctx.finish();
+            }
+        }
+    }
+}
+
+impl Endpoint for CcSender {
+    fn start(&mut self, ctx: &mut EndpointCtx) {
+        self.with_cc(ctx, |c, cc| c.on_start(cc));
+        assert!(
+            self.rate_bps.is_some() || self.cwnd_pkts.is_some(),
+            "algorithm `{}` set neither a rate nor a cwnd in on_start",
+            self.cc.name()
+        );
+        // The RTO floor convention differs between user-space rate control
+        // and TCP-style window control; honour an explicit override.
+        let min_rto = self.cfg.min_rto.unwrap_or(if self.windowed() {
+            WINDOWED_MIN_RTO
+        } else {
+            RATE_MIN_RTO
+        });
+        self.rtt = RttEstimator::new(min_rto, SimDuration::from_secs(120));
+        if let Some(rate) = self.rate_bps {
+            ctx.record_rate(rate);
+            self.arm_pacer(ctx, ctx.now);
+        }
+        if self.windowed() {
+            if !self.paced() {
+                self.report_rate(ctx);
+                self.try_send(ctx);
+            }
+            self.arm_rto(ctx);
+        } else {
+            self.arm_scan(ctx);
+        }
+    }
+
+    fn on_packet(&mut self, pkt: &Packet, ctx: &mut EndpointCtx) {
+        let Some(info) = pkt.as_ack() else {
+            debug_assert!(false, "sender got non-ACK");
+            return;
+        };
+        let out = self.sb.on_ack(info, ctx.now);
+        if let Some(rtt) = out.rtt {
+            self.rtt.on_sample(rtt);
+            ctx.record_rtt(rtt);
+            if self.windowed() {
+                self.rto_backoff = 0;
+            }
+        }
+        // Loss detection (reordering threshold / deadline), both modes.
+        self.scan_losses(ctx);
+        // Recovery exit: cumulative ack passed the recovery point.
+        if let Some(rp) = self.recovery_point {
+            if self.sb.cum_ack() >= rp {
+                self.recovery_point = None;
+            }
+        }
+        if out.rtt.is_some() || out.newly_acked > 0 {
+            let fallback = self.rtt.srtt_or(SimDuration::from_millis(100));
+            let ack = AckEvent {
+                now: ctx.now,
+                seq: info.acked_seq,
+                rtt: out.rtt.unwrap_or(fallback),
+                sampled: out.rtt.is_some(),
+                srtt: fallback,
+                min_rtt: self.rtt.min_rtt().unwrap_or(fallback),
+                max_rtt: self.rtt.max_rtt().unwrap_or(fallback),
+                recv_at: info.recv_at,
+                probe_train: info.probe_train,
+                of_retx: info.of_retx,
+                cum_ack: info.cum_ack,
+                newly_acked: out.newly_acked.min(u32::MAX as u64) as u32,
+                in_flight: self.sb.in_flight(),
+                mss: self.mss(),
+                in_recovery: self.in_recovery(),
+            };
+            self.with_cc(ctx, |c, cc| c.on_ack(&ack, cc));
+        }
+        if self.windowed() {
+            self.report_rate(ctx);
+        }
+        self.check_finished(ctx);
+        if self.paced() {
+            self.wake_pacer(ctx);
+        } else {
+            self.try_send(ctx);
+        }
+        if self.windowed() && out.newly_acked > 0 {
+            self.arm_rto(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut EndpointCtx) {
+        let kind = token & !TOKEN_GEN_MASK;
+        let gen = token & TOKEN_GEN_MASK;
+        match kind {
+            TOKEN_PACE => {
+                if gen == (self.pace_gen & TOKEN_GEN_MASK) {
+                    self.on_pace_tick(ctx);
+                }
+            }
+            TOKEN_SCAN => {
+                self.scan_armed = false;
+                self.scan_losses(ctx);
+                self.arm_scan(ctx);
+            }
+            TOKEN_CTRL => {
+                self.with_cc(ctx, |c, cc| c.on_timer(gen, cc));
+                if self.paced() {
+                    self.wake_pacer(ctx);
+                } else {
+                    self.try_send(ctx);
+                }
+            }
+            TOKEN_RTO => {
+                if gen == (self.rto_gen & TOKEN_GEN_MASK) {
+                    self.on_rto_fire(ctx);
+                }
+            }
+            TOKEN_TSO => {
+                if gen == (self.tso_gen & TOKEN_GEN_MASK) {
+                    self.on_tso_flush(ctx);
+                }
+            }
+            _ => debug_assert!(false, "unknown timer token"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::Ctx;
+    use crate::flow::FlowSize;
+    use crate::receiver::SackReceiver;
+    use pcc_simnet::link::LinkConfig;
+    use pcc_simnet::prelude::*;
+
+    /// Fixed-rate algorithm for engine tests (pure rate mode).
+    struct FixedRate {
+        bps: f64,
+        acks: u64,
+        losses: u64,
+        sent: u64,
+    }
+
+    impl FixedRate {
+        fn new(bps: f64) -> Self {
+            FixedRate {
+                bps,
+                acks: 0,
+                losses: 0,
+                sent: 0,
+            }
+        }
+    }
+
+    impl CongestionControl for FixedRate {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.set_rate(self.bps);
+        }
+        fn on_sent(&mut self, _ev: &SentEvent, _ctx: &mut Ctx) {
+            self.sent += 1;
+        }
+        fn on_ack(&mut self, _ack: &AckEvent, _ctx: &mut Ctx) {
+            self.acks += 1;
+        }
+        fn on_loss(&mut self, loss: &LossEvent, _ctx: &mut Ctx) {
+            self.losses += loss.seqs.len() as u64;
+        }
+    }
+
+    /// Minimal Reno-like algorithm for engine tests (pure window mode; the
+    /// real variants live in `pcc-tcp`).
+    struct MiniReno {
+        cwnd: f64,
+        ssthresh: f64,
+    }
+
+    impl MiniReno {
+        fn new() -> Self {
+            MiniReno {
+                cwnd: 10.0,
+                ssthresh: f64::MAX,
+            }
+        }
+    }
+
+    impl CongestionControl for MiniReno {
+        fn name(&self) -> &'static str {
+            "mini-reno"
+        }
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.set_cwnd(self.cwnd);
+        }
+        fn on_ack(&mut self, ack: &AckEvent, ctx: &mut Ctx) {
+            if ack.newly_acked == 0 || ack.in_recovery {
+                return;
+            }
+            for _ in 0..ack.newly_acked {
+                if self.cwnd < self.ssthresh {
+                    self.cwnd += 1.0;
+                } else {
+                    self.cwnd += 1.0 / self.cwnd;
+                }
+            }
+            ctx.set_cwnd(self.cwnd);
+        }
+        fn on_loss(&mut self, loss: &LossEvent, ctx: &mut Ctx) {
+            match loss.kind {
+                LossKind::Detected => {
+                    if loss.new_episode {
+                        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+                        self.cwnd = self.ssthresh;
+                    }
+                }
+                LossKind::Timeout => {
+                    self.ssthresh = (self.cwnd / 2.0).max(2.0);
+                    self.cwnd = 1.0;
+                }
+            }
+            ctx.set_cwnd(self.cwnd);
+        }
+    }
+
+    /// Hybrid: MiniReno window plus an explicit pacing rate `cwnd/SRTT` —
+    /// what the seed engine needed a config flag for is now two effects.
+    struct PacedMiniReno {
+        inner: MiniReno,
+    }
+
+    impl CongestionControl for PacedMiniReno {
+        fn name(&self) -> &'static str {
+            "mini-reno-paced"
+        }
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            self.inner.on_start(ctx);
+            ctx.set_rate(self.inner.cwnd * 1500.0 * 8.0 / 0.1);
+        }
+        fn on_ack(&mut self, ack: &AckEvent, ctx: &mut Ctx) {
+            self.inner.on_ack(ack, ctx);
+            let srtt = ack.srtt.as_secs_f64().max(1e-6);
+            ctx.set_rate(self.inner.cwnd * ack.mss as f64 * 8.0 / srtt);
+        }
+        fn on_loss(&mut self, loss: &LossEvent, ctx: &mut Ctx) {
+            self.inner.on_loss(loss, ctx);
+            let srtt = SimDuration::from_millis(100).as_secs_f64();
+            ctx.set_rate(self.inner.cwnd * loss.mss as f64 * 8.0 / srtt);
+        }
+    }
+
+    fn net(seed: u64) -> NetworkBuilder {
+        NetworkBuilder::new(SimConfig {
+            sample_interval: SimDuration::from_millis(100),
+            seed,
+        })
+    }
+
+    fn run_fixed(
+        ctrl_bps: f64,
+        link_mbps: f64,
+        loss: f64,
+        secs: u64,
+        size: FlowSize,
+        seed: u64,
+    ) -> (SimReport, FlowId) {
+        let mut net = net(seed);
+        let db = Dumbbell::new(
+            &mut net,
+            BottleneckSpec::new(link_mbps * 1e6, 64_000).with_loss(loss),
+        );
+        let path = db.attach_flow(&mut net, SimDuration::from_millis(30));
+        let cfg = CcSenderConfig {
+            transport: TransportConfig { mss: 1500, size },
+            ..Default::default()
+        };
+        let flow = net.add_flow(FlowSpec {
+            sender: Box::new(CcSender::new(cfg, Box::new(FixedRate::new(ctrl_bps)))),
+            receiver: Box::new(SackReceiver::new()),
+            fwd_path: path.fwd,
+            rev_path: path.rev,
+            start_at: SimTime::ZERO,
+        });
+        (net.build().run_until(SimTime::from_secs(secs)), flow)
+    }
+
+    fn run_tcp(
+        rate_mbps: f64,
+        rtt_ms: u64,
+        buffer: u64,
+        loss: f64,
+        secs: u64,
+        size: FlowSize,
+        paced: bool,
+    ) -> (SimReport, FlowId) {
+        let mut net = net(12);
+        let db = Dumbbell::new(
+            &mut net,
+            BottleneckSpec::new(rate_mbps * 1e6, buffer).with_loss(loss),
+        );
+        let path = db.attach_flow(&mut net, SimDuration::from_millis(rtt_ms));
+        let cfg = CcSenderConfig {
+            transport: TransportConfig { mss: 1500, size },
+            ..Default::default()
+        };
+        let cc: Box<dyn CongestionControl> = if paced {
+            Box::new(PacedMiniReno {
+                inner: MiniReno::new(),
+            })
+        } else {
+            Box::new(MiniReno::new())
+        };
+        let flow = net.add_flow(FlowSpec {
+            sender: Box::new(CcSender::new(cfg, cc)),
+            receiver: Box::new(SackReceiver::new()),
+            fwd_path: path.fwd,
+            rev_path: path.rev,
+            start_at: SimTime::ZERO,
+        });
+        (net.build().run_until(SimTime::from_secs(secs)), flow)
+    }
+
+    // ---- rate mode (the seed RateSender suite) ---------------------------
+
+    #[test]
+    fn paces_at_requested_rate() {
+        let (report, flow) = run_fixed(5e6, 100.0, 0.0, 10, FlowSize::Infinite, 1);
+        let tput = report.avg_throughput_mbps(flow, SimTime::from_secs(1), SimTime::from_secs(10));
+        assert!((tput - 5.0).abs() < 0.25, "paced at 5 Mbps, got {tput}");
+    }
+
+    #[test]
+    fn overdriving_pins_at_bottleneck() {
+        let (report, flow) = run_fixed(50e6, 10.0, 0.0, 10, FlowSize::Infinite, 2);
+        let tput = report.avg_throughput_mbps(flow, SimTime::from_secs(1), SimTime::from_secs(10));
+        assert!((tput - 10.0).abs() < 0.5, "pinned at 10 Mbps, got {tput}");
+    }
+
+    #[test]
+    fn sized_flow_completes_under_loss() {
+        let (report, flow) = run_fixed(10e6, 100.0, 0.1, 30, FlowSize::kb(256), 3);
+        let st = &report.flows[flow.index()];
+        assert!(
+            st.completed_at.is_some(),
+            "reliability: 256 KB must complete despite 10% loss"
+        );
+        assert!(st.detected_losses > 0);
+    }
+
+    #[test]
+    fn detects_losses_close_to_link_rate() {
+        let (report, flow) = run_fixed(20e6, 100.0, 0.05, 10, FlowSize::Infinite, 4);
+        let st = &report.flows[flow.index()];
+        let detected = st.detected_losses as f64;
+        let sent = st.sent_packets as f64;
+        let rate = detected / sent;
+        assert!(
+            (rate - 0.05).abs() < 0.015,
+            "detected loss fraction {rate} vs configured 0.05"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_fixed(8e6, 10.0, 0.02, 5, FlowSize::Infinite, 77).0;
+        let b = run_fixed(8e6, 10.0, 0.02, 5, FlowSize::Infinite, 77).0;
+        assert_eq!(a.flows[0].delivered_bytes, b.flows[0].delivered_bytes);
+        assert_eq!(a.flows[0].detected_losses, b.flows[0].detected_losses);
+        assert_eq!(a.events_processed, b.events_processed);
+    }
+
+    // ---- window mode (the seed WindowSender suite) -----------------------
+
+    #[test]
+    fn fills_clean_pipe() {
+        // 10 Mbps, 30 ms RTT, BDP buffer: Reno should keep the pipe full.
+        let (report, flow) = run_tcp(10.0, 30, 37_500, 0.0, 10, FlowSize::Infinite, false);
+        let tput = report.avg_throughput_mbps(flow, SimTime::from_secs(2), SimTime::from_secs(10));
+        assert!(tput > 9.0, "utilization {tput} Mbps of 10");
+    }
+
+    #[test]
+    fn recovers_from_random_loss() {
+        // With 0.1% loss the flow must keep making progress (not stall).
+        let (report, flow) = run_tcp(10.0, 30, 37_500, 0.001, 20, FlowSize::Infinite, false);
+        let tput = report.avg_throughput_mbps(flow, SimTime::from_secs(5), SimTime::from_secs(20));
+        assert!(tput > 2.0, "progress under loss: {tput} Mbps");
+        assert!(report.flows[flow.index()].detected_losses > 0);
+    }
+
+    #[test]
+    fn sized_flow_completes_reliably_under_loss() {
+        // 100 KB across a 5% lossy link: every byte must eventually arrive.
+        let (report, flow) = run_tcp(10.0, 20, 37_500, 0.05, 30, FlowSize::kb(100), false);
+        let st = &report.flows[flow.index()];
+        assert!(st.completed_at.is_some(), "flow must complete");
+        assert_eq!(st.goodput_bytes, 100 * 1024 / 1500 * 1500 + 1500); // 69 pkts
+    }
+
+    #[test]
+    fn goodput_never_exceeds_sent_unique_data() {
+        let (report, flow) = run_tcp(5.0, 20, 18_750, 0.02, 10, FlowSize::Infinite, false);
+        let st = &report.flows[flow.index()];
+        assert!(st.goodput_bytes <= st.delivered_bytes);
+        assert!(st.delivered_packets <= st.sent_packets);
+    }
+
+    #[test]
+    fn survives_total_blackout_then_resumes() {
+        // Link dies (100% loss) for 2 s mid-flow; RTO backoff must not wedge
+        // the connection; after healing the flow resumes.
+        let mut net = net(99);
+        let mut sched = LinkSchedule::new();
+        sched.push(LinkStep {
+            at: SimTime::from_secs(3),
+            rate_bps: None,
+            delay: None,
+            loss: Some(1.0),
+        });
+        sched.push(LinkStep {
+            at: SimTime::from_secs(5),
+            rate_bps: None,
+            delay: None,
+            loss: Some(0.0),
+        });
+        let fwd = net.add_link(
+            LinkConfig::bottleneck(10e6, SimDuration::from_millis(10), 64_000).with_schedule(sched),
+        );
+        let rev = net.add_link(LinkConfig::delay_only(SimDuration::from_millis(10)));
+        let flow = net.add_flow(FlowSpec {
+            sender: Box::new(CcSender::new(
+                CcSenderConfig::default(),
+                Box::new(MiniReno::new()),
+            )),
+            receiver: Box::new(SackReceiver::new()),
+            fwd_path: vec![fwd],
+            rev_path: vec![rev],
+            start_at: SimTime::ZERO,
+        });
+        let report = net.build().run_until(SimTime::from_secs(12));
+        let resumed =
+            report.avg_throughput_mbps(flow, SimTime::from_secs(8), SimTime::from_secs(12));
+        assert!(resumed > 5.0, "flow resumed after blackout: {resumed} Mbps");
+    }
+
+    // ---- hybrid mode (rate + cwnd together) ------------------------------
+
+    #[test]
+    fn paced_window_moves_data() {
+        let (report, flow) = run_tcp(10.0, 30, 37_500, 0.0, 10, FlowSize::Infinite, true);
+        let tput = report.avg_throughput_mbps(flow, SimTime::from_secs(2), SimTime::from_secs(10));
+        assert!(tput > 8.0, "paced utilization {tput} Mbps of 10");
+    }
+
+    #[test]
+    fn pacing_smooths_queue_occupancy() {
+        // Paced TCP should have a lower peak backlog than burst TCP in slow
+        // start on a deep buffer.
+        let (burst, _) = run_tcp(10.0, 30, 1 << 20, 0.0, 5, FlowSize::Infinite, false);
+        let (paced, _) = run_tcp(10.0, 30, 1 << 20, 0.0, 5, FlowSize::Infinite, true);
+        let burst_peak = burst.links[0].queue.max_backlog_bytes;
+        let paced_peak = paced.links[0].queue.max_backlog_bytes;
+        assert!(
+            paced_peak <= burst_peak,
+            "paced peak {paced_peak} vs burst {burst_peak}"
+        );
+    }
+
+    #[test]
+    fn hybrid_respects_both_rate_and_window() {
+        // A huge rate with a tiny window: the window must cap throughput at
+        // ~cwnd/RTT, far below the requested rate.
+        struct TinyWindowBigRate;
+        impl CongestionControl for TinyWindowBigRate {
+            fn name(&self) -> &'static str {
+                "tiny-window"
+            }
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.set_rate(100e6);
+                ctx.set_cwnd(4.0);
+            }
+            fn on_ack(&mut self, _ack: &AckEvent, _ctx: &mut Ctx) {}
+            fn on_loss(&mut self, _loss: &LossEvent, _ctx: &mut Ctx) {}
+        }
+        let mut net = net(5);
+        let db = Dumbbell::new(&mut net, BottleneckSpec::new(100e6, 1 << 20));
+        let path = db.attach_flow(&mut net, SimDuration::from_millis(30));
+        let flow = net.add_flow(FlowSpec {
+            sender: Box::new(CcSender::new(
+                CcSenderConfig::default(),
+                Box::new(TinyWindowBigRate),
+            )),
+            receiver: Box::new(SackReceiver::new()),
+            fwd_path: path.fwd,
+            rev_path: path.rev,
+            start_at: SimTime::ZERO,
+        });
+        let report = net.build().run_until(SimTime::from_secs(5));
+        let tput = report.avg_throughput_mbps(flow, SimTime::from_secs(1), SimTime::from_secs(5));
+        // 4 pkts per 30 ms RTT = 1.6 Mbps; allow generous slack.
+        assert!(tput < 3.0, "window caps the paced rate: {tput} Mbps");
+        assert!(tput > 0.5, "data still flows: {tput} Mbps");
+    }
+
+    #[test]
+    #[should_panic(expected = "neither a rate nor a cwnd")]
+    fn algorithm_must_declare_operating_point() {
+        struct Lazy;
+        impl CongestionControl for Lazy {
+            fn name(&self) -> &'static str {
+                "lazy"
+            }
+            fn on_start(&mut self, _ctx: &mut Ctx) {}
+            fn on_ack(&mut self, _ack: &AckEvent, _ctx: &mut Ctx) {}
+            fn on_loss(&mut self, _loss: &LossEvent, _ctx: &mut Ctx) {}
+        }
+        let mut net = net(1);
+        let db = Dumbbell::new(&mut net, BottleneckSpec::new(10e6, 64_000));
+        let path = db.attach_flow(&mut net, SimDuration::from_millis(10));
+        net.add_flow(FlowSpec {
+            sender: Box::new(CcSender::new(CcSenderConfig::default(), Box::new(Lazy))),
+            receiver: Box::new(SackReceiver::new()),
+            fwd_path: path.fwd,
+            rev_path: path.rev,
+            start_at: SimTime::ZERO,
+        });
+        net.build().run_until(SimTime::from_secs(1));
+    }
+}

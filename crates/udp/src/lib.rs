@@ -1,14 +1,21 @@
-//! # pcc-udp — PCC over real UDP sockets
+//! # pcc-udp — congestion control over real UDP sockets
 //!
 //! The paper ships a user-space prototype on UDT that "can deliver real
-//! data today" (§1). This crate is that shape in Rust: a paced UDP sender
-//! driven by the *same* [`pcc_core::PccController`] object that runs in the
-//! simulator (real time mapped onto the controller's clock), with
-//! SACK-scoreboard reliability, plus a per-datagram-acking receiver.
+//! data today" (§1). This crate is that shape in Rust, generalized by the
+//! unified control API: a `std::net` UDP sender driven by *any*
+//! [`pcc_transport::CongestionControl`] — the same boxed object that runs
+//! in the simulator — with SACK-scoreboard reliability, plus a
+//! per-datagram-acking receiver. The engine enforces whatever the
+//! algorithm requests: a pacing rate (PCC, SABUL, PCP), a congestion
+//! window (any TCP baseline), or both (paced TCP).
+//!
+//! Resolve algorithms by name with [`send_named`] (via the workspace
+//! registry; unknown names are a typed error), or hand a constructed
+//! algorithm to [`send_with`].
 //!
 //! See `examples/udp_transfer.rs` at the workspace root for a loopback
-//! demonstration, and `crates/udp/tests/loopback.rs` for the integration
-//! test.
+//! demonstration (pick the algorithm on the command line), and
+//! `crates/udp/tests/loopback.rs` for the integration tests.
 
 #![warn(missing_docs)]
 
@@ -17,4 +24,6 @@ pub mod sender;
 pub mod wire;
 
 pub use receiver::{receive, ReceiverReport};
-pub use sender::{send_pcc, send_with, SenderReport, UdpSenderConfig};
+pub use sender::{
+    install_registry, send_named, send_pcc, send_with, SenderReport, UdpSenderConfig,
+};

@@ -2,11 +2,8 @@
 //! `SackReceiver` but over a real socket.
 
 use std::collections::BTreeSet;
-use std::net::SocketAddr;
+use std::net::{SocketAddr, UdpSocket};
 use std::time::Instant;
-
-use bytes::Bytes;
-use tokio::net::UdpSocket;
 
 use crate::wire::{decode, encode_ack, AckPacket, Frame};
 
@@ -23,16 +20,21 @@ pub struct ReceiverReport {
 
 /// Receive `expected_bytes` of payload on `socket`, acking every datagram,
 /// then return. The sender address is learned from the first datagram.
-pub async fn receive(socket: &UdpSocket, expected_bytes: u64) -> std::io::Result<ReceiverReport> {
+pub fn receive(socket: &UdpSocket, expected_bytes: u64) -> std::io::Result<ReceiverReport> {
     let start = Instant::now();
     let mut buf = vec![0u8; 65_536];
     let mut cum_ack = 0u64;
     let mut ooo: BTreeSet<u64> = BTreeSet::new();
     let mut report = ReceiverReport::default();
     let mut peer: Option<SocketAddr> = None;
+    socket.set_nonblocking(false)?;
     while report.unique_bytes < expected_bytes {
-        let (n, from) = socket.recv_from(&mut buf).await?;
-        let Some(Frame::Data(h, payload)) = decode(Bytes::copy_from_slice(&buf[..n])) else {
+        let (n, from) = match socket.recv_from(&mut buf) {
+            Ok(ok) => ok,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        let Some(Frame::Data(h, payload)) = decode(&buf[..n]) else {
             continue;
         };
         peer.get_or_insert(from);
@@ -54,7 +56,7 @@ pub async fn receive(socket: &UdpSocket, expected_bytes: u64) -> std::io::Result
             recv_us: start.elapsed().as_micros() as u64,
             of_retx: h.retx,
         };
-        socket.send_to(&encode_ack(&ack), from).await?;
+        socket.send_to(&encode_ack(&ack), from)?;
     }
     Ok(report)
 }

@@ -1,21 +1,27 @@
-//! The UDP sender: the paper's user-space prototype shape — a paced sender
-//! whose rate is dictated by a [`PccController`] (or any
-//! [`RateController`]), with SACK-scoreboard reliability. The controller is
-//! the *same object* that drives the simulator: real time is mapped onto
-//! [`SimTime`] and controller timers run on a tokio timer wheel.
+//! The UDP sender: the paper's user-space prototype shape — a sender whose
+//! transmission schedule is dictated by any [`CongestionControl`]
+//! algorithm, with SACK-scoreboard reliability. The algorithm is the *same
+//! object* that drives the simulator: real time is mapped onto [`SimTime`],
+//! algorithm timers run on a local timer heap, and the engine enforces
+//! whatever the algorithm requests — a pacing rate (PCC, SABUL, PCP), a
+//! congestion window (the TCP baselines), or both (paced TCP).
+//!
+//! Everything runs on blocking `std::net` sockets (non-blocking receive +
+//! short sleeps); no async runtime is required.
 
 use std::collections::{BinaryHeap, VecDeque};
-use std::net::SocketAddr;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, UdpSocket};
 use std::time::{Duration, Instant};
-
-use tokio::net::UdpSocket;
-use tokio::time::sleep_until;
 
 use pcc_core::{PccConfig, PccController};
 use pcc_simnet::packet::AckInfo;
 use pcc_simnet::rng::SimRng;
 use pcc_simnet::time::{SimDuration, SimTime};
-use pcc_transport::ratesender::{CtrlCtx, CtrlEffects, RateAck, RateController};
+use pcc_transport::cc::{
+    AckEvent, CongestionControl, Ctx, Effects, LossEvent, LossKind, SentEvent,
+};
+use pcc_transport::registry::{self, CcParams, UnknownAlgorithm};
 use pcc_transport::rtt::RttEstimator;
 use pcc_transport::sack::Scoreboard;
 
@@ -28,7 +34,7 @@ pub struct UdpSenderConfig {
     pub payload: usize,
     /// Total payload bytes to deliver.
     pub total_bytes: u64,
-    /// RNG seed for the controller's randomized trials.
+    /// RNG seed for the algorithm's randomized decisions.
     pub seed: u64,
 }
 
@@ -53,8 +59,10 @@ pub struct SenderReport {
     pub sent: u64,
     /// Losses detected.
     pub losses: u64,
-    /// Final controller rate, bits/sec.
+    /// Final pacing rate, bits/sec (0 for pure window algorithms).
     pub final_rate_bps: f64,
+    /// Final congestion window, packets (0 for pure rate algorithms).
+    pub final_cwnd_pkts: f64,
 }
 
 #[derive(PartialEq, Eq)]
@@ -71,85 +79,171 @@ impl PartialOrd for TimerEntry {
     }
 }
 
+/// Install every workspace algorithm into the
+/// [`pcc_transport::registry`] so [`send_named`] can resolve any of them.
+/// Idempotent. Twin of `pcc_scenarios::install_registry` (neither crate
+/// can depend on the other without warping the graph); a new algorithm
+/// crate must be added to BOTH registration lists.
+pub fn install_registry() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        pcc_core::register_algorithms();
+        pcc_tcp::register_algorithms();
+        pcc_rate::register_algorithms();
+    });
+}
+
 /// Send `cfg.total_bytes` to `peer` over `socket`, paced by a PCC
 /// controller with the given config.
-pub async fn send_pcc(
+pub fn send_pcc(
     socket: &UdpSocket,
     peer: SocketAddr,
     cfg: UdpSenderConfig,
     pcc: PccConfig,
 ) -> std::io::Result<SenderReport> {
     let ctrl = PccController::new(pcc);
-    send_with(socket, peer, cfg, Box::new(ctrl)).await
+    send_with(socket, peer, cfg, Box::new(ctrl))
 }
 
-/// Send with an arbitrary rate controller (PCC, SABUL, PCP, ...).
-pub async fn send_with(
+/// Send with any registered algorithm, resolved by name (`"pcc"`,
+/// `"cubic"`, `"cubic-paced"`, `"sabul"`, ...). Unknown names surface the
+/// registry's typed [`UnknownAlgorithm`] error.
+pub fn send_named(
     socket: &UdpSocket,
     peer: SocketAddr,
     cfg: UdpSenderConfig,
-    mut ctrl: Box<dyn RateController>,
+    name: &str,
+    rtt_hint: SimDuration,
+) -> std::io::Result<Result<SenderReport, UnknownAlgorithm>> {
+    install_registry();
+    let params = CcParams::default()
+        .with_mss((cfg.payload + 40) as u32)
+        .with_rtt_hint(rtt_hint);
+    match registry::by_name(name, &params) {
+        Ok(cc) => send_with(socket, peer, cfg, cc).map(Ok),
+        Err(e) => Ok(Err(e)),
+    }
+}
+
+/// Send with an arbitrary congestion-control algorithm. The engine
+/// enforces whatever operating point the algorithm requests: pacing rate,
+/// congestion window, or both.
+pub fn send_with(
+    socket: &UdpSocket,
+    peer: SocketAddr,
+    cfg: UdpSenderConfig,
+    mut cc: Box<dyn CongestionControl>,
 ) -> std::io::Result<SenderReport> {
     let start = Instant::now();
     let now_sim = |t0: Instant| SimTime::from_nanos(t0.elapsed().as_nanos() as u64);
     let mut rng = SimRng::new(cfg.seed);
-    let mut effects = CtrlEffects::default();
+    let mut effects = Effects::default();
     let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
     let mut sb = Scoreboard::new();
     let mut rtt = RttEstimator::new(SimDuration::from_millis(10), SimDuration::from_secs(10));
     let mut retx: VecDeque<u64> = VecDeque::new();
     let total_pkts = cfg.total_bytes.div_ceil(cfg.payload as u64);
     let payload = vec![0xA5u8; cfg.payload];
+    let wire_bytes = (cfg.payload + 40) as u32;
     let mut report = SenderReport::default();
 
-    let mut rate_bps = {
-        let mut cc = CtrlCtx::new(now_sim(start), &mut rng, &mut effects);
-        ctrl.on_start(&mut cc).max(1_000.0)
-    };
+    let mut rate_bps: Option<f64> = None;
+    let mut cwnd_pkts: Option<f64> = None;
+    // Engine-side recovery-episode tracking for window algorithms.
+    let mut recovery_point: Option<u64> = None;
     let mut next_send = Instant::now();
     let mut buf = vec![0u8; 65_536];
 
-    // Drain controller effects into local state.
+    socket.set_nonblocking(true)?;
+
+    // Drain algorithm effects into engine state.
     macro_rules! apply_effects {
         () => {{
-            let (new_rate, new_timers) = effects.drain();
+            let (new_rate, new_cwnd, new_timers) = effects.drain();
             if let Some(r) = new_rate {
-                rate_bps = r.max(1_000.0);
+                rate_bps = Some(r.max(1_000.0));
+            }
+            if let Some(w) = new_cwnd {
+                cwnd_pkts = Some(w);
             }
             for (at, token) in new_timers {
                 timers.push(TimerEntry(at, token));
             }
         }};
     }
+
+    {
+        let mut ctx = Ctx::new(now_sim(start), &mut rng, &mut effects);
+        cc.on_start(&mut ctx);
+    }
     apply_effects!();
+    if rate_bps.is_none() && cwnd_pkts.is_none() {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidInput,
+            format!("algorithm `{}` set neither rate nor cwnd", cc.name()),
+        ));
+    }
 
     while !sb.all_acked_below(total_pkts) {
         let now = now_sim(start);
-        // Fire due controller timers.
+        // Fire due algorithm timers.
         while timers.peek().map(|t| t.0 <= now).unwrap_or(false) {
             let TimerEntry(_, token) = timers.pop().expect("peeked");
-            let mut cc = CtrlCtx::new(now, &mut rng, &mut effects);
-            ctrl.on_timer(token, &mut cc);
-            drop(cc);
+            {
+                let mut ctx = Ctx::new(now, &mut rng, &mut effects);
+                cc.on_timer(token, &mut ctx);
+            }
             apply_effects!();
         }
-        // Timeout-based loss detection.
+        // Loss detection. When the scan wipes out the *entire* in-flight
+        // window, that is the real-socket analogue of the simulator
+        // engine's RTO (mark-all-lost): deliver it as a Timeout so window
+        // algorithms run their RTO path (collapse + slow-start restart),
+        // matching `CcSender` semantics on the same algorithm object.
         let lost = sb.detect_losses(now, rtt.rto());
         if !lost.is_empty() {
             report.losses += lost.len() as u64;
             retx.extend(lost.iter().copied());
-            let mut cc = CtrlCtx::new(now, &mut rng, &mut effects);
-            ctrl.on_loss(&lost, &mut cc);
-            drop(cc);
+            let whole_window = sb.in_flight() == 0;
+            let new_episode = match (cwnd_pkts.is_some(), recovery_point) {
+                (false, _) => true,
+                (true, Some(_)) => false,
+                (true, None) => {
+                    recovery_point = Some(sb.next_seq());
+                    true
+                }
+            };
+            if whole_window {
+                // An RTO-style event aborts any recovery episode.
+                recovery_point = None;
+            }
+            let ev = LossEvent {
+                now,
+                seqs: &lost,
+                kind: if whole_window {
+                    LossKind::Timeout
+                } else {
+                    LossKind::Detected
+                },
+                new_episode: whole_window || new_episode,
+                in_flight: sb.in_flight(),
+                mss: wire_bytes,
+            };
+            {
+                let mut ctx = Ctx::new(now, &mut rng, &mut effects);
+                cc.on_loss(&ev, &mut ctx);
+            }
             apply_effects!();
         }
-        // Pace one packet if due.
-        let due = Instant::now() >= next_send;
+        // Transmit if the algorithm's operating point allows it right now.
+        let pace_due = rate_bps.is_none() || Instant::now() >= next_send;
+        let window_open = cwnd_pkts.is_none_or(|w| sb.in_flight() < w.max(1.0) as u64);
         let has_new = sb.next_seq() < total_pkts;
         let has_work = has_new || !retx.is_empty();
-        if due && has_work {
+        if pace_due && window_open && has_work {
             let (seq, is_retx) = match retx.pop_front() {
-                Some(s) if sb.is_lost(s) => (s, true),
+                Some(s) if sb.is_lost(s) && !sb.is_acked(s) => (s, true),
                 _ if has_new => (sb.next_seq(), false),
                 _ => (0, false), // stale retx entry and no new data: skip
             };
@@ -159,23 +253,37 @@ pub async fn send_with(
                     sent_us: start.elapsed().as_micros() as u64,
                     retx: is_retx,
                 };
-                socket.send_to(&encode_data(&h, &payload), peer).await?;
+                socket.send_to(&encode_data(&h, &payload), peer)?;
                 sb.on_send(seq, now, is_retx);
                 report.sent += 1;
-                let mut cc = CtrlCtx::new(now, &mut rng, &mut effects);
-                ctrl.on_sent(seq, (cfg.payload + 40) as u32, is_retx, &mut cc);
-                drop(cc);
+                let ev = SentEvent {
+                    now,
+                    seq,
+                    bytes: wire_bytes,
+                    retx: is_retx,
+                    in_flight: sb.in_flight(),
+                };
+                {
+                    let mut ctx = Ctx::new(now, &mut rng, &mut effects);
+                    cc.on_sent(&ev, &mut ctx);
+                }
                 apply_effects!();
-                let gap = (cfg.payload + 40) as f64 * 8.0 / rate_bps;
-                next_send = Instant::now() + Duration::from_secs_f64(gap);
+                if let Some(rate) = rate_bps {
+                    let gap = wire_bytes as f64 * 8.0 / rate;
+                    next_send = Instant::now() + Duration::from_secs_f64(gap);
+                }
             }
         }
-        // Wait for whichever comes first: pacing slot or an ACK.
-        let wakeup = tokio::time::Instant::from_std(next_send);
-        tokio::select! {
-            r = socket.recv_from(&mut buf) => {
-                let (n, _) = r?;
-                if let Some(Frame::Ack(a)) = decode(bytes::Bytes::copy_from_slice(&buf[..n])) {
+        // Drain whatever ACKs have arrived; if nothing is sendable, nap
+        // briefly instead of spinning.
+        let mut got_any = false;
+        loop {
+            match socket.recv_from(&mut buf) {
+                Ok((n, _)) => {
+                    got_any = true;
+                    let Some(Frame::Ack(a)) = decode(&buf[..n]) else {
+                        continue;
+                    };
                     let now = now_sim(start);
                     let echo = SimTime::from_nanos(a.echo_sent_us * 1_000);
                     let sample = now.saturating_since(echo);
@@ -190,29 +298,60 @@ pub async fn send_with(
                         of_retx: a.of_retx,
                     };
                     let out = sb.on_ack(&info, now);
-                    if out.rtt.is_some() {
-                        let ev = RateAck {
+                    if let Some(rp) = recovery_point {
+                        if sb.cum_ack() >= rp {
+                            recovery_point = None;
+                        }
+                    }
+                    if out.rtt.is_some() || out.newly_acked > 0 {
+                        let srtt = rtt.srtt_or(SimDuration::from_millis(1));
+                        let ev = AckEvent {
                             now,
                             seq: a.acked_seq,
-                            rtt: sample,
+                            rtt: out.rtt.unwrap_or(srtt),
+                            sampled: out.rtt.is_some(),
+                            srtt,
+                            min_rtt: rtt.min_rtt().unwrap_or(srtt),
+                            max_rtt: rtt.max_rtt().unwrap_or(srtt),
                             recv_at: info.recv_at,
                             probe_train: None,
                             of_retx: a.of_retx,
                             cum_ack: a.cum_ack,
+                            newly_acked: out.newly_acked.min(u32::MAX as u64) as u32,
+                            in_flight: sb.in_flight(),
+                            mss: wire_bytes,
+                            in_recovery: recovery_point.is_some(),
                         };
-                        let mut cc = CtrlCtx::new(now, &mut rng, &mut effects);
-                        ctrl.on_ack(&ev, &mut cc);
-                        drop(cc);
+                        {
+                            let mut ctx = Ctx::new(now, &mut rng, &mut effects);
+                            cc.on_ack(&ev, &mut ctx);
+                        }
                         apply_effects!();
                     }
                 }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
             }
-            _ = sleep_until(wakeup), if has_work => {}
+        }
+        if !got_any && (!has_work || !window_open || (rate_bps.is_some() && !pace_due)) {
+            // Nothing to do right now: sleep until the next interesting
+            // moment (pacing slot, timer) but never more than a millisecond
+            // so ACK processing stays responsive.
+            let mut nap = Duration::from_millis(1);
+            if rate_bps.is_some() {
+                let until = next_send.saturating_duration_since(Instant::now());
+                if until > Duration::ZERO {
+                    nap = nap.min(until);
+                }
+            }
+            std::thread::sleep(nap.max(Duration::from_micros(20)));
         }
     }
     report.elapsed = start.elapsed();
     report.goodput_mbps =
         cfg.total_bytes as f64 * 8.0 / report.elapsed.as_secs_f64().max(1e-9) / 1e6;
-    report.final_rate_bps = rate_bps;
+    report.final_rate_bps = rate_bps.unwrap_or(0.0);
+    report.final_cwnd_pkts = cwnd_pkts.unwrap_or(0.0);
     Ok(report)
 }

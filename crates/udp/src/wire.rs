@@ -1,8 +1,7 @@
 //! Wire format for the UDP transport: fixed 40-byte headers, no payload
 //! compression, everything big-endian. Mirrors the simulator's packet
-//! metadata so the same controller logic drives both.
-
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+//! metadata so the same controller logic drives both. Encoding is plain
+//! `Vec<u8>`/slice work — no external buffer crates.
 
 /// Magic tag guarding against stray datagrams.
 pub const MAGIC: u32 = 0x9CC0_2015;
@@ -35,11 +34,12 @@ pub struct AckPacket {
     pub of_retx: bool,
 }
 
-/// Either side of the protocol.
+/// Either side of the protocol; data payloads borrow from the receive
+/// buffer.
 #[derive(Clone, Debug, PartialEq)]
-pub enum Frame {
+pub enum Frame<'a> {
     /// Data with its payload.
-    Data(DataHeader, Bytes),
+    Data(DataHeader, &'a [u8]),
     /// An ACK.
     Ack(AckPacket),
 }
@@ -47,65 +47,68 @@ pub enum Frame {
 const KIND_DATA: u8 = 1;
 const KIND_ACK: u8 = 2;
 
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn get_u64(buf: &[u8], at: usize) -> u64 {
+    u64::from_be_bytes(buf[at..at + 8].try_into().expect("8 bytes"))
+}
+
+fn header(kind: u8, flag: bool) -> Vec<u8> {
+    let mut b = Vec::with_capacity(HEADER_LEN);
+    b.extend_from_slice(&MAGIC.to_be_bytes());
+    b.push(kind);
+    b.push(flag as u8);
+    b.extend_from_slice(&[0u8; 2]); // reserved
+    b
+}
+
 /// Encode a data frame.
-pub fn encode_data(h: &DataHeader, payload: &[u8]) -> Bytes {
-    let mut b = BytesMut::with_capacity(HEADER_LEN + payload.len());
-    b.put_u32(MAGIC);
-    b.put_u8(KIND_DATA);
-    b.put_u8(h.retx as u8);
-    b.put_u16(0); // reserved
-    b.put_u64(h.seq);
-    b.put_u64(h.sent_us);
-    b.put_u64(0); // reserved
-    b.put_u64(0); // reserved
+pub fn encode_data(h: &DataHeader, payload: &[u8]) -> Vec<u8> {
+    let mut b = header(KIND_DATA, h.retx);
+    b.reserve(HEADER_LEN - b.len() + payload.len());
+    put_u64(&mut b, h.seq);
+    put_u64(&mut b, h.sent_us);
+    put_u64(&mut b, 0); // reserved
+    put_u64(&mut b, 0); // reserved
     debug_assert_eq!(b.len(), HEADER_LEN);
     b.extend_from_slice(payload);
-    b.freeze()
+    b
 }
 
 /// Encode an ACK frame.
-pub fn encode_ack(a: &AckPacket) -> Bytes {
-    let mut b = BytesMut::with_capacity(HEADER_LEN);
-    b.put_u32(MAGIC);
-    b.put_u8(KIND_ACK);
-    b.put_u8(a.of_retx as u8);
-    b.put_u16(0);
-    b.put_u64(a.acked_seq);
-    b.put_u64(a.cum_ack);
-    b.put_u64(a.echo_sent_us);
-    b.put_u64(a.recv_us);
+pub fn encode_ack(a: &AckPacket) -> Vec<u8> {
+    let mut b = header(KIND_ACK, a.of_retx);
+    put_u64(&mut b, a.acked_seq);
+    put_u64(&mut b, a.cum_ack);
+    put_u64(&mut b, a.echo_sent_us);
+    put_u64(&mut b, a.recv_us);
     debug_assert_eq!(b.len(), HEADER_LEN);
-    b.freeze()
+    b
 }
 
 /// Decode any frame; `None` for foreign or truncated datagrams.
-pub fn decode(mut buf: Bytes) -> Option<Frame> {
-    if buf.len() < HEADER_LEN || buf.get_u32() != MAGIC {
+pub fn decode(buf: &[u8]) -> Option<Frame<'_>> {
+    if buf.len() < HEADER_LEN || buf[0..4] != MAGIC.to_be_bytes() {
         return None;
     }
-    let kind = buf.get_u8();
-    let flag = buf.get_u8() != 0;
-    let _ = buf.get_u16();
+    let kind = buf[4];
+    let flag = buf[5] != 0;
     match kind {
-        KIND_DATA => {
-            let seq = buf.get_u64();
-            let sent_us = buf.get_u64();
-            let _ = buf.get_u64();
-            let _ = buf.get_u64();
-            Some(Frame::Data(
-                DataHeader {
-                    seq,
-                    sent_us,
-                    retx: flag,
-                },
-                buf,
-            ))
-        }
+        KIND_DATA => Some(Frame::Data(
+            DataHeader {
+                seq: get_u64(buf, 8),
+                sent_us: get_u64(buf, 16),
+                retx: flag,
+            },
+            &buf[HEADER_LEN..],
+        )),
         KIND_ACK => Some(Frame::Ack(AckPacket {
-            acked_seq: buf.get_u64(),
-            cum_ack: buf.get_u64(),
-            echo_sent_us: buf.get_u64(),
-            recv_us: buf.get_u64(),
+            acked_seq: get_u64(buf, 8),
+            cum_ack: get_u64(buf, 16),
+            echo_sent_us: get_u64(buf, 24),
+            recv_us: get_u64(buf, 32),
             of_retx: flag,
         })),
         _ => None,
@@ -126,7 +129,7 @@ mod tests {
         let payload = vec![7u8; 1000];
         let wire = encode_data(&h, &payload);
         assert_eq!(wire.len(), HEADER_LEN + 1000);
-        match decode(wire).expect("decodes") {
+        match decode(&wire).expect("decodes") {
             Frame::Data(h2, p) => {
                 assert_eq!(h, h2);
                 assert_eq!(p.len(), 1000);
@@ -145,7 +148,7 @@ mod tests {
             recv_us: 1001,
             of_retx: false,
         };
-        match decode(encode_ack(&a)).expect("decodes") {
+        match decode(&encode_ack(&a)).expect("decodes") {
             Frame::Ack(a2) => assert_eq!(a, a2),
             other => panic!("wrong frame {other:?}"),
         }
@@ -153,12 +156,12 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert_eq!(decode(Bytes::from_static(b"nonsense")), None);
-        let mut junk = BytesMut::new();
-        junk.put_u32(MAGIC);
-        junk.put_u8(99); // unknown kind
+        assert_eq!(decode(b"nonsense"), None);
+        let mut junk = Vec::new();
+        junk.extend_from_slice(&MAGIC.to_be_bytes());
+        junk.push(99); // unknown kind
         junk.extend_from_slice(&[0u8; 64]);
-        assert_eq!(decode(junk.freeze()), None);
+        assert_eq!(decode(&junk), None);
         // Truncated.
         let a = AckPacket {
             acked_seq: 1,
@@ -167,7 +170,7 @@ mod tests {
             recv_us: 0,
             of_retx: false,
         };
-        let short = encode_ack(&a).slice(0..10);
+        let short = &encode_ack(&a)[0..10];
         assert_eq!(decode(short), None);
     }
 }

@@ -1,18 +1,27 @@
-//! Loopback integration test: real datagrams, real clock, PCC control.
+//! Loopback integration tests: real datagrams, real clock, and the same
+//! algorithm objects that drive the simulator — both a rate-based one
+//! (PCC) and a window-based one (CUBIC via the registry), proving the
+//! real-UDP datapath is algorithm-agnostic.
+
+use std::net::UdpSocket;
+use std::thread;
 
 use pcc_core::PccConfig;
 use pcc_simnet::time::SimDuration;
-use pcc_udp::{receive, send_pcc, UdpSenderConfig};
-use tokio::net::UdpSocket;
+use pcc_udp::{receive, send_named, send_pcc, UdpSenderConfig};
 
-#[tokio::test]
-async fn pcc_transfers_over_loopback() {
-    let rx_sock = UdpSocket::bind("127.0.0.1:0").await.expect("bind rx");
+fn sockets() -> (UdpSocket, UdpSocket, std::net::SocketAddr) {
+    let rx_sock = UdpSocket::bind("127.0.0.1:0").expect("bind rx");
     let rx_addr = rx_sock.local_addr().expect("addr");
-    let tx_sock = UdpSocket::bind("127.0.0.1:0").await.expect("bind tx");
+    let tx_sock = UdpSocket::bind("127.0.0.1:0").expect("bind tx");
+    (rx_sock, tx_sock, rx_addr)
+}
 
+#[test]
+fn pcc_transfers_over_loopback() {
+    let (rx_sock, tx_sock, rx_addr) = sockets();
     let total: u64 = 2 * 1024 * 1024; // 2 MB keeps CI fast
-    let rx = tokio::spawn(async move { receive(&rx_sock, total).await });
+    let rx = thread::spawn(move || receive(&rx_sock, total));
 
     let cfg = UdpSenderConfig {
         payload: 1200,
@@ -20,8 +29,8 @@ async fn pcc_transfers_over_loopback() {
         seed: 3,
     };
     let pcc = PccConfig::paper().with_rtt_hint(SimDuration::from_millis(2));
-    let report = send_pcc(&tx_sock, rx_addr, cfg, pcc).await.expect("send");
-    let rx_report = rx.await.expect("join").expect("receive");
+    let report = send_pcc(&tx_sock, rx_addr, cfg, pcc).expect("send");
+    let rx_report = rx.join().expect("join").expect("receive");
 
     assert!(rx_report.unique_bytes >= total, "all payload arrived");
     assert!(report.sent >= total / 1200, "sent at least the payload");
@@ -30,4 +39,48 @@ async fn pcc_transfers_over_loopback() {
         "loopback goodput sane: {} Mbps",
         report.goodput_mbps
     );
+    assert!(report.final_rate_bps > 0.0, "PCC drives a rate");
+}
+
+#[test]
+fn cubic_transfers_over_loopback_via_registry() {
+    // A *window* algorithm on the real-UDP datapath, resolved by name —
+    // impossible in the seed design, where only RateControllers could
+    // drive real sockets.
+    let (rx_sock, tx_sock, rx_addr) = sockets();
+    let total: u64 = 1024 * 1024;
+    let rx = thread::spawn(move || receive(&rx_sock, total));
+
+    let cfg = UdpSenderConfig {
+        payload: 1200,
+        total_bytes: total,
+        seed: 7,
+    };
+    let report = send_named(&tx_sock, rx_addr, cfg, "cubic", SimDuration::from_millis(2))
+        .expect("io")
+        .expect("cubic is registered");
+    let rx_report = rx.join().expect("join").expect("receive");
+
+    assert!(rx_report.unique_bytes >= total, "all payload arrived");
+    assert!(
+        report.final_cwnd_pkts >= 2.0,
+        "cubic drives a window: {}",
+        report.final_cwnd_pkts
+    );
+    assert!(
+        report.goodput_mbps > 1.0,
+        "loopback goodput sane: {} Mbps",
+        report.goodput_mbps
+    );
+}
+
+#[test]
+fn unknown_algorithm_is_typed_error_not_panic() {
+    let (_rx_sock, tx_sock, rx_addr) = sockets();
+    let cfg = UdpSenderConfig::default();
+    let err = send_named(&tx_sock, rx_addr, cfg, "bbr", SimDuration::from_millis(2))
+        .expect("io ok")
+        .expect_err("bbr is not registered");
+    assert_eq!(err.name, "bbr");
+    assert!(err.known.contains(&"cubic".to_string()));
 }

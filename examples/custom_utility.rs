@@ -45,12 +45,15 @@ fn main() {
     let cfg = PccConfig::paper().with_rtt_hint(rtt);
 
     // 1. The safe utility: loss-capped, as everywhere in §4.1.
-    let safe = Protocol::Pcc(cfg, UtilityKind::Safe).build_sender(FlowSize::Infinite, 1500);
+    let safe = Protocol::Pcc(cfg, UtilityKind::Safe)
+        .build_sender(FlowSize::Infinite, 1500)
+        .expect("pcc builds");
     let t_safe = run_with("safe sigmoid (loss-capped)", safe);
 
     // 2. The §4.4.2 loss-resilient utility.
-    let resilient =
-        Protocol::Pcc(cfg, UtilityKind::LossResilient).build_sender(FlowSize::Infinite, 1500);
+    let resilient = Protocol::Pcc(cfg, UtilityKind::LossResilient)
+        .build_sender(FlowSize::Infinite, 1500)
+        .expect("pcc builds");
     let t_res = run_with("loss-resilient T*(1-L)", resilient);
 
     // 3. A custom application objective: loss-resilient, but never above a
@@ -60,11 +63,14 @@ fn main() {
         m.t_mbps() * (1.0 - m.loss_rate) - 10.0 * over * over
     });
     let ctrl = PccController::with_utility(cfg, Box::new(capped));
-    let sender = Box::new(RateSender::new(RateSenderConfig::default(), Box::new(ctrl)));
+    let sender = Box::new(CcSender::new(CcSenderConfig::default(), Box::new(ctrl)));
     let t_cap = run_with("custom: resilient, cap 25 Mbps", sender);
 
     println!();
-    assert!(t_res > 5.0 * t_safe, "resilience objective must punch through");
+    assert!(
+        t_res > 5.0 * t_safe,
+        "resilience objective must punch through"
+    );
     assert!(t_cap < 30.0, "custom cap respected");
     println!(
         "Same control machinery, three behaviours: {t_safe:.1} / {t_res:.1} / {t_cap:.1} Mbps.\n\

@@ -16,7 +16,10 @@ use pcc::scenarios::Protocol;
 fn main() {
     let block = 256 * 1024;
     println!("Incast: N senders each push 256 KB to one receiver (1 Gbps, 200 us RTT)\n");
-    println!("{:>8} {:>14} {:>14} {:>10}", "senders", "tcp [Mbps]", "pcc [Mbps]", "pcc/tcp");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "senders", "tcp [Mbps]", "pcc [Mbps]", "pcc/tcp"
+    );
     for n in [2, 4, 8, 16, 24, 33] {
         let tcp = run_incast(|| Protocol::Tcp("newreno"), n, block, 11);
         let pcc = run_incast(|| Protocol::pcc_default(INCAST_RTT), n, block, 11);

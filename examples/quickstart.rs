@@ -24,7 +24,7 @@ fn main() {
     // 3. A PCC sender (paper defaults: safe utility, RCTs, ε = 1%-5%).
     let pcc = PccController::new(PccConfig::paper().with_rtt_hint(SimDuration::from_millis(30)));
     let flow = net.add_flow(FlowSpec {
-        sender: Box::new(RateSender::new(RateSenderConfig::default(), Box::new(pcc))),
+        sender: Box::new(CcSender::new(CcSenderConfig::default(), Box::new(pcc))),
         receiver: Box::new(SackReceiver::new()),
         fwd_path: path.fwd,
         rev_path: path.rev,

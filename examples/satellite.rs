@@ -33,7 +33,11 @@ fn main() {
     }
     let pcc_tput = results[0].1;
     for (label, tput) in &results {
-        let vs = if *tput > 0.01 { pcc_tput / tput } else { f64::INFINITY };
+        let vs = if *tput > 0.01 {
+            pcc_tput / tput
+        } else {
+            f64::INFINITY
+        };
         println!("  {label:<10} {tput:7.2} Mbps   (PCC is {vs:5.1}x)");
     }
     println!(

@@ -1,34 +1,53 @@
-//! Real data over real sockets: PCC pacing a UDP transfer across loopback
-//! — the paper's "user-space implementation that can deliver real data
-//! today" (§1), in Rust.
+//! Real data over real sockets: any congestion-control algorithm pacing a
+//! UDP transfer across loopback — the paper's "user-space implementation
+//! that can deliver real data today" (§1), in Rust, generalized to the
+//! whole algorithm registry.
 //!
 //! ```text
-//! cargo run --release --example udp_transfer
+//! cargo run --release --example udp_transfer            # PCC (default)
+//! cargo run --release --example udp_transfer -- cubic   # any registered name
+//! cargo run --release --example udp_transfer -- list    # show the registry
 //! ```
 
-use pcc::core::PccConfig;
-use pcc::simnet::time::SimDuration;
-use pcc::udp::{receive, send_pcc, UdpSenderConfig};
-use tokio::net::UdpSocket;
+use std::net::UdpSocket;
+use std::thread;
 
-#[tokio::main]
-async fn main() -> std::io::Result<()> {
-    let rx_sock = UdpSocket::bind("127.0.0.1:0").await?;
+use pcc::simnet::time::SimDuration;
+use pcc::transport::registry;
+use pcc::udp::{install_registry, receive, send_named, UdpSenderConfig};
+
+fn main() -> std::io::Result<()> {
+    install_registry();
+    let algo = std::env::args().nth(1).unwrap_or_else(|| "pcc".into());
+    if algo == "list" {
+        println!("registered algorithms:");
+        for name in registry::names() {
+            println!("  {name}");
+        }
+        return Ok(());
+    }
+
+    let rx_sock = UdpSocket::bind("127.0.0.1:0")?;
     let rx_addr = rx_sock.local_addr()?;
-    let tx_sock = UdpSocket::bind("127.0.0.1:0").await?;
-    println!("receiver on {rx_addr}, sending 16 MB of real datagrams...");
+    let tx_sock = UdpSocket::bind("127.0.0.1:0")?;
+    println!("receiver on {rx_addr}, sending 16 MB of real datagrams with `{algo}`...");
 
     let total: u64 = 16 * 1024 * 1024;
-    let rx = tokio::spawn(async move { receive(&rx_sock, total).await });
+    let rx = thread::spawn(move || receive(&rx_sock, total));
 
     let cfg = UdpSenderConfig {
         payload: 1200,
         total_bytes: total,
         seed: 42,
     };
-    let pcc = PccConfig::paper().with_rtt_hint(SimDuration::from_millis(1));
-    let report = send_pcc(&tx_sock, rx_addr, cfg, pcc).await?;
-    let rx_report = rx.await.expect("receiver task")?;
+    let report = match send_named(&tx_sock, rx_addr, cfg, &algo, SimDuration::from_millis(1))? {
+        Ok(report) => report,
+        Err(unknown) => {
+            eprintln!("{unknown}");
+            std::process::exit(2);
+        }
+    };
+    let rx_report = rx.join().expect("receiver thread")?;
 
     println!("transfer complete:");
     println!("  elapsed        : {:?}", report.elapsed);
@@ -36,6 +55,11 @@ async fn main() -> std::io::Result<()> {
     println!("  datagrams sent : {}", report.sent);
     println!("  losses detected: {}", report.losses);
     println!("  duplicates     : {}", rx_report.duplicates);
-    println!("  final PCC rate : {:.1} Mbps", report.final_rate_bps / 1e6);
+    if report.final_rate_bps > 0.0 {
+        println!("  final rate     : {:.1} Mbps", report.final_rate_bps / 1e6);
+    }
+    if report.final_cwnd_pkts > 0.0 {
+        println!("  final cwnd     : {:.1} pkts", report.final_cwnd_pkts);
+    }
     Ok(())
 }

@@ -7,18 +7,23 @@
 //! simulator to run them on, every evaluation scenario from §4, and a
 //! harness that regenerates every table and figure.
 //!
+//! All control intelligence speaks one API —
+//! [`transport::CongestionControl`] — and all of it is constructible by
+//! name through [`transport::registry`] (see [`install_registry`]), so the
+//! same algorithm object runs on the simulator *and* on real UDP sockets.
+//!
 //! This crate is a facade re-exporting the workspace members:
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
 //! | [`core`] | `pcc-core` | monitor intervals, utility functions, the learning controller, the game-theoretic fluid model |
 //! | [`simnet`] | `pcc-simnet` | deterministic discrete-event network simulator |
-//! | [`transport`] | `pcc-transport` | SACK scoreboard, window- and rate-based sender engines, receiver |
-//! | [`tcp`] | `pcc-tcp` | New Reno, CUBIC, Illinois, Hybla, Vegas, BIC, Westwood |
+//! | [`transport`] | `pcc-transport` | SACK scoreboard, the unified `CongestionControl` API, the one `CcSender` engine, the algorithm registry |
+//! | [`tcp`] | `pcc-tcp` | New Reno, CUBIC, Illinois, Hybla, Vegas, BIC, Westwood (plus `-paced` variants) |
 //! | [`rate`] | `pcc-rate` | SABUL/UDT-style and PCP-style rate control |
 //! | [`scenarios`] | `pcc-scenarios` | every §4 evaluation scenario as a reusable builder |
 //! | [`experiments`] | `pcc-experiments` | per-figure/table regeneration harness |
-//! | [`udp`] | `pcc-udp` | real-network PCC over tokio UDP sockets |
+//! | [`udp`] | `pcc-udp` | real-network datapath: any algorithm over std UDP sockets |
 //!
 //! ## Quick start
 //!
@@ -32,7 +37,7 @@
 //! let path = db.attach_flow(&mut net, SimDuration::from_millis(30));
 //! let pcc = PccController::new(PccConfig::paper().with_rtt_hint(SimDuration::from_millis(30)));
 //! let flow = net.add_flow(FlowSpec {
-//!     sender: Box::new(RateSender::new(RateSenderConfig::default(), Box::new(pcc))),
+//!     sender: Box::new(CcSender::new(CcSenderConfig::default(), Box::new(pcc))),
 //!     receiver: Box::new(SackReceiver::new()),
 //!     fwd_path: path.fwd,
 //!     rev_path: path.rev,
@@ -40,6 +45,17 @@
 //! });
 //! let report = net.build().run_until(SimTime::from_secs(5));
 //! assert!(report.avg_throughput_mbps(flow, SimTime::from_secs(3), SimTime::from_secs(5)) > 80.0);
+//! ```
+//!
+//! Or resolve any algorithm by name and run it on the same engine:
+//!
+//! ```
+//! use pcc::prelude::*;
+//!
+//! pcc::install_registry();
+//! let cc = pcc::transport::registry::by_name("cubic", &CcParams::default()).unwrap();
+//! let sender = CcSender::new(CcSenderConfig::default(), cc);
+//! # let _ = sender;
 //! ```
 
 pub use pcc_core as core;
@@ -51,6 +67,13 @@ pub use pcc_tcp as tcp;
 pub use pcc_transport as transport;
 pub use pcc_udp as udp;
 
+/// Install every algorithm in the workspace into
+/// [`transport::registry`]. Idempotent; delegates to
+/// [`scenarios::install_registry`].
+pub fn install_registry() {
+    pcc_scenarios::install_registry();
+}
+
 /// Everything needed for typical simulation-based use.
 pub mod prelude {
     pub use pcc_core::{
@@ -59,12 +82,13 @@ pub mod prelude {
     };
     pub use pcc_rate::{Pcp, Sabul};
     pub use pcc_scenarios::{
-        run_dumbbell, run_single, FlowPlan, LinkSetup, Protocol, QueueKind, UtilityKind,
+        install_registry, run_dumbbell, run_single, FlowPlan, LinkSetup, Protocol, QueueKind,
+        UtilityKind,
     };
     pub use pcc_simnet::prelude::*;
     pub use pcc_tcp::{by_name as tcp_by_name, Cubic, Hybla, Illinois, NewReno};
     pub use pcc_transport::{
-        FlowSize, RateSender, RateSenderConfig, SackReceiver, TransportConfig, WindowSender,
-        WindowSenderConfig,
+        CcParams, CcSender, CcSenderConfig, CongestionControl, FlowSize, SackReceiver,
+        TransportConfig, UnknownAlgorithm,
     };
 }

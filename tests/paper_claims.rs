@@ -18,7 +18,12 @@ fn secs(s: u64) -> SimTime {
 #[test]
 fn claim_random_loss_resilience() {
     let dur = SimDuration::from_secs(20);
-    let pcc = run_lossy(Protocol::pcc_default(SimDuration::from_millis(30)), 0.01, dur, 1);
+    let pcc = run_lossy(
+        Protocol::pcc_default(SimDuration::from_millis(30)),
+        0.01,
+        dur,
+        1,
+    );
     let cubic = run_lossy(Protocol::Tcp("cubic"), 0.01, dur, 1);
     let t_pcc = pcc.throughput_in(0, secs(8), secs(20));
     let t_cubic = cubic.throughput_in(0, secs(8), secs(20));
@@ -43,7 +48,12 @@ fn claim_satellite() {
 #[test]
 fn claim_shallow_buffer() {
     let dur = SimDuration::from_secs(15);
-    let pcc = run_shallow(Protocol::pcc_default(SimDuration::from_millis(30)), 9_000, dur, 3);
+    let pcc = run_shallow(
+        Protocol::pcc_default(SimDuration::from_millis(30)),
+        9_000,
+        dur,
+        3,
+    );
     let t = pcc.throughput_in(0, secs(5), secs(15));
     assert!(t > 60.0, "PCC with 9 KB buffer on 100 Mbps: {t:.1}");
 }
