@@ -97,6 +97,14 @@ fn bench_full_sim() {
             1,
         );
     });
+    bench("full_sim_5s_bbr_100mbps", 5, 1, || {
+        run_single(
+            Protocol::Named("bbr".into()),
+            LinkSetup::new(100e6, SimDuration::from_millis(30), 375_000),
+            SimDuration::from_secs(5),
+            1,
+        );
+    });
 }
 
 fn main() {

@@ -145,6 +145,12 @@ impl PccController {
         self
     }
 
+    /// The wire packet size the monitor accounts with (see
+    /// [`PccController::with_mss`]).
+    pub fn mss(&self) -> u32 {
+        self.mss
+    }
+
     /// Controller statistics.
     pub fn stats(&self) -> PccStats {
         self.stats

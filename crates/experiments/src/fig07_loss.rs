@@ -5,6 +5,11 @@
 //! degrades gracefully to ~74% at 2%; CUBIC is 10× below PCC at just 0.1%
 //! and 37× at 2%; Illinois is 16× below at 2%. PCC's safe utility caps
 //! tolerance near its 5% loss knee, so throughput collapses by ~6%.
+//!
+//! The sweep additionally runs `bbr` (the modern model-based baseline,
+//! resolved through the registry like any other name): loss-blind by
+//! design, it holds high utilization at low loss rates where CUBIC
+//! collapses, giving the figure a post-paper comparison point.
 
 use pcc_scenarios::links::run_lossy;
 use pcc_scenarios::Protocol;
@@ -23,11 +28,12 @@ pub fn run(opts: &Opts) -> Vec<Table> {
     let rtt = SimDuration::from_millis(30);
     let mut table = Table::new(
         "Fig. 7 — random loss (100 Mbps, 30 ms): throughput [Mbps] vs loss rate",
-        &["loss", "pcc", "illinois", "cubic"],
+        &["loss", "pcc", "bbr", "illinois", "cubic"],
     );
     for &loss in LOSS_RATES {
         let protos = [
             Protocol::pcc_default(rtt),
+            Protocol::Named("bbr".into()),
             Protocol::Tcp("illinois"),
             Protocol::Tcp("cubic"),
         ];

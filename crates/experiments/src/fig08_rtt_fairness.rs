@@ -20,14 +20,27 @@ pub fn run(opts: &Opts) -> Vec<Table> {
     let contention = SimDuration::from_secs(scaled(opts, 60, 500));
     let mut table = Table::new(
         "Fig. 8 — RTT fairness: long-RTT/short-RTT throughput ratio",
-        &["long_rtt_ms", "pcc", "cubic", "newreno"],
+        &["long_rtt_ms", "pcc", "bbr", "cubic", "newreno"],
     );
     for &rtt_ms in LONG_RTTS_MS {
         let long = SimDuration::from_millis(rtt_ms);
         let pcc = rtt_fairness_ratio(Protocol::pcc_default, long, contention, opts.seed);
+        // The hybrid resolves by registry name, zero per-harness code.
+        let bbr = rtt_fairness_ratio(
+            |_| Protocol::Named("bbr".into()),
+            long,
+            contention,
+            opts.seed,
+        );
         let cubic = rtt_fairness_ratio(|_| Protocol::Tcp("cubic"), long, contention, opts.seed);
         let reno = rtt_fairness_ratio(|_| Protocol::Tcp("newreno"), long, contention, opts.seed);
-        table.row(vec![format!("{rtt_ms}"), fmt(pcc), fmt(cubic), fmt(reno)]);
+        table.row(vec![
+            format!("{rtt_ms}"),
+            fmt(pcc),
+            fmt(bbr),
+            fmt(cubic),
+            fmt(reno),
+        ]);
     }
     table.print();
     let _ = table.write_csv(&opts.out_dir, "fig08_rtt_fairness");

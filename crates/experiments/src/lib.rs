@@ -85,12 +85,12 @@ pub fn registry() -> Vec<ExperimentEntry> {
         ),
         (
             "fig07",
-            "Fig. 7: random loss sweep (PCC vs Illinois/CUBIC)",
+            "Fig. 7: random loss sweep (PCC vs BBR/Illinois/CUBIC)",
             fig07_loss::run,
         ),
         (
             "fig08",
-            "Fig. 8: RTT fairness (PCC vs CUBIC/NewReno)",
+            "Fig. 8: RTT fairness (PCC vs BBR/CUBIC/NewReno)",
             fig08_rtt_fairness::run,
         ),
         (

@@ -189,6 +189,24 @@ mod tests {
     }
 
     #[test]
+    fn lossy_bbr_holds_utilization_where_cubic_collapses() {
+        // Fig.-7-style point for the model-based hybrid: loss-blind BBR
+        // must keep ≥80% of the 100 Mbps bottleneck at 1% random loss —
+        // the same conditions that collapse CUBIC — running unmodified on
+        // the simulator datapath, resolved purely by registry name.
+        let dur = SimDuration::from_secs(15);
+        let bbr = run_lossy(Protocol::Named("bbr".into()), 0.01, dur, 4);
+        let cubic = run_lossy(Protocol::Tcp("cubic"), 0.01, dur, 4);
+        let t_bbr = bbr.throughput_in(0, SimTime::from_secs(5), SimTime::from_secs(15));
+        let t_cubic = cubic.throughput_in(0, SimTime::from_secs(5), SimTime::from_secs(15));
+        assert!(t_bbr > 80.0, "BBR ≥80% utilization at 1% loss: {t_bbr}");
+        assert!(
+            t_bbr > 3.0 * t_cubic,
+            "CUBIC collapses where BBR holds: {t_cubic} vs {t_bbr}"
+        );
+    }
+
+    #[test]
     fn shallow_buffer_pcc_efficient() {
         // Fig. 9 shape: with a 9 KB (6-packet) buffer PCC reaches most of
         // capacity while CUBIC can't.

@@ -20,17 +20,19 @@ use pcc_transport::{CcSender, CcSenderConfig, CongestionControl, FlowSize, Trans
 
 /// Install every algorithm in the workspace — the PCC×utility family from
 /// `pcc-core`, the seven TCP baselines (plus `-paced` variants) from
-/// `pcc-tcp`, and SABUL/PCP from `pcc-rate` — into the
-/// [`pcc_transport::registry`]. Idempotent and cheap; called automatically
-/// by [`Protocol::build_sender`]. Twin of `pcc_udp::install_registry`
-/// (neither crate can depend on the other without warping the graph); a
-/// new algorithm crate must be added to BOTH registration lists.
+/// `pcc-tcp`, SABUL/PCP from `pcc-rate`, and the BBR-style hybrid from
+/// `pcc-bbr` — into the [`pcc_transport::registry`]. Idempotent and
+/// cheap; called automatically by [`Protocol::build_sender`]. Twin of
+/// `pcc_udp::install_registry` (neither crate can depend on the other
+/// without warping the graph); a new algorithm crate must be added to
+/// BOTH registration lists.
 pub fn install_registry() {
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         pcc_core::register_algorithms();
         pcc_tcp::register_algorithms();
         pcc_rate::register_algorithms();
+        pcc_bbr::register_algorithms();
     });
 }
 
@@ -223,15 +225,24 @@ mod tests {
 
     #[test]
     fn unknown_tcp_is_typed_error() {
-        let err = match Protocol::Tcp("bbr").build_sender(FlowSize::Infinite, 1500) {
-            Ok(_) => panic!("bbr must not resolve"),
+        let err = match Protocol::Tcp("tahoe").build_sender(FlowSize::Infinite, 1500) {
+            Ok(_) => panic!("tahoe must not resolve"),
             Err(e) => e,
         };
-        assert_eq!(err.name, "bbr");
+        assert_eq!(err.name, "tahoe");
         assert!(
             err.known.contains(&"cubic".to_string()),
             "lists known: {err}"
         );
+    }
+
+    #[test]
+    fn bbr_resolves_through_the_registry() {
+        // The hybrid is a first-class registry citizen: scenario builders
+        // pick it up by name with zero per-harness code.
+        let p = Protocol::Named("bbr".into());
+        assert_eq!(p.label(), "bbr");
+        assert!(p.build_sender(FlowSize::Infinite, 1500).is_ok());
     }
 
     #[test]

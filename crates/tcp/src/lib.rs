@@ -140,13 +140,15 @@ mod tests {
 
     #[test]
     fn unknown_name_is_typed_error() {
-        let err = match by_name("bbr") {
-            Ok(_) => panic!("bbr is not implemented"),
+        // (`bbr` exists in the workspace registry, but it is not a TCP
+        // variant — this crate-local factory only knows the baselines.)
+        let err = match by_name("tahoe") {
+            Ok(_) => panic!("tahoe is not implemented"),
             Err(e) => e,
         };
-        assert_eq!(err.name, "bbr");
+        assert_eq!(err.name, "tahoe");
         assert!(err.known.contains(&"cubic".to_string()));
-        assert!(err.to_string().contains("bbr"));
+        assert!(err.to_string().contains("tahoe"));
     }
 
     #[test]

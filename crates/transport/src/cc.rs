@@ -14,12 +14,23 @@
 //!
 //! * rate-based algorithms (PCC, SABUL, PCP) call [`Ctx::set_rate`];
 //! * window-based algorithms (the TCPs) call [`Ctx::set_cwnd`];
-//! * hybrid algorithms (paced TCP, BBR-style designs) call both;
+//! * hybrid algorithms call both;
 //!
 //! and the one engine ([`crate::sender::CcSender`] in simulation,
 //! `pcc-udp`'s sender on real sockets) enforces whichever combination the
 //! algorithm requested. The same boxed algorithm object runs unchanged on
 //! either datapath.
+//!
+//! The reference *hybrid* implementation is `pcc-bbr`'s `Bbr` (registered
+//! as `bbr`): a BBR-style model-based controller whose every control
+//! decision sets `set_rate(pacing_gain · btl_bw)` *and*
+//! `set_cwnd(cwnd_gain · BDP)`, so both machineries — pacing and window
+//! clocking — run simultaneously for the whole flow. The `-paced` TCP
+//! wrappers (`pcc-tcp`'s `PacedWindowed`) are the thin end of the same
+//! path. Engines hosting this trait must enforce *both* effects when both
+//! are set: a closed window blocks transmission even when the pacing gap
+//! has elapsed, and vice versa (asserted for both datapaths by the root
+//! conformance suite's `hybrid_enforcement` tests).
 
 use pcc_simnet::rng::SimRng;
 use pcc_simnet::time::{SimDuration, SimTime};

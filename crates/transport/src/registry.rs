@@ -65,8 +65,10 @@ pub type CcFactory = Box<dyn Fn(&CcParams) -> Box<dyn CongestionControl> + Send 
 pub struct UnknownAlgorithm {
     /// The name that failed to resolve.
     pub name: String,
-    /// Names that *are* registered, sorted (empty if nothing registered
-    /// yet — a hint that no `register_algorithms()` ran).
+    /// Names that *do* resolve to a constructor, sorted (empty if nothing
+    /// registered yet — a hint that no `register_algorithms()` ran).
+    /// Broken aliases (cyclic or dangling) are excluded, so the error
+    /// never lists its own subject as available.
     pub known: Vec<String>,
 }
 
@@ -92,8 +94,23 @@ impl std::fmt::Display for UnknownAlgorithm {
 
 impl std::error::Error for UnknownAlgorithm {}
 
-fn table() -> &'static RwLock<BTreeMap<String, Arc<CcFactory>>> {
-    static TABLE: OnceLock<RwLock<BTreeMap<String, Arc<CcFactory>>>> = OnceLock::new();
+/// A table entry: a real constructor, or an alias naming another entry.
+/// Aliases are *data*, resolved iteratively inside [`by_name`] — an alias
+/// factory that re-entered `by_name` would recurse without bound on a
+/// cycle (`a → b → a`, or an alias shadowing its own target) and blow the
+/// stack.
+enum Entry {
+    Factory(Arc<CcFactory>),
+    Alias(String),
+}
+
+/// Alias-chain hop budget. Real registries alias one or two hops deep;
+/// anything past this is a cycle (or indistinguishable from one) and
+/// resolves to the typed error instead of crashing.
+const MAX_ALIAS_HOPS: usize = 16;
+
+fn table() -> &'static RwLock<BTreeMap<String, Entry>> {
+    static TABLE: OnceLock<RwLock<BTreeMap<String, Entry>>> = OnceLock::new();
     TABLE.get_or_init(|| RwLock::new(BTreeMap::new()))
 }
 
@@ -102,40 +119,64 @@ pub fn register(name: &str, factory: CcFactory) {
     table()
         .write()
         .expect("registry poisoned")
-        .insert(name.to_string(), Arc::new(factory));
+        .insert(name.to_string(), Entry::Factory(Arc::new(factory)));
 }
 
-/// Register the same factory under an alias.
+/// Register `alias` to resolve to whatever `target` names at lookup time.
+/// Cyclic alias chains (including self-aliases) are tolerated at
+/// registration and surface as a typed [`UnknownAlgorithm`] from
+/// [`by_name`], never a crash.
 pub fn register_alias(alias: &str, target: &str) {
-    let target = target.to_string();
-    register(
-        alias,
-        Box::new(move |params| {
-            by_name(&target, params).expect("alias target registered before alias")
-        }),
-    );
+    table()
+        .write()
+        .expect("registry poisoned")
+        .insert(alias.to_string(), Entry::Alias(target.to_string()));
 }
 
-/// Construct an algorithm by name. Unknown names are a typed error, never
-/// a panic.
+/// Construct an algorithm by name. Unknown names — and unresolvable alias
+/// chains (dangling, cyclic, or deeper than [`MAX_ALIAS_HOPS`]) — are a
+/// typed error, never a panic.
 pub fn by_name(
     name: &str,
     params: &CcParams,
 ) -> Result<Box<dyn CongestionControl>, UnknownAlgorithm> {
-    // Clone the factory handle and drop the guard *before* invoking it:
-    // alias factories re-enter `by_name`, and a recursive read acquisition
-    // can deadlock std's RwLock whenever a writer is queued between them.
+    // Resolve the whole alias chain under one read guard, then drop the
+    // guard *before* invoking the factory so factories can never deadlock
+    // std's RwLock against a queued writer.
     let resolved = {
         let table = table().read().expect("registry poisoned");
-        match table.get(name) {
+        match resolve(&table, name) {
             Some(factory) => Ok(Arc::clone(factory)),
+            // Whatever made the chain unresolvable — unknown name,
+            // dangling target, cycle — report the name the caller asked
+            // for, and advertise only names that actually resolve (a
+            // broken alias must not appear in its own "registered:" list).
             None => Err(UnknownAlgorithm {
                 name: name.to_string(),
-                known: table.keys().cloned().collect(),
+                known: table
+                    .keys()
+                    .filter(|k| resolve(&table, k).is_some())
+                    .cloned()
+                    .collect(),
             }),
         }
     };
     resolved.map(|factory| factory(params))
+}
+
+/// Walk `name`'s alias chain to its factory, if it reaches one within the
+/// [`MAX_ALIAS_HOPS`] budget. The single resolver behind both [`by_name`]
+/// and the error path's "which names are usable" filter, so the two can
+/// never disagree.
+fn resolve<'t>(table: &'t BTreeMap<String, Entry>, name: &str) -> Option<&'t Arc<CcFactory>> {
+    let mut current = name;
+    for _ in 0..=MAX_ALIAS_HOPS {
+        match table.get(current)? {
+            Entry::Factory(factory) => return Some(factory),
+            Entry::Alias(target) => current = target,
+        }
+    }
+    None // budget exhausted: a cycle, or indistinguishable from one
 }
 
 /// All registered names, sorted.
@@ -196,5 +237,59 @@ mod tests {
         let cc = by_name("test-alias", &CcParams::default()).expect("alias works");
         assert_eq!(cc.name(), "dummy");
         assert!(contains("test-alias"));
+    }
+
+    #[test]
+    fn alias_chains_resolve_within_the_hop_budget() {
+        register("chain-0", Box::new(|_| Box::new(Dummy)));
+        for i in 1..=5 {
+            register_alias(&format!("chain-{i}"), &format!("chain-{}", i - 1));
+        }
+        let cc = by_name("chain-5", &CcParams::default()).expect("deep chain");
+        assert_eq!(cc.name(), "dummy");
+    }
+
+    #[test]
+    fn cyclic_aliases_are_a_typed_error_not_a_crash() {
+        // Regression: `a → b → a` used to recurse unboundedly through the
+        // alias factories and overflow the stack on the first lookup.
+        register_alias("cycle-a", "cycle-b");
+        register_alias("cycle-b", "cycle-a");
+        for name in ["cycle-a", "cycle-b"] {
+            let err = match by_name(name, &CcParams::default()) {
+                Ok(_) => panic!("cycle must not resolve"),
+                Err(e) => e,
+            };
+            assert_eq!(err.name, name);
+            // The error must not advertise the unresolvable names as
+            // registered — that message would contradict itself.
+            assert!(!err.known.contains(&"cycle-a".to_string()), "{err}");
+            assert!(!err.known.contains(&"cycle-b".to_string()), "{err}");
+        }
+    }
+
+    #[test]
+    fn self_alias_is_a_typed_error() {
+        // An alias shadowing its own target is the one-hop cycle.
+        register_alias("self-alias", "self-alias");
+        let err = match by_name("self-alias", &CcParams::default()) {
+            Ok(_) => panic!("self-cycle must not resolve"),
+            Err(e) => e,
+        };
+        assert_eq!(err.name, "self-alias");
+        assert!(err.to_string().contains("self-alias"));
+    }
+
+    #[test]
+    fn dangling_alias_reports_the_requested_name() {
+        register_alias("dangling", "no-such-target");
+        let err = match by_name("dangling", &CcParams::default()) {
+            Ok(_) => panic!("dangling alias must not resolve"),
+            Err(e) => e,
+        };
+        // The caller typed `dangling`; that is the name the error must
+        // carry (and must not advertise as registered).
+        assert_eq!(err.name, "dangling");
+        assert!(!err.known.contains(&"dangling".to_string()), "{err}");
     }
 }

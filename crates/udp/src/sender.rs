@@ -91,7 +91,28 @@ pub fn install_registry() {
         pcc_core::register_algorithms();
         pcc_tcp::register_algorithms();
         pcc_rate::register_algorithms();
+        pcc_bbr::register_algorithms();
     });
+}
+
+/// Bytes of UDP/IP framing added to each payload datagram; what the
+/// engine accounts as the wire packet size must include it, and so must
+/// the MSS handed to the algorithm.
+pub const WIRE_OVERHEAD_BYTES: usize = 40;
+
+/// The wire packet size for a sender configuration.
+pub fn wire_mss(cfg: &UdpSenderConfig) -> u32 {
+    (cfg.payload + WIRE_OVERHEAD_BYTES) as u32
+}
+
+/// The PCC controller [`send_pcc`] runs: paper config plus the *wire*
+/// MSS. Threading the MSS through is load-bearing — the monitor measures
+/// throughput, the 2·MSS/RTT starting rate, and the rate floor in units
+/// of this packet size, and a controller left at the 1500 B default
+/// over-reports all three on a `payload + 40` wire (the skew the paper's
+/// utility function is sensitive to).
+pub fn pcc_controller(cfg: &UdpSenderConfig, pcc: PccConfig) -> PccController {
+    PccController::new(pcc).with_mss(wire_mss(cfg))
 }
 
 /// Send `cfg.total_bytes` to `peer` over `socket`, paced by a PCC
@@ -102,7 +123,7 @@ pub fn send_pcc(
     cfg: UdpSenderConfig,
     pcc: PccConfig,
 ) -> std::io::Result<SenderReport> {
-    let ctrl = PccController::new(pcc);
+    let ctrl = pcc_controller(&cfg, pcc);
     send_with(socket, peer, cfg, Box::new(ctrl))
 }
 
@@ -118,12 +139,27 @@ pub fn send_named(
 ) -> std::io::Result<Result<SenderReport, UnknownAlgorithm>> {
     install_registry();
     let params = CcParams::default()
-        .with_mss((cfg.payload + 40) as u32)
+        .with_mss(wire_mss(&cfg))
         .with_rtt_hint(rtt_hint);
     match registry::by_name(name, &params) {
         Ok(cc) => send_with(socket, peer, cfg, cc).map(Ok),
         Err(e) => Ok(Err(e)),
     }
+}
+
+/// Pop the next sequence that genuinely needs retransmission, eagerly
+/// discarding stale entries (already acked, or no longer marked lost) on
+/// the way. Draining stales here — instead of one per pacing slot — means
+/// a post-recovery queue of stale sequences can never stall the tail of a
+/// transfer: the first slot that reaches the queue either finds real work
+/// or empties it.
+fn next_transmit(retx: &mut VecDeque<u64>, sb: &Scoreboard) -> Option<u64> {
+    while let Some(seq) = retx.pop_front() {
+        if sb.is_lost(seq) && !sb.is_acked(seq) {
+            return Some(seq);
+        }
+    }
+    None
 }
 
 /// Send with an arbitrary congestion-control algorithm. The engine
@@ -145,7 +181,7 @@ pub fn send_with(
     let mut retx: VecDeque<u64> = VecDeque::new();
     let total_pkts = cfg.total_bytes.div_ceil(cfg.payload as u64);
     let payload = vec![0xA5u8; cfg.payload];
-    let wire_bytes = (cfg.payload + 40) as u32;
+    let wire_bytes = wire_mss(&cfg);
     let mut report = SenderReport::default();
 
     let mut rate_bps: Option<f64> = None;
@@ -242,10 +278,10 @@ pub fn send_with(
         let has_new = sb.next_seq() < total_pkts;
         let has_work = has_new || !retx.is_empty();
         if pace_due && window_open && has_work {
-            let (seq, is_retx) = match retx.pop_front() {
-                Some(s) if sb.is_lost(s) && !sb.is_acked(s) => (s, true),
-                _ if has_new => (sb.next_seq(), false),
-                _ => (0, false), // stale retx entry and no new data: skip
+            let (seq, is_retx) = match next_transmit(&mut retx, &sb) {
+                Some(s) => (s, true),
+                None if has_new => (sb.next_seq(), false),
+                None => (0, false), // queue was all stale and no new data
             };
             if is_retx || has_new {
                 let h = DataHeader {
@@ -354,4 +390,64 @@ pub fn send_with(
     report.final_rate_bps = rate_bps.unwrap_or(0.0);
     report.final_cwnd_pkts = cwnd_pkts.unwrap_or(0.0);
     Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack(sb: &mut Scoreboard, seq: u64, cum_ack: u64, at: SimTime) {
+        let info = AckInfo {
+            acked_seq: seq,
+            cum_ack,
+            echo_sent_at: SimTime::ZERO,
+            recv_at: at,
+            recv_bytes: 0,
+            probe_train: None,
+            of_retx: false,
+        };
+        sb.on_ack(&info, at);
+    }
+
+    #[test]
+    fn send_pcc_threads_the_wire_mss() {
+        // Regression: `send_pcc` must hand the controller the *wire* MSS
+        // (`payload + 40`), not leave it at the 1500 B default — the
+        // monitor's throughput, the 2·MSS/RTT starting rate, and the rate
+        // floor are all denominated in it.
+        let cfg = UdpSenderConfig {
+            payload: 1200,
+            ..Default::default()
+        };
+        let ctrl = pcc_controller(&cfg, PccConfig::paper());
+        assert_eq!(ctrl.mss(), 1240);
+        assert_eq!(wire_mss(&cfg), 1240);
+    }
+
+    #[test]
+    fn next_transmit_drains_stale_entries_in_one_call() {
+        // 5 packets in flight, all declared lost, then 0..4 get acked
+        // (SACKed after the loss declaration): their retx entries are
+        // stale. One `next_transmit` call must discard every stale entry
+        // and return the single still-lost sequence — the old code burned
+        // one pacing slot per stale entry, stalling the transfer tail.
+        let mut sb = Scoreboard::new();
+        let t0 = SimTime::ZERO;
+        for seq in 0..5 {
+            sb.on_send(seq, t0, false);
+        }
+        let lost = sb.mark_all_lost();
+        assert_eq!(lost.len(), 5);
+        let mut retx: VecDeque<u64> = lost.into_iter().collect();
+        let t1 = SimTime::from_millis(1);
+        for seq in 0..4 {
+            ack(&mut sb, seq, seq + 1, t1);
+        }
+        assert_eq!(next_transmit(&mut retx, &sb), Some(4));
+        assert!(retx.is_empty(), "stale entries discarded eagerly");
+        // A fully-stale queue empties in one call and reports no work.
+        let mut all_stale: VecDeque<u64> = (0..4).collect();
+        assert_eq!(next_transmit(&mut all_stale, &sb), None);
+        assert!(all_stale.is_empty());
+    }
 }

@@ -21,6 +21,7 @@
 //! | [`transport`] | `pcc-transport` | SACK scoreboard, the unified `CongestionControl` API, the one `CcSender` engine, the algorithm registry |
 //! | [`tcp`] | `pcc-tcp` | New Reno, CUBIC, Illinois, Hybla, Vegas, BIC, Westwood (plus `-paced` variants) |
 //! | [`rate`] | `pcc-rate` | SABUL/UDT-style and PCP-style rate control |
+//! | [`bbr`] | `pcc-bbr` | BBR-style model-based control — the reference *hybrid* (rate + cwnd) algorithm |
 //! | [`scenarios`] | `pcc-scenarios` | every §4 evaluation scenario as a reusable builder |
 //! | [`experiments`] | `pcc-experiments` | per-figure/table regeneration harness |
 //! | [`udp`] | `pcc-udp` | real-network datapath: any algorithm over std UDP sockets |
@@ -58,6 +59,7 @@
 //! # let _ = sender;
 //! ```
 
+pub use pcc_bbr as bbr;
 pub use pcc_core as core;
 pub use pcc_experiments as experiments;
 pub use pcc_rate as rate;
@@ -76,6 +78,7 @@ pub fn install_registry() {
 
 /// Everything needed for typical simulation-based use.
 pub mod prelude {
+    pub use pcc_bbr::Bbr;
     pub use pcc_core::{
         LatencySensitive, LossResilient, MiTiming, PccConfig, PccController, SafeSigmoid,
         UtilityFunction,

@@ -1,8 +1,8 @@
 //! Conformance suite for the unified `CongestionControl` API: every
 //! algorithm in the registry — the PCC×utility family, all seven TCP
-//! baselines (plain and `-paced`), SABUL, and PCP — is driven through the
-//! same scripted event sequence and the same end-to-end simulation, and
-//! must uphold the API contract:
+//! baselines (plain and `-paced`), SABUL, PCP, and the BBR-style hybrid —
+//! is driven through the same scripted event sequence and the same
+//! end-to-end simulation, and must uphold the API contract:
 //!
 //! * construction by name succeeds and the initial operating point is sane
 //!   (a positive finite rate and/or a window ≥ 1 packet);
@@ -26,8 +26,12 @@ fn all_names() -> Vec<String> {
     pcc::install_registry();
     let names = registry::names();
     assert!(
-        names.len() >= 11,
-        "registry spans PCC×utilities, 7 TCPs, SABUL, PCP: {names:?}"
+        names.len() >= 12,
+        "registry spans PCC×utilities, 7 TCPs, SABUL, PCP, BBR: {names:?}"
+    );
+    assert!(
+        names.contains(&"bbr".to_string()),
+        "the hybrid is registered: {names:?}"
     );
     names
 }
@@ -256,6 +260,166 @@ fn timers_are_redelivered_with_their_token() {
             );
         }
         s.run_session();
+    }
+}
+
+mod hybrid_enforcement {
+    //! When an algorithm sets *both* effects, each engine must enforce
+    //! both: a closed window blocks sends even when pacing is due, and a
+    //! due pacing gap blocks sends even when the window is open. This is
+    //! the path BBR-style hybrids depend on.
+
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    use pcc::prelude::*;
+    use pcc::transport::cc::{AckEvent, CongestionControl, Ctx, LossEvent};
+
+    /// Fixed hybrid operating point that records the largest in-flight
+    /// count the engine ever let it reach.
+    struct HybridProbe {
+        rate_bps: f64,
+        cwnd_pkts: f64,
+        max_in_flight: Arc<AtomicU64>,
+    }
+
+    impl CongestionControl for HybridProbe {
+        fn name(&self) -> &'static str {
+            "hybrid-probe"
+        }
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.set_rate(self.rate_bps);
+            ctx.set_cwnd(self.cwnd_pkts);
+        }
+        fn on_sent(&mut self, ev: &pcc::transport::cc::SentEvent, _ctx: &mut Ctx) {
+            self.max_in_flight
+                .fetch_max(ev.in_flight, Ordering::Relaxed);
+        }
+        fn on_ack(&mut self, _ack: &AckEvent, _ctx: &mut Ctx) {}
+        fn on_loss(&mut self, _loss: &LossEvent, _ctx: &mut Ctx) {}
+    }
+
+    fn run_sim(rate_bps: f64, cwnd_pkts: f64, max_in_flight: Arc<AtomicU64>) -> f64 {
+        let mut net = NetworkBuilder::new(SimConfig {
+            sample_interval: SimDuration::from_millis(100),
+            seed: 7,
+        });
+        let db = Dumbbell::new(&mut net, BottleneckSpec::new(100e6, 1 << 20));
+        let path = db.attach_flow(&mut net, SimDuration::from_millis(30));
+        let flow = net.add_flow(FlowSpec {
+            sender: Box::new(CcSender::new(
+                CcSenderConfig::default(),
+                Box::new(HybridProbe {
+                    rate_bps,
+                    cwnd_pkts,
+                    max_in_flight,
+                }),
+            )),
+            receiver: Box::new(SackReceiver::new()),
+            fwd_path: path.fwd,
+            rev_path: path.rev,
+            start_at: SimTime::ZERO,
+        });
+        let report = net.build().run_until(SimTime::from_secs(5));
+        report.avg_throughput_mbps(flow, SimTime::from_secs(1), SimTime::from_secs(5))
+    }
+
+    #[test]
+    fn cc_sender_window_gates_pacing() {
+        // 100 Mbps pacing against a 6-packet window on a 30 ms path: the
+        // engine must never exceed the window, pinning throughput at
+        // ~cwnd/RTT (2.4 Mbps) despite a due pacer.
+        let peak = Arc::new(AtomicU64::new(0));
+        let tput = run_sim(100e6, 6.0, Arc::clone(&peak));
+        assert!(
+            peak.load(Ordering::Relaxed) <= 6,
+            "in-flight capped by the window: {}",
+            peak.load(Ordering::Relaxed)
+        );
+        assert!(tput < 4.0, "window caps the paced rate: {tput} Mbps");
+        assert!(tput > 0.5, "data still flows: {tput} Mbps");
+    }
+
+    #[test]
+    fn cc_sender_pacing_gates_window() {
+        // A 4 Mbps pacing rate under a huge window: the pacer, not the
+        // window, must set the throughput.
+        let peak = Arc::new(AtomicU64::new(0));
+        let tput = run_sim(4e6, 10_000.0, peak);
+        assert!(
+            (tput - 4.0).abs() < 0.5,
+            "pacing caps an open window: {tput} Mbps"
+        );
+    }
+
+    #[test]
+    fn udp_engine_window_gates_pacing() {
+        // Same contract on real sockets: a gigabit pacing rate with a
+        // 4-packet window must never have more than 4 datagrams in
+        // flight.
+        let (rx_sock, tx_sock, rx_addr) = udp_sockets();
+        let total: u64 = 256 * 1024;
+        let rx = std::thread::spawn(move || pcc::udp::receive(&rx_sock, total));
+        let peak = Arc::new(AtomicU64::new(0));
+        let cc = HybridProbe {
+            rate_bps: 1e9,
+            cwnd_pkts: 4.0,
+            max_in_flight: Arc::clone(&peak),
+        };
+        let cfg = pcc::udp::UdpSenderConfig {
+            payload: 1200,
+            total_bytes: total,
+            seed: 2,
+        };
+        let report = pcc::udp::send_with(&tx_sock, rx_addr, cfg, Box::new(cc)).expect("send");
+        rx.join().expect("join").expect("receive");
+        assert!(
+            peak.load(Ordering::Relaxed) <= 4,
+            "UDP engine honours the window even with pacing due: {}",
+            peak.load(Ordering::Relaxed)
+        );
+        assert!(report.final_cwnd_pkts > 0.0 && report.final_rate_bps > 0.0);
+    }
+
+    #[test]
+    fn udp_engine_pacing_gates_window() {
+        // And the converse: a huge window with a 16 Mbps pacing rate must
+        // take at least the paced duration (512 KB wire ≈ 0.26 s) — if
+        // the engine ignored the rate, loopback would finish in
+        // milliseconds. Lower bound only, so CI jitter can't flake it.
+        let (rx_sock, tx_sock, rx_addr) = udp_sockets();
+        let total: u64 = 512 * 1024;
+        let rx = std::thread::spawn(move || pcc::udp::receive(&rx_sock, total));
+        let peak = Arc::new(AtomicU64::new(0));
+        let cc = HybridProbe {
+            rate_bps: 16e6,
+            cwnd_pkts: 10_000.0,
+            max_in_flight: peak,
+        };
+        let cfg = pcc::udp::UdpSenderConfig {
+            payload: 1200,
+            total_bytes: total,
+            seed: 3,
+        };
+        let t0 = std::time::Instant::now();
+        pcc::udp::send_with(&tx_sock, rx_addr, cfg, Box::new(cc)).expect("send");
+        let elapsed = t0.elapsed();
+        rx.join().expect("join").expect("receive");
+        assert!(
+            elapsed.as_secs_f64() > 0.1,
+            "pacing throttles an open window: {elapsed:?}"
+        );
+    }
+
+    fn udp_sockets() -> (
+        std::net::UdpSocket,
+        std::net::UdpSocket,
+        std::net::SocketAddr,
+    ) {
+        let rx_sock = std::net::UdpSocket::bind("127.0.0.1:0").expect("bind rx");
+        let rx_addr = rx_sock.local_addr().expect("addr");
+        let tx_sock = std::net::UdpSocket::bind("127.0.0.1:0").expect("bind tx");
+        (rx_sock, tx_sock, rx_addr)
     }
 }
 
