@@ -42,22 +42,76 @@ pub use bbr::{
 };
 
 use pcc_transport::registry;
+use pcc_transport::spec::{ParamKind, ParamSpec, Schema};
 
-/// Register `bbr` with the workspace-wide [`pcc_transport::registry`].
-/// Idempotent.
+/// BBR's spec parameters (`bbr:probe_rtt_ms=5000,cwnd_gain=2.5`): the
+/// ProbeRTT refresh interval and the steady-state cwnd gain — the two
+/// knobs the BBR-variant evaluation literature sweeps most.
+pub const BBR_SCHEMA: Schema = &[
+    ParamSpec {
+        key: "probe_rtt_ms",
+        kind: ParamKind::Int {
+            min: 100,
+            max: 120_000,
+        },
+        doc: "min-RTT estimate lifetime before a ProbeRTT re-probe, ms (default 10000)",
+    },
+    ParamSpec {
+        key: "cwnd_gain",
+        kind: ParamKind::Float { min: 1.0, max: 8.0 },
+        doc: "steady-state cwnd gain over the BDP (default 2)",
+    },
+];
+
+/// Register `bbr` (with [`BBR_SCHEMA`]) in the workspace-wide
+/// [`pcc_transport::registry`]. Idempotent.
 pub fn register_algorithms() {
-    registry::register("bbr", Box::new(|params| Box::new(Bbr::new(params))));
+    registry::register_with_schema(
+        "bbr",
+        BBR_SCHEMA,
+        Box::new(|params| Box::new(Bbr::new(params))),
+    );
 }
 
 #[cfg(test)]
 mod registry_tests {
     use super::*;
+    use pcc_simnet::time::SimDuration;
     use pcc_transport::registry::CcParams;
+    use pcc_transport::spec;
 
     #[test]
     fn bbr_registers() {
         register_algorithms();
         let cc = registry::by_name("bbr", &CcParams::default()).expect("registered");
         assert_eq!(cc.name(), "bbr");
+    }
+
+    #[test]
+    fn spec_tunes_probe_rtt_and_cwnd_gain() {
+        let raw = vec![
+            ("probe_rtt_ms".to_string(), "5000".to_string()),
+            ("cwnd_gain".to_string(), "2.5".to_string()),
+        ];
+        let params =
+            CcParams::default().with_spec(spec::validate("bbr", BBR_SCHEMA, &raw).expect("valid"));
+        let bbr = Bbr::new(&params);
+        assert_eq!(bbr.min_rtt_window(), SimDuration::from_millis(5000));
+        assert_eq!(bbr.steady_cwnd_gain(), 2.5);
+        // Defaults when the bag is empty.
+        let bbr = Bbr::new(&CcParams::default());
+        assert_eq!(bbr.min_rtt_window(), MIN_RTT_WINDOW);
+        assert_eq!(bbr.steady_cwnd_gain(), CWND_GAIN);
+    }
+
+    #[test]
+    fn registry_rejects_bad_bbr_specs() {
+        register_algorithms();
+        let err = match registry::by_name("bbr:probe_rtt_ms=1", &CcParams::default()) {
+            Ok(_) => panic!("must fail"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("probe_rtt_ms=<"), "{err}");
+        assert!(registry::by_name("bbr:probe_rtt_ms=5000", &CcParams::default()).is_ok());
     }
 }

@@ -151,6 +151,18 @@ impl PccController {
         self.mss
     }
 
+    /// The configuration this controller runs with (paper defaults plus
+    /// whatever a parameterized spec overrode — tests and tooling use
+    /// this to verify tuning actually reached the controller).
+    pub fn config(&self) -> &PccConfig {
+        &self.cfg
+    }
+
+    /// Name of the utility function being optimized.
+    pub fn utility_name(&self) -> &'static str {
+        self.utility.name()
+    }
+
     /// Controller statistics.
     pub fn stats(&self) -> PccStats {
         self.stats
@@ -646,16 +658,21 @@ impl CongestionControl for PccController {
     }
 
     fn on_ack(&mut self, ack: &AckEvent, ctx: &mut CtrlCtx) {
-        if !ack.sampled {
-            // Only exact per-packet samples feed the monitor; an ACK of a
-            // retransmission is ambiguous about which transmission it
-            // measures.
-            return;
+        if ack.sampled {
+            // Only exact per-packet samples feed the RTT estimator and
+            // the monitor's timing state; an ACK of a retransmission is
+            // ambiguous about which transmission it measures. The acked
+            // seq is credited (with its timing) before the cumulative
+            // prefix so the sample isn't lost to untimed resolution.
+            self.rtt.on_sample(ack.rtt);
+            self.monitor.on_ack(ack.seq, ack.rtt, ack.recv_at);
         }
-        self.rtt.on_sample(ack.rtt);
-        self.monitor.on_ack(ack.seq, self.mss, ack.rtt, ack.recv_at);
-        self.monitor
-            .on_cum_ack(ack.cum_ack, self.mss, ack.rtt, ack.recv_at);
+        // The cumulative ACK proves delivery even when this ACK carries
+        // no usable RTT sample — a retransmission's ACK is ambiguous
+        // about timing, not about delivery. Skipping it here let
+        // reverse-path ACK loss masquerade as data loss whenever the
+        // only surviving proof rode on a retransmission's ACK.
+        self.monitor.on_cum_ack(ack.cum_ack);
         for m in self.monitor.poll(ctx.now) {
             self.on_mi_complete(&m, ctx);
         }
@@ -879,6 +896,84 @@ mod tests {
             "single-loss dip ignored: {:?}",
             h.ctrl.stats()
         );
+    }
+
+    #[test]
+    fn unsampled_cum_ack_still_resolves_deliveries() {
+        // An ACK of a retransmission carries no usable RTT sample
+        // (`sampled: false`), but its cumulative ACK still proves the
+        // prefix arrived. Step 1's packets are resolved *only* by such
+        // an ACK and no later ACK re-covers them before the MI deadline
+        // — so the pre-fix sampling guard (which returned before
+        // `on_cum_ack`) wrote all 20 packets off as lost at the
+        // deadline and aborted startup on a phantom loss cliff.
+        let mut h = Harness::new(cfg());
+        h.start();
+        // Step 0: clean, sampled traffic (step 0 is never compared).
+        h.traffic(10, 10, 100);
+        // Into step 1 (first boundary fires at 500 ms: ten 1500 B
+        // packets at the 240 kbps starting rate).
+        h.advance_to(SimTime::from_millis(600));
+        assert_eq!(h.ctrl.phase_name(), "starting");
+        // Step 1: 20 packets, and not one per-packet SACK survives the
+        // reverse path — delivery is proven solely by the cumulative
+        // ACK riding on a retransmission's (unsampled) ACK.
+        for i in 0..20 {
+            let ev = SentEvent {
+                now: h.now,
+                seq: h.next_seq + i,
+                bytes: 1500,
+                retx: false,
+                in_flight: 20,
+            };
+            let mut cc = CtrlCtx::new(h.now, &mut h.rng, &mut h.fx);
+            h.ctrl.on_sent(&ev, &mut cc);
+        }
+        h.next_seq += 20;
+        let rtt = SimDuration::from_millis(100);
+        let ack = AckEvent {
+            now: h.now,
+            seq: h.next_seq - 1,
+            rtt,
+            sampled: false,
+            srtt: rtt,
+            min_rtt: rtt,
+            max_rtt: rtt,
+            recv_at: h.now,
+            probe_train: None,
+            of_retx: true,
+            cum_ack: h.next_seq,
+            newly_acked: 20,
+            in_flight: 0,
+            mss: 1500,
+            in_recovery: false,
+        };
+        {
+            let mut cc = CtrlCtx::new(h.now, &mut h.rng, &mut h.fx);
+            h.ctrl.on_ack(&ack, &mut cc);
+        }
+        h.drain();
+        // Step 1's MI ends at its 750 ms boundary. With the fix it is
+        // already fully resolved by the cumulative ACK, so it publishes
+        // right there (two completed MIs by 900 ms) and startup keeps
+        // climbing. Pre-fix, the guard dropped the cum_ack: the MI sat
+        // unresolved past 900 ms awaiting its ~1000 ms deadline, where
+        // all 20 packets were written off as lost and the phantom
+        // utility cliff ended the starting phase.
+        h.advance_to(SimTime::from_millis(900));
+        assert_eq!(
+            h.ctrl.stats().mis_completed,
+            2,
+            "the cum-ack alone resolves the MI, no deadline wait: {:?}",
+            h.ctrl.stats()
+        );
+        assert_eq!(
+            h.ctrl.stats().starts_exited,
+            0,
+            "cum-ack-only resolution is delivery, not a loss cliff: {:?}",
+            h.ctrl.stats()
+        );
+        assert_eq!(h.ctrl.phase_name(), "starting", "still climbing");
     }
 
     #[test]

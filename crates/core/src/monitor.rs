@@ -118,6 +118,15 @@ impl MiState {
     }
 }
 
+/// What the monitor remembers about an in-flight transmission: the MI it
+/// belongs to and the bytes it actually carried (so resolution credits
+/// real sizes — a short tail packet must not be credited as a full MSS).
+#[derive(Clone, Copy, Debug)]
+struct SeqInfo {
+    mi: u64,
+    bytes: u32,
+}
+
 /// The §3.1 monitor: attributes packets to monitor intervals and publishes
 /// per-MI metrics once each interval's packets are resolved.
 #[derive(Debug, Default)]
@@ -126,9 +135,9 @@ pub struct Monitor {
     current: Option<MiState>,
     /// Ended MIs awaiting resolution, oldest first.
     pending: VecDeque<MiState>,
-    /// seq → MI id of its *latest* transmission (ordered, so cumulative
-    /// ACKs can resolve whole prefixes).
-    seq_mi: BTreeMap<u64, u64>,
+    /// seq → (MI id, sent bytes) of its *latest* transmission (ordered,
+    /// so cumulative ACKs can resolve whole prefixes).
+    seq_mi: BTreeMap<u64, SeqInfo>,
     /// Average RTT of the most recently completed MI.
     last_avg_rtt: Option<SimDuration>,
     /// Minimum RTT sample ever observed (propagation estimate).
@@ -204,7 +213,7 @@ impl Monitor {
         };
         cur.sent += 1;
         cur.sent_bytes += bytes as u64;
-        self.seq_mi.insert(seq, cur.id);
+        self.seq_mi.insert(seq, SeqInfo { mi: cur.id, bytes });
     }
 
     fn mi_mut(&mut self, id: u64) -> Option<&mut MiState> {
@@ -216,19 +225,22 @@ impl Monitor {
         self.pending.iter_mut().find(|m| m.id == id)
     }
 
-    /// Resolve `seq` as acknowledged. `recv_at` is the receiver-side
-    /// arrival timestamp echoed in the ACK (drives span-based throughput).
-    pub fn on_ack(&mut self, seq: u64, bytes: u32, rtt: SimDuration, recv_at: SimTime) {
+    /// Resolve `seq` as acknowledged by its own (S)ACK, which carries a
+    /// genuine RTT measurement of that transmission. `recv_at` is the
+    /// receiver-side arrival timestamp echoed in the ACK (drives
+    /// span-based throughput). The credited bytes are the ones recorded
+    /// at send time.
+    pub fn on_ack(&mut self, seq: u64, rtt: SimDuration, recv_at: SimTime) {
         self.min_rtt = Some(match self.min_rtt {
             Some(m) => m.min(rtt),
             None => rtt,
         });
-        let Some(mi_id) = self.seq_mi.remove(&seq) else {
+        let Some(info) = self.seq_mi.remove(&seq) else {
             return; // duplicate ACK or MI already force-completed
         };
-        if let Some(mi) = self.mi_mut(mi_id) {
+        if let Some(mi) = self.mi_mut(info.mi) {
             mi.acked += 1;
-            mi.acked_bytes += bytes as u64;
+            mi.acked_bytes += info.bytes as u64;
             mi.rtt_sum_ns += rtt.as_nanos();
             mi.rtt_n += 1;
             if mi.first_ack_recv.is_none() {
@@ -240,23 +252,44 @@ impl Monitor {
         }
     }
 
+    /// Resolve `seq` as delivered *without* a timing measurement: credit
+    /// its recorded bytes, but neither an RTT sample nor an ACK-arrival
+    /// span point — the cumulative ACK that proved its delivery measures
+    /// a different packet's flight.
+    fn resolve_delivered(&mut self, seq: u64) {
+        let Some(info) = self.seq_mi.remove(&seq) else {
+            return;
+        };
+        if let Some(mi) = self.mi_mut(info.mi) {
+            mi.acked += 1;
+            mi.acked_bytes += info.bytes as u64;
+        }
+    }
+
     /// Resolve every tracked sequence below `cum_ack` as delivered. The
     /// receiver's cumulative ACK proves delivery even when the selective
     /// ACK for a packet was lost on the reverse path — without this, ACK
     /// loss masquerades as data loss and inflates the measured loss rate
     /// by the reverse-path loss rate.
-    pub fn on_cum_ack(&mut self, cum_ack: u64, bytes: u32, rtt: SimDuration, recv_at: SimTime) {
+    ///
+    /// Prefix packets are credited with the bytes they actually carried
+    /// and contribute **no** RTT sample or span point: duplicating the
+    /// triggering ACK's RTT across the prefix used to inflate `rtt_n`
+    /// (skewing per-MI average RTT), and crediting a full MSS per prefix
+    /// seq over-counted `acked_bytes` whenever a short tail packet was
+    /// covered — reporting per-MI throughput above link capacity.
+    pub fn on_cum_ack(&mut self, cum_ack: u64) {
         while let Some((&seq, _)) = self.seq_mi.range(..cum_ack).next() {
-            self.on_ack(seq, bytes, rtt, recv_at);
+            self.resolve_delivered(seq);
         }
     }
 
     /// Resolve `seq` as lost.
     pub fn on_loss(&mut self, seq: u64) {
-        let Some(mi_id) = self.seq_mi.remove(&seq) else {
+        let Some(info) = self.seq_mi.remove(&seq) else {
             return;
         };
-        if let Some(mi) = self.mi_mut(mi_id) {
+        if let Some(mi) = self.mi_mut(info.mi) {
             mi.lost += 1;
         }
     }
@@ -270,7 +303,7 @@ impl Monitor {
                 // Drop stale seq attributions of a force-completed MI so a
                 // late ACK can't corrupt a future MI's counters.
                 if !mi.resolved() {
-                    self.seq_mi.retain(|_, &mut v| v != mi.id);
+                    self.seq_mi.retain(|_, v| v.mi != mi.id);
                 }
                 let metrics = mi.metrics(self.last_avg_rtt, self.min_rtt);
                 self.last_avg_rtt = Some(metrics.avg_rtt);
@@ -318,7 +351,7 @@ mod tests {
         assert!(mon.poll(t(60)).is_empty(), "unresolved: nothing published");
         // Resolve: 8 acked, 2 lost.
         for seq in 0..8 {
-            mon.on_ack(seq, 1500, ms(30), t(0));
+            mon.on_ack(seq, ms(30), t(0));
         }
         mon.on_loss(8);
         mon.on_loss(9);
@@ -344,7 +377,7 @@ mod tests {
             mon.on_sent(seq, 1500);
         }
         mon.end_current(t(60), ms(40)); // deadline at 100 ms
-        mon.on_ack(0, 1500, ms(20), t(0));
+        mon.on_ack(0, ms(20), t(0));
         assert!(mon.poll(t(99)).is_empty(), "before deadline");
         let out = mon.poll(t(100));
         assert_eq!(out.len(), 1);
@@ -362,9 +395,9 @@ mod tests {
         let _ = mon.poll(t(30)); // force-completed
         mon.begin(t(30), 1e6, ms(10));
         mon.on_sent(1, 1500);
-        mon.on_ack(0, 1500, ms(25), t(0)); // late ack for dead MI: must not touch MI 2
+        mon.on_ack(0, ms(25), t(0)); // late ack for dead MI: must not touch MI 2
         mon.end_current(t(40), ms(10));
-        mon.on_ack(1, 1500, ms(12), t(0));
+        mon.on_ack(1, ms(12), t(0));
         let out = mon.poll(t(60));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].acked, 1, "only its own packet");
@@ -380,9 +413,9 @@ mod tests {
         mon.on_sent(1, 1500);
         mon.end_current(t(40), ms(100)); // MI1 ends (deadline 140 ms)
                                          // MI1 resolves first, but MI0 must still publish first.
-        mon.on_ack(1, 1500, ms(15), t(0));
+        mon.on_ack(1, ms(15), t(0));
         assert!(mon.poll(t(50)).is_empty(), "head-of-line MI0 unresolved");
-        mon.on_ack(0, 1500, ms(55), t(0));
+        mon.on_ack(0, ms(55), t(0));
         let out = mon.poll(t(56));
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].mi_id, 0);
@@ -399,7 +432,7 @@ mod tests {
         mon.on_loss(0); // lost in MI0
         mon.begin(t(20), 1e6, ms(20));
         mon.on_sent(0, 1500); // retransmitted in MI1
-        mon.on_ack(0, 1500, ms(10), t(0));
+        mon.on_ack(0, ms(10), t(0));
         mon.end_current(t(40), ms(20));
         let out = mon.poll(t(40));
         assert_eq!(out.len(), 2);
@@ -428,12 +461,89 @@ mod tests {
         mon.on_sent(0, 1500);
         // Re-align after only 5 ms.
         mon.begin(t(5), 3e6, ms(10));
-        mon.on_ack(0, 1500, ms(4), t(0));
+        mon.on_ack(0, ms(4), t(0));
         let out = mon.poll(t(9));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].duration, ms(5));
         // x = 1500*8 bits / 5 ms = 2.4 Mbps.
         assert!((out[0].send_rate_bps - 2.4e6).abs() < 1e3);
+    }
+
+    #[test]
+    fn cum_ack_resolves_reverse_path_lost_sacks() {
+        // SACKs for 0..3 die on the reverse path; the ACK of seq 4
+        // carries cum_ack = 5, which must resolve the prefix as delivered
+        // instead of letting the deadline write it off as lost.
+        let mut mon = Monitor::new();
+        mon.begin(t(0), 1e6, ms(50));
+        for seq in 0..5 {
+            mon.on_sent(seq, 1500);
+        }
+        mon.end_current(t(60), ms(40));
+        mon.on_ack(4, ms(30), t(55));
+        mon.on_cum_ack(5);
+        let out = mon.poll(t(70));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].acked, 5);
+        assert_eq!(out[0].lost, 0, "reverse-path ACK loss is not data loss");
+    }
+
+    #[test]
+    fn cum_ack_does_not_duplicate_rtt_samples() {
+        // Regression: prefix seqs resolved via cum_ack used to each inject
+        // a copy of the triggering ACK's RTT, drowning genuine samples.
+        // Here two genuine samples (20 ms, 100 ms) exist; three prefix
+        // seqs resolve via the second ACK's cum_ack. avg must be 60 ms —
+        // the old duplication reported (20 + 4·100)/5 = 84 ms.
+        let mut mon = Monitor::new();
+        mon.begin(t(0), 1e6, ms(50));
+        for seq in 0..5 {
+            mon.on_sent(seq, 1500);
+        }
+        mon.end_current(t(60), ms(60));
+        mon.on_ack(0, ms(20), t(20));
+        mon.on_ack(4, ms(100), t(55));
+        mon.on_cum_ack(5); // resolves 1..3 as delivered, no RTT samples
+        let out = mon.poll(t(70));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].acked, 5);
+        assert_eq!(out[0].avg_rtt, ms(60), "only genuine samples averaged");
+    }
+
+    #[test]
+    fn cum_ack_credits_actual_bytes_throughput_capped_at_capacity() {
+        // A 1 Mbps link carries 9×1500 B + one 300 B tail (110 400 bits)
+        // in exactly 110.4 ms. Every SACK is dropped on the reverse path;
+        // one final cumulative ACK proves delivery. Credited bytes must
+        // be the bytes actually sent — the old full-MSS-per-prefix credit
+        // counted 15 000 B and reported 1.087× link capacity.
+        let mut mon = Monitor::new();
+        let capacity_bps = 1e6;
+        mon.begin(t(0), capacity_bps, ms(50));
+        for seq in 0..9 {
+            mon.on_sent(seq, 1500);
+        }
+        mon.on_sent(9, 300);
+        let wire_bits = (9 * 1500 + 300) * 8; // 110 400
+        let secs = wire_bits as f64 / capacity_bps;
+        mon.end_current(SimTime::from_nanos((secs * 1e9) as u64), ms(50));
+        mon.on_ack(9, ms(30), t(111));
+        mon.on_cum_ack(10);
+        let out = mon.poll(t(200));
+        assert_eq!(out.len(), 1);
+        let m = &out[0];
+        assert_eq!(m.acked, 10);
+        assert_eq!(m.lost, 0);
+        assert!(
+            m.throughput_bps <= capacity_bps * 1.0001,
+            "per-MI throughput ≤ link capacity: {} vs {capacity_bps}",
+            m.throughput_bps
+        );
+        assert!(
+            m.throughput_bps >= capacity_bps * 0.999,
+            "and the full payload is still credited: {}",
+            m.throughput_bps
+        );
     }
 
     #[test]
@@ -444,7 +554,7 @@ mod tests {
             mon.on_sent(seq, 1500);
         }
         for seq in 0..60 {
-            mon.on_ack(seq, 1500, ms(30), t(0));
+            mon.on_ack(seq, ms(30), t(0));
         }
         for seq in 60..80 {
             mon.on_loss(seq);
@@ -467,7 +577,7 @@ mod proptests {
         /// MI satisfies acked + lost == sent and rates are finite and
         /// non-negative.
         #[test]
-        fn mi_conservation(script in proptest::collection::vec(0u8..5, 1..500)) {
+        fn mi_conservation(script in proptest::collection::vec(0u8..6, 1..500)) {
             let mut mon = Monitor::new();
             let mut now = SimTime::ZERO;
             let mut next_seq = 0u64;
@@ -485,13 +595,21 @@ mod proptests {
                     2 => {
                         if !outstanding.is_empty() {
                             let seq = outstanding.remove(0);
-                            mon.on_ack(seq, 1500, SimDuration::from_millis(10), now);
+                            mon.on_ack(seq, SimDuration::from_millis(10), now);
                         }
                     }
                     3 => {
                         if !outstanding.is_empty() {
                             let seq = outstanding.remove(0);
                             mon.on_loss(seq);
+                        }
+                    }
+                    4 => {
+                        // Cumulative-ACK resolution of the oldest packet
+                        // (delivery proven without its own SACK).
+                        if !outstanding.is_empty() {
+                            let seq = outstanding.remove(0);
+                            mon.on_cum_ack(seq + 1);
                         }
                     }
                     _ => {

@@ -2,11 +2,12 @@
 //!
 //! ```text
 //! pcc-experiments list            # show available experiments
-//! pcc-experiments algos           # show every registered CC algorithm
+//! pcc-experiments algos           # show every registered CC algorithm + its spec keys
 //! pcc-experiments fig07           # run one (scaled durations)
 //! pcc-experiments fig07 --full    # paper-scale durations
 //! pcc-experiments all             # run everything
 //! pcc-experiments all --seed 42 --out target/experiments
+//! pcc-experiments sweep "pcc:eps=0.01..0.1" "cubic:iw=4|32" --points 3
 //! ```
 
 use std::process::ExitCode;
@@ -16,6 +17,9 @@ use pcc_experiments::{registry, Opts};
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Option<String> = None;
+    let mut extras: Vec<String> = Vec::new();
+    let mut points: usize = 3;
+    let mut secs: u64 = 4;
     let mut opts = Opts::default();
     let mut i = 0;
     while i < args.len() {
@@ -32,7 +36,22 @@ fn main() -> ExitCode {
                 i += 1;
                 opts.out_dir = args.get(i).expect("--out <dir>").into();
             }
+            "--points" => {
+                i += 1;
+                points = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--points <n>");
+            }
+            "--secs" => {
+                i += 1;
+                secs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--secs <n>");
+            }
             other if which.is_none() => which = Some(other.to_string()),
+            other if which.as_deref() == Some("sweep") => extras.push(other.to_string()),
             other => {
                 eprintln!("unexpected argument: {other}");
                 return ExitCode::FAILURE;
@@ -50,16 +69,33 @@ fn main() -> ExitCode {
             }
             println!("  all      run every experiment");
             println!("  algos    list every registered congestion-control algorithm");
+            println!(
+                "  sweep    sweep spec templates, e.g. sweep \"pcc:eps=0.01..0.1\" --points 3"
+            );
             ExitCode::SUCCESS
         }
         "algos" => {
             pcc_scenarios::install_registry();
-            println!("registered congestion-control algorithms (datapath-agnostic):");
+            println!("registered congestion-control algorithms (datapath-agnostic);");
+            println!("parameterize with name:key=val,... :");
             for name in pcc_transport::registry::names() {
                 println!("  {name}");
+                for p in pcc_transport::registry::schema_of(&name).unwrap_or(&[]) {
+                    println!("      {}=<{}>  {}", p.key, p.kind.describe(), p.doc);
+                }
             }
             ExitCode::SUCCESS
         }
+        "sweep" => match pcc_experiments::sweep::run_cli(&opts, &extras, points, secs) {
+            Ok(_) => {
+                println!("\nCSV output in {}", opts.out_dir.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
         "all" => {
             for (id, desc, run) in &reg {
                 println!("\n### {id}: {desc}\n");

@@ -8,29 +8,33 @@
 //! toward the sweet spot (3% slower convergence for 35% lower variance at
 //! Tm=1×RTT, ε=0.01). Paper result: PCC dominates — e.g. same convergence
 //! time as CUBIC with 4.2× lower variance.
+//!
+//! The figure is literally a parameter sweep, so it rides the same spec
+//! machinery as `pcc-experiments sweep`: every PCC point is a
+//! [`crate::sweep::expand`]ed `pcc:tm=…,eps=…` template resolved through
+//! [`Protocol::Named`] — the registry's schema validates the whole sweep
+//! before any simulation runs.
 
-use pcc_core::{MiTiming, PccConfig};
 use pcc_scenarios::dynamics::run_tradeoff;
-use pcc_scenarios::{Protocol, UtilityKind};
-use pcc_simnet::time::SimDuration;
+use pcc_scenarios::Protocol;
 
-use crate::{fmt, scaled, Opts, Table};
+use crate::{fmt, scaled, sweep, Opts, Table};
 
-/// Tm multiples swept at ε = 0.01.
-pub const TM_SWEEP: &[f64] = &[4.8, 3.0, 2.0, 1.4, 1.0];
+/// The Tm sweep at ε = 0.01, as a spec template (4.8×RTT → 1×RTT).
+pub const TM_TEMPLATE: &str = "pcc:tm=4.8|3|2|1.4|1,eps=0.01";
 /// ε values swept at Tm = 1×RTT.
 pub const EPS_SWEEP: &[f64] = &[0.01, 0.02, 0.03, 0.05];
+/// The RCT ablation at the sweet spot.
+pub const NORCT_SPEC: &str = "pcc:tm=1,eps=0.01,rct=false";
+
+/// One ε-sweep point: each ε runs with its own escalation ceiling
+/// `min(5ε, 0.1)` — a template can only fix one `eps_max` for the whole
+/// list, which would silently double the ε = 0.01 sweet spot's ceiling.
+fn eps_spec(eps: f64) -> String {
+    format!("pcc:tm=1,eps={eps},eps_max={}", (eps * 5.0).min(0.1))
+}
 /// TCP points.
 pub const TCPS: &[&str] = &["cubic", "newreno", "vegas", "bic", "hybla", "westwood"];
-
-fn pcc_with(tm: f64, eps: f64, rct: bool) -> Protocol {
-    let mut cfg = PccConfig::paper()
-        .with_rtt_hint(SimDuration::from_millis(30))
-        .with_eps(eps, (eps * 5.0).min(0.1))
-        .with_mi_timing(MiTiming::FixedRttMultiple(tm));
-    cfg.rct = rct;
-    Protocol::Pcc(cfg, UtilityKind::Safe)
-}
 
 /// Run the Fig. 16 sweep.
 pub fn run(opts: &Opts) -> Vec<Table> {
@@ -40,6 +44,11 @@ pub fn run(opts: &Opts) -> Vec<Table> {
         "Fig. 16 — stability vs reactiveness (flow B joins at 20 s)",
         &["point", "convergence_s", "stddev_mbps", "converged"],
     );
+    let mut specs: Vec<String> = Vec::new();
+    specs.extend(sweep::expand(TM_TEMPLATE, 0).expect("static template"));
+    specs.extend(EPS_SWEEP.iter().map(|&eps| eps_spec(eps)));
+    specs.push(NORCT_SPEC.to_string());
+    sweep::validate_specs(&specs).expect("every swept point is schema-valid");
     let mut run_point = |label: String, proto_fn: &dyn Fn() -> Protocol| {
         let mut conv = 0.0;
         let mut dev = 0.0;
@@ -63,24 +72,34 @@ pub fn run(opts: &Opts) -> Vec<Table> {
             table.row(vec![label, "inf".into(), "-".into(), format!("0/{trials}")]);
         }
     };
-    for &tm in TM_SWEEP {
-        run_point(format!("pcc Tm={tm}xRTT eps=0.01"), &|| {
-            pcc_with(tm, 0.01, true)
-        });
+    for spec in &specs {
+        run_point(spec.clone(), &|| Protocol::Named(spec.clone()));
     }
-    for &eps in EPS_SWEEP {
-        run_point(format!("pcc Tm=1xRTT eps={eps}"), &|| {
-            pcc_with(1.0, eps, true)
-        });
-    }
-    // The RCT ablation at the sweet spot.
-    run_point("pcc-norct Tm=1xRTT eps=0.01".into(), &|| {
-        pcc_with(1.0, 0.01, false)
-    });
     for &tcp in TCPS {
         run_point(tcp.into(), &|| Protocol::Tcp(tcp));
     }
     table.print();
     let _ = table.write_csv(&opts.out_dir, "fig16_tradeoff");
     vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn templates_expand_to_the_paper_sweep() {
+        let tm = sweep::expand(TM_TEMPLATE, 0).expect("tm");
+        assert_eq!(tm.len(), 5, "five Tm points: {tm:?}");
+        assert_eq!(tm[0], "pcc:tm=4.8,eps=0.01");
+        let eps: Vec<String> = EPS_SWEEP.iter().map(|&e| eps_spec(e)).collect();
+        assert_eq!(eps.len(), 4, "four ε points: {eps:?}");
+        // Each ε carries its own 5ε (capped 0.1) escalation ceiling.
+        assert_eq!(eps[0], "pcc:tm=1,eps=0.01,eps_max=0.05");
+        assert_eq!(eps[3], "pcc:tm=1,eps=0.05,eps_max=0.1");
+        let mut all = tm;
+        all.extend(eps);
+        all.push(NORCT_SPEC.to_string());
+        sweep::validate_specs(&all).expect("schema-valid");
+    }
 }

@@ -25,6 +25,7 @@ pub mod fig15_fct;
 pub mod fig16_tradeoff;
 pub mod fig17_power;
 pub mod sec442_highloss;
+pub mod sweep;
 pub mod table;
 pub mod table1_interdc;
 

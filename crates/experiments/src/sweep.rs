@@ -1,0 +1,242 @@
+//! Parameter sweeps over spec templates — the command-line face of the
+//! registry's `name:key=val` surface (§4.4's "swap the constants, keep
+//! the architecture" claim as a one-liner).
+//!
+//! A *template* is a spec string whose values may be ranges or lists:
+//!
+//! ```text
+//! pcc:eps=0.01..0.1            # linspace over --points steps
+//! cubic:iw=4|16|32             # explicit list
+//! pcc:tm=1|2,eps=0.01..0.05    # cross-product of both axes
+//! ```
+//!
+//! [`expand`] turns a template into concrete spec strings; [`run_specs`]
+//! measures each on a reference dumbbell (100 Mbps, 30 ms, 3× BDP
+//! buffer) and tabulates throughput / loss / RTT. The Fig. 16 harness
+//! builds its PCC sweep points through [`expand`] as well, so the figure
+//! and the CLI share one expansion path.
+
+use pcc_scenarios::{install_registry, run_single, LinkSetup, Protocol};
+use pcc_simnet::time::{SimDuration, SimTime};
+use pcc_transport::registry::{self, CcParams};
+use pcc_transport::spec::{AlgoSpec, ParamKind};
+
+use crate::{fmt, Opts, Table};
+
+/// Expand one value expression: `lo..hi` (linspace over `points` steps),
+/// `a|b|c` (explicit list), or a scalar. `integral` comes from the key's
+/// schema kind — an `Int` parameter's points are rounded to whole
+/// numbers; a `Float` parameter keeps its fractional interior points
+/// even when both endpoints happen to be whole (guessing int-ness from
+/// the endpoints used to collapse `tm=1..2` to `[1, 1, 2, 2, 2]`).
+fn expand_value(value: &str, points: usize, integral: bool) -> Vec<String> {
+    if let Some((lo, hi)) = value.split_once("..") {
+        if let (Ok(lo), Ok(hi)) = (lo.parse::<f64>(), hi.parse::<f64>()) {
+            let n = points.max(2);
+            return (0..n)
+                .map(|i| {
+                    let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                    if integral {
+                        format!("{}", x.round() as i64)
+                    } else {
+                        // Snap to 9 decimals so linspace artifacts don't
+                        // leak into the spec strings (0.055, not
+                        // 0.055000000000000004).
+                        format!("{}", (x * 1e9).round() / 1e9)
+                    }
+                })
+                .collect();
+        }
+    }
+    if value.contains('|') {
+        return value.split('|').map(str::to_string).collect();
+    }
+    vec![value.to_string()]
+}
+
+/// Expand a spec template into concrete spec strings: every range/list
+/// value is enumerated and the axes are crossed in template order (last
+/// key varies fastest). A template with no ranges expands to itself.
+/// Syntax errors are a readable message, never a panic.
+pub fn expand(template: &str, points: usize) -> Result<Vec<String>, String> {
+    install_registry();
+    let spec = AlgoSpec::parse(template).map_err(|e| {
+        format!(
+            "bad template `{template}`: {} in `{}`",
+            e.reason, e.fragment
+        )
+    })?;
+    // The key's schema kind decides whether range points are rounded to
+    // integers (an unregistered name validates — and fails — later).
+    let schema = registry::schema_of(&spec.name).unwrap_or(&[]);
+    let mut combos: Vec<Vec<(String, String)>> = vec![Vec::new()];
+    for (key, value) in &spec.params {
+        let integral = schema
+            .iter()
+            .any(|p| p.key == key.as_str() && matches!(p.kind, ParamKind::Int { .. }));
+        let values = expand_value(value, points, integral);
+        let mut next = Vec::with_capacity(combos.len() * values.len());
+        for combo in &combos {
+            for v in &values {
+                let mut c = combo.clone();
+                c.push((key.clone(), v.clone()));
+                next.push(c);
+            }
+        }
+        combos = next;
+    }
+    Ok(combos
+        .into_iter()
+        .map(|params| {
+            AlgoSpec {
+                name: spec.name.clone(),
+                params,
+            }
+            .render()
+        })
+        .collect())
+}
+
+/// Validate that every spec resolves (schema included) before any
+/// simulation time is spent; returns the registry's typed error text.
+pub fn validate_specs(specs: &[String]) -> Result<(), String> {
+    install_registry();
+    for spec in specs {
+        registry::by_name(spec, &CcParams::default()).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// Measure each spec alone on the reference dumbbell (100 Mbps / 30 ms /
+/// 3×BDP ≈ 375 KB buffer) for `secs` simulated seconds and tabulate
+/// steady-state throughput (after 1 s warmup), loss rate, and mean RTT.
+pub fn run_specs(opts: &Opts, specs: &[String], secs: u64) -> Table {
+    let mut table = Table::new(
+        "sweep — each spec alone on 100 Mbps / 30 ms (3×BDP buffer)",
+        &["spec", "tput_mbps", "loss_rate", "rtt_ms"],
+    );
+    for spec in specs {
+        let r = run_single(
+            Protocol::Named(spec.clone()),
+            LinkSetup::new(100e6, SimDuration::from_millis(30), 375_000),
+            SimDuration::from_secs(secs),
+            opts.seed,
+        );
+        let tput = r.throughput_in(0, SimTime::from_secs(1), SimTime::from_secs(secs));
+        table.row(vec![
+            spec.clone(),
+            fmt(tput),
+            fmt(r.loss_rate(0)),
+            fmt(r.mean_rtt_ms(0)),
+        ]);
+    }
+    table
+}
+
+/// The `pcc-experiments sweep` entry point: expand every template, bail
+/// early (with the registry's typed error) on anything that does not
+/// validate, then measure and print.
+pub fn run_cli(
+    opts: &Opts,
+    templates: &[String],
+    points: usize,
+    secs: u64,
+) -> Result<Table, String> {
+    if templates.is_empty() {
+        return Err(
+            "sweep needs at least one template, e.g. `sweep \"pcc:eps=0.01..0.1\" --points 3`"
+                .to_string(),
+        );
+    }
+    let mut specs = Vec::new();
+    for template in templates {
+        specs.extend(expand(template, points)?);
+    }
+    validate_specs(&specs)?;
+    let table = run_specs(opts, &specs, secs);
+    table.print();
+    let _ = table.write_csv(&opts.out_dir, "sweep");
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_expand_to_linspace() {
+        let specs = expand("pcc:eps=0.01..0.05", 3).expect("expands");
+        assert_eq!(specs, vec!["pcc:eps=0.01", "pcc:eps=0.03", "pcc:eps=0.05"]);
+    }
+
+    #[test]
+    fn integer_ranges_stay_integers() {
+        let specs = expand("cubic:iw=4..32", 3).expect("expands");
+        assert_eq!(specs, vec!["cubic:iw=4", "cubic:iw=18", "cubic:iw=32"]);
+        // Rounding applies off-grid interior points onto integers too.
+        let specs = expand("cubic:iw=4..32", 4).expect("expands");
+        assert_eq!(
+            specs,
+            vec!["cubic:iw=4", "cubic:iw=13", "cubic:iw=23", "cubic:iw=32"]
+        );
+    }
+
+    #[test]
+    fn float_ranges_keep_interior_points_between_whole_endpoints() {
+        // Regression: int-ness used to be guessed from the endpoints, so
+        // a *float* parameter swept between whole numbers collapsed to
+        // its endpoints ([1, 1, 2, 2, 2]). The schema kind decides now.
+        let specs = expand("pcc:tm=1..2", 5).expect("expands");
+        assert_eq!(
+            specs,
+            vec![
+                "pcc:tm=1",
+                "pcc:tm=1.25",
+                "pcc:tm=1.5",
+                "pcc:tm=1.75",
+                "pcc:tm=2",
+            ]
+        );
+        validate_specs(&specs).expect("all distinct points validate");
+    }
+
+    #[test]
+    fn lists_and_cross_products() {
+        let specs = expand("pcc:tm=1|2,eps=0.01..0.02", 2).expect("expands");
+        assert_eq!(
+            specs,
+            vec![
+                "pcc:tm=1,eps=0.01",
+                "pcc:tm=1,eps=0.02",
+                "pcc:tm=2,eps=0.01",
+                "pcc:tm=2,eps=0.02",
+            ]
+        );
+    }
+
+    #[test]
+    fn plain_specs_expand_to_themselves() {
+        assert_eq!(expand("bbr", 3).expect("expands"), vec!["bbr"]);
+        assert_eq!(
+            expand("cubic:beta=0.7", 5).expect("expands"),
+            vec!["cubic:beta=0.7"]
+        );
+    }
+
+    #[test]
+    fn expanded_specs_validate_against_schemas() {
+        let mut specs = expand("pcc:eps=0.01..0.05", 3).expect("expands");
+        specs.extend(expand("cubic:iw=4|32", 3).expect("expands"));
+        validate_specs(&specs).expect("all schema-valid");
+        let bad = vec!["cubic:iw=0".to_string()];
+        let err = validate_specs(&bad).expect_err("out of range");
+        assert!(err.contains("iw"), "{err}");
+    }
+
+    #[test]
+    fn bad_templates_are_errors_not_panics() {
+        assert!(expand("pcc:eps", 3).is_err());
+        let err = run_cli(&Opts::default(), &[], 3, 1).expect_err("no templates");
+        assert!(err.contains("sweep needs"), "{err}");
+    }
+}

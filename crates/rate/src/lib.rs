@@ -23,13 +23,97 @@ mod sabul;
 pub use pcp::Pcp;
 pub use sabul::Sabul;
 
+use pcc_simnet::time::SimDuration;
 use pcc_transport::registry;
+use pcc_transport::spec::{ParamKind, ParamSpec, Schema};
 
-/// Register `sabul` and `pcp` with the workspace-wide
-/// [`pcc_transport::registry`]. Idempotent.
+/// SABUL's spec parameters (`sabul:syn_ms=20,decrease=0.8`): the UDT
+/// control-law constants.
+pub const SABUL_SCHEMA: Schema = &[
+    ParamSpec {
+        key: "syn_ms",
+        kind: ParamKind::Int { min: 1, max: 1000 },
+        doc: "SYN control-clock interval, milliseconds (UDT: 10)",
+    },
+    ParamSpec {
+        key: "decrease",
+        kind: ParamKind::Float {
+            min: 0.1,
+            max: 0.999,
+        },
+        doc: "multiplicative decrease per NAK (UDT: 1/1.125 ≈ 0.889)",
+    },
+    ParamSpec {
+        key: "rate0_mbps",
+        kind: ParamKind::Float {
+            min: 0.1,
+            max: 10_000.0,
+        },
+        doc: "starting rate, Mbit/s (default 1)",
+    },
+];
+
+/// PCP's spec parameters (`pcp:train=16,poll_ms=50`): the probing
+/// schedule constants.
+pub const PCP_SCHEMA: Schema = &[
+    ParamSpec {
+        key: "train",
+        kind: ParamKind::Int { min: 2, max: 64 },
+        doc: "packets per probe train (default 8)",
+    },
+    ParamSpec {
+        key: "poll_ms",
+        kind: ParamKind::Int {
+            min: 1,
+            max: 10_000,
+        },
+        doc: "interval between probe trains, milliseconds (default 100)",
+    },
+    ParamSpec {
+        key: "rate0_mbps",
+        kind: ParamKind::Float {
+            min: 0.1,
+            max: 10_000.0,
+        },
+        doc: "starting rate, Mbit/s (default 1)",
+    },
+];
+
+/// Register `sabul` and `pcp` (with their spec schemas) in the
+/// workspace-wide [`pcc_transport::registry`]. Idempotent.
 pub fn register_algorithms() {
-    registry::register("sabul", Box::new(|_| Box::new(Sabul::new())));
-    registry::register("pcp", Box::new(|_| Box::new(Pcp::new())));
+    registry::register_with_schema(
+        "sabul",
+        SABUL_SCHEMA,
+        Box::new(|p| {
+            let s = &p.spec;
+            Box::new(Sabul::with_params(
+                s.u64("syn_ms")
+                    .map(SimDuration::from_millis)
+                    .unwrap_or(sabul::DEFAULT_SYN),
+                s.f64("decrease").unwrap_or(sabul::DEFAULT_DECREASE),
+                s.f64("rate0_mbps")
+                    .map(|m| m * 1e6)
+                    .unwrap_or(sabul::DEFAULT_RATE0_BPS),
+            ))
+        }),
+    );
+    registry::register_with_schema(
+        "pcp",
+        PCP_SCHEMA,
+        Box::new(|p| {
+            let s = &p.spec;
+            Box::new(Pcp::with_params(
+                s.u64("train").unwrap_or(pcp::DEFAULT_TRAIN_LEN as u64) as u32,
+                s.u64("poll_ms")
+                    .map(SimDuration::from_millis)
+                    .unwrap_or(pcp::DEFAULT_POLL),
+                s.f64("rate0_mbps")
+                    .map(|m| m * 1e6)
+                    .unwrap_or(pcp::DEFAULT_RATE0_BPS),
+            ))
+        }),
+    );
 }
 
 #[cfg(test)]
@@ -49,5 +133,29 @@ mod tests {
             registry::by_name("pcp", &params).expect("pcp").name(),
             "pcp"
         );
+    }
+
+    #[test]
+    fn spec_constants_construct_and_validate() {
+        register_algorithms();
+        let params = CcParams::default();
+        for good in [
+            "sabul:syn_ms=20,decrease=0.8",
+            "sabul:rate0_mbps=10",
+            "pcp:train=16,poll_ms=50",
+            "pcp:rate0_mbps=2",
+        ] {
+            assert!(registry::by_name(good, &params).is_ok(), "{good}");
+        }
+        for bad in ["sabul:decrease=2", "pcp:train=1", "sabul:nope=1"] {
+            let err = match registry::by_name(bad, &params) {
+                Ok(_) => panic!("{bad} must fail"),
+                Err(e) => e,
+            };
+            assert!(
+                err.to_string().contains("valid keys"),
+                "{bad}: lists keys: {err}"
+            );
+        }
     }
 }

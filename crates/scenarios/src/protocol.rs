@@ -4,8 +4,12 @@
 //! [`pcc_transport::registry`] (installed by [`install_registry`], which
 //! [`Protocol::build_sender`] calls automatically), and every sender is the
 //! same engine — [`CcSender`] — hosting whatever
-//! [`pcc_transport::CongestionControl`] the description names. Unknown
-//! names are a typed [`UnknownAlgorithm`] error, never a panic.
+//! [`pcc_transport::CongestionControl`] the description names.
+//! [`Protocol::Named`] accepts parameterized specs
+//! (`"pcc:eps=0.05,util=latency"`, `"cubic:iw=32"` — see
+//! `pcc_transport::spec`), so scenario tables can sweep algorithm
+//! parameters by string. Unknown names and invalid parameters are a typed
+//! [`SpecError`], never a panic.
 
 use std::sync::Once;
 
@@ -15,7 +19,7 @@ use pcc_core::{
 };
 use pcc_simnet::endpoint::Endpoint;
 use pcc_simnet::time::{SimDuration, SimTime};
-use pcc_transport::registry::{self, CcParams, UnknownAlgorithm};
+use pcc_transport::registry::{self, CcParams, SpecError};
 use pcc_transport::{CcSender, CcSenderConfig, CongestionControl, FlowSize, TransportConfig};
 
 /// Install every algorithm in the workspace — the PCC×utility family from
@@ -74,8 +78,9 @@ pub enum Protocol {
     Sabul,
     /// PCP-style bandwidth probing.
     Pcp,
-    /// Any registered algorithm by registry name (`"pcc-lossresilient"`,
-    /// `"cubic-paced"`, ...).
+    /// Any registered algorithm by registry name or parameterized spec
+    /// (`"pcc-lossresilient"`, `"cubic-paced"`, `"cubic:beta=0.7,iw=32"`,
+    /// ...).
     Named(String),
 }
 
@@ -119,10 +124,7 @@ impl Protocol {
     /// simulator path here and by real-datapath callers that bring their
     /// own engine). `params` seeds pre-sample state — MSS, and the RTT
     /// hint that paced variants derive their initial pacing rate from.
-    pub fn build_cc(
-        &self,
-        params: &CcParams,
-    ) -> Result<Box<dyn CongestionControl>, UnknownAlgorithm> {
+    pub fn build_cc(&self, params: &CcParams) -> Result<Box<dyn CongestionControl>, SpecError> {
         install_registry();
         match self {
             Protocol::Pcc(cfg, util) => Ok(Box::new(
@@ -137,13 +139,10 @@ impl Protocol {
 
     /// Build the sender endpoint for a flow of `size` (use
     /// [`FlowSize::Infinite`] for long-running throughput flows). Unknown
-    /// algorithm names surface as a typed [`UnknownAlgorithm`] error.
+    /// algorithm names and invalid spec parameters surface as a typed
+    /// [`SpecError`].
     /// Prefer [`Protocol::build_sender_hinted`] when the path RTT is known.
-    pub fn build_sender(
-        &self,
-        size: FlowSize,
-        mss: u32,
-    ) -> Result<Box<dyn Endpoint>, UnknownAlgorithm> {
+    pub fn build_sender(&self, size: FlowSize, mss: u32) -> Result<Box<dyn Endpoint>, SpecError> {
         self.build_sender_with(size, &CcParams::default().with_mss(mss))
     }
 
@@ -154,7 +153,7 @@ impl Protocol {
         size: FlowSize,
         mss: u32,
         rtt_hint: SimDuration,
-    ) -> Result<Box<dyn Endpoint>, UnknownAlgorithm> {
+    ) -> Result<Box<dyn Endpoint>, SpecError> {
         self.build_sender_with(
             size,
             &CcParams::default().with_mss(mss).with_rtt_hint(rtt_hint),
@@ -165,7 +164,7 @@ impl Protocol {
         &self,
         size: FlowSize,
         params: &CcParams,
-    ) -> Result<Box<dyn Endpoint>, UnknownAlgorithm> {
+    ) -> Result<Box<dyn Endpoint>, SpecError> {
         let cc = self.build_cc(params)?;
         let cfg = CcSenderConfig {
             transport: TransportConfig {
@@ -227,12 +226,39 @@ mod tests {
     fn unknown_tcp_is_typed_error() {
         let err = match Protocol::Tcp("tahoe").build_sender(FlowSize::Infinite, 1500) {
             Ok(_) => panic!("tahoe must not resolve"),
-            Err(e) => e,
+            Err(SpecError::Unknown(e)) => e,
+            Err(other) => panic!("expected Unknown, got {other}"),
         };
         assert_eq!(err.name, "tahoe");
         assert!(
             err.known.contains(&"cubic".to_string()),
             "lists known: {err}"
+        );
+    }
+
+    #[test]
+    fn named_specs_resolve_and_invalid_params_are_typed() {
+        // A parameterized spec builds a sender exactly like a bare name —
+        // the surface the experiments sweep rides on.
+        for spec in ["pcc:eps=0.05,util=latency", "cubic:beta=0.7,iw=32"] {
+            let p = Protocol::Named(spec.into());
+            assert_eq!(p.label(), spec, "label is the spec string");
+            assert!(
+                p.build_sender(FlowSize::Infinite, 1500).is_ok(),
+                "{spec} builds"
+            );
+        }
+        let err =
+            match Protocol::Named("cubic:bogus=1".into()).build_sender(FlowSize::Infinite, 1500) {
+                Ok(_) => panic!("bad key must not resolve"),
+                Err(SpecError::InvalidParam(e)) => e,
+                Err(other) => panic!("expected InvalidParam, got {other}"),
+            };
+        assert_eq!(err.algo, "cubic");
+        assert!(
+            err.valid.iter().any(|k| k.contains("beta")),
+            "lists cubic's keys: {:?}",
+            err.valid
         );
     }
 

@@ -12,9 +12,9 @@ use pcc_simnet::time::SimTime;
 use crate::common::{slow_start, INITIAL_CWND, MIN_SSTHRESH};
 
 /// CUBIC's scaling constant (RFC 8312: 0.4).
-const C: f64 = 0.4;
+pub const DEFAULT_C: f64 = 0.4;
 /// Multiplicative decrease factor (RFC 8312: β = 0.7).
-const BETA: f64 = 0.7;
+pub const DEFAULT_BETA: f64 = 0.7;
 
 /// CUBIC congestion control.
 #[derive(Clone, Debug)]
@@ -29,32 +29,45 @@ pub struct Cubic {
     k: f64,
     /// Fast-convergence memory of the previous `w_max`.
     w_last_max: f64,
+    /// Multiplicative-decrease factor β (tunable; RFC 8312: 0.7).
+    beta: f64,
+    /// Cubic scaling constant C (tunable; RFC 8312: 0.4).
+    c: f64,
 }
 
 impl Cubic {
-    /// New instance with IW10.
+    /// New instance with IW10 and the RFC 8312 constants.
     pub fn new() -> Self {
+        Self::with_params(DEFAULT_BETA, DEFAULT_C, INITIAL_CWND)
+    }
+
+    /// New instance with explicit constants: multiplicative-decrease
+    /// factor `beta`, scaling constant `c`, and initial window `iw`
+    /// packets (the `cubic:beta=…,c=…,iw=…` spec surface).
+    pub fn with_params(beta: f64, c: f64, iw: f64) -> Self {
         Cubic {
-            cwnd: INITIAL_CWND,
+            cwnd: iw.max(1.0),
             ssthresh: f64::MAX,
             w_max: 0.0,
             epoch_start: None,
             k: 0.0,
             w_last_max: 0.0,
+            beta,
+            c: c.max(1e-6),
         }
     }
 
     fn enter_epoch(&mut self, now: SimTime) {
         self.epoch_start = Some(now);
         self.k = if self.cwnd < self.w_max {
-            ((self.w_max - self.cwnd) / C).cbrt()
+            ((self.w_max - self.cwnd) / self.c).cbrt()
         } else {
             0.0
         };
     }
 
     fn w_cubic(&self, t: f64) -> f64 {
-        C * (t - self.k).powi(3) + self.w_max
+        self.c * (t - self.k).powi(3) + self.w_max
     }
 }
 
@@ -86,7 +99,8 @@ impl WindowAlgo for Cubic {
         let target = self.w_cubic(t + rtt);
         // TCP-friendly region (RFC 8312 §4.2): CUBIC must not be slower
         // than standard AIMD with its β: W_est = W_max·β + [3(1−β)/(1+β)]·(t/RTT).
-        let w_est = self.w_max * BETA + (3.0 * (1.0 - BETA) / (1.0 + BETA)) * (t / rtt.max(1e-6));
+        let w_est = self.w_max * self.beta
+            + (3.0 * (1.0 - self.beta) / (1.0 + self.beta)) * (t / rtt.max(1e-6));
         for _ in 0..ack.newly_acked {
             let goal = target.max(w_est);
             if goal > self.cwnd {
@@ -102,12 +116,12 @@ impl WindowAlgo for Cubic {
         // Fast convergence (RFC 8312 §4.6): if the loss came below the
         // previous W_max, release bandwidth by remembering a smaller peak.
         if self.cwnd < self.w_last_max {
-            self.w_max = self.cwnd * (2.0 - BETA) / 2.0;
+            self.w_max = self.cwnd * (2.0 - self.beta) / 2.0;
         } else {
             self.w_max = self.cwnd;
         }
         self.w_last_max = self.cwnd;
-        self.ssthresh = (self.cwnd * BETA).max(MIN_SSTHRESH);
+        self.ssthresh = (self.cwnd * self.beta).max(MIN_SSTHRESH);
         self.cwnd = self.ssthresh;
         self.epoch_start = None;
         let _ = now;
@@ -116,7 +130,7 @@ impl WindowAlgo for Cubic {
     fn on_rto(&mut self, _now: SimTime) {
         self.w_max = self.cwnd;
         self.w_last_max = self.cwnd;
-        self.ssthresh = (self.cwnd * BETA).max(MIN_SSTHRESH);
+        self.ssthresh = (self.cwnd * self.beta).max(MIN_SSTHRESH);
         self.cwnd = 1.0;
         self.epoch_start = None;
     }
@@ -142,7 +156,7 @@ mod tests {
         drive_acks(&mut cc, 90, 1); // slow start to 100
         let before = cc.cwnd();
         cc.on_loss_event(SimTime::from_secs(1));
-        assert!((cc.cwnd() - before * BETA).abs() < 1e-9);
+        assert!((cc.cwnd() - before * DEFAULT_BETA).abs() < 1e-9);
     }
 
     #[test]
@@ -183,7 +197,7 @@ mod tests {
         cc.enter_epoch(SimTime::from_secs(5));
         assert!((cc.w_max - 1000.0).abs() < 1e-9);
         assert!((cc.cwnd() - 700.0).abs() < 1e-9);
-        let expected_k = (1000.0 * (1.0 - BETA) / C).cbrt();
+        let expected_k = (1000.0 * (1.0 - DEFAULT_BETA) / DEFAULT_C).cbrt();
         assert!((cc.k - expected_k).abs() < 1e-9, "K = {}", cc.k);
         // The curve anchors: W(0) = cwnd at reduction, W(K) = W_max, and
         // it grows monotonically through the concave and convex regions.

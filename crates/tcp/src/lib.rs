@@ -53,19 +53,97 @@ pub use window::{CcAck, PacedWindowed, WindowAlgo, Windowed};
 
 use pcc_transport::cc::CongestionControl;
 use pcc_transport::registry::{self, CcParams, UnknownAlgorithm};
+use pcc_transport::spec::{ParamKind, ParamSpec, Schema};
 
 /// All baseline names, in the order used by reports.
 pub const ALL_VARIANTS: &[&str] = &[
     "newreno", "cubic", "illinois", "hybla", "vegas", "bic", "westwood",
 ];
 
-fn algo_by_name(name: &str) -> Option<Box<dyn WindowAlgo>> {
+/// CUBIC's spec parameters (`cubic:beta=0.7,c=0.4,iw=32`): the RFC 8312
+/// constants plus the initial window.
+pub const CUBIC_SCHEMA: Schema = &[
+    ParamSpec {
+        key: "beta",
+        kind: ParamKind::Float {
+            min: 0.1,
+            max: 0.95,
+        },
+        doc: "multiplicative-decrease factor β (RFC 8312: 0.7)",
+    },
+    ParamSpec {
+        key: "c",
+        kind: ParamKind::Float {
+            min: 0.01,
+            max: 10.0,
+        },
+        doc: "cubic scaling constant C (RFC 8312: 0.4)",
+    },
+    ParamSpec {
+        key: "iw",
+        kind: ParamKind::Int {
+            min: 1,
+            max: 10_000,
+        },
+        doc: "initial congestion window, packets (default IW10)",
+    },
+];
+
+/// Vegas' spec parameters (`vegas:alpha=2,beta=4,iw=10`): the backlog
+/// band targets plus the initial window.
+pub const VEGAS_SCHEMA: Schema = &[
+    ParamSpec {
+        key: "alpha",
+        kind: ParamKind::Float {
+            min: 0.1,
+            max: 100.0,
+        },
+        doc: "lower backlog target α, packets (classic: 2)",
+    },
+    ParamSpec {
+        key: "beta",
+        kind: ParamKind::Float {
+            min: 0.1,
+            max: 100.0,
+        },
+        doc: "upper backlog target β, packets (classic: 4)",
+    },
+    ParamSpec {
+        key: "iw",
+        kind: ParamKind::Int {
+            min: 1,
+            max: 10_000,
+        },
+        doc: "initial congestion window, packets (default IW10)",
+    },
+];
+
+/// The spec schema a baseline (or its `-paced` variant) validates
+/// against; empty for the variants with no tunables yet.
+pub fn schema_for(variant: &str) -> Schema {
+    match variant {
+        "cubic" => CUBIC_SCHEMA,
+        "vegas" => VEGAS_SCHEMA,
+        _ => &[],
+    }
+}
+
+fn algo_by_name(name: &str, params: &CcParams) -> Option<Box<dyn WindowAlgo>> {
+    let s = &params.spec;
     Some(match name {
         "newreno" | "reno" => Box::new(NewReno::new()),
-        "cubic" => Box::new(Cubic::new()),
+        "cubic" => Box::new(Cubic::with_params(
+            s.f64("beta").unwrap_or(cubic::DEFAULT_BETA),
+            s.f64("c").unwrap_or(cubic::DEFAULT_C),
+            s.f64("iw").unwrap_or(common::INITIAL_CWND),
+        )),
         "illinois" => Box::new(Illinois::new()),
         "hybla" => Box::new(Hybla::new()),
-        "vegas" => Box::new(Vegas::new()),
+        "vegas" => Box::new(Vegas::with_params(
+            s.f64("alpha").unwrap_or(vegas::DEFAULT_ALPHA_PKTS),
+            s.f64("beta").unwrap_or(vegas::DEFAULT_BETA_PKTS),
+            s.f64("iw").unwrap_or(common::INITIAL_CWND),
+        )),
         "bic" => Box::new(Bic::new()),
         "westwood" => Box::new(Westwood::new()),
         _ => return None,
@@ -95,26 +173,30 @@ pub fn by_name_with(
     params: &CcParams,
 ) -> Result<Box<dyn CongestionControl>, UnknownAlgorithm> {
     if let Some(plain) = name.strip_suffix("-paced") {
-        let algo = algo_by_name(plain).ok_or_else(|| unknown(name))?;
+        let algo = algo_by_name(plain, params).ok_or_else(|| unknown(name))?;
         return Ok(Box::new(PacedWindowed::new(algo, params)));
     }
-    let algo = algo_by_name(name).ok_or_else(|| unknown(name))?;
+    let algo = algo_by_name(name, params).ok_or_else(|| unknown(name))?;
     Ok(Box::new(Windowed::new(algo)))
 }
 
 /// Register every TCP baseline (and its `-paced` variant) with the
-/// workspace-wide [`pcc_transport::registry`]. Idempotent.
+/// workspace-wide [`pcc_transport::registry`], carrying each variant's
+/// spec schema (see [`schema_for`] — `cubic:beta=0.7,iw=32` works on both
+/// the plain and `-paced` names). Idempotent.
 pub fn register_algorithms() {
     for name in ALL_VARIANTS {
         let plain = name.to_string();
-        registry::register(
+        registry::register_with_schema(
             name,
+            schema_for(name),
             Box::new(move |params| by_name_with(&plain, params).expect("variant list is static")),
         );
         let paced = format!("{name}-paced");
         let paced_inner = paced.clone();
-        registry::register(
+        registry::register_with_schema(
             &paced,
+            schema_for(name),
             Box::new(move |params| {
                 by_name_with(&paced_inner, params).expect("variant list is static")
             }),
@@ -167,5 +249,52 @@ mod tests {
         }
         let reno = pcc_transport::registry::by_name("reno", &params).expect("alias");
         assert_eq!(reno.name(), "newreno");
+    }
+
+    #[test]
+    fn cubic_spec_tunes_iw_and_beta() {
+        use pcc_simnet::rng::SimRng;
+        use pcc_simnet::time::SimTime;
+        use pcc_transport::cc::{Ctx, Effects, LossEvent, LossKind};
+
+        register_algorithms();
+        let params = pcc_transport::registry::CcParams::default();
+        let mut cc =
+            pcc_transport::registry::by_name("cubic:beta=0.5,iw=32", &params).expect("tuned cubic");
+        let mut rng = SimRng::new(1);
+        let mut fx = Effects::default();
+        cc.on_start(&mut Ctx::new(SimTime::ZERO, &mut rng, &mut fx));
+        let (_, cwnd, _) = fx.drain();
+        assert_eq!(cwnd, Some(32.0), "iw=32 reaches the engine");
+        let seqs = [0u64];
+        let loss = LossEvent {
+            now: SimTime::ZERO,
+            seqs: &seqs,
+            kind: LossKind::Detected,
+            new_episode: true,
+            in_flight: 8,
+            mss: 1500,
+        };
+        cc.on_loss(&loss, &mut Ctx::new(SimTime::ZERO, &mut rng, &mut fx));
+        let (_, cwnd, _) = fx.drain();
+        assert_eq!(cwnd, Some(16.0), "beta=0.5 halves instead of ×0.7");
+    }
+
+    #[test]
+    fn vegas_spec_tunes_the_band_and_iw() {
+        register_algorithms();
+        let params = pcc_transport::registry::CcParams::default();
+        assert!(
+            pcc_transport::registry::by_name("vegas:alpha=3,beta=6,iw=4", &params).is_ok(),
+            "tuned vegas constructs"
+        );
+        // Tuning applies on the paced wrapper too (same schema).
+        assert!(pcc_transport::registry::by_name("vegas-paced:alpha=3,beta=6", &params).is_ok());
+        // Out-of-range band is a typed error listing keys.
+        let err = match pcc_transport::registry::by_name("vegas:alpha=1000", &params) {
+            Ok(_) => panic!("must fail"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("alpha=<"), "{err}");
     }
 }

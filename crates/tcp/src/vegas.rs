@@ -11,8 +11,10 @@ use pcc_simnet::time::{SimDuration, SimTime};
 
 use crate::common::{INITIAL_CWND, MIN_SSTHRESH};
 
-const ALPHA_PKTS: f64 = 2.0;
-const BETA_PKTS: f64 = 4.0;
+/// Lower backlog target α, packets (Brakmo & Peterson: 2).
+pub const DEFAULT_ALPHA_PKTS: f64 = 2.0;
+/// Upper backlog target β, packets (Brakmo & Peterson: 4).
+pub const DEFAULT_BETA_PKTS: f64 = 4.0;
 const GAMMA_PKTS: f64 = 1.0;
 
 /// TCP Vegas congestion control.
@@ -28,18 +30,37 @@ pub struct Vegas {
     /// Slow-start epochs alternate growth/hold (Vegas doubles every
     /// *other* RTT).
     ss_grow_this_epoch: bool,
+    /// Lower backlog target α, packets (grow below it).
+    alpha_pkts: f64,
+    /// Upper backlog target β, packets (shrink above it).
+    beta_pkts: f64,
 }
 
 impl Vegas {
-    /// New instance with IW10.
+    /// New instance with IW10 and the classic α = 2 / β = 4 band.
     pub fn new() -> Self {
+        Self::with_params(DEFAULT_ALPHA_PKTS, DEFAULT_BETA_PKTS, INITIAL_CWND)
+    }
+
+    /// New instance with an explicit backlog band `[alpha, beta]` (in
+    /// packets) and initial window `iw` — the `vegas:alpha=…,beta=…,iw=…`
+    /// spec surface. A band handed in backwards is reordered rather than
+    /// oscillating forever.
+    pub fn with_params(alpha: f64, beta: f64, iw: f64) -> Self {
+        let (alpha, beta) = if alpha <= beta {
+            (alpha, beta)
+        } else {
+            (beta, alpha)
+        };
         Vegas {
-            cwnd: INITIAL_CWND,
+            cwnd: iw.max(1.0),
             ssthresh: f64::MAX,
             base_rtt: SimDuration::MAX,
             epoch_min_rtt: SimDuration::MAX,
-            epoch_acks_left: INITIAL_CWND,
+            epoch_acks_left: iw.max(1.0),
             ss_grow_this_epoch: true,
+            alpha_pkts: alpha,
+            beta_pkts: beta,
         }
     }
 
@@ -65,9 +86,9 @@ impl Vegas {
                 self.cwnd *= 2.0;
             }
             self.ss_grow_this_epoch = !self.ss_grow_this_epoch;
-        } else if diff < ALPHA_PKTS {
+        } else if diff < self.alpha_pkts {
             self.cwnd += 1.0;
-        } else if diff > BETA_PKTS {
+        } else if diff > self.beta_pkts {
             self.cwnd = (self.cwnd - 1.0).max(MIN_SSTHRESH);
         }
         self.epoch_min_rtt = SimDuration::MAX;

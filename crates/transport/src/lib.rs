@@ -15,8 +15,10 @@
 //!   algorithm requested (pacing, window clocking with TSO burstiness and
 //!   RTO machinery, or both).
 //! * [`registry`] — datapath-agnostic algorithm registry: construct any
-//!   registered algorithm [`registry::by_name`]; unknown names are a typed
-//!   [`registry::UnknownAlgorithm`] error, never a panic.
+//!   registered algorithm via [`registry::by_name`], including
+//!   parameterized specs (`"cubic:beta=0.7,iw=32"` — see [`spec`]);
+//!   unknown names and invalid parameters are typed
+//!   [`registry::SpecError`]s, never a panic.
 //! * [`sack::Scoreboard`] — per-packet fate tracking with RFC 6675-style
 //!   reordering-threshold loss detection plus timeout detection.
 //! * [`rtt::RttEstimator`] — SRTT/RTTVAR/RTO per RFC 6298.
@@ -37,11 +39,13 @@ pub mod registry;
 pub mod rtt;
 pub mod sack;
 pub mod sender;
+pub mod spec;
 
 pub use cc::{AckEvent, CongestionControl, Ctx, Effects, LossEvent, LossKind, SentEvent};
 pub use flow::{FlowSize, TransportConfig};
 pub use receiver::SackReceiver;
-pub use registry::{CcParams, UnknownAlgorithm};
+pub use registry::{CcParams, SpecError, UnknownAlgorithm};
 pub use rtt::RttEstimator;
 pub use sack::{AckOutcome, Scoreboard};
 pub use sender::{CcSender, CcSenderConfig};
+pub use spec::{AlgoSpec, InvalidParam, ParamKind, ParamSpec, Schema, SpecParams};

@@ -1,4 +1,4 @@
-//! Datapath-agnostic algorithm registry.
+//! Datapath-agnostic algorithm registry with parameterized specs.
 //!
 //! Every congestion-control algorithm in the workspace registers a named
 //! factory here; anything that needs a sender — the scenario builders, the
@@ -8,30 +8,75 @@
 //! [`UnknownAlgorithm`] error (never a panic), which lists the registered
 //! names for discoverability.
 //!
+//! ## Parameterized specs
+//!
+//! [`by_name`] accepts *specs*, not just bare names (see [`crate::spec`]):
+//!
+//! ```text
+//! name[:key=val[,key=val]*]      e.g.  pcc:eps=0.05,util=latency
+//!                                      cubic:beta=0.7,iw=32
+//!                                      bbr:probe_rtt_ms=5000
+//! ```
+//!
+//! Algorithms registered via [`register_with_schema`] declare which keys
+//! they accept and with what types/ranges; [`by_name`] validates the spec
+//! against the schema and hands the factory a typed [`SpecParams`] bag on
+//! [`CcParams::spec`]. An unknown key or out-of-range value is a typed
+//! [`InvalidParam`] that lists the valid keys — never a panic. `"name:"`
+//! is equivalent to `"name"`.
+//!
+//! The workspace's registered keys (see each crate's
+//! `register_algorithms()` for the authoritative schema):
+//!
+//! | Algorithm | Keys |
+//! |---|---|
+//! | `pcc`, `pcc-simple`, `pcc-lossresilient`, `pcc-latency` | `eps`, `eps_max`, `tm`, `slack`, `mi_pkts`, `rct`, `util`, `alpha`, `cutoff`, `slope_penalty` |
+//! | `cubic`[`-paced`] | `beta`, `c`, `iw` |
+//! | `vegas`[`-paced`] | `alpha`, `beta`, `iw` |
+//! | `sabul` | `syn_ms`, `decrease`, `rate0_mbps` |
+//! | `pcp` | `train`, `poll_ms`, `rate0_mbps` |
+//! | `bbr` | `probe_rtt_ms`, `cwnd_gain` |
+//! | everything else | *(no parameters yet)* |
+//!
+//! Use [`schema_of`] to inspect a name's schema programmatically
+//! (`pcc-experiments algos` prints these tables from it).
+//!
 //! Registration is explicit because the algorithm crates sit *above* this
 //! crate in the dependency graph (they implement the trait defined here):
-//! each of `pcc-core`, `pcc-tcp`, and `pcc-rate` exposes a
+//! each of `pcc-core`, `pcc-tcp`, `pcc-rate`, and `pcc-bbr` exposes a
 //! `register_algorithms()` function, and the aggregation layers
 //! (`pcc-scenarios`' `install_registry`, the `pcc` facade) call them once
 //! at startup. Registering the same name twice is idempotent by design
 //! (last registration wins), so multiple entry points may install the
 //! defaults without coordination.
+//!
+//! The global table recovers from lock poisoning (a panicking test thread
+//! mid-registration) by adopting the poisoned state: every write holds the
+//! guard only across a single `BTreeMap::insert`, so the table is always
+//! left consistent and the poison flag carries no information.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
 
 use pcc_simnet::time::SimDuration;
 
 use crate::cc::CongestionControl;
+use crate::spec::{
+    describe_schema, validate, AlgoSpec, InvalidParam, Schema, SchemaCheck, SpecParams,
+};
 
 /// Construction parameters handed to algorithm factories.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct CcParams {
     /// Packet size on the wire, bytes.
     pub mss: u32,
     /// A-priori RTT estimate for algorithms that need one before the first
     /// sample (PCC's starting rate, paced-TCP's initial pacing rate).
     pub rtt_hint: SimDuration,
+    /// Validated spec parameters (`name:key=val` — empty for plain-name
+    /// construction). [`by_name`] fills this from the spec string after
+    /// schema validation, so factories can trust types and ranges.
+    pub spec: SpecParams,
 }
 
 impl Default for CcParams {
@@ -39,6 +84,7 @@ impl Default for CcParams {
         CcParams {
             mss: 1500,
             rtt_hint: SimDuration::from_millis(100),
+            spec: SpecParams::default(),
         }
     }
 }
@@ -55,6 +101,13 @@ impl CcParams {
         self.mss = mss;
         self
     }
+
+    /// Set the validated spec-parameter bag (mostly for tests; [`by_name`]
+    /// does this automatically).
+    pub fn with_spec(mut self, spec: SpecParams) -> Self {
+        self.spec = spec;
+        self
+    }
 }
 
 /// A named algorithm constructor.
@@ -63,7 +116,8 @@ pub type CcFactory = Box<dyn Fn(&CcParams) -> Box<dyn CongestionControl> + Send 
 /// Lookup failure: the requested name is not registered.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UnknownAlgorithm {
-    /// The name that failed to resolve.
+    /// The name that failed to resolve (the full spec string as the
+    /// caller wrote it).
     pub name: String,
     /// Names that *do* resolve to a constructor, sorted (empty if nothing
     /// registered yet — a hint that no `register_algorithms()` ran).
@@ -94,13 +148,63 @@ impl std::fmt::Display for UnknownAlgorithm {
 
 impl std::error::Error for UnknownAlgorithm {}
 
-/// A table entry: a real constructor, or an alias naming another entry.
-/// Aliases are *data*, resolved iteratively inside [`by_name`] — an alias
-/// factory that re-entered `by_name` would recurse without bound on a
-/// cycle (`a → b → a`, or an alias shadowing its own target) and blow the
-/// stack.
+/// Why a spec failed to produce an algorithm: the base name is not
+/// registered, or the parameter list does not validate against the
+/// algorithm's schema. Both are typed values — spec resolution never
+/// panics, whatever the input string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The spec's base name resolves to no registered factory.
+    Unknown(UnknownAlgorithm),
+    /// The base name exists, but a parameter is unknown, mistyped,
+    /// out-of-range, duplicated, or syntactically malformed.
+    InvalidParam(InvalidParam),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Unknown(e) => e.fmt(f),
+            SpecError::InvalidParam(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<UnknownAlgorithm> for SpecError {
+    fn from(e: UnknownAlgorithm) -> Self {
+        SpecError::Unknown(e)
+    }
+}
+
+impl From<InvalidParam> for SpecError {
+    fn from(e: InvalidParam) -> Self {
+        SpecError::InvalidParam(e)
+    }
+}
+
+impl SpecError {
+    /// The requested name/spec, whichever variant.
+    pub fn requested(&self) -> &str {
+        match self {
+            SpecError::Unknown(e) => &e.name,
+            SpecError::InvalidParam(e) => &e.algo,
+        }
+    }
+}
+
+/// A table entry: a real constructor (with its parameter schema), or an
+/// alias naming another entry. Aliases are *data*, resolved iteratively
+/// inside [`by_name`] — an alias factory that re-entered `by_name` would
+/// recurse without bound on a cycle (`a → b → a`, or an alias shadowing
+/// its own target) and blow the stack.
 enum Entry {
-    Factory(Arc<CcFactory>),
+    Factory {
+        f: Arc<CcFactory>,
+        schema: Schema,
+        check: Option<Arc<SchemaCheck>>,
+    },
     Alias(String),
 }
 
@@ -114,39 +218,84 @@ fn table() -> &'static RwLock<BTreeMap<String, Entry>> {
     TABLE.get_or_init(|| RwLock::new(BTreeMap::new()))
 }
 
-/// Register (or replace) a named algorithm factory.
+/// Register (or replace) a named algorithm factory that takes no spec
+/// parameters (any `name:key=val` key is an [`InvalidParam`]).
 pub fn register(name: &str, factory: CcFactory) {
-    table()
-        .write()
-        .expect("registry poisoned")
-        .insert(name.to_string(), Entry::Factory(Arc::new(factory)));
+    register_with_schema(name, &[], factory);
 }
 
-/// Register `alias` to resolve to whatever `target` names at lookup time.
+/// Register (or replace) a named algorithm factory together with its
+/// parameter schema. [`by_name`] validates spec parameters against the
+/// schema before invoking the factory, which receives the typed bag on
+/// [`CcParams::spec`] — so factories never see an unknown key or an
+/// out-of-range value.
+pub fn register_with_schema(name: &str, schema: Schema, factory: CcFactory) {
+    insert_factory(name, schema, None, factory);
+}
+
+/// [`register_with_schema`] plus a cross-key [`SchemaCheck`] that runs
+/// after per-key validation — for constraints a single key cannot
+/// express (e.g. a parameter that only takes effect under a particular
+/// `util` choice). A check failure is an [`InvalidParam`], so factories
+/// stay infallible.
+pub fn register_with_schema_checked(
+    name: &str,
+    schema: Schema,
+    check: Box<SchemaCheck>,
+    factory: CcFactory,
+) {
+    insert_factory(name, schema, Some(Arc::from(check)), factory);
+}
+
+fn insert_factory(name: &str, schema: Schema, check: Option<Arc<SchemaCheck>>, factory: CcFactory) {
+    table()
+        .write()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert(
+            name.to_string(),
+            Entry::Factory {
+                f: Arc::new(factory),
+                schema,
+                check,
+            },
+        );
+}
+
+/// Register `alias` to resolve to whatever `target` names at lookup time
+/// (spec parameters on the alias validate against the target's schema).
 /// Cyclic alias chains (including self-aliases) are tolerated at
 /// registration and surface as a typed [`UnknownAlgorithm`] from
 /// [`by_name`], never a crash.
 pub fn register_alias(alias: &str, target: &str) {
     table()
         .write()
-        .expect("registry poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .insert(alias.to_string(), Entry::Alias(target.to_string()));
 }
 
-/// Construct an algorithm by name. Unknown names — and unresolvable alias
-/// chains (dangling, cyclic, or deeper than [`MAX_ALIAS_HOPS`]) — are a
-/// typed error, never a panic.
-pub fn by_name(
-    name: &str,
-    params: &CcParams,
-) -> Result<Box<dyn CongestionControl>, UnknownAlgorithm> {
+/// Construct an algorithm from a spec — a bare name (`"cubic"`) or a
+/// parameterized one (`"cubic:beta=0.7,iw=32"`). Unknown names — and
+/// unresolvable alias chains (dangling, cyclic, or deeper than
+/// [`MAX_ALIAS_HOPS`]) — are [`SpecError::Unknown`]; malformed, unknown,
+/// or out-of-range parameters are [`SpecError::InvalidParam`]. Never a
+/// panic.
+pub fn by_name(name: &str, params: &CcParams) -> Result<Box<dyn CongestionControl>, SpecError> {
+    // The base name is extractable even from syntactically broken specs,
+    // so "unknown algorithm" always wins over "bad parameter" reporting.
+    let parsed = AlgoSpec::parse(name);
+    let base = match &parsed {
+        Ok(spec) => spec.name.clone(),
+        Err(e) => e.name.clone(),
+    };
     // Resolve the whole alias chain under one read guard, then drop the
     // guard *before* invoking the factory so factories can never deadlock
     // std's RwLock against a queued writer.
     let resolved = {
-        let table = table().read().expect("registry poisoned");
-        match resolve(&table, name) {
-            Some(factory) => Ok(Arc::clone(factory)),
+        let table = table().read().unwrap_or_else(PoisonError::into_inner);
+        match resolve(&table, &base) {
+            Some((factory, schema, check)) => {
+                Ok((Arc::clone(factory), schema, check.map(Arc::clone)))
+            }
             // Whatever made the chain unresolvable — unknown name,
             // dangling target, cycle — report the name the caller asked
             // for, and advertise only names that actually resolve (a
@@ -161,39 +310,69 @@ pub fn by_name(
             }),
         }
     };
-    resolved.map(|factory| factory(params))
+    let (factory, schema, check) = resolved?;
+    let spec = parsed.map_err(|e| InvalidParam {
+        algo: base.clone(),
+        key: e.fragment,
+        reason: e.reason,
+        valid: describe_schema(schema),
+    })?;
+    let bag = validate(&spec.name, schema, &spec.params)?;
+    if let Some(check) = check {
+        check(&bag).map_err(|(key, reason)| InvalidParam {
+            algo: base,
+            key,
+            reason,
+            valid: describe_schema(schema),
+        })?;
+    }
+    let mut params = params.clone();
+    params.spec = bag;
+    Ok(factory(&params))
 }
 
-/// Walk `name`'s alias chain to its factory, if it reaches one within the
-/// [`MAX_ALIAS_HOPS`] budget. The single resolver behind both [`by_name`]
-/// and the error path's "which names are usable" filter, so the two can
-/// never disagree.
-fn resolve<'t>(table: &'t BTreeMap<String, Entry>, name: &str) -> Option<&'t Arc<CcFactory>> {
+/// Walk `name`'s alias chain to its factory (and schema), if it reaches
+/// one within the [`MAX_ALIAS_HOPS`] budget. The single resolver behind
+/// both [`by_name`] and the error path's "which names are usable" filter,
+/// so the two can never disagree.
+#[allow(clippy::type_complexity)]
+fn resolve<'t>(
+    table: &'t BTreeMap<String, Entry>,
+    name: &str,
+) -> Option<(&'t Arc<CcFactory>, Schema, Option<&'t Arc<SchemaCheck>>)> {
     let mut current = name;
     for _ in 0..=MAX_ALIAS_HOPS {
         match table.get(current)? {
-            Entry::Factory(factory) => return Some(factory),
+            Entry::Factory { f, schema, check } => return Some((f, schema, check.as_ref())),
             Entry::Alias(target) => current = target,
         }
     }
     None // budget exhausted: a cycle, or indistinguishable from one
 }
 
+/// The parameter schema of a registered name (resolving aliases), if the
+/// name resolves. The empty slice means the algorithm takes no
+/// parameters. Accepts bare names, not specs.
+pub fn schema_of(name: &str) -> Option<Schema> {
+    let table = table().read().unwrap_or_else(PoisonError::into_inner);
+    resolve(&table, name).map(|(_, schema, _)| schema)
+}
+
 /// All registered names, sorted.
 pub fn names() -> Vec<String> {
     table()
         .read()
-        .expect("registry poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .keys()
         .cloned()
         .collect()
 }
 
-/// True if `name` is registered.
+/// True if `name` is registered (exact table key, not a spec).
 pub fn contains(name: &str) -> bool {
     table()
         .read()
-        .expect("registry poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .contains_key(name)
 }
 
@@ -201,6 +380,7 @@ pub fn contains(name: &str) -> bool {
 mod tests {
     use super::*;
     use crate::cc::{AckEvent, Ctx, LossEvent};
+    use crate::spec::{ParamKind, ParamSpec};
 
     struct Dummy;
     impl CongestionControl for Dummy {
@@ -214,6 +394,39 @@ mod tests {
         fn on_loss(&mut self, _loss: &LossEvent, _ctx: &mut Ctx) {}
     }
 
+    /// A controller that remembers the spec value it was built with.
+    struct Tuned(f64);
+    impl CongestionControl for Tuned {
+        fn name(&self) -> &'static str {
+            "tuned"
+        }
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.set_rate(self.0);
+        }
+        fn on_ack(&mut self, _ack: &AckEvent, _ctx: &mut Ctx) {}
+        fn on_loss(&mut self, _loss: &LossEvent, _ctx: &mut Ctx) {}
+    }
+
+    const TUNED_SCHEMA: Schema = &[ParamSpec {
+        key: "rate",
+        kind: ParamKind::Float { min: 1.0, max: 1e9 },
+        doc: "fixed rate, bits/sec",
+    }];
+
+    fn unwrap_unknown(e: SpecError) -> UnknownAlgorithm {
+        match e {
+            SpecError::Unknown(u) => u,
+            SpecError::InvalidParam(p) => panic!("expected Unknown, got InvalidParam: {p}"),
+        }
+    }
+
+    fn unwrap_invalid(e: SpecError) -> InvalidParam {
+        match e {
+            SpecError::InvalidParam(p) => p,
+            SpecError::Unknown(u) => panic!("expected InvalidParam, got Unknown: {u}"),
+        }
+    }
+
     #[test]
     fn lookup_roundtrip_and_typed_error() {
         register("test-dummy", Box::new(|_| Box::new(Dummy)));
@@ -222,12 +435,142 @@ mod tests {
 
         let err = match by_name("no-such-algo", &CcParams::default()) {
             Ok(_) => panic!("lookup must fail"),
-            Err(e) => e,
+            Err(e) => unwrap_unknown(e),
         };
         assert_eq!(err.name, "no-such-algo");
         assert!(err.known.contains(&"test-dummy".to_string()));
         let msg = err.to_string();
         assert!(msg.contains("no-such-algo"), "{msg}");
+    }
+
+    #[test]
+    fn schema_validates_and_reaches_the_factory() {
+        register_with_schema(
+            "test-tuned",
+            TUNED_SCHEMA,
+            Box::new(|p| Box::new(Tuned(p.spec.f64("rate").unwrap_or(1e6)))),
+        );
+        // Plain name: defaults.
+        assert_eq!(
+            by_name("test-tuned", &CcParams::default())
+                .expect("plain")
+                .name(),
+            "tuned"
+        );
+        // Spec value reaches the factory (observable via the rate effect).
+        let mut cc = by_name("test-tuned:rate=42", &CcParams::default()).expect("spec");
+        let mut rng = pcc_simnet::rng::SimRng::new(1);
+        let mut fx = crate::cc::Effects::default();
+        cc.on_start(&mut Ctx::new(
+            pcc_simnet::time::SimTime::ZERO,
+            &mut rng,
+            &mut fx,
+        ));
+        let (rate, _, _) = fx.drain();
+        assert_eq!(rate, Some(42.0), "spec value tuned the controller");
+        // Empty pair list ≡ plain name.
+        assert!(by_name("test-tuned:", &CcParams::default()).is_ok());
+    }
+
+    #[test]
+    fn invalid_params_are_typed_and_list_valid_keys() {
+        register_with_schema("test-strict", TUNED_SCHEMA, Box::new(|_| Box::new(Dummy)));
+        for (spec, needle) in [
+            ("test-strict:bogus=1", "unknown key"),
+            ("test-strict:rate=0.5", "out of range"),
+            ("test-strict:rate=abc", "not a float"),
+            ("test-strict:rate", "expected `key=value`"),
+            ("test-strict:rate=1,rate=2", "duplicate"),
+        ] {
+            let err = match by_name(spec, &CcParams::default()) {
+                Ok(_) => panic!("{spec} must fail"),
+                Err(e) => unwrap_invalid(e),
+            };
+            assert_eq!(err.algo, "test-strict", "{spec}");
+            assert!(err.reason.contains(needle), "{spec}: {}", err.reason);
+            assert!(
+                err.valid.iter().any(|d| d.contains("rate")),
+                "{spec}: lists valid keys: {:?}",
+                err.valid
+            );
+        }
+        // A no-parameter algorithm says so.
+        register("test-bare", Box::new(|_| Box::new(Dummy)));
+        let err = match by_name("test-bare:x=1", &CcParams::default()) {
+            Ok(_) => panic!("must fail"),
+            Err(e) => unwrap_invalid(e),
+        };
+        assert!(err.valid.is_empty());
+        assert!(err.to_string().contains("takes no parameters"), "{err}");
+    }
+
+    #[test]
+    fn cross_key_checks_reject_ineffective_params() {
+        // A SchemaCheck models constraints one key cannot express: here
+        // `rate` is only meaningful when `mode=fixed`.
+        const CHECKED_SCHEMA: Schema = &[
+            ParamSpec {
+                key: "rate",
+                kind: ParamKind::Float { min: 1.0, max: 1e9 },
+                doc: "fixed rate",
+            },
+            ParamSpec {
+                key: "mode",
+                kind: ParamKind::Choice(&["fixed", "auto"]),
+                doc: "operating mode",
+            },
+        ];
+        register_with_schema_checked(
+            "test-checked",
+            CHECKED_SCHEMA,
+            Box::new(|bag| {
+                if bag.choice("mode") == Some("auto") && bag.f64("rate").is_some() {
+                    return Err((
+                        "rate".to_string(),
+                        "has no effect with mode=auto".to_string(),
+                    ));
+                }
+                Ok(())
+            }),
+            Box::new(|_| Box::new(Dummy)),
+        );
+        assert!(by_name("test-checked:mode=fixed,rate=5", &CcParams::default()).is_ok());
+        assert!(by_name("test-checked:rate=5", &CcParams::default()).is_ok());
+        let err = match by_name("test-checked:mode=auto,rate=5", &CcParams::default()) {
+            Ok(_) => panic!("ineffective key must fail"),
+            Err(e) => unwrap_invalid(e),
+        };
+        assert_eq!(err.key, "rate");
+        assert!(err.reason.contains("no effect"), "{err}");
+        assert!(err.valid.iter().any(|k| k.contains("mode")), "{err}");
+    }
+
+    #[test]
+    fn unknown_base_name_wins_over_bad_params() {
+        // `nosuch:eps=banana` reports the unknown algorithm, not the
+        // unparseable parameter — the caller's first mistake.
+        let err = match by_name("nosuch-algo:eps=banana", &CcParams::default()) {
+            Ok(_) => panic!("must fail"),
+            Err(e) => unwrap_unknown(e),
+        };
+        assert_eq!(err.name, "nosuch-algo:eps=banana");
+    }
+
+    #[test]
+    fn schema_of_resolves_aliases() {
+        register_with_schema(
+            "test-schema-target",
+            TUNED_SCHEMA,
+            Box::new(|_| Box::new(Dummy)),
+        );
+        register_alias("test-schema-alias", "test-schema-target");
+        let schema = schema_of("test-schema-alias").expect("alias resolves");
+        assert_eq!(schema.len(), 1);
+        assert_eq!(schema[0].key, "rate");
+        // And specs through the alias validate against the target schema.
+        assert!(by_name("test-schema-alias:rate=2", &CcParams::default()).is_ok());
+        assert!(by_name("test-schema-alias:bogus=2", &CcParams::default()).is_err());
+        assert!(schema_of("test-no-such-name").is_none());
     }
 
     #[test]
@@ -258,7 +601,7 @@ mod tests {
         for name in ["cycle-a", "cycle-b"] {
             let err = match by_name(name, &CcParams::default()) {
                 Ok(_) => panic!("cycle must not resolve"),
-                Err(e) => e,
+                Err(e) => unwrap_unknown(e),
             };
             assert_eq!(err.name, name);
             // The error must not advertise the unresolvable names as
@@ -274,7 +617,7 @@ mod tests {
         register_alias("self-alias", "self-alias");
         let err = match by_name("self-alias", &CcParams::default()) {
             Ok(_) => panic!("self-cycle must not resolve"),
-            Err(e) => e,
+            Err(e) => unwrap_unknown(e),
         };
         assert_eq!(err.name, "self-alias");
         assert!(err.to_string().contains("self-alias"));
@@ -285,11 +628,33 @@ mod tests {
         register_alias("dangling", "no-such-target");
         let err = match by_name("dangling", &CcParams::default()) {
             Ok(_) => panic!("dangling alias must not resolve"),
-            Err(e) => e,
+            Err(e) => unwrap_unknown(e),
         };
         // The caller typed `dangling`; that is the name the error must
         // carry (and must not advertise as registered).
         assert_eq!(err.name, "dangling");
         assert!(!err.known.contains(&"dangling".to_string()), "{err}");
+    }
+
+    #[test]
+    fn poisoned_table_recovers_instead_of_cascading() {
+        // A panic while holding the write guard poisons the lock; the
+        // registry must keep serving (the table is always consistent —
+        // every write is a single insert). Before the fix, this panicked
+        // every subsequent test in the process.
+        register("test-poison-pre", Box::new(|_| Box::new(Dummy)));
+        let _ = std::panic::catch_unwind(|| {
+            let _guard = table().write().unwrap_or_else(PoisonError::into_inner);
+            panic!("poison the registry lock");
+        });
+        assert!(table().is_poisoned(), "lock is genuinely poisoned");
+        // Reads, writes, and lookups all still work.
+        assert!(contains("test-poison-pre"));
+        register("test-poison-post", Box::new(|_| Box::new(Dummy)));
+        assert!(by_name("test-poison-post", &CcParams::default()).is_ok());
+        assert!(!names().is_empty());
+        assert!(schema_of("test-poison-post").is_some());
+        // Clear the flag for any test that runs later in this process.
+        table().clear_poison();
     }
 }

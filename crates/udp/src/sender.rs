@@ -21,7 +21,7 @@ use pcc_simnet::time::{SimDuration, SimTime};
 use pcc_transport::cc::{
     AckEvent, CongestionControl, Ctx, Effects, LossEvent, LossKind, SentEvent,
 };
-use pcc_transport::registry::{self, CcParams, UnknownAlgorithm};
+use pcc_transport::registry::{self, CcParams, SpecError};
 use pcc_transport::rtt::RttEstimator;
 use pcc_transport::sack::Scoreboard;
 
@@ -63,6 +63,10 @@ pub struct SenderReport {
     pub final_rate_bps: f64,
     /// Final congestion window, packets (0 for pure rate algorithms).
     pub final_cwnd_pkts: f64,
+    /// Whole-window (RTO-style) loss declarations. Each one doubles the
+    /// effective RTO until an ACK advances the scoreboard, so a blackout
+    /// fires O(log duration) of these instead of one per base RTO.
+    pub timeouts: u64,
 }
 
 #[derive(PartialEq, Eq)]
@@ -127,16 +131,17 @@ pub fn send_pcc(
     send_with(socket, peer, cfg, Box::new(ctrl))
 }
 
-/// Send with any registered algorithm, resolved by name (`"pcc"`,
-/// `"cubic"`, `"cubic-paced"`, `"sabul"`, ...). Unknown names surface the
-/// registry's typed [`UnknownAlgorithm`] error.
+/// Send with any registered algorithm, resolved by name or parameterized
+/// spec (`"pcc"`, `"cubic-paced"`, `"cubic:beta=0.7,iw=32"`, ...).
+/// Unknown names and invalid spec parameters surface the registry's typed
+/// [`SpecError`].
 pub fn send_named(
     socket: &UdpSocket,
     peer: SocketAddr,
     cfg: UdpSenderConfig,
     name: &str,
     rtt_hint: SimDuration,
-) -> std::io::Result<Result<SenderReport, UnknownAlgorithm>> {
+) -> std::io::Result<Result<SenderReport, SpecError>> {
     install_registry();
     let params = CcParams::default()
         .with_mss(wire_mss(&cfg))
@@ -188,6 +193,13 @@ pub fn send_with(
     let mut cwnd_pkts: Option<f64> = None;
     // Engine-side recovery-episode tracking for window algorithms.
     let mut recovery_point: Option<u64> = None;
+    // Exponential RTO backoff, mirroring `CcSender`'s windowed mode: each
+    // whole-window loss declaration doubles the effective RTO (capped at
+    // 2^6×), and any ACK that delivers new data resets it. Without this a
+    // real-path blackout re-fired the full-scan loss declaration — and
+    // the full-window retransmission burst — every *base* RTO, hammering
+    // the dead path and recovering far slower than the simulated engine.
+    let mut rto_backoff: u32 = 0;
     let mut next_send = Instant::now();
     let mut buf = vec![0u8; 65_536];
 
@@ -237,11 +249,16 @@ pub fn send_with(
         // engine's RTO (mark-all-lost): deliver it as a Timeout so window
         // algorithms run their RTO path (collapse + slow-start restart),
         // matching `CcSender` semantics on the same algorithm object.
-        let lost = sb.detect_losses(now, rtt.rto());
+        let rto = SimDuration::from_nanos(rtt.rto().as_nanos() * (1u64 << rto_backoff.min(6)));
+        let lost = sb.detect_losses(now, rto);
         if !lost.is_empty() {
             report.losses += lost.len() as u64;
             retx.extend(lost.iter().copied());
             let whole_window = sb.in_flight() == 0;
+            if whole_window {
+                rto_backoff = rto_backoff.saturating_add(1);
+                report.timeouts += 1;
+            }
             let new_episode = match (cwnd_pkts.is_some(), recovery_point) {
                 (false, _) => true,
                 (true, Some(_)) => false,
@@ -334,6 +351,10 @@ pub fn send_with(
                         of_retx: a.of_retx,
                     };
                     let out = sb.on_ack(&info, now);
+                    if out.newly_acked > 0 {
+                        // Fresh delivery: the path is alive again.
+                        rto_backoff = 0;
+                    }
                     if let Some(rp) = recovery_point {
                         if sb.cum_ack() >= rp {
                             recovery_point = None;

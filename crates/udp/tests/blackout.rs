@@ -1,0 +1,143 @@
+//! The RTO-backoff blackout regression, in its own test binary so it
+//! runs without the loopback suite's seven concurrent busy-loop
+//! transfers: the assertion budgets whole-window RTO fires against the
+//! blackout the sender actually experienced, and intra-binary thread
+//! contention (every other loopback test spinning a sender loop) can
+//! stretch sender-side scheduling in ways no receiver-side measurement
+//! captures. Cargo runs test binaries sequentially, so isolation here
+//! makes the timing deterministic enough to assert tightly.
+
+use std::net::UdpSocket;
+use std::thread;
+
+use pcc_simnet::time::SimDuration;
+use pcc_udp::{send_named, UdpSenderConfig};
+
+fn sockets() -> (UdpSocket, UdpSocket, std::net::SocketAddr) {
+    let rx_sock = UdpSocket::bind("127.0.0.1:0").expect("bind rx");
+    let rx_addr = rx_sock.local_addr().expect("addr");
+    let tx_sock = UdpSocket::bind("127.0.0.1:0").expect("bind tx");
+    (rx_sock, tx_sock, rx_addr)
+}
+
+#[test]
+fn rto_backoff_limits_blackout_refires_and_recovers() {
+    // Regression for the datapath's missing RTO backoff: a receiver that
+    // goes silent mid-transfer used to re-fire the whole-window loss
+    // declaration every *base* RTO (~10 ms on loopback), hammering the
+    // dead path with retransmission bursts. With exponential backoff the
+    // blackout must cost at most 4 backed-off RTOs (10+20+40+80 ms covers
+    // the 140 ms pause), and the first ACK after resumption must reset
+    // the backoff so the transfer still completes promptly.
+    use std::collections::BTreeSet;
+    use std::time::{Duration, Instant};
+
+    use pcc_udp::wire::{decode, encode_ack, AckPacket, Frame};
+
+    /// Like `receive`, but goes dark for (at least) `pause` once
+    /// `pause_after_bytes` have arrived. Returns the unique bytes
+    /// received and the *measured* dark time — under CI contention the
+    /// sleep can overshoot substantially, and the sender's allowed
+    /// timeout count must be judged against the blackout it actually
+    /// experienced, not the nominal one.
+    fn receive_with_pause(
+        socket: &UdpSocket,
+        expected_bytes: u64,
+        pause_after_bytes: u64,
+        pause: Duration,
+    ) -> std::io::Result<(u64, Duration)> {
+        let start = Instant::now();
+        let mut buf = vec![0u8; 65_536];
+        let mut cum_ack = 0u64;
+        let mut ooo: BTreeSet<u64> = BTreeSet::new();
+        let mut unique = 0u64;
+        let mut dark = Duration::ZERO;
+        socket.set_nonblocking(false)?;
+        while unique < expected_bytes {
+            let (n, from) = match socket.recv_from(&mut buf) {
+                Ok(ok) => ok,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            let Some(Frame::Data(h, payload)) = decode(&buf[..n]) else {
+                continue;
+            };
+            let fresh = h.seq >= cum_ack && !ooo.contains(&h.seq);
+            if fresh {
+                ooo.insert(h.seq);
+                while ooo.remove(&cum_ack) {
+                    cum_ack += 1;
+                }
+                unique += payload.len() as u64;
+            }
+            let ack = AckPacket {
+                acked_seq: h.seq,
+                cum_ack,
+                echo_sent_us: h.sent_us,
+                recv_us: start.elapsed().as_micros() as u64,
+                of_retx: h.retx,
+            };
+            socket.send_to(&encode_ack(&ack), from)?;
+            if dark.is_zero() && unique >= pause_after_bytes {
+                // Go dark: datagrams queue in the socket buffer, but no
+                // ACKs flow — the sender sees a blackout.
+                let t0 = Instant::now();
+                std::thread::sleep(pause);
+                dark = t0.elapsed().max(Duration::from_nanos(1));
+            }
+        }
+        Ok((unique, dark))
+    }
+
+    let (rx_sock, tx_sock, rx_addr) = sockets();
+    let total: u64 = 512 * 1024;
+    let pause = Duration::from_millis(140);
+    let rx = thread::spawn(move || receive_with_pause(&rx_sock, total, total / 4, pause));
+
+    let cfg = UdpSenderConfig {
+        payload: 1200,
+        total_bytes: total,
+        seed: 21,
+    };
+    let t0 = Instant::now();
+    let report = send_named(&tx_sock, rx_addr, cfg, "cubic", SimDuration::from_millis(2))
+        .expect("io")
+        .expect("cubic is registered");
+    let elapsed = t0.elapsed();
+    let (received, dark) = rx.join().expect("join").expect("receive");
+
+    assert!(
+        received >= total,
+        "all payload arrived despite the blackout"
+    );
+    assert!(
+        report.timeouts >= 1,
+        "the blackout actually exercised the RTO path"
+    );
+    // With exponential backoff the k-th whole-window fire happens at
+    // cumulative base·(2^k − 1) into the blackout (base = the 10 ms
+    // loopback RTO floor): 10, 30, 70, 150, 310, ... ms. Allow the fires
+    // that fit into the blackout the sender *actually* saw plus a 30 ms
+    // grace for a scan racing the resumed ACK drain — for the nominal
+    // 140 ms pause that is exactly 4. Scheduler overshoot under CI
+    // contention is measured and extends the budget accordingly. Without
+    // backoff the same pause re-fired every base RTO — ~14 declarations.
+    let base_ms = 10u128;
+    let budget_ms = dark.as_millis() + 30;
+    let mut allowed = 0u64;
+    let mut k = 1u32;
+    while base_ms * ((1u128 << k) - 1) <= budget_ms {
+        allowed += 1;
+        k += 1;
+    }
+    assert!(
+        report.timeouts <= allowed,
+        "exponential backoff caps re-fires at {allowed} for a {dark:?} \
+         blackout (nominal: 4 for 140 ms; ~14 without backoff): {}",
+        report.timeouts
+    );
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "backoff reset on the first post-blackout ACK, transfer not wedged: {elapsed:?}"
+    );
+}

@@ -8,6 +8,7 @@ use std::thread;
 
 use pcc_core::PccConfig;
 use pcc_simnet::time::SimDuration;
+use pcc_transport::registry::SpecError;
 use pcc_udp::{receive, send_named, send_pcc, UdpSenderConfig};
 
 fn sockets() -> (UdpSocket, UdpSocket, std::net::SocketAddr) {
@@ -78,15 +79,76 @@ fn cubic_transfers_over_loopback_via_registry() {
 fn unknown_algorithm_is_typed_error_not_panic() {
     let (_rx_sock, tx_sock, rx_addr) = sockets();
     let cfg = UdpSenderConfig::default();
-    let err = send_named(&tx_sock, rx_addr, cfg, "tahoe", SimDuration::from_millis(2))
+    let err = match send_named(&tx_sock, rx_addr, cfg, "tahoe", SimDuration::from_millis(2))
         .expect("io ok")
-        .expect_err("tahoe is not registered");
+    {
+        Ok(_) => panic!("tahoe is not registered"),
+        Err(SpecError::Unknown(e)) => e,
+        Err(other) => panic!("expected Unknown, got {other}"),
+    };
     assert_eq!(err.name, "tahoe");
     assert!(err.known.contains(&"cubic".to_string()));
     assert!(
         err.known.contains(&"bbr".to_string()),
         "the hybrid is a registered real-socket citizen"
     );
+}
+
+#[test]
+fn invalid_spec_param_is_typed_error_not_panic() {
+    // The datapath threads parameterized specs through the registry, so a
+    // bad key/value surfaces the schema's typed error (listing valid
+    // keys) instead of constructing a mis-tuned controller.
+    let (_rx_sock, tx_sock, rx_addr) = sockets();
+    let cfg = UdpSenderConfig::default();
+    let err = match send_named(
+        &tx_sock,
+        rx_addr,
+        cfg,
+        "cubic:iw=0",
+        SimDuration::from_millis(2),
+    )
+    .expect("io ok")
+    {
+        Ok(_) => panic!("iw=0 is out of range"),
+        Err(SpecError::InvalidParam(e)) => e,
+        Err(other) => panic!("expected InvalidParam, got {other}"),
+    };
+    assert_eq!(err.algo, "cubic");
+    assert!(
+        err.valid.iter().any(|k| k.contains("iw")),
+        "{:?}",
+        err.valid
+    );
+}
+
+#[test]
+fn parameterized_specs_transfer_over_loopback() {
+    // The acceptance surface: `name:key=val` resolves on the *real*
+    // datapath too — a tuned cubic and a tuned PCC both move real bytes.
+    for spec in ["cubic:beta=0.7,iw=32", "pcc:eps=0.05"] {
+        let (rx_sock, tx_sock, rx_addr) = sockets();
+        let total: u64 = 512 * 1024;
+        let rx = thread::spawn(move || receive(&rx_sock, total));
+        let cfg = UdpSenderConfig {
+            payload: 1200,
+            total_bytes: total,
+            seed: 13,
+        };
+        let report = send_named(&tx_sock, rx_addr, cfg, spec, SimDuration::from_millis(2))
+            .expect("io")
+            .unwrap_or_else(|e| panic!("{spec}: {e}"));
+        let rx_report = rx.join().expect("join").expect("receive");
+        assert!(
+            rx_report.unique_bytes >= total,
+            "{spec}: all payload arrived"
+        );
+        assert!(
+            report.goodput_mbps > 1.0,
+            "{spec}: goodput sane: {} Mbps",
+            report.goodput_mbps
+        );
+    }
 }
 
 #[test]

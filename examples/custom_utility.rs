@@ -7,13 +7,18 @@
 //! * a custom closure can encode anything (here: throughput but with a
 //!   hard personal rate cap, e.g. a tenant's billing limit).
 //!
+//! The first two need no code at all: they are registry *specs*
+//! (`"pcc"`, `"pcc:util=lossresilient"`) — the same strings work on the
+//! command line of `udp_transfer` and `pcc-experiments sweep`. Only the
+//! closure objective requires constructing a controller by hand.
+//!
 //! ```text
 //! cargo run --release --example custom_utility
 //! ```
 
 use pcc::core::{CustomUtility, MiMetrics, PccConfig, PccController};
 use pcc::prelude::*;
-use pcc::scenarios::{Protocol, UtilityKind};
+use pcc::scenarios::Protocol;
 
 fn run_with(label: &str, sender: Box<dyn Endpoint>) -> f64 {
     let mut net = NetworkBuilder::new(SimConfig::default());
@@ -44,17 +49,18 @@ fn main() {
     let rtt = SimDuration::from_millis(30);
     let cfg = PccConfig::paper().with_rtt_hint(rtt);
 
-    // 1. The safe utility: loss-capped, as everywhere in §4.1.
-    let safe = Protocol::Pcc(cfg, UtilityKind::Safe)
-        .build_sender(FlowSize::Infinite, 1500)
+    // 1. The safe utility: loss-capped, as everywhere in §4.1. A plain
+    //    registry name (the RTT hint rides on build_sender_hinted).
+    let safe = Protocol::Named("pcc".into())
+        .build_sender_hinted(FlowSize::Infinite, 1500, rtt)
         .expect("pcc builds");
     let t_safe = run_with("safe sigmoid (loss-capped)", safe);
 
-    // 2. The §4.4.2 loss-resilient utility.
-    let resilient = Protocol::Pcc(cfg, UtilityKind::LossResilient)
-        .build_sender(FlowSize::Infinite, 1500)
-        .expect("pcc builds");
-    let t_res = run_with("loss-resilient T*(1-L)", resilient);
+    // 2. The §4.4.2 loss-resilient utility — one spec string away.
+    let resilient = Protocol::Named("pcc:util=lossresilient".into())
+        .build_sender_hinted(FlowSize::Infinite, 1500, rtt)
+        .expect("spec builds");
+    let t_res = run_with("pcc:util=lossresilient", resilient);
 
     // 3. A custom application objective: loss-resilient, but never above a
     //    personal 25 Mbps budget (e.g. a metered tenant).

@@ -4,9 +4,11 @@
 //! whole algorithm registry.
 //!
 //! ```text
-//! cargo run --release --example udp_transfer            # PCC (default)
-//! cargo run --release --example udp_transfer -- cubic   # any registered name
-//! cargo run --release --example udp_transfer -- list    # show the registry
+//! cargo run --release --example udp_transfer                       # PCC (default)
+//! cargo run --release --example udp_transfer -- cubic              # any registered name
+//! cargo run --release --example udp_transfer -- "cubic:iw=32"      # parameterized spec
+//! cargo run --release --example udp_transfer -- "pcc:eps=0.05,util=latency"
+//! cargo run --release --example udp_transfer -- list               # registry + spec keys
 //! ```
 
 use std::net::UdpSocket;
@@ -20,9 +22,12 @@ fn main() -> std::io::Result<()> {
     install_registry();
     let algo = std::env::args().nth(1).unwrap_or_else(|| "pcc".into());
     if algo == "list" {
-        println!("registered algorithms:");
+        println!("registered algorithms (parameterize with name:key=val,...):");
         for name in registry::names() {
             println!("  {name}");
+            for p in registry::schema_of(&name).unwrap_or(&[]) {
+                println!("      {}=<{}>  {}", p.key, p.kind.describe(), p.doc);
+            }
         }
         return Ok(());
     }

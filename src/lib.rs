@@ -91,7 +91,7 @@ pub mod prelude {
     pub use pcc_simnet::prelude::*;
     pub use pcc_tcp::{by_name as tcp_by_name, Cubic, Hybla, Illinois, NewReno};
     pub use pcc_transport::{
-        CcParams, CcSender, CcSenderConfig, CongestionControl, FlowSize, SackReceiver,
-        TransportConfig, UnknownAlgorithm,
+        CcParams, CcSender, CcSenderConfig, CongestionControl, FlowSize, InvalidParam,
+        SackReceiver, SpecError, TransportConfig, UnknownAlgorithm,
     };
 }

@@ -423,6 +423,142 @@ mod hybrid_enforcement {
     }
 }
 
+/// Parameterized specs covering ≥1 tunable of every algorithm family —
+/// the conformance battery runs over these exactly as over bare names.
+const PARAMETERIZED_SPECS: &[&str] = &[
+    "pcc:eps=0.05",
+    "pcc:eps=0.02,util=latency,alpha=50",
+    "pcc-lossresilient:tm=1.5,rct=false",
+    "cubic:beta=0.7,iw=32",
+    "cubic-paced:iw=4",
+    "vegas:alpha=3,beta=6",
+    "bbr:probe_rtt_ms=5000,cwnd_gain=2.5",
+    "sabul:syn_ms=20,decrease=0.8",
+    "pcp:train=4,poll_ms=50",
+];
+
+#[test]
+fn parameterized_specs_run_the_conformance_battery() {
+    // The sanity + determinism battery over tuned operating points: a
+    // spec-built algorithm must uphold the same API contract as its
+    // default-built sibling.
+    pcc::install_registry();
+    for spec in PARAMETERIZED_SPECS {
+        let mut s = Script::new(spec, 11);
+        s.start();
+        assert!(
+            s.rate.is_some() || s.cwnd.is_some(),
+            "{spec}: on_start sets an operating point"
+        );
+        let mut a = Script::new(spec, 42);
+        let mut b = Script::new(spec, 42);
+        a.run_session();
+        b.run_session();
+        assert_eq!(a.log, b.log, "{spec}: same seed, same effect stream");
+    }
+}
+
+#[test]
+fn parameterized_specs_move_data_end_to_end() {
+    // Both datapaths resolve specs: this drives the simulator engine for
+    // every table entry (the UDP datapath's spec transfers live in
+    // crates/udp/tests/loopback.rs, which CI also runs).
+    pcc::install_registry();
+    for spec in PARAMETERIZED_SPECS {
+        let r = pcc::scenarios::run_single(
+            pcc::scenarios::Protocol::Named(spec.to_string()),
+            LinkSetup::new(20e6, SimDuration::from_millis(20), 75_000),
+            SimDuration::from_secs(4),
+            17,
+        );
+        let tput = r.throughput_in(0, SimTime::from_secs(1), SimTime::from_secs(4));
+        assert!(tput > 0.5, "{spec}: moves data: {tput:.2} Mbps");
+    }
+}
+
+#[test]
+fn parameterized_specs_transfer_on_the_udp_datapath() {
+    // The same spec strings on the *real-socket* engine: tuned cubic and
+    // tuned PCC each deliver a loopback transfer end-to-end (the sim
+    // datapath's half of this contract is the test above).
+    for spec in ["cubic:beta=0.7,iw=32", "pcc:eps=0.05"] {
+        let rx_sock = std::net::UdpSocket::bind("127.0.0.1:0").expect("bind rx");
+        let rx_addr = rx_sock.local_addr().expect("addr");
+        let tx_sock = std::net::UdpSocket::bind("127.0.0.1:0").expect("bind tx");
+        let total: u64 = 256 * 1024;
+        let rx = std::thread::spawn(move || pcc::udp::receive(&rx_sock, total));
+        let cfg = pcc::udp::UdpSenderConfig {
+            payload: 1200,
+            total_bytes: total,
+            seed: 23,
+        };
+        let report =
+            pcc::udp::send_named(&tx_sock, rx_addr, cfg, spec, SimDuration::from_millis(2))
+                .expect("io")
+                .unwrap_or_else(|e| panic!("{spec}: {e}"));
+        let rx_report = rx.join().expect("join").expect("receive");
+        assert!(
+            rx_report.unique_bytes >= total,
+            "{spec}: all payload arrived"
+        );
+        assert!(report.sent >= total / 1200, "{spec}: sender accounted");
+    }
+}
+
+#[test]
+fn spec_tuning_reaches_the_engine() {
+    // `cubic:iw=32` is not merely accepted — the initial window the
+    // engine sees IS 32 (and the default stays IW10).
+    pcc::install_registry();
+    let mut tuned = Script::new("cubic:iw=32", 7);
+    tuned.start();
+    assert_eq!(tuned.cwnd, Some(32.0), "iw=32 is the initial window");
+    let mut stock = Script::new("cubic", 7);
+    stock.start();
+    assert_eq!(stock.cwnd, Some(10.0), "default stays IW10");
+}
+
+#[test]
+fn invalid_specs_are_typed_errors_never_panics() {
+    pcc::install_registry();
+    for bad in [
+        "pcc:eps=banana",
+        "pcc:nope=1",
+        "cubic:iw=0",
+        "cubic:beta",
+        "bbr:cwnd_gain=99",
+        "nosuch:eps=0.05",
+        ":::",
+        "pcc:,",
+    ] {
+        let err = match registry::by_name(bad, &params()) {
+            Ok(_) => panic!("{bad} must not resolve"),
+            Err(e) => e,
+        };
+        assert!(!err.to_string().is_empty(), "{bad}: displayable error");
+    }
+    // And the error for a bad key lists the valid ones (self-documenting).
+    let err = match registry::by_name("cubic:wrong=1", &params()) {
+        Ok(_) => panic!("must fail"),
+        Err(pcc::transport::registry::SpecError::InvalidParam(e)) => e,
+        Err(other) => panic!("expected InvalidParam: {other}"),
+    };
+    assert!(
+        err.valid.iter().any(|k| k.contains("beta")) && err.valid.iter().any(|k| k.contains("iw")),
+        "valid keys listed: {:?}",
+        err.valid
+    );
+}
+
+#[test]
+fn empty_param_list_is_the_plain_name() {
+    // `"pcc:"` ≡ `"pcc"` on the registry surface.
+    pcc::install_registry();
+    let a = registry::by_name("pcc:", &params()).expect("trailing colon resolves");
+    let b = registry::by_name("pcc", &params()).expect("plain resolves");
+    assert_eq!(a.name(), b.name());
+}
+
 #[test]
 fn every_algorithm_moves_data_end_to_end() {
     // The same engine, every algorithm, a clean 20 Mbps path: each must
