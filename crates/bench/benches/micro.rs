@@ -1,17 +1,42 @@
-//! Micro-benchmarks: simulator substrate hot paths.
+//! Micro-benchmarks: simulator substrate hot paths, plus the
+//! machine-readable `BENCH.json` perf baseline.
 //!
 //! `cargo bench -p pcc-bench --bench micro`
+//!
+//! Modes (environment variables):
+//!
+//! * `PCC_BENCH_FAST=1` — CI smoke: fewer samples, smallest experiment
+//!   subset.
+//! * default — full micro benches + a quick experiment subset timed at
+//!   `--jobs 1` vs `--jobs N`.
+//! * `PCC_BENCH_FULL=1` — times the *entire* experiment registry both
+//!   ways (minutes).
+//!
+//! Always writes `BENCH.json` (to `$PCC_BENCH_OUT`, default
+//! `target/bench/BENCH.json`): per-scenario events/sec and simulated
+//! seconds per wall second, and the suite serial-vs-parallel wall clock.
 
 use std::hint::black_box;
+use std::time::Instant;
 
 use pcc_bench::bench;
+use pcc_bench::report::{BenchReport, Scenario, SuiteTiming};
 use pcc_core::{MiMetrics, SafeSigmoid, UtilityFunction};
-use pcc_scenarios::{run_single, LinkSetup, Protocol};
+use pcc_experiments::{registry, runner, Opts};
+use pcc_scenarios::perf;
 use pcc_simnet::event::{Event, EventQueue};
 use pcc_simnet::ids::FlowId;
 use pcc_simnet::packet::Packet;
 use pcc_simnet::queue::{fq_codel, Codel, DropTail, FairQueue, Queue};
 use pcc_simnet::time::{SimDuration, SimTime};
+
+fn fast_mode() -> bool {
+    std::env::var_os("PCC_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
+fn full_mode() -> bool {
+    std::env::var_os("PCC_BENCH_FULL").is_some_and(|v| v != "0")
+}
 
 fn bench_event_queue() {
     bench("event_queue_push_pop_1k", 20, 20, || {
@@ -80,36 +105,120 @@ fn bench_utility() {
     });
 }
 
-fn bench_full_sim() {
-    bench("full_sim_5s_pcc_100mbps", 5, 1, || {
-        run_single(
-            Protocol::pcc_default(SimDuration::from_millis(30)),
-            LinkSetup::new(100e6, SimDuration::from_millis(30), 375_000),
-            SimDuration::from_secs(5),
-            1,
+/// Measure the reference full-simulation scenarios (shared with the
+/// `perf_probe` example through `pcc_scenarios::perf`, so the two tools
+/// always quote the same workload).
+fn bench_full_sim(out: &mut BenchReport) {
+    let runs = if fast_mode() { 2 } else { 5 };
+    for (name, proto) in perf::reference_scenarios() {
+        let (wall_ms, events) = perf::time_reference_scenario(&proto, runs);
+        let s = Scenario {
+            name: name.to_string(),
+            wall_ms,
+            events,
+            sim_secs: perf::REFERENCE_SIM_SECS as f64,
+        };
+        println!(
+            "{name:<32} best {wall_ms:>9.3}ms   {:>12.0} events/s   {:>8.1} sim-s/wall-s",
+            s.events_per_sec(),
+            s.sim_secs_per_wall_sec(),
         );
-    });
-    bench("full_sim_5s_cubic_100mbps", 5, 1, || {
-        run_single(
-            Protocol::Tcp("cubic"),
-            LinkSetup::new(100e6, SimDuration::from_millis(30), 375_000),
-            SimDuration::from_secs(5),
-            1,
-        );
-    });
-    bench("full_sim_5s_bbr_100mbps", 5, 1, || {
-        run_single(
-            Protocol::Named("bbr".into()),
-            LinkSetup::new(100e6, SimDuration::from_millis(30), 375_000),
-            SimDuration::from_secs(5),
-            1,
-        );
-    });
+        out.scenarios.push(s);
+    }
+}
+
+/// Time a subset of the experiment registry serially (`jobs = 1`) and in
+/// parallel (`jobs = N`): the BENCH.json datapoint for the parallel
+/// runner. Tables print as a side effect (they are the workload).
+fn bench_experiments_suite(out: &mut BenchReport) {
+    let ids: Vec<&str> = if full_mode() {
+        registry().iter().map(|(id, _, _)| *id).collect()
+    } else if fast_mode() {
+        vec!["fig11", "fig15"]
+    } else {
+        vec!["fig07", "fig09", "fig11", "fig15", "sec442"]
+    };
+    let time_suite = |jobs: usize, dir: &str| -> f64 {
+        let opts = Opts {
+            jobs,
+            out_dir: std::env::temp_dir().join(dir),
+            ..Opts::default()
+        };
+        let t0 = Instant::now();
+        for (id, _, run) in registry() {
+            if ids.contains(&id) {
+                let _ = run(&opts);
+            }
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    // Untimed warmup: the first experiment after a build pays first-touch
+    // costs (code pages, registry init, out-dir creation) that would
+    // otherwise all land on the serial pass and inflate the recorded
+    // speedup.
+    if let Some(&first) = ids.first() {
+        for (id, _, run) in registry() {
+            if id == first {
+                let _ = run(&Opts {
+                    jobs: 1,
+                    out_dir: std::env::temp_dir().join("pcc_bench_suite_warmup"),
+                    ..Opts::default()
+                });
+            }
+        }
+    }
+    let serial_secs = time_suite(1, "pcc_bench_suite_serial");
+    let jobs = runner::auto_jobs();
+    let parallel_secs = time_suite(jobs, "pcc_bench_suite_parallel");
+    let suite = SuiteTiming {
+        ids: ids.iter().map(|s| s.to_string()).collect(),
+        jobs,
+        serial_secs,
+        parallel_secs,
+    };
+    println!(
+        "experiments_suite {:?}: serial {serial_secs:.1}s vs --jobs {jobs} {parallel_secs:.1}s \
+         (speedup {:.2}x)",
+        suite.ids,
+        suite.speedup(),
+    );
+    out.suite = Some(suite);
 }
 
 fn main() {
-    bench_event_queue();
-    bench_queues();
-    bench_utility();
-    bench_full_sim();
+    if !fast_mode() {
+        bench_event_queue();
+        bench_queues();
+        bench_utility();
+    } else {
+        // Smoke the micro harness cheaply so CI still exercises it.
+        bench("event_queue_smoke", 1, 1, || {
+            let mut q = EventQueue::new();
+            for i in 0..100u64 {
+                q.schedule(SimTime::from_nanos(i * 7919 % 1000), Event::Sample);
+            }
+            while let Some(e) = q.pop() {
+                black_box(e);
+            }
+        });
+    }
+    let mut out = BenchReport {
+        mode: if full_mode() {
+            "full"
+        } else if fast_mode() {
+            "fast"
+        } else {
+            "default"
+        }
+        .to_string(),
+        cores: runner::auto_jobs(),
+        ..Default::default()
+    };
+    bench_full_sim(&mut out);
+    bench_experiments_suite(&mut out);
+    let path = BenchReport::default_path();
+    match out.write(&path) {
+        Ok(()) => println!("\nBENCH.json written to {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write {}: {e}", path.display()),
+    }
 }

@@ -2,7 +2,8 @@
 //!
 //! * `benches/micro.rs` — micro-benchmarks of the simulator's hot paths
 //!   (event queue, queue disciplines, utility evaluation) plus
-//!   full-simulation throughput.
+//!   full-simulation throughput, and the machine-readable `BENCH.json`
+//!   perf baseline (see [`report`]).
 //! * `benches/experiments.rs` — regenerates every table and figure of the
 //!   paper (delegates to `pcc-experiments`; `harness = false`).
 //!
@@ -11,6 +12,8 @@
 //! The timing harness here is a deliberately small median-of-runs loop
 //! (the environment has no network access, so Criterion is unavailable);
 //! it reports median and min wall-clock per iteration.
+
+pub mod report;
 
 use std::time::{Duration, Instant};
 

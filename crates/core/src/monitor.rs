@@ -13,7 +13,7 @@
 //! previous MI's average RTT — which the latency-sensitive utility of
 //! §4.4.1 needs.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use pcc_simnet::time::{SimDuration, SimTime};
 
@@ -127,6 +127,97 @@ struct SeqInfo {
     bytes: u32,
 }
 
+/// Offset-indexed ring of in-flight sequence attributions.
+///
+/// Sequence numbers are dense and arrive almost in order (new data is
+/// strictly increasing; retransmissions revisit recent holes), so a
+/// `VecDeque<Option<SeqInfo>>` indexed by `seq - base` gives O(1)
+/// insert/lookup/remove where the previous `BTreeMap<u64, SeqInfo>` paid a
+/// tree rebalance per packet — this is the per-packet hot path of every
+/// PCC sender. `base` tracks the oldest retained slot and advances as the
+/// front resolves.
+#[derive(Debug, Default)]
+struct SeqRing {
+    base: u64,
+    slots: VecDeque<Option<SeqInfo>>,
+    live: usize,
+}
+
+impl SeqRing {
+    fn insert(&mut self, seq: u64, info: SeqInfo) {
+        if self.slots.is_empty() {
+            self.base = seq;
+            self.slots.push_back(Some(info));
+            self.live = 1;
+            return;
+        }
+        if seq < self.base {
+            // A retransmission below the resolved frontier (its earlier
+            // incarnation already resolved and the front moved past it):
+            // grow the front back down to it.
+            for _ in 0..(self.base - seq) {
+                self.slots.push_front(None);
+            }
+            self.base = seq;
+        }
+        let idx = (seq - self.base) as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        if self.slots[idx].replace(info).is_none() {
+            self.live += 1;
+        }
+    }
+
+    fn remove(&mut self, seq: u64) -> Option<SeqInfo> {
+        if seq < self.base {
+            return None;
+        }
+        let idx = (seq - self.base) as usize;
+        let info = self.slots.get_mut(idx)?.take()?;
+        self.live -= 1;
+        self.shrink_front();
+        Some(info)
+    }
+
+    /// Pop the oldest retained slot if its seq is below `upper`, returning
+    /// the attribution when the slot was live.
+    fn pop_below(&mut self, upper: u64) -> Option<Option<SeqInfo>> {
+        if self.base >= upper {
+            return None;
+        }
+        let slot = self.slots.pop_front()?;
+        self.base += 1;
+        if slot.is_some() {
+            self.live -= 1;
+        }
+        Some(slot)
+    }
+
+    /// Drop every attribution pointing at MI `mi`.
+    fn clear_mi(&mut self, mi: u64) {
+        for slot in self.slots.iter_mut() {
+            if matches!(slot, Some(info) if info.mi == mi) {
+                *slot = None;
+                self.live -= 1;
+            }
+        }
+        self.shrink_front();
+    }
+
+    fn shrink_front(&mut self) {
+        if self.live == 0 {
+            self.base += self.slots.len() as u64;
+            self.slots.clear();
+            return;
+        }
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+    }
+}
+
 /// The §3.1 monitor: attributes packets to monitor intervals and publishes
 /// per-MI metrics once each interval's packets are resolved.
 #[derive(Debug, Default)]
@@ -135,9 +226,10 @@ pub struct Monitor {
     current: Option<MiState>,
     /// Ended MIs awaiting resolution, oldest first.
     pending: VecDeque<MiState>,
-    /// seq → (MI id, sent bytes) of its *latest* transmission (ordered,
-    /// so cumulative ACKs can resolve whole prefixes).
-    seq_mi: BTreeMap<u64, SeqInfo>,
+    /// seq → (MI id, sent bytes) of its *latest* transmission, held in an
+    /// offset-indexed ring (ordered, so cumulative ACKs can resolve whole
+    /// prefixes by popping the front).
+    seq_mi: SeqRing,
     /// Average RTT of the most recently completed MI.
     last_avg_rtt: Option<SimDuration>,
     /// Minimum RTT sample ever observed (propagation estimate).
@@ -235,7 +327,7 @@ impl Monitor {
             Some(m) => m.min(rtt),
             None => rtt,
         });
-        let Some(info) = self.seq_mi.remove(&seq) else {
+        let Some(info) = self.seq_mi.remove(seq) else {
             return; // duplicate ACK or MI already force-completed
         };
         if let Some(mi) = self.mi_mut(info.mi) {
@@ -252,14 +344,11 @@ impl Monitor {
         }
     }
 
-    /// Resolve `seq` as delivered *without* a timing measurement: credit
-    /// its recorded bytes, but neither an RTT sample nor an ACK-arrival
-    /// span point — the cumulative ACK that proved its delivery measures
+    /// Credit a delivery proven *without* a timing measurement: the
+    /// recorded bytes count, but neither an RTT sample nor an ACK-arrival
+    /// span point — the cumulative ACK that proved the delivery measures
     /// a different packet's flight.
-    fn resolve_delivered(&mut self, seq: u64) {
-        let Some(info) = self.seq_mi.remove(&seq) else {
-            return;
-        };
+    fn credit_delivery(&mut self, info: SeqInfo) {
         if let Some(mi) = self.mi_mut(info.mi) {
             mi.acked += 1;
             mi.acked_bytes += info.bytes as u64;
@@ -279,14 +368,16 @@ impl Monitor {
     /// seq over-counted `acked_bytes` whenever a short tail packet was
     /// covered — reporting per-MI throughput above link capacity.
     pub fn on_cum_ack(&mut self, cum_ack: u64) {
-        while let Some((&seq, _)) = self.seq_mi.range(..cum_ack).next() {
-            self.resolve_delivered(seq);
+        while let Some(slot) = self.seq_mi.pop_below(cum_ack) {
+            if let Some(info) = slot {
+                self.credit_delivery(info);
+            }
         }
     }
 
     /// Resolve `seq` as lost.
     pub fn on_loss(&mut self, seq: u64) {
-        let Some(info) = self.seq_mi.remove(&seq) else {
+        let Some(info) = self.seq_mi.remove(seq) else {
             return;
         };
         if let Some(mi) = self.mi_mut(info.mi) {
@@ -303,7 +394,7 @@ impl Monitor {
                 // Drop stale seq attributions of a force-completed MI so a
                 // late ACK can't corrupt a future MI's counters.
                 if !mi.resolved() {
-                    self.seq_mi.retain(|_, v| v.mi != mi.id);
+                    self.seq_mi.clear_mi(mi.id);
                 }
                 let metrics = mi.metrics(self.last_avg_rtt, self.min_rtt);
                 self.last_avg_rtt = Some(metrics.avg_rtt);

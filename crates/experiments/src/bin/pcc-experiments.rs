@@ -7,8 +7,13 @@
 //! pcc-experiments fig07 --full    # paper-scale durations
 //! pcc-experiments all             # run everything
 //! pcc-experiments all --seed 42 --out target/experiments
+//! pcc-experiments all --jobs 8  # 8 simulation workers (0 = auto, default)
 //! pcc-experiments sweep "pcc:eps=0.01..0.1" "cubic:iw=4|32" --points 3
 //! ```
+//!
+//! Simulations run on a worker pool (`--jobs`, default one per core);
+//! results are bit-identical at any worker count because every simulation
+//! owns its seed — see `pcc_experiments::runner`.
 
 use std::process::ExitCode;
 
@@ -20,11 +25,21 @@ fn main() -> ExitCode {
     let mut extras: Vec<String> = Vec::new();
     let mut points: usize = 3;
     let mut secs: u64 = 4;
-    let mut opts = Opts::default();
+    let mut opts = Opts {
+        jobs: 0, // auto: one worker per core (library default is serial)
+        ..Opts::default()
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--full" => opts.full = true,
+            "--jobs" => {
+                i += 1;
+                opts.jobs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--jobs <n> (0 = auto)");
+            }
             "--seed" => {
                 i += 1;
                 opts.seed = args

@@ -13,7 +13,7 @@ use pcc_scenarios::Protocol;
 use pcc_simnet::stats::percentile;
 use pcc_simnet::time::SimDuration;
 
-use crate::{fmt, scaled, Opts, Table};
+use crate::{fmt, runner, scaled, Opts, Table};
 
 /// Run the Figs. 4–5 population sweep.
 pub fn run(opts: &Opts) -> Vec<Table> {
@@ -31,13 +31,22 @@ pub fn run(opts: &Opts) -> Vec<Table> {
             "bw_mbps", "rtt_ms", "buf_kb", "loss", "pcc", "cubic", "sabul", "pcp",
         ],
     );
+    let mut jobs: Vec<runner::Job<'_, f64>> = Vec::new();
     for (i, path) in paths.iter().enumerate() {
         let seed = opts.seed ^ (i as u64).wrapping_mul(0x9E37_79B9);
-        let rtt = path.rtt;
-        let pcc = path_throughput(Protocol::pcc_default(rtt), path, dur, seed);
-        let cubic = path_throughput(Protocol::Tcp("cubic"), path, dur, seed);
-        let sabul = path_throughput(Protocol::Sabul, path, dur, seed);
-        let pcp = path_throughput(Protocol::Pcp, path, dur, seed);
+        for proto in [
+            Protocol::pcc_default(path.rtt),
+            Protocol::Tcp("cubic"),
+            Protocol::Sabul,
+            Protocol::Pcp,
+        ] {
+            jobs.push(runner::job(move || path_throughput(proto, path, dur, seed)));
+        }
+    }
+    let mut results = runner::run_jobs(opts, "fig05", jobs).into_iter();
+    for path in paths.iter() {
+        let mut next = || results.next().expect("one result per job");
+        let (pcc, cubic, sabul, pcp) = (next(), next(), next(), next());
         let floor = 0.05; // 50 kbps floor avoids divide-by-~zero ratios
         ratios_cubic.push(pcc / cubic.max(floor));
         ratios_sabul.push(pcc / sabul.max(floor));

@@ -9,7 +9,7 @@ use pcc_scenarios::links::{run_satellite, SATELLITE_RTT};
 use pcc_scenarios::Protocol;
 use pcc_simnet::time::{SimDuration, SimTime};
 
-use crate::{fmt, scaled, Opts, Table};
+use crate::{fmt, runner, scaled, Opts, Table};
 
 /// Buffer sizes swept (bytes), matching the paper's log-spaced axis.
 pub const BUFFERS: &[u64] = &[
@@ -36,12 +36,22 @@ pub fn run(opts: &Opts) -> Vec<Table> {
         "Fig. 6 — satellite (42 Mbps, 800 ms RTT, 0.74% loss): throughput [Mbps] vs buffer",
         &["buffer_kb", "pcc", "hybla", "illinois", "cubic", "newreno"],
     );
+    let mut jobs: Vec<runner::Job<'_, f64>> = Vec::new();
+    for &buf in BUFFERS {
+        for proto in protocols() {
+            let seed = opts.seed;
+            jobs.push(runner::job(move || {
+                let r = run_satellite(proto, buf, dur, seed);
+                r.throughput_in(0, SimTime::from_secs(warmup), SimTime::from_secs(secs))
+            }));
+        }
+    }
+    let cols = protocols().len();
+    let mut results = runner::run_jobs(opts, "fig06", jobs).into_iter();
     for &buf in BUFFERS {
         let mut row = vec![format!("{:.1}", buf as f64 / 1000.0)];
-        for proto in protocols() {
-            let r = run_satellite(proto, buf, dur, opts.seed);
-            let t = r.throughput_in(0, SimTime::from_secs(warmup), SimTime::from_secs(secs));
-            row.push(fmt(t));
+        for _ in 0..cols {
+            row.push(fmt(results.next().expect("one result per job")));
         }
         table.row(row);
     }

@@ -15,10 +15,20 @@ use pcc_scenarios::links::run_lossy;
 use pcc_scenarios::Protocol;
 use pcc_simnet::time::{SimDuration, SimTime};
 
-use crate::{fmt, scaled, Opts, Table};
+use crate::{fmt, runner, scaled, Opts, Table};
 
 /// Loss rates swept (both directions), matching the paper's axis.
 pub const LOSS_RATES: &[f64] = &[0.0, 0.001, 0.002, 0.005, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06];
+
+/// The protocol columns, in table order.
+fn protocols(rtt: SimDuration) -> [Protocol; 4] {
+    [
+        Protocol::pcc_default(rtt),
+        Protocol::Named("bbr".into()),
+        Protocol::Tcp("illinois"),
+        Protocol::Tcp("cubic"),
+    ]
+}
 
 /// Run the Fig. 7 sweep.
 pub fn run(opts: &Opts) -> Vec<Table> {
@@ -30,18 +40,22 @@ pub fn run(opts: &Opts) -> Vec<Table> {
         "Fig. 7 — random loss (100 Mbps, 30 ms): throughput [Mbps] vs loss rate",
         &["loss", "pcc", "bbr", "illinois", "cubic"],
     );
+    let mut jobs: Vec<runner::Job<'_, f64>> = Vec::new();
     for &loss in LOSS_RATES {
-        let protos = [
-            Protocol::pcc_default(rtt),
-            Protocol::Named("bbr".into()),
-            Protocol::Tcp("illinois"),
-            Protocol::Tcp("cubic"),
-        ];
+        for proto in protocols(rtt) {
+            let seed = opts.seed;
+            jobs.push(runner::job(move || {
+                let r = run_lossy(proto, loss, dur, seed);
+                r.throughput_in(0, SimTime::from_secs(warmup), SimTime::from_secs(secs))
+            }));
+        }
+    }
+    let cols = protocols(rtt).len();
+    let mut results = runner::run_jobs(opts, "fig07", jobs).into_iter();
+    for &loss in LOSS_RATES {
         let mut row = vec![format!("{loss:.3}")];
-        for proto in protos {
-            let r = run_lossy(proto, loss, dur, opts.seed);
-            let t = r.throughput_in(0, SimTime::from_secs(warmup), SimTime::from_secs(secs));
-            row.push(fmt(t));
+        for _ in 0..cols {
+            row.push(fmt(results.next().expect("one result per job")));
         }
         table.row(row);
     }

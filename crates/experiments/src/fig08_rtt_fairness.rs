@@ -10,10 +10,21 @@ use pcc_scenarios::dynamics::rtt_fairness_ratio;
 use pcc_scenarios::Protocol;
 use pcc_simnet::time::SimDuration;
 
-use crate::{fmt, scaled, Opts, Table};
+use crate::{fmt, runner, scaled, Opts, Table};
 
 /// Long-flow RTTs swept (ms), as in the paper.
 pub const LONG_RTTS_MS: &[u64] = &[20, 30, 40, 50, 60, 70, 80, 90, 100];
+
+/// Protocol constructors per column (the hybrid resolves by registry
+/// name, zero per-harness code).
+fn columns() -> [fn(SimDuration) -> Protocol; 4] {
+    [
+        Protocol::pcc_default,
+        |_| Protocol::Named("bbr".into()),
+        |_| Protocol::Tcp("cubic"),
+        |_| Protocol::Tcp("newreno"),
+    ]
+}
 
 /// Run the Fig. 8 sweep.
 pub fn run(opts: &Opts) -> Vec<Table> {
@@ -22,25 +33,24 @@ pub fn run(opts: &Opts) -> Vec<Table> {
         "Fig. 8 — RTT fairness: long-RTT/short-RTT throughput ratio",
         &["long_rtt_ms", "pcc", "bbr", "cubic", "newreno"],
     );
+    let mut jobs: Vec<runner::Job<'_, f64>> = Vec::new();
     for &rtt_ms in LONG_RTTS_MS {
         let long = SimDuration::from_millis(rtt_ms);
-        let pcc = rtt_fairness_ratio(Protocol::pcc_default, long, contention, opts.seed);
-        // The hybrid resolves by registry name, zero per-harness code.
-        let bbr = rtt_fairness_ratio(
-            |_| Protocol::Named("bbr".into()),
-            long,
-            contention,
-            opts.seed,
-        );
-        let cubic = rtt_fairness_ratio(|_| Protocol::Tcp("cubic"), long, contention, opts.seed);
-        let reno = rtt_fairness_ratio(|_| Protocol::Tcp("newreno"), long, contention, opts.seed);
-        table.row(vec![
-            format!("{rtt_ms}"),
-            fmt(pcc),
-            fmt(bbr),
-            fmt(cubic),
-            fmt(reno),
-        ]);
+        for mk in columns() {
+            let seed = opts.seed;
+            jobs.push(runner::job(move || {
+                rtt_fairness_ratio(mk, long, contention, seed)
+            }));
+        }
+    }
+    let cols = columns().len();
+    let mut results = runner::run_jobs(opts, "fig08", jobs).into_iter();
+    for &rtt_ms in LONG_RTTS_MS {
+        let mut row = vec![format!("{rtt_ms}")];
+        for _ in 0..cols {
+            row.push(fmt(results.next().expect("one result per job")));
+        }
+        table.row(row);
     }
     table.print();
     let _ = table.write_csv(&opts.out_dir, "fig08_rtt_fairness");

@@ -9,7 +9,7 @@ use pcc_scenarios::links::run_shallow;
 use pcc_scenarios::Protocol;
 use pcc_simnet::time::{SimDuration, SimTime};
 
-use crate::{fmt, scaled, Opts, Table};
+use crate::{fmt, runner, scaled, Opts, Table};
 
 /// Buffer sizes swept (bytes): 1 packet up to 1×BDP, as in the paper.
 pub const BUFFERS: &[u64] = &[
@@ -26,17 +26,25 @@ pub fn run(opts: &Opts) -> Vec<Table> {
         "Fig. 9 — shallow buffers (100 Mbps, 30 ms): throughput [Mbps] vs buffer",
         &["buffer_kb", "pcc", "tcp_pacing", "cubic"],
     );
+    let mut jobs: Vec<runner::Job<'_, f64>> = Vec::new();
     for &buf in BUFFERS {
-        let protos = [
+        for proto in [
             Protocol::pcc_default(rtt),
             Protocol::TcpPaced("newreno"),
             Protocol::Tcp("cubic"),
-        ];
+        ] {
+            let seed = opts.seed;
+            jobs.push(runner::job(move || {
+                let r = run_shallow(proto, buf, dur, seed);
+                r.throughput_in(0, SimTime::from_secs(warmup), SimTime::from_secs(secs))
+            }));
+        }
+    }
+    let mut results = runner::run_jobs(opts, "fig09", jobs).into_iter();
+    for &buf in BUFFERS {
         let mut row = vec![format!("{:.1}", buf as f64 / 1000.0)];
-        for proto in protos {
-            let r = run_shallow(proto, buf, dur, opts.seed);
-            let t = r.throughput_in(0, SimTime::from_secs(warmup), SimTime::from_secs(secs));
-            row.push(fmt(t));
+        for _ in 0..3 {
+            row.push(fmt(results.next().expect("one result per job")));
         }
         table.row(row);
     }

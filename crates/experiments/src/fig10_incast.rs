@@ -9,7 +9,7 @@
 use pcc_scenarios::incast::{run_incast, INCAST_RTT};
 use pcc_scenarios::Protocol;
 
-use crate::{fmt, scaled, Opts, Table};
+use crate::{fmt, runner, scaled, Opts, Table};
 
 /// Sender counts swept.
 pub const SENDERS: &[usize] = &[2, 5, 10, 15, 20, 25, 30, 33];
@@ -25,31 +25,37 @@ pub fn run(opts: &Opts) -> Vec<Table> {
             "senders", "pcc_64k", "tcp_64k", "pcc_128k", "tcp_128k", "pcc_256k", "tcp_256k",
         ],
     );
+    // One job per (senders, block, trial, protocol) cell; trial means are
+    // folded back together in submission order below.
+    let mut jobs: Vec<runner::Job<'_, f64>> = Vec::new();
     for &n in SENDERS {
-        let mut row = vec![format!("{n}")];
         for &kb in BLOCKS_KB {
-            let mut pcc_sum = 0.0;
-            let mut tcp_sum = 0.0;
             for t in 0..trials {
                 let seed = opts.seed ^ (t << 8) ^ (n as u64) ^ (kb << 16);
-                pcc_sum += run_incast(|| Protocol::pcc_default(INCAST_RTT), n, kb * 1024, seed)
-                    .goodput_mbps;
-                tcp_sum += run_incast(|| Protocol::Tcp("newreno"), n, kb * 1024, seed).goodput_mbps;
+                jobs.push(runner::job(move || {
+                    run_incast(|| Protocol::pcc_default(INCAST_RTT), n, kb * 1024, seed)
+                        .goodput_mbps
+                }));
+                jobs.push(runner::job(move || {
+                    run_incast(|| Protocol::Tcp("newreno"), n, kb * 1024, seed).goodput_mbps
+                }));
+            }
+        }
+    }
+    let mut results = runner::run_jobs(opts, "fig10", jobs).into_iter();
+    for &n in SENDERS {
+        let mut row = vec![format!("{n}")];
+        for _ in BLOCKS_KB {
+            let mut pcc_sum = 0.0;
+            let mut tcp_sum = 0.0;
+            for _ in 0..trials {
+                pcc_sum += results.next().expect("one result per job");
+                tcp_sum += results.next().expect("one result per job");
             }
             row.push(fmt(pcc_sum / trials as f64));
             row.push(fmt(tcp_sum / trials as f64));
         }
-        // Reorder: the header interleaves pcc/tcp per block size.
-        let reordered = vec![
-            row[0].clone(),
-            row[1].clone(),
-            row[2].clone(),
-            row[3].clone(),
-            row[4].clone(),
-            row[5].clone(),
-            row[6].clone(),
-        ];
-        table.row(reordered);
+        table.row(row);
     }
     table.print();
     let _ = table.write_csv(&opts.out_dir, "fig10_incast");

@@ -9,7 +9,7 @@ use pcc_scenarios::rapid::run_rapid_change;
 use pcc_scenarios::Protocol;
 use pcc_simnet::time::{SimDuration, SimTime};
 
-use crate::{fmt, scaled, Opts, Table};
+use crate::{fmt, runner, scaled, Opts, Table};
 
 /// Run the Fig. 11 experiment.
 pub fn run(opts: &Opts) -> Vec<Table> {
@@ -35,12 +35,20 @@ pub fn run(opts: &Opts) -> Vec<Table> {
     ];
     let mut rate_series: Vec<Vec<f64>> = Vec::new();
     let mut optimal = None;
-    for (name, proto) in runs {
-        let r = run_rapid_change(proto, step, dur, env_seed, opts.seed);
+    let jobs = runs
+        .iter()
+        .map(|(_, proto)| {
+            let proto = proto.clone();
+            let seed = opts.seed;
+            runner::job(move || run_rapid_change(proto, step, dur, env_seed, seed))
+        })
+        .collect();
+    let results = runner::run_jobs(opts, "fig11", jobs);
+    for ((name, _), r) in runs.iter().zip(results) {
         let opt = r.optimal_mbps(horizon);
         let ach = r.achieved_mbps();
         summary.row(vec![
-            name.into(),
+            (*name).into(),
             fmt(ach),
             fmt(opt),
             format!("{:.2}", ach / opt),

@@ -9,7 +9,18 @@ use pcc_scenarios::dynamics::run_convergence;
 use pcc_scenarios::Protocol;
 use pcc_simnet::time::SimDuration;
 
-use crate::{fmt, scaled, Opts, Table};
+use crate::{fmt, runner, scaled, Opts, Table};
+
+/// A labelled protocol constructor.
+type NamedRun = (&'static str, fn() -> Protocol);
+
+/// The two compared protocols, as constructors.
+const RUNS: &[NamedRun] = &[
+    ("pcc", || {
+        Protocol::pcc_default(SimDuration::from_millis(30))
+    }),
+    ("cubic", || Protocol::Tcp("cubic")),
+];
 
 /// Run the Fig. 12 experiment.
 pub fn run(opts: &Opts) -> Vec<Table> {
@@ -20,15 +31,15 @@ pub fn run(opts: &Opts) -> Vec<Table> {
         "Fig. 12 — 4 staggered flows: per-flow stddev after all active [Mbps]",
         &["protocol", "mean_stddev"],
     );
-    for (name, mk) in [
-        (
-            "pcc",
-            Box::new(|| Protocol::pcc_default(SimDuration::from_millis(30)))
-                as Box<dyn Fn() -> Protocol>,
-        ),
-        ("cubic", Box::new(|| Protocol::Tcp("cubic"))),
-    ] {
-        let r = run_convergence(&*mk, 4, stagger, lifetime, opts.seed);
+    let jobs = RUNS
+        .iter()
+        .map(|&(_, mk)| {
+            let seed = opts.seed;
+            runner::job(move || run_convergence(mk, 4, stagger, lifetime, seed))
+        })
+        .collect();
+    let results = runner::run_jobs(opts, "fig12", jobs);
+    for (&(name, _), r) in RUNS.iter().zip(results) {
         summary.row(vec![name.into(), fmt(r.mean_stddev())]);
         let mut trace = Table::new(
             &format!("Fig. 12 — rate trace ({name}), 1 s samples [Mbps]"),

@@ -10,10 +10,25 @@ use pcc_scenarios::dynamics::run_convergence;
 use pcc_scenarios::Protocol;
 use pcc_simnet::time::SimDuration;
 
-use crate::{scaled, Opts, Table};
+use crate::{runner, scaled, Opts, Table};
 
 /// Time scales (in 1 s samples) at which the index is evaluated.
 pub const SCALES: &[usize] = &[1, 5, 10, 30, 60];
+
+/// A labelled protocol constructor.
+type NamedRun = (&'static str, fn() -> Protocol);
+
+/// The compared protocols, as constructors.
+const RUNS: &[NamedRun] = &[
+    ("pcc", || {
+        Protocol::pcc_default(SimDuration::from_millis(30))
+    }),
+    ("cubic", || Protocol::Tcp("cubic")),
+    ("newreno", || Protocol::Tcp("newreno")),
+];
+
+/// Flow counts evaluated per protocol.
+const FLOW_COUNTS: &[usize] = &[2, 3, 4];
 
 /// Run the Fig. 13 experiment.
 pub fn run(opts: &Opts) -> Vec<Table> {
@@ -23,21 +38,22 @@ pub fn run(opts: &Opts) -> Vec<Table> {
         "Fig. 13 — Jain's fairness index vs time scale [s]",
         &["protocol", "flows", "1s", "5s", "10s", "30s", "60s"],
     );
-    for (name, mk) in [
-        (
-            "pcc",
-            Box::new(|| Protocol::pcc_default(SimDuration::from_millis(30)))
-                as Box<dyn Fn() -> Protocol>,
-        ),
-        ("cubic", Box::new(|| Protocol::Tcp("cubic"))),
-        ("newreno", Box::new(|| Protocol::Tcp("newreno"))),
-    ] {
-        for flows in [2usize, 3, 4] {
-            let r = run_convergence(&*mk, flows, stagger, lifetime, opts.seed);
+    let mut jobs: Vec<runner::Job<'_, Vec<f64>>> = Vec::new();
+    for &(_, mk) in RUNS {
+        for &flows in FLOW_COUNTS {
+            let seed = opts.seed;
+            jobs.push(runner::job(move || {
+                let r = run_convergence(mk, flows, stagger, lifetime, seed);
+                SCALES.iter().map(|&scale| r.jain_at_scale(scale)).collect()
+            }));
+        }
+    }
+    let mut results = runner::run_jobs(opts, "fig13", jobs).into_iter();
+    for &(name, _) in RUNS {
+        for &flows in FLOW_COUNTS {
+            let indices = results.next().expect("one result per job");
             let mut row = vec![name.to_string(), format!("{flows}")];
-            for &scale in SCALES {
-                row.push(format!("{:.3}", r.jain_at_scale(scale)));
-            }
+            row.extend(indices.iter().map(|v| format!("{v:.3}")));
             table.row(row);
         }
     }

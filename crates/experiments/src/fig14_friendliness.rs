@@ -11,7 +11,7 @@
 use pcc_scenarios::dynamics::{normal_tcp_throughput, Selfish};
 use pcc_simnet::time::SimDuration;
 
-use crate::{scaled, Opts, Table};
+use crate::{runner, scaled, Opts, Table};
 
 /// The paper's four link configurations (rate Mbps, RTT ms).
 pub const CONFIGS: &[(f64, u64)] = &[(10.0, 10), (30.0, 20), (30.0, 10), (100.0, 10)];
@@ -25,13 +25,24 @@ pub fn run(opts: &Opts) -> Vec<Table> {
         "Fig. 14 — relative unfriendliness ratio (>1 ⇒ PCC friendlier than TCP bundles)",
         &["config", "k=1", "k=2", "k=4", "k=6", "k=8"],
     );
+    let mut jobs: Vec<runner::Job<'_, f64>> = Vec::new();
     for &(mbps, rtt_ms) in CONFIGS {
         let rtt = SimDuration::from_millis(rtt_ms);
-        let mut row = vec![format!("{mbps:.0}Mbps,{rtt_ms}ms")];
         for &k in KS {
-            let vs_pcc = normal_tcp_throughput(Selfish::Pcc, k, mbps * 1e6, rtt, dur, opts.seed);
-            let vs_bundle =
-                normal_tcp_throughput(Selfish::TcpBundle, k, mbps * 1e6, rtt, dur, opts.seed);
+            for selfish in [Selfish::Pcc, Selfish::TcpBundle] {
+                let seed = opts.seed;
+                jobs.push(runner::job(move || {
+                    normal_tcp_throughput(selfish, k, mbps * 1e6, rtt, dur, seed)
+                }));
+            }
+        }
+    }
+    let mut results = runner::run_jobs(opts, "fig14", jobs).into_iter();
+    for &(mbps, rtt_ms) in CONFIGS {
+        let mut row = vec![format!("{mbps:.0}Mbps,{rtt_ms}ms")];
+        for _ in KS {
+            let vs_pcc = results.next().expect("one result per job");
+            let vs_bundle = results.next().expect("one result per job");
             row.push(format!("{:.2}", vs_pcc / vs_bundle.max(1e-3)));
         }
         table.row(row);

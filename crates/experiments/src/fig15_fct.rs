@@ -9,7 +9,7 @@ use pcc_scenarios::fct::{run_fct, FCT_RTT};
 use pcc_scenarios::Protocol;
 use pcc_simnet::time::SimDuration;
 
-use crate::{fmt, scaled, Opts, Table};
+use crate::{fmt, runner, scaled, Opts, Table};
 
 /// Offered loads swept.
 pub const LOADS: &[f64] = &[0.05, 0.25, 0.50, 0.75];
@@ -30,9 +30,20 @@ pub fn run(opts: &Opts) -> Vec<Table> {
             "pcc_incomplete",
         ],
     );
+    let mut jobs: Vec<runner::Job<'_, _>> = Vec::new();
     for &load in LOADS {
-        let pcc = run_fct(|| Protocol::pcc_default(FCT_RTT), load, dur, opts.seed);
-        let tcp = run_fct(|| Protocol::Tcp("cubic"), load, dur, opts.seed);
+        let seed = opts.seed;
+        jobs.push(runner::job(move || {
+            run_fct(|| Protocol::pcc_default(FCT_RTT), load, dur, seed)
+        }));
+        jobs.push(runner::job(move || {
+            run_fct(|| Protocol::Tcp("cubic"), load, dur, seed)
+        }));
+    }
+    let mut results = runner::run_jobs(opts, "fig15", jobs).into_iter();
+    for &load in LOADS {
+        let pcc = results.next().expect("one result per job");
+        let tcp = results.next().expect("one result per job");
         table.row(vec![
             format!("{:.0}%", load * 100.0),
             fmt(pcc.median_ms()),

@@ -15,10 +15,10 @@
 //! [`Protocol::Named`] — the registry's schema validates the whole sweep
 //! before any simulation runs.
 
-use pcc_scenarios::dynamics::run_tradeoff;
+use pcc_scenarios::dynamics::{run_tradeoff, TradeoffPoint};
 use pcc_scenarios::Protocol;
 
-use crate::{fmt, scaled, sweep, Opts, Table};
+use crate::{fmt, runner, scaled, sweep, Opts, Table};
 
 /// The Tm sweep at ε = 0.01, as a spec template (4.8×RTT → 1×RTT).
 pub const TM_TEMPLATE: &str = "pcc:tm=4.8|3|2|1.4|1,eps=0.01";
@@ -49,12 +49,30 @@ pub fn run(opts: &Opts) -> Vec<Table> {
     specs.extend(EPS_SWEEP.iter().map(|&eps| eps_spec(eps)));
     specs.push(NORCT_SPEC.to_string());
     sweep::validate_specs(&specs).expect("every swept point is schema-valid");
-    let mut run_point = |label: String, proto_fn: &dyn Fn() -> Protocol| {
+    // Every point is `trials` independent runs: one job each, folded back
+    // per point in submission order.
+    let points: Vec<(String, Protocol)> = specs
+        .iter()
+        .map(|s| (s.clone(), Protocol::Named(s.clone())))
+        .chain(TCPS.iter().map(|&t| (t.to_string(), Protocol::Tcp(t))))
+        .collect();
+    let mut jobs: Vec<runner::Job<'_, TradeoffPoint>> = Vec::new();
+    for (_, proto) in &points {
+        for t in 0..trials {
+            let proto = proto.clone();
+            let seed = opts.seed ^ (t * 7919);
+            jobs.push(runner::job(move || {
+                run_tradeoff(|| proto.clone(), stability_window, seed)
+            }));
+        }
+    }
+    let mut results = runner::run_jobs(opts, "fig16", jobs).into_iter();
+    for (label, _) in points {
         let mut conv = 0.0;
         let mut dev = 0.0;
         let mut ok = 0u32;
-        for t in 0..trials {
-            let p = run_tradeoff(proto_fn, stability_window, opts.seed ^ (t * 7919));
+        for _ in 0..trials {
+            let p = results.next().expect("one result per job");
             if p.converged {
                 conv += p.convergence_secs;
                 dev += p.stddev_mbps;
@@ -71,12 +89,6 @@ pub fn run(opts: &Opts) -> Vec<Table> {
         } else {
             table.row(vec![label, "inf".into(), "-".into(), format!("0/{trials}")]);
         }
-    };
-    for spec in &specs {
-        run_point(spec.clone(), &|| Protocol::Named(spec.clone()));
-    }
-    for &tcp in TCPS {
-        run_point(tcp.into(), &|| Protocol::Tcp(tcp));
     }
     table.print();
     let _ = table.write_csv(&opts.out_dir, "fig16_tradeoff");

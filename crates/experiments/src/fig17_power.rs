@@ -11,7 +11,7 @@ use pcc_scenarios::power::{pcc_interactive, run_power};
 use pcc_scenarios::{Protocol, QueueKind};
 use pcc_simnet::time::SimDuration;
 
-use crate::{fmt, scaled, Opts, Table};
+use crate::{fmt, runner, scaled, Opts, Table};
 
 /// Run the Fig. 17 grid.
 pub fn run(opts: &Opts) -> Vec<Table> {
@@ -38,10 +38,18 @@ pub fn run(opts: &Opts) -> Vec<Table> {
             QueueKind::Bufferbloat,
         ),
     ];
-    for (name, proto, queue) in cells {
-        let r = run_power(proto, queue, dur, opts.seed);
+    let jobs = cells
+        .iter()
+        .map(|(_, proto, queue)| {
+            let (proto, queue) = (proto.clone(), *queue);
+            let seed = opts.seed;
+            runner::job(move || run_power(proto, queue, dur, seed))
+        })
+        .collect();
+    let results = runner::run_jobs(opts, "fig17", jobs);
+    for ((name, _, _), r) in cells.iter().zip(results) {
         table.row(vec![
-            name.into(),
+            (*name).into(),
             fmt(r.throughput_mbps),
             fmt(r.rtt_ms),
             fmt(r.power),

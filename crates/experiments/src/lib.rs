@@ -24,6 +24,7 @@ pub mod fig14_friendliness;
 pub mod fig15_fct;
 pub mod fig16_tradeoff;
 pub mod fig17_power;
+pub mod runner;
 pub mod sec442_highloss;
 pub mod sweep;
 pub mod table;
@@ -42,6 +43,10 @@ pub struct Opts {
     pub out_dir: PathBuf,
     /// Base seed for all randomized components.
     pub seed: u64,
+    /// Worker threads for simulation jobs: `1` = serial, `0` = one per
+    /// available core. Results are bit-identical at any setting (see
+    /// [`runner`]).
+    pub jobs: usize,
 }
 
 impl Default for Opts {
@@ -50,6 +55,7 @@ impl Default for Opts {
             full: false,
             out_dir: PathBuf::from("target/experiments"),
             seed: 0x9CC0,
+            jobs: 1,
         }
     }
 }

@@ -9,7 +9,7 @@ use pcc_scenarios::power::{pcc_loss_resilient, run_high_loss};
 use pcc_scenarios::Protocol;
 use pcc_simnet::time::SimDuration;
 
-use crate::{scaled, Opts, Table};
+use crate::{runner, scaled, Opts, Table};
 
 /// Loss rates swept.
 pub const LOSSES: &[f64] = &[0.10, 0.20, 0.30, 0.40, 0.50];
@@ -21,9 +21,17 @@ pub fn run(opts: &Opts) -> Vec<Table> {
         "Sec. 4.4.2 — fraction of achievable throughput C·(1−loss) under FQ",
         &["loss", "pcc_lossres", "cubic"],
     );
+    let mut jobs: Vec<runner::Job<'_, f64>> = Vec::new();
     for &loss in LOSSES {
-        let pcc = run_high_loss(pcc_loss_resilient(), loss, dur, opts.seed);
-        let cubic = run_high_loss(Protocol::Tcp("cubic"), loss, dur, opts.seed);
+        for proto in [pcc_loss_resilient(), Protocol::Tcp("cubic")] {
+            let seed = opts.seed;
+            jobs.push(runner::job(move || run_high_loss(proto, loss, dur, seed)));
+        }
+    }
+    let mut results = runner::run_jobs(opts, "sec442", jobs).into_iter();
+    for &loss in LOSSES {
+        let pcc = results.next().expect("one result per job");
+        let cubic = results.next().expect("one result per job");
         table.row(vec![
             format!("{:.0}%", loss * 100.0),
             format!("{pcc:.3}"),

@@ -21,7 +21,7 @@ use pcc_simnet::time::{SimDuration, SimTime};
 use pcc_transport::registry::{self, CcParams};
 use pcc_transport::spec::{AlgoSpec, ParamKind};
 
-use crate::{fmt, Opts, Table};
+use crate::{fmt, runner, Opts, Table};
 
 /// Expand one value expression: `lo..hi` (linspace over `points` steps),
 /// `a|b|c` (explicit list), or a scalar. `integral` comes from the key's
@@ -115,20 +115,26 @@ pub fn run_specs(opts: &Opts, specs: &[String], secs: u64) -> Table {
         "sweep — each spec alone on 100 Mbps / 30 ms (3×BDP buffer)",
         &["spec", "tput_mbps", "loss_rate", "rtt_ms"],
     );
-    for spec in specs {
-        let r = run_single(
-            Protocol::Named(spec.clone()),
-            LinkSetup::new(100e6, SimDuration::from_millis(30), 375_000),
-            SimDuration::from_secs(secs),
-            opts.seed,
-        );
-        let tput = r.throughput_in(0, SimTime::from_secs(1), SimTime::from_secs(secs));
-        table.row(vec![
-            spec.clone(),
-            fmt(tput),
-            fmt(r.loss_rate(0)),
-            fmt(r.mean_rtt_ms(0)),
-        ]);
+    let jobs = specs
+        .iter()
+        .map(|spec| {
+            let proto = Protocol::Named(spec.clone());
+            let seed = opts.seed;
+            runner::job(move || {
+                let r = run_single(
+                    proto,
+                    LinkSetup::new(100e6, SimDuration::from_millis(30), 375_000),
+                    SimDuration::from_secs(secs),
+                    seed,
+                );
+                let tput = r.throughput_in(0, SimTime::from_secs(1), SimTime::from_secs(secs));
+                (tput, r.loss_rate(0), r.mean_rtt_ms(0))
+            })
+        })
+        .collect();
+    let results = runner::run_jobs(opts, "sweep", jobs);
+    for (spec, (tput, loss, rtt)) in specs.iter().zip(results) {
+        table.row(vec![spec.clone(), fmt(tput), fmt(loss), fmt(rtt)]);
     }
     table
 }

@@ -10,7 +10,7 @@ use pcc_scenarios::links::{run_interdc, INTERDC_PAIRS};
 use pcc_scenarios::Protocol;
 use pcc_simnet::time::{SimDuration, SimTime};
 
-use crate::{fmt, scaled, Opts, Table};
+use crate::{fmt, runner, scaled, Opts, Table};
 
 /// Run the Table 1 grid.
 pub fn run(opts: &Opts) -> Vec<Table> {
@@ -21,19 +21,27 @@ pub fn run(opts: &Opts) -> Vec<Table> {
         "Table 1 — inter-DC pairs (800 Mbps reserved): throughput [Mbps]",
         &["pair", "rtt_ms", "pcc", "sabul", "cubic", "illinois"],
     );
+    let mut jobs: Vec<runner::Job<'_, f64>> = Vec::new();
     for pair in INTERDC_PAIRS {
         let rtt = SimDuration::from_secs_f64(pair.rtt_ms / 1000.0);
-        let protos = [
+        for proto in [
             Protocol::pcc_default(rtt),
             Protocol::Sabul,
             Protocol::Tcp("cubic"),
             Protocol::Tcp("illinois"),
-        ];
+        ] {
+            let seed = opts.seed;
+            jobs.push(runner::job(move || {
+                let r = run_interdc(proto, pair, dur, seed);
+                r.throughput_in(0, SimTime::from_secs(warmup), SimTime::from_secs(secs))
+            }));
+        }
+    }
+    let mut results = runner::run_jobs(opts, "table1", jobs).into_iter();
+    for pair in INTERDC_PAIRS {
         let mut row = vec![pair.name.to_string(), fmt(pair.rtt_ms)];
-        for proto in protos {
-            let r = run_interdc(proto, pair, dur, opts.seed);
-            let t = r.throughput_in(0, SimTime::from_secs(warmup), SimTime::from_secs(secs));
-            row.push(fmt(t));
+        for _ in 0..4 {
+            row.push(fmt(results.next().expect("one result per job")));
         }
         table.row(row);
     }

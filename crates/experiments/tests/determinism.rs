@@ -1,0 +1,53 @@
+//! Runner determinism: a parallel run must be bit-identical to the serial
+//! run — same table text, same CSV bytes — because every job owns its
+//! seed and results are returned in submission order.
+
+use pcc_experiments::{fig15_fct, sweep, Opts};
+
+fn opts(jobs: usize, dir: &str) -> Opts {
+    Opts {
+        jobs,
+        out_dir: std::env::temp_dir().join(dir),
+        ..Opts::default()
+    }
+}
+
+fn csv_bytes(opts: &Opts, name: &str) -> Vec<u8> {
+    std::fs::read(opts.out_dir.join(format!("{name}.csv")))
+        .unwrap_or_else(|e| panic!("{name}.csv written: {e}"))
+}
+
+#[test]
+fn fig_module_parallel_is_bit_identical_to_serial() {
+    let serial = opts(1, "pcc_det_fig15_serial");
+    let parallel = opts(4, "pcc_det_fig15_parallel");
+    let t_serial = fig15_fct::run(&serial);
+    let t_parallel = fig15_fct::run(&parallel);
+    assert_eq!(t_serial.len(), t_parallel.len());
+    for (a, b) in t_serial.iter().zip(&t_parallel) {
+        assert_eq!(a.render(), b.render(), "rendered tables identical");
+    }
+    assert_eq!(
+        csv_bytes(&serial, "fig15_fct"),
+        csv_bytes(&parallel, "fig15_fct"),
+        "CSV bytes identical across --jobs"
+    );
+}
+
+#[test]
+fn sweep_parallel_is_bit_identical_to_serial() {
+    let template = [
+        "pcc:eps=0.01..0.05".to_string(),
+        "cubic:iw=4|32".to_string(),
+    ];
+    let serial = opts(1, "pcc_det_sweep_serial");
+    let parallel = opts(4, "pcc_det_sweep_parallel");
+    let t_serial = sweep::run_cli(&serial, &template, 3, 2).expect("serial sweep");
+    let t_parallel = sweep::run_cli(&parallel, &template, 3, 2).expect("parallel sweep");
+    assert_eq!(t_serial.render(), t_parallel.render());
+    assert_eq!(
+        csv_bytes(&serial, "sweep"),
+        csv_bytes(&parallel, "sweep"),
+        "CSV bytes identical across --jobs"
+    );
+}

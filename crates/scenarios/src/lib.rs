@@ -22,6 +22,7 @@ pub mod fct;
 pub mod incast;
 pub mod internet;
 pub mod links;
+pub mod perf;
 pub mod power;
 pub mod protocol;
 pub mod rapid;

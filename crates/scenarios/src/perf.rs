@@ -1,0 +1,64 @@
+//! The shared perf-measurement workload.
+//!
+//! `pcc-bench --bench micro` (BENCH.json) and the standalone
+//! `perf_probe` example quote the same "apples-to-apples" number; both
+//! take the scenario list and the timing loop from here so the two can
+//! never desynchronize.
+
+use std::time::Instant;
+
+use pcc_simnet::time::SimDuration;
+
+use crate::protocol::Protocol;
+use crate::setup::{run_single, LinkSetup};
+
+/// The reference full-simulation scenarios: 5 simulated seconds each of
+/// PCC, CUBIC, and BBR alone on the 100 Mbps / 30 ms / 3×BDP dumbbell.
+pub fn reference_scenarios() -> Vec<(&'static str, Protocol)> {
+    vec![
+        (
+            "full_sim_5s_pcc_100mbps",
+            Protocol::pcc_default(SimDuration::from_millis(30)),
+        ),
+        ("full_sim_5s_cubic_100mbps", Protocol::Tcp("cubic")),
+        ("full_sim_5s_bbr_100mbps", Protocol::Named("bbr".into())),
+    ]
+}
+
+/// Simulated seconds each reference scenario runs for.
+pub const REFERENCE_SIM_SECS: u64 = 5;
+
+/// Time `proto` on the reference dumbbell for [`REFERENCE_SIM_SECS`]
+/// simulated seconds: best-of-`runs` wall clock in milliseconds, plus
+/// the (deterministic) simulator event count of one run.
+pub fn time_reference_scenario(proto: &Protocol, runs: usize) -> (f64, u64) {
+    let mut best_ms = f64::MAX;
+    let mut events = 0u64;
+    for _ in 0..runs.max(1) {
+        let proto = proto.clone();
+        let t0 = Instant::now();
+        let r = run_single(
+            proto,
+            LinkSetup::new(100e6, SimDuration::from_millis(30), 375_000),
+            SimDuration::from_secs(REFERENCE_SIM_SECS),
+            1,
+        );
+        best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1000.0);
+        events = r.report.events_processed;
+    }
+    (best_ms, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_workload_is_deterministic() {
+        let (_, events_a) = time_reference_scenario(&Protocol::Tcp("cubic"), 1);
+        let (_, events_b) = time_reference_scenario(&Protocol::Tcp("cubic"), 1);
+        assert_eq!(events_a, events_b, "same seed, same event count");
+        assert!(events_a > 0);
+        assert_eq!(reference_scenarios().len(), 3);
+    }
+}

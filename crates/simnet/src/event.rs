@@ -75,8 +75,15 @@ pub struct EventQueue {
 impl EventQueue {
     /// Create an empty queue.
     pub fn new() -> Self {
+        Self::with_capacity(1024)
+    }
+
+    /// Create an empty queue pre-sized for `capacity` pending events (the
+    /// simulation derives a hint from its topology so the heap never
+    /// reallocates mid-run).
+    pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(1024),
+            heap: BinaryHeap::with_capacity(capacity),
             next_seq: 0,
             scheduled: 0,
         }

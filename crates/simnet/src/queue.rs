@@ -113,10 +113,17 @@ impl DropTail {
         Self::new(BufferLimit::Packets(limit_pkts))
     }
 
-    /// FIFO with an explicit [`BufferLimit`].
+    /// FIFO with an explicit [`BufferLimit`]. The backing ring is
+    /// pre-sized from the limit (capped — a bufferbloat buffer must not
+    /// allocate megabytes up front), so steady-state enqueues never
+    /// reallocate.
     pub fn new(limit: BufferLimit) -> Self {
+        let hint = match limit {
+            BufferLimit::Bytes(b) => (b / 1500 + 1).min(1024) as usize,
+            BufferLimit::Packets(p) => p.min(1024),
+        };
         DropTail {
-            q: VecDeque::new(),
+            q: VecDeque::with_capacity(hint),
             bytes: 0,
             limit,
             stats: QueueStats::default(),

@@ -184,9 +184,15 @@ impl NetworkBuilder {
 
     /// Finalize into a runnable [`Simulation`].
     pub fn build(self) -> Simulation {
+        // Pending events scale with packets in flight: per flow roughly a
+        // window of arrivals plus a handful of timers, per link a
+        // serialization completion. 512 events per flow comfortably covers
+        // every BDP in the evaluation; the cap keeps incast-style
+        // many-flow scenarios from pre-allocating megabytes.
+        let hint = (self.flows.len() * 512 + self.links.len() * 2).clamp(1024, 65_536);
         Simulation {
             now: SimTime::ZERO,
-            events: EventQueue::new(),
+            events: EventQueue::with_capacity(hint),
             links: self.links,
             flows: self.flows,
             config: self.config,
@@ -244,6 +250,17 @@ impl Simulation {
     pub fn run_until(mut self, horizon: SimTime) -> SimReport {
         if !self.started {
             self.bootstrap();
+            // The horizon fixes the series lengths exactly; reserve once.
+            let samples = (horizon.as_nanos() / self.config.sample_interval.as_nanos().max(1))
+                .min(1 << 24) as usize;
+            for rt in &mut self.flows {
+                let s = &mut rt.stats.series;
+                s.throughput_mbps.reserve_exact(samples);
+                s.goodput_mbps.reserve_exact(samples);
+                s.rate_mbps.reserve_exact(samples);
+                s.rtt_ms.reserve_exact(samples);
+                s.losses.reserve_exact(samples);
+            }
         }
         while let Some((at, event)) = self.events.pop() {
             if at > horizon {
@@ -400,7 +417,19 @@ impl Simulation {
             Action::RecordRate(bps) => {
                 let rt = &mut self.flows[flow.index()];
                 rt.last_rate_bps = bps;
-                rt.stats.rate_log.push((self.now, bps));
+                // Downsample to at most one entry per sample interval
+                // (keeping the latest decision in the window, like the
+                // sampled series does): per-ACK rate reporters would
+                // otherwise grow this log without bound on long runs.
+                let interval = self.config.sample_interval.as_nanos().max(1);
+                match rt.stats.rate_log.last_mut() {
+                    Some(last)
+                        if last.0.as_nanos() / interval == self.now.as_nanos() / interval =>
+                    {
+                        *last = (self.now, bps);
+                    }
+                    _ => rt.stats.rate_log.push((self.now, bps)),
+                }
             }
             Action::RecordRtt(rtt) => {
                 let rt = &mut self.flows[flow.index()];
@@ -699,6 +728,50 @@ mod tests {
         assert_eq!(s.rate_mbps.len(), 10);
         assert_eq!(s.rtt_ms.len(), 10);
         assert_eq!(s.losses.len(), 10);
+    }
+
+    #[test]
+    fn rate_log_is_downsampled_to_the_sample_interval() {
+        // Regression: a sender that reports a rate on every tick used to
+        // grow `rate_log` without bound (one entry per RecordRate forever);
+        // the log must stay ≤ one entry per sample interval, keeping the
+        // latest decision in each window.
+        struct Chatty {
+            n: u64,
+        }
+        impl Endpoint for Chatty {
+            fn start(&mut self, ctx: &mut EndpointCtx) {
+                ctx.set_timer(ctx.now, 0);
+            }
+            fn on_packet(&mut self, _pkt: &Packet, _ctx: &mut EndpointCtx) {}
+            fn on_timer(&mut self, _token: u64, ctx: &mut EndpointCtx) {
+                self.n += 1;
+                ctx.record_rate(self.n as f64 * 1e6);
+                if self.n < 2000 {
+                    ctx.set_timer(ctx.now + SimDuration::from_millis(1), 0);
+                }
+            }
+        }
+        let (mut nb, fwd, rev) = two_way_net(10e6, SimDuration::from_millis(5));
+        let flow = nb.add_flow(FlowSpec {
+            sender: Box::new(Chatty { n: 0 }),
+            receiver: Box::new(EchoReceiver { received: 0 }),
+            fwd_path: vec![fwd],
+            rev_path: vec![rev],
+            start_at: SimTime::ZERO,
+        });
+        let report = nb.build().run_until(SimTime::from_secs(2));
+        let log = &report.flows[flow.index()].rate_log;
+        // 2 s at one bucket per 100 ms sample interval: ≤ 21 entries, not
+        // the 2000 raw RecordRate calls.
+        assert!(
+            !log.is_empty() && log.len() <= 21,
+            "bounded log, got {} entries",
+            log.len()
+        );
+        // The latest decision in the run survives, and stamps ascend.
+        assert_eq!(log.last().expect("non-empty").1, 2000e6);
+        assert!(log.windows(2).all(|w| w[0].0 < w[1].0), "ascending stamps");
     }
 
     #[test]

@@ -19,7 +19,7 @@ const B: f64 = 4.0;
 /// Smoothing for the plateau near the old maximum.
 const SMOOTH_PART: f64 = 20.0;
 /// Multiplicative decrease factor (Linux: 819/1024).
-const BETA: f64 = 819.0 / 1024.0;
+pub(crate) const BETA: f64 = 819.0 / 1024.0;
 
 /// TCP BIC congestion control.
 #[derive(Clone, Debug)]
@@ -28,15 +28,24 @@ pub struct Bic {
     ssthresh: f64,
     /// Window right before the last reduction.
     last_max: f64,
+    /// Multiplicative decrease factor.
+    beta: f64,
 }
 
 impl Bic {
-    /// New instance with IW10.
+    /// New instance with IW10 and the Linux decrease factor.
     pub fn new() -> Self {
+        Self::with_params(BETA, INITIAL_CWND)
+    }
+
+    /// New instance with an explicit decrease factor and initial window
+    /// (`bic:beta=0.7,iw=32`).
+    pub fn with_params(beta: f64, iw: f64) -> Self {
         Bic {
-            cwnd: INITIAL_CWND,
+            cwnd: iw,
             ssthresh: f64::MAX,
             last_max: 0.0,
+            beta,
         }
     }
 
@@ -93,21 +102,21 @@ impl WindowAlgo for Bic {
     fn on_loss_event(&mut self, _now: SimTime) {
         // Fast convergence.
         if self.cwnd < self.last_max {
-            self.last_max = self.cwnd * (2.0 - (1.0 - BETA)) / 2.0;
+            self.last_max = self.cwnd * (2.0 - (1.0 - self.beta)) / 2.0;
         } else {
             self.last_max = self.cwnd;
         }
         self.ssthresh = if self.cwnd < LOW_WINDOW {
             (self.cwnd / 2.0).max(MIN_SSTHRESH)
         } else {
-            (self.cwnd * BETA).max(MIN_SSTHRESH)
+            (self.cwnd * self.beta).max(MIN_SSTHRESH)
         };
         self.cwnd = self.ssthresh;
     }
 
     fn on_rto(&mut self, _now: SimTime) {
         self.last_max = self.cwnd;
-        self.ssthresh = (self.cwnd * BETA).max(MIN_SSTHRESH);
+        self.ssthresh = (self.cwnd * self.beta).max(MIN_SSTHRESH);
         self.cwnd = 1.0;
     }
 

@@ -13,7 +13,7 @@ use pcc_simnet::time::{SimDuration, SimTime};
 use crate::common::{INITIAL_CWND, MIN_SSTHRESH};
 
 /// Hybla's reference RTT (25 ms, per the paper and Linux tcp_hybla.c).
-const RTT0: SimDuration = SimDuration::from_millis(25);
+pub(crate) const RTT0: SimDuration = SimDuration::from_millis(25);
 
 /// TCP Hybla congestion control.
 #[derive(Clone, Debug)]
@@ -22,20 +22,29 @@ pub struct Hybla {
     ssthresh: f64,
     /// ρ = max(RTT/RTT₀, 1).
     rho: f64,
+    /// The reference RTT growth is normalized to.
+    rtt0: SimDuration,
 }
 
 impl Hybla {
-    /// New instance with IW10.
+    /// New instance with IW10 and the 25 ms reference RTT.
     pub fn new() -> Self {
+        Self::with_params(RTT0, INITIAL_CWND)
+    }
+
+    /// New instance with an explicit reference RTT and initial window
+    /// (`hybla:rtt0_ms=50,iw=32`).
+    pub fn with_params(rtt0: SimDuration, iw: f64) -> Self {
         Hybla {
-            cwnd: INITIAL_CWND,
+            cwnd: iw,
             ssthresh: f64::MAX,
             rho: 1.0,
+            rtt0,
         }
     }
 
     fn update_rho(&mut self, srtt: SimDuration) {
-        self.rho = (srtt.as_secs_f64() / RTT0.as_secs_f64()).max(1.0);
+        self.rho = (srtt.as_secs_f64() / self.rtt0.as_secs_f64()).max(1.0);
     }
 
     /// Current RTT-normalization factor ρ.

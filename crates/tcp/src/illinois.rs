@@ -13,10 +13,10 @@ use pcc_simnet::time::{SimDuration, SimTime};
 
 use crate::common::{slow_start, INITIAL_CWND, MIN_SSTHRESH};
 
-const ALPHA_MAX: f64 = 10.0;
+pub(crate) const ALPHA_MAX: f64 = 10.0;
 const ALPHA_MIN: f64 = 0.3;
 const BETA_MIN: f64 = 0.125;
-const BETA_MAX: f64 = 0.5;
+pub(crate) const BETA_MAX: f64 = 0.5;
 /// Below this window, behave like Reno (tcp_illinois.c `win_thresh`).
 const WIN_THRESH: f64 = 15.0;
 
@@ -35,21 +35,39 @@ pub struct Illinois {
     beta: f64,
     /// Acked packets since the last per-RTT parameter update.
     acked_since_update: f64,
+    /// α ceiling (reached when queueing delay is minimal).
+    alpha_max: f64,
+    /// β ceiling (reached when queueing delay nears its maximum).
+    beta_max: f64,
 }
 
 impl Illinois {
-    /// New instance with IW10.
+    /// New instance with IW10 and the Linux α/β envelope.
     pub fn new() -> Self {
+        Self::with_params(ALPHA_MAX, BETA_MAX, INITIAL_CWND)
+    }
+
+    /// New instance with an explicit α/β envelope and initial window
+    /// (`illinois:alpha_max=5,beta_max=0.3,iw=32`). Ceilings below the
+    /// corresponding floors (`α_min` 0.3, `β_min` 0.125) are raised to
+    /// them — `f64::clamp(lo, hi)` panics on an inverted range, and the
+    /// registry schema's wider public floor cannot protect direct
+    /// callers.
+    pub fn with_params(alpha_max: f64, beta_max: f64, iw: f64) -> Self {
+        let alpha_max = alpha_max.max(ALPHA_MIN);
+        let beta_max = beta_max.max(BETA_MIN);
         Illinois {
-            cwnd: INITIAL_CWND,
+            cwnd: iw,
             ssthresh: f64::MAX,
             base_rtt: SimDuration::MAX,
             max_rtt: SimDuration::ZERO,
             rtt_sum: 0.0,
             rtt_cnt: 0,
             alpha: 1.0,
-            beta: BETA_MAX,
+            beta: beta_max,
             acked_since_update: 0.0,
+            alpha_max,
+            beta_max,
         }
     }
 
@@ -64,7 +82,7 @@ impl Illinois {
         self.rtt_cnt = 0;
         if self.cwnd < WIN_THRESH {
             self.alpha = 1.0;
-            self.beta = BETA_MAX;
+            self.beta = self.beta_max;
             return;
         }
         let base = self.base_rtt.as_secs_f64();
@@ -73,11 +91,12 @@ impl Illinois {
         // α: maximum when delay under d1 = dm/100, hyperbolic decay after.
         let d1 = dm / 100.0;
         self.alpha = if da <= d1 {
-            ALPHA_MAX
+            self.alpha_max
         } else {
-            let k1 = (dm - d1) * ALPHA_MIN * ALPHA_MAX / (ALPHA_MAX - ALPHA_MIN);
-            let k2 = (dm - d1) * ALPHA_MIN / (ALPHA_MAX - ALPHA_MIN) - d1;
-            (k1 / (k2 + da)).clamp(ALPHA_MIN, ALPHA_MAX)
+            let spread = (self.alpha_max - ALPHA_MIN).max(1e-9);
+            let k1 = (dm - d1) * ALPHA_MIN * self.alpha_max / spread;
+            let k2 = (dm - d1) * ALPHA_MIN / spread - d1;
+            (k1 / (k2 + da)).clamp(ALPHA_MIN, self.alpha_max)
         };
         // β: minimum under d2 = dm/10, maximum above d3 = 8dm/10, linear
         // in between.
@@ -86,9 +105,9 @@ impl Illinois {
         self.beta = if da <= d2 {
             BETA_MIN
         } else if da >= d3 {
-            BETA_MAX
+            self.beta_max
         } else {
-            (BETA_MIN * (d3 - da) + BETA_MAX * (da - d2)) / (d3 - d2)
+            (BETA_MIN * (d3 - da) + self.beta_max * (da - d2)) / (d3 - d2)
         };
     }
 }
@@ -156,6 +175,19 @@ mod tests {
         for _ in 0..n {
             cc.on_ack(&ack_at(1, SimTime::ZERO, SimDuration::from_millis(rtt_ms)));
         }
+    }
+
+    #[test]
+    fn degenerate_envelope_does_not_panic() {
+        // Regression: `alpha_max` below the 0.3 floor made the α update's
+        // `clamp(ALPHA_MIN, alpha_max)` an inverted range, which panics.
+        // Direct construction bypasses the registry schema's floor.
+        let mut cc = Illinois::with_params(0.1, 0.05, 10.0);
+        cc.on_loss_event(SimTime::ZERO); // leave slow start
+        for rtt_ms in [10, 10, 40, 40, 80, 80] {
+            feed_epoch(&mut cc, rtt_ms, 40); // spans an epoch: update_params runs
+        }
+        assert!(cc.cwnd() >= 1.0, "still sane: {}", cc.cwnd());
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub use vegas::Vegas;
 pub use westwood::Westwood;
 pub use window::{CcAck, PacedWindowed, WindowAlgo, Windowed};
 
+use pcc_simnet::time::SimDuration;
 use pcc_transport::cc::CongestionControl;
 use pcc_transport::registry::{self, CcParams, UnknownAlgorithm};
 use pcc_transport::spec::{ParamKind, ParamSpec, Schema};
@@ -118,34 +119,122 @@ pub const VEGAS_SCHEMA: Schema = &[
     },
 ];
 
+/// The initial-window key every baseline shares.
+const IW_PARAM: ParamSpec = ParamSpec {
+    key: "iw",
+    kind: ParamKind::Int {
+        min: 1,
+        max: 10_000,
+    },
+    doc: "initial congestion window, packets (default IW10)",
+};
+
+/// New Reno's spec parameters (`newreno:iw=32`).
+pub const NEWRENO_SCHEMA: Schema = &[IW_PARAM];
+
+/// BIC's spec parameters (`bic:beta=0.7,iw=32`).
+pub const BIC_SCHEMA: Schema = &[
+    ParamSpec {
+        key: "beta",
+        kind: ParamKind::Float {
+            min: 0.1,
+            max: 0.95,
+        },
+        doc: "multiplicative-decrease factor β (Linux: 819/1024)",
+    },
+    IW_PARAM,
+];
+
+/// Hybla's spec parameters (`hybla:rtt0_ms=50,iw=32`).
+pub const HYBLA_SCHEMA: Schema = &[
+    ParamSpec {
+        key: "rtt0_ms",
+        kind: ParamKind::Float {
+            min: 1.0,
+            max: 1_000.0,
+        },
+        doc: "reference RTT growth is normalized to, ms (classic: 25)",
+    },
+    IW_PARAM,
+];
+
+/// Illinois' spec parameters (`illinois:alpha_max=5,beta_max=0.3,iw=32`).
+pub const ILLINOIS_SCHEMA: Schema = &[
+    ParamSpec {
+        key: "alpha_max",
+        kind: ParamKind::Float {
+            min: 0.5,
+            max: 100.0,
+        },
+        doc: "additive-increase ceiling α_max (Linux: 10)",
+    },
+    ParamSpec {
+        key: "beta_max",
+        kind: ParamKind::Float { min: 0.2, max: 1.0 },
+        doc: "multiplicative-decrease ceiling β_max (Linux: 0.5)",
+    },
+    IW_PARAM,
+];
+
+/// Westwood's spec parameters (`westwood:gain=0.5,iw=32`).
+pub const WESTWOOD_SCHEMA: Schema = &[
+    ParamSpec {
+        key: "gain",
+        kind: ParamKind::Float {
+            min: 0.01,
+            max: 1.0,
+        },
+        doc: "bandwidth-filter new-sample weight (Linux: 1/8)",
+    },
+    IW_PARAM,
+];
+
 /// The spec schema a baseline (or its `-paced` variant) validates
-/// against; empty for the variants with no tunables yet.
+/// against.
 pub fn schema_for(variant: &str) -> Schema {
     match variant {
+        "newreno" => NEWRENO_SCHEMA,
         "cubic" => CUBIC_SCHEMA,
+        "illinois" => ILLINOIS_SCHEMA,
+        "hybla" => HYBLA_SCHEMA,
         "vegas" => VEGAS_SCHEMA,
+        "bic" => BIC_SCHEMA,
+        "westwood" => WESTWOOD_SCHEMA,
         _ => &[],
     }
 }
 
 fn algo_by_name(name: &str, params: &CcParams) -> Option<Box<dyn WindowAlgo>> {
     let s = &params.spec;
+    let iw = s.f64("iw").unwrap_or(common::INITIAL_CWND);
     Some(match name {
-        "newreno" | "reno" => Box::new(NewReno::new()),
+        "newreno" | "reno" => Box::new(NewReno::with_iw(iw)),
         "cubic" => Box::new(Cubic::with_params(
             s.f64("beta").unwrap_or(cubic::DEFAULT_BETA),
             s.f64("c").unwrap_or(cubic::DEFAULT_C),
-            s.f64("iw").unwrap_or(common::INITIAL_CWND),
+            iw,
         )),
-        "illinois" => Box::new(Illinois::new()),
-        "hybla" => Box::new(Hybla::new()),
+        "illinois" => Box::new(Illinois::with_params(
+            s.f64("alpha_max").unwrap_or(illinois::ALPHA_MAX),
+            s.f64("beta_max").unwrap_or(illinois::BETA_MAX),
+            iw,
+        )),
+        "hybla" => Box::new(Hybla::with_params(
+            s.f64("rtt0_ms")
+                .map(|ms| SimDuration::from_secs_f64(ms / 1000.0))
+                .unwrap_or(hybla::RTT0),
+            iw,
+        )),
         "vegas" => Box::new(Vegas::with_params(
             s.f64("alpha").unwrap_or(vegas::DEFAULT_ALPHA_PKTS),
             s.f64("beta").unwrap_or(vegas::DEFAULT_BETA_PKTS),
-            s.f64("iw").unwrap_or(common::INITIAL_CWND),
+            iw,
         )),
-        "bic" => Box::new(Bic::new()),
-        "westwood" => Box::new(Westwood::new()),
+        "bic" => Box::new(Bic::with_params(s.f64("beta").unwrap_or(bic::BETA), iw)),
+        "westwood" => Box::new(Westwood::with_params(
+            s.f64("gain").unwrap_or(westwood::DEFAULT_GAIN),
+            iw,
+        )),
         _ => return None,
     })
 }
@@ -278,6 +367,64 @@ mod tests {
         cc.on_loss(&loss, &mut Ctx::new(SimTime::ZERO, &mut rng, &mut fx));
         let (_, cwnd, _) = fx.drain();
         assert_eq!(cwnd, Some(16.0), "beta=0.5 halves instead of ×0.7");
+    }
+
+    #[test]
+    fn every_variant_has_a_schema_with_iw() {
+        // The ROADMAP PR 3 gap: all seven baselines now expose tunables.
+        for name in ALL_VARIANTS {
+            let schema = schema_for(name);
+            assert!(
+                schema.iter().any(|p| p.key == "iw"),
+                "{name} exposes iw: {schema:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn remaining_tcp_specs_resolve_and_tune() {
+        use pcc_simnet::rng::SimRng;
+        use pcc_simnet::time::SimTime;
+        use pcc_transport::cc::{Ctx, Effects};
+
+        register_algorithms();
+        let params = pcc_transport::registry::CcParams::default();
+        // Each spec builds; iw is observable through the first cwnd effect.
+        for spec in [
+            "newreno:iw=32",
+            "bic:beta=0.5,iw=32",
+            "hybla:rtt0_ms=50,iw=32",
+            "illinois:alpha_max=5,beta_max=0.3,iw=32",
+            "westwood:gain=0.5,iw=32",
+            "illinois-paced:alpha_max=5",
+            "westwood-paced:gain=0.25",
+        ] {
+            let mut cc = pcc_transport::registry::by_name(spec, &params)
+                .unwrap_or_else(|e| panic!("{spec}: {e}"));
+            let mut rng = SimRng::new(1);
+            let mut fx = Effects::default();
+            cc.on_start(&mut Ctx::new(SimTime::ZERO, &mut rng, &mut fx));
+            let (_, cwnd, _) = fx.drain();
+            if spec.contains("iw=32") {
+                assert_eq!(cwnd, Some(32.0), "{spec}: iw reaches the engine");
+            }
+        }
+        // Out-of-range values are typed errors naming the key.
+        for bad in [
+            "newreno:iw=0",
+            "bic:beta=0.99",
+            "hybla:rtt0_ms=0.1",
+            "illinois:beta_max=0.1",
+            "westwood:gain=2",
+        ] {
+            let err = pcc_transport::registry::by_name(bad, &params)
+                .err()
+                .unwrap_or_else(|| panic!("{bad} must fail"));
+            assert!(
+                matches!(err, pcc_transport::registry::SpecError::InvalidParam(_)),
+                "{bad}: {err}"
+            );
+        }
     }
 
     #[test]

@@ -20,8 +20,14 @@ pub struct NewReno {
 impl NewReno {
     /// New instance with IW10.
     pub fn new() -> Self {
+        Self::with_iw(INITIAL_CWND)
+    }
+
+    /// New instance with an explicit initial window
+    /// (`newreno:iw=32`).
+    pub fn with_iw(iw: f64) -> Self {
         NewReno {
-            cwnd: INITIAL_CWND,
+            cwnd: iw,
             ssthresh: f64::MAX,
         }
     }

@@ -11,6 +11,10 @@ use pcc_simnet::time::{SimDuration, SimTime};
 
 use crate::common::{reno_ca, slow_start, INITIAL_CWND, MIN_SSTHRESH};
 
+/// Westwood's default bandwidth-filter new-sample weight (Linux
+/// tcp_westwood.c: 1/8).
+pub(crate) const DEFAULT_GAIN: f64 = 0.125;
+
 /// TCP Westwood+ congestion control.
 #[derive(Clone, Debug)]
 pub struct Westwood {
@@ -23,18 +27,27 @@ pub struct Westwood {
     /// Time of the last bandwidth sample.
     last_sample_at: Option<SimTime>,
     min_rtt: SimDuration,
+    /// New-sample weight of the bandwidth low-pass filter.
+    gain: f64,
 }
 
 impl Westwood {
-    /// New instance with IW10.
+    /// New instance with IW10 and the Linux 1/8 filter gain.
     pub fn new() -> Self {
+        Self::with_params(DEFAULT_GAIN, INITIAL_CWND)
+    }
+
+    /// New instance with an explicit filter gain and initial window
+    /// (`westwood:gain=0.5,iw=32`).
+    pub fn with_params(gain: f64, iw: f64) -> Self {
         Westwood {
-            cwnd: INITIAL_CWND,
+            cwnd: iw,
             ssthresh: f64::MAX,
             bwe: 0.0,
             acked_since_sample: 0.0,
             last_sample_at: None,
             min_rtt: SimDuration::MAX,
+            gain,
         }
     }
 
@@ -54,11 +67,11 @@ impl Westwood {
             return;
         }
         let sample = self.acked_since_sample / elapsed.as_secs_f64().max(1e-9);
-        // 7/8 old + 1/8 new (Linux tcp_westwood.c filter).
+        // 7/8 old + 1/8 new by default (Linux tcp_westwood.c filter).
         self.bwe = if self.bwe == 0.0 {
             sample
         } else {
-            0.875 * self.bwe + 0.125 * sample
+            (1.0 - self.gain) * self.bwe + self.gain * sample
         };
         self.acked_since_sample = 0.0;
         self.last_sample_at = Some(now);

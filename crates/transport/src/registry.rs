@@ -31,12 +31,16 @@
 //! | Algorithm | Keys |
 //! |---|---|
 //! | `pcc`, `pcc-simple`, `pcc-lossresilient`, `pcc-latency` | `eps`, `eps_max`, `tm`, `slack`, `mi_pkts`, `rct`, `util`, `alpha`, `cutoff`, `slope_penalty` |
+//! | `newreno`[`-paced`] | `iw` |
 //! | `cubic`[`-paced`] | `beta`, `c`, `iw` |
+//! | `illinois`[`-paced`] | `alpha_max`, `beta_max`, `iw` |
+//! | `hybla`[`-paced`] | `rtt0_ms`, `iw` |
 //! | `vegas`[`-paced`] | `alpha`, `beta`, `iw` |
+//! | `bic`[`-paced`] | `beta`, `iw` |
+//! | `westwood`[`-paced`] | `gain`, `iw` |
 //! | `sabul` | `syn_ms`, `decrease`, `rate0_mbps` |
 //! | `pcp` | `train`, `poll_ms`, `rate0_mbps` |
 //! | `bbr` | `probe_rtt_ms`, `cwnd_gain` |
-//! | everything else | *(no parameters yet)* |
 //!
 //! Use [`schema_of`] to inspect a name's schema programmatically
 //! (`pcc-experiments algos` prints these tables from it).

@@ -65,6 +65,13 @@ pub struct Scoreboard {
     losses: u64,
     /// Reordering threshold in packets.
     dup_thresh: u64,
+    /// Conservative lower bound on the oldest `Outstanding` entry's
+    /// `last_sent_at` (never later than the true minimum, possibly
+    /// earlier once that entry resolves). Lets [`Scoreboard::detect_losses`]
+    /// skip its timeout sweep entirely while nothing can have timed out —
+    /// the sweep itself refreshes the bound, so a stale value costs at
+    /// most one extra sweep per RTO. `None` until the first send.
+    timeout_floor: Option<SimTime>,
 }
 
 impl Default for Scoreboard {
@@ -84,6 +91,7 @@ impl Scoreboard {
             in_flight: 0,
             losses: 0,
             dup_thresh: 3,
+            timeout_floor: None,
         }
     }
 
@@ -106,6 +114,10 @@ impl Scoreboard {
     /// Record a transmission of `seq` at `now`. New sequences must be sent
     /// in order; retransmissions may target any outstanding sequence.
     pub fn on_send(&mut self, seq: u64, now: SimTime, retx: bool) {
+        self.timeout_floor = Some(match self.timeout_floor {
+            Some(floor) => floor.min(now),
+            None => now,
+        });
         if !retx {
             assert_eq!(seq, self.high_seq, "new data must be sent in order");
             self.entries.push_back(SeqEntry {
@@ -176,22 +188,60 @@ impl Scoreboard {
     /// Declare losses per the reordering-threshold and timeout rules.
     /// Returns the newly lost sequences (oldest first); the caller should
     /// queue them for retransmission.
+    ///
+    /// This runs on every ACK, so both rules are bounded instead of
+    /// sweeping the whole window each call: reorder candidates all sit in
+    /// the SACK-hole region `[base, dup_cutoff)` (empty for an in-order
+    /// flow), and the timeout sweep is skipped while `timeout_floor`
+    /// proves nothing has been outstanding for an RTO yet.
     pub fn detect_losses(&mut self, now: SimTime, rto: SimDuration) -> Vec<u64> {
         let mut lost = Vec::new();
+        // Reordering rule: only *original* transmissions below the SACK
+        // frontier minus DupThresh qualify, and everything below `base` is
+        // acked — so the candidates live in `[base, dup_cutoff)`.
         let dup_cutoff = self.high_sacked.saturating_sub(self.dup_thresh);
-        for i in 0..self.entries.len() {
-            let seq = self.base + i as u64;
-            let e = &mut self.entries[i];
-            if e.state != SeqState::Outstanding {
-                continue;
+        if dup_cutoff > self.base {
+            let end = ((dup_cutoff - self.base) as usize).min(self.entries.len());
+            for (i, e) in self.entries.iter_mut().take(end).enumerate() {
+                if e.state == SeqState::Outstanding && e.retx_count == 0 {
+                    e.state = SeqState::Lost;
+                    self.in_flight -= 1;
+                    self.losses += 1;
+                    lost.push(self.base + i as u64);
+                }
             }
-            let reorder_lost = e.retx_count == 0 && seq < dup_cutoff;
-            let timeout_lost = now.saturating_since(e.last_sent_at) >= rto;
-            if reorder_lost || timeout_lost {
-                e.state = SeqState::Lost;
-                self.in_flight -= 1;
-                self.losses += 1;
-                lost.push(seq);
+        }
+        // Timeout rule (covers retransmissions the reorder rule cannot
+        // judge): sweep only when the floor says a timeout is possible,
+        // and refresh the floor from what the sweep actually saw.
+        let timeout_possible = match self.timeout_floor {
+            Some(floor) => now.saturating_since(floor) >= rto,
+            None => false,
+        };
+        if timeout_possible {
+            let had_reorder_losses = !lost.is_empty();
+            let mut new_floor: Option<SimTime> = None;
+            for (i, e) in self.entries.iter_mut().enumerate() {
+                if e.state != SeqState::Outstanding {
+                    continue;
+                }
+                if now.saturating_since(e.last_sent_at) >= rto {
+                    e.state = SeqState::Lost;
+                    self.in_flight -= 1;
+                    self.losses += 1;
+                    lost.push(self.base + i as u64);
+                } else {
+                    new_floor = Some(match new_floor {
+                        Some(f) => f.min(e.last_sent_at),
+                        None => e.last_sent_at,
+                    });
+                }
+            }
+            self.timeout_floor = new_floor;
+            // The two passes each emit in ascending order; restore the
+            // global oldest-first contract when both contributed.
+            if had_reorder_losses {
+                lost.sort_unstable();
             }
         }
         lost
@@ -211,6 +261,20 @@ impl Scoreboard {
             }
         }
         lost
+    }
+
+    /// Every sequence currently marked lost (awaiting retransmission),
+    /// oldest first — the set an RTO must requeue. This is a superset of
+    /// what [`Scoreboard::mark_all_lost`] just returned: sequences
+    /// declared lost *earlier* (and possibly dropped from a
+    /// retransmission queue since) are still here.
+    pub fn lost_seqs(&self) -> Vec<u64> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.state == SeqState::Lost)
+            .map(|(i, _)| self.base + i as u64)
+            .collect()
     }
 
     /// Oldest sequence not yet acked, if any (`== cum ack` point).
@@ -237,9 +301,14 @@ impl Scoreboard {
         if self.base >= upper {
             return true;
         }
+        // Nothing at or above the SACK frontier is acked (and `high_sacked
+        // <= high_seq`), so a frontier below `upper` answers without the
+        // scan — the common case for every mid-flow call.
+        if self.high_sacked < upper || self.high_seq < upper {
+            return false;
+        }
         (self.base..upper.min(self.high_seq))
             .all(|seq| matches!(self.entry(seq), Some(e) if e.state == SeqState::Acked))
-            && self.high_seq >= upper
     }
 
     /// Packets currently in flight (sent, not acked, not declared lost).
@@ -388,6 +457,25 @@ mod tests {
         let lost = sb.mark_all_lost();
         assert_eq!(lost, vec![0, 2, 3]);
         assert_eq!(sb.in_flight(), 0);
+    }
+
+    #[test]
+    fn lost_seqs_includes_previously_declared_losses() {
+        // Regression for the RTO requeue path: seq 0 is declared lost by a
+        // scan; seq 2 is still outstanding when the RTO marks all lost.
+        // `mark_all_lost` reports only the newly lost seq 2, but the full
+        // lost set — what an RTO must requeue — is {0, 2}.
+        let mut sb = Scoreboard::new();
+        for s in 0..3 {
+            sb.on_send(s, t(0), false);
+        }
+        sb.on_ack(&ack(1, 0, t(0)), t(10));
+        let scan_lost = sb.detect_losses(t(300), SimDuration::from_millis(100));
+        assert_eq!(scan_lost, vec![0, 2]);
+        sb.on_send(2, t(301), true); // 2 retransmitted, back in flight
+        let rto_lost = sb.mark_all_lost();
+        assert_eq!(rto_lost, vec![2], "only the outstanding retransmission");
+        assert_eq!(sb.lost_seqs(), vec![0, 2], "the full requeue set");
     }
 
     #[test]

@@ -112,6 +112,15 @@ pub struct CcSender {
     recovery_point: Option<u64>,
     rto_gen: u64,
     rto_backoff: u32,
+    /// When the RTO should actually fire. Re-based on every ACK without
+    /// touching the event queue: the one scheduled timer event checks this
+    /// on expiry and re-arms itself if the deadline moved (lazy
+    /// cancellation — the alternative schedules a fresh heap entry per
+    /// ACK and lets thousands of stale ones churn through the queue).
+    rto_deadline: SimTime,
+    /// When the currently scheduled RTO timer event fires, if one is
+    /// outstanding.
+    rto_event_at: Option<SimTime>,
     pace_gen: u64,
     pace_armed: bool,
     scan_armed: bool,
@@ -138,6 +147,8 @@ impl CcSender {
             recovery_point: None,
             rto_gen: 0,
             rto_backoff: 0,
+            rto_deadline: SimTime::MAX,
+            rto_event_at: None,
             pace_gen: 0,
             pace_armed: false,
             scan_armed: false,
@@ -482,10 +493,35 @@ impl CcSender {
         if self.sb.in_flight() == 0 && self.retx_queue.is_empty() {
             return;
         }
-        self.rto_gen += 1;
         let backoff = 1u64 << self.rto_backoff.min(6);
-        let at = ctx.now + SimDuration::from_nanos(self.rtt.rto().as_nanos() * backoff);
+        let deadline = ctx.now + SimDuration::from_nanos(self.rtt.rto().as_nanos() * backoff);
+        self.rto_deadline = deadline;
+        // Lazy re-arm: an event already due at or before the deadline will
+        // fire, notice the pushed-out deadline, and re-schedule itself.
+        match self.rto_event_at {
+            Some(at) if at <= deadline => {}
+            _ => self.schedule_rto_event(ctx, deadline),
+        }
+    }
+
+    fn schedule_rto_event(&mut self, ctx: &mut EndpointCtx, at: SimTime) {
+        self.rto_gen += 1;
+        self.rto_event_at = Some(at);
         ctx.set_timer(at, TOKEN_RTO | (self.rto_gen & TOKEN_GEN_MASK));
+    }
+
+    fn on_rto_event(&mut self, ctx: &mut EndpointCtx) {
+        self.rto_event_at = None;
+        if self.finished || (self.sb.in_flight() == 0 && self.retx_queue.is_empty()) {
+            return; // nothing outstanding; stay disarmed
+        }
+        if ctx.now < self.rto_deadline {
+            // The deadline moved while this event sat in the queue (ACKs
+            // re-based it); chase it instead of declaring a timeout.
+            self.schedule_rto_event(ctx, self.rto_deadline);
+            return;
+        }
+        self.on_rto_fire(ctx);
     }
 
     fn on_rto_fire(&mut self, ctx: &mut EndpointCtx) {
@@ -495,8 +531,13 @@ impl CcSender {
         self.rto_backoff += 1;
         let lost = self.sb.mark_all_lost();
         ctx.record_loss(lost.len() as u64);
+        // Requeue every lost sequence the scoreboard knows, not just the
+        // ones this timeout declared: seqs declared lost *before* the RTO
+        // were sitting in the old queue, and dropping them with the
+        // `clear()` left them permanently unretransmitted (a sized flow
+        // would wedge with the cum-ack hole open and no timer armed).
         self.retx_queue.clear();
-        self.retx_queue.extend(lost.iter().copied());
+        self.retx_queue.extend(self.sb.lost_seqs());
         // RTO aborts any recovery episode; slow-start restart.
         self.recovery_point = None;
         let ev = LossEvent {
@@ -651,7 +692,7 @@ impl Endpoint for CcSender {
             }
             TOKEN_RTO => {
                 if gen == (self.rto_gen & TOKEN_GEN_MASK) {
-                    self.on_rto_fire(ctx);
+                    self.on_rto_event(ctx);
                 }
             }
             TOKEN_TSO => {
