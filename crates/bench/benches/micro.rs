@@ -110,8 +110,7 @@ fn bench_utility() {
 /// always quote the same workload).
 fn bench_full_sim(out: &mut BenchReport) {
     let runs = if fast_mode() { 2 } else { 5 };
-    for (name, proto) in perf::reference_scenarios() {
-        let (wall_ms, events) = perf::time_reference_scenario(&proto, runs);
+    for (name, wall_ms, events) in perf::time_all_scenarios(runs) {
         let s = Scenario {
             name: name.to_string(),
             wall_ms,

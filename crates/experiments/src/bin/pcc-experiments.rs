@@ -9,6 +9,8 @@
 //! pcc-experiments all --seed 42 --out target/experiments
 //! pcc-experiments all --jobs 8  # 8 simulation workers (0 = auto, default)
 //! pcc-experiments sweep "pcc:eps=0.01..0.1" "cubic:iw=4|32" --points 3
+//! pcc-experiments vary            # every algorithm over the bundled traces
+//! pcc-experiments vary lte --secs 30 --jobs 4
 //! ```
 //!
 //! Simulations run on a worker pool (`--jobs`, default one per core);
@@ -25,6 +27,7 @@ fn main() -> ExitCode {
     let mut extras: Vec<String> = Vec::new();
     let mut points: usize = 3;
     let mut secs: u64 = 4;
+    let mut secs_set = false;
     let mut opts = Opts {
         jobs: 0, // auto: one worker per core (library default is serial)
         ..Opts::default()
@@ -64,9 +67,12 @@ fn main() -> ExitCode {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .expect("--secs <n>");
+                secs_set = true;
             }
             other if which.is_none() => which = Some(other.to_string()),
-            other if which.as_deref() == Some("sweep") => extras.push(other.to_string()),
+            other if matches!(which.as_deref(), Some("sweep" | "vary")) => {
+                extras.push(other.to_string())
+            }
             other => {
                 eprintln!("unexpected argument: {other}");
                 return ExitCode::FAILURE;
@@ -75,6 +81,9 @@ fn main() -> ExitCode {
         i += 1;
     }
     let which = which.unwrap_or_else(|| "list".into());
+    // `vary` has its own scaled default duration; 0 lets the module pick
+    // it (sweep keeps its historical 4 s default).
+    let vary_secs = if secs_set { secs } else { 0 };
     let reg = registry();
     match which.as_str() {
         "list" => {
@@ -87,6 +96,7 @@ fn main() -> ExitCode {
             println!(
                 "  sweep    sweep spec templates, e.g. sweep \"pcc:eps=0.01..0.1\" --points 3"
             );
+            println!("  (vary also takes trace names: vary lte --secs 30 --jobs 4)");
             ExitCode::SUCCESS
         }
         "algos" => {
@@ -102,6 +112,16 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "sweep" => match pcc_experiments::sweep::run_cli(&opts, &extras, points, secs) {
+            Ok(_) => {
+                println!("\nCSV output in {}", opts.out_dir.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        "vary" => match pcc_experiments::vary::run_cli(&opts, &extras, vary_secs) {
             Ok(_) => {
                 println!("\nCSV output in {}", opts.out_dir.display());
                 ExitCode::SUCCESS

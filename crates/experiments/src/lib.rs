@@ -29,6 +29,7 @@ pub mod sec442_highloss;
 pub mod sweep;
 pub mod table;
 pub mod table1_interdc;
+pub mod vary;
 
 use std::path::PathBuf;
 
@@ -150,6 +151,11 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "Sec. 4.4.2: extreme random loss with the loss-resilient utility under FQ",
             sec442_highloss::run,
         ),
+        (
+            "vary",
+            "Trace-driven time-varying links: every algorithm over lte/wifi/satellite",
+            vary::run,
+        ),
     ]
 }
 
@@ -160,11 +166,11 @@ mod tests {
     #[test]
     fn registry_ids_unique() {
         let reg = registry();
-        assert_eq!(reg.len(), 15);
+        assert_eq!(reg.len(), 16);
         let mut ids: Vec<_> = reg.iter().map(|(id, _, _)| *id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 15, "duplicate experiment ids");
+        assert_eq!(ids.len(), 16, "duplicate experiment ids");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! run — same table text, same CSV bytes — because every job owns its
 //! seed and results are returned in submission order.
 
-use pcc_experiments::{fig15_fct, sweep, Opts};
+use pcc_experiments::{fig15_fct, sweep, vary, Opts};
 
 fn opts(jobs: usize, dir: &str) -> Opts {
     Opts {
@@ -32,6 +32,30 @@ fn fig_module_parallel_is_bit_identical_to_serial() {
         csv_bytes(&parallel, "fig15_fct"),
         "CSV bytes identical across --jobs"
     );
+}
+
+#[test]
+fn vary_trace_playback_parallel_is_bit_identical_to_serial() {
+    // Same seed + same trace must reproduce to the byte at any worker
+    // count: trace playback is part of the environment (expanded into the
+    // link schedule before the run), and every (trace × algorithm) cell
+    // owns its seed.
+    let traces = ["lte".to_string(), "satellite".to_string()];
+    let serial = opts(1, "pcc_det_vary_serial");
+    let parallel = opts(4, "pcc_det_vary_parallel");
+    let t_serial = vary::run_traces(&serial, &traces, 3).expect("serial vary");
+    let t_parallel = vary::run_traces(&parallel, &traces, 3).expect("parallel vary");
+    assert_eq!(t_serial.len(), t_parallel.len());
+    for (a, b) in t_serial.iter().zip(&t_parallel) {
+        assert_eq!(a.render(), b.render(), "rendered tables identical");
+    }
+    for name in ["vary_lte", "vary_satellite"] {
+        assert_eq!(
+            csv_bytes(&serial, name),
+            csv_bytes(&parallel, name),
+            "{name}.csv bytes identical across --jobs"
+        );
+    }
 }
 
 #[test]

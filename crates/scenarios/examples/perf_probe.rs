@@ -1,7 +1,8 @@
-//! Minimal full-simulation perf probe: times the three reference
-//! scenarios (5 simulated seconds of PCC / CUBIC / BBR on the 100 Mbps,
-//! 30 ms dumbbell) and prints wall clock, event count, events/sec, and
-//! simulated seconds per wall second.
+//! Minimal full-simulation perf probe: times the reference scenarios
+//! (5 simulated seconds of PCC / CUBIC / BBR on the 100 Mbps, 30 ms
+//! dumbbell, plus PCC over the bundled LTE-like trace) and prints wall
+//! clock, event count, events/sec, and simulated seconds per wall
+//! second.
 //!
 //! ```text
 //! cargo run --release -p pcc-scenarios --example perf_probe
@@ -11,11 +12,10 @@
 //! simulator hot path across commits (PERFORMANCE.md); `cargo bench -p
 //! pcc-bench --bench micro` wraps the same measurement into BENCH.json.
 
-use pcc_scenarios::perf::{reference_scenarios, time_reference_scenario, REFERENCE_SIM_SECS};
+use pcc_scenarios::perf::{time_all_scenarios, REFERENCE_SIM_SECS};
 
 fn main() {
-    for (name, proto) in reference_scenarios() {
-        let (best_ms, events) = time_reference_scenario(&proto, 5);
+    for (name, best_ms, events) in time_all_scenarios(5) {
         println!(
             "{name:<28} best {best_ms:>9.3} ms   {events:>8} events   {:>12.0} events/s   {:>7.1} sim-s/wall-s",
             events as f64 / (best_ms / 1000.0),

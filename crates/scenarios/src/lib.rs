@@ -11,6 +11,7 @@
 //! | [`rapid`] | Fig. 11 |
 //! | [`fct`] | Fig. 15 |
 //! | [`power`] | Fig. 17 and §4.4.2 |
+//! | [`vary`] | trace-driven time-varying links (`pcc-experiments vary`) |
 //!
 //! All scenarios take explicit durations/seeds so tests can run scaled-down
 //! versions while the `pcc-experiments` crate runs paper-scale parameters.
@@ -27,6 +28,7 @@ pub mod power;
 pub mod protocol;
 pub mod rapid;
 pub mod setup;
+pub mod vary;
 
 pub use protocol::{install_registry, Protocol, UtilityKind};
 pub use setup::{

@@ -7,10 +7,13 @@
 
 use std::time::Instant;
 
+use pcc_simnet::shaper::ShaperConfig;
 use pcc_simnet::time::SimDuration;
+use pcc_simnet::trace::LinkTrace;
 
 use crate::protocol::Protocol;
 use crate::setup::{run_single, LinkSetup};
+use crate::vary::{run_trace, trace_rtt};
 
 /// The reference full-simulation scenarios: 5 simulated seconds each of
 /// PCC, CUBIC, and BBR alone on the 100 Mbps / 30 ms / 3×BDP dumbbell.
@@ -28,25 +31,84 @@ pub fn reference_scenarios() -> Vec<(&'static str, Protocol)> {
 /// Simulated seconds each reference scenario runs for.
 pub const REFERENCE_SIM_SECS: u64 = 5;
 
+/// The trace-driven reference scenario: PCC over the bundled LTE-like
+/// trace (schedule expansion + per-step link updates on the hot path),
+/// timed exactly like the dumbbell scenarios.
+pub fn trace_reference_scenario() -> (&'static str, Protocol) {
+    let trace = LinkTrace::builtin("lte").expect("bundled");
+    (
+        "full_sim_5s_pcc_lte_trace",
+        Protocol::pcc_default(trace_rtt(&trace)),
+    )
+}
+
+/// Time `proto` over the bundled LTE trace for [`REFERENCE_SIM_SECS`]
+/// simulated seconds: best-of-`runs` wall clock in milliseconds plus the
+/// deterministic event count. Companion of [`time_reference_scenario`]
+/// for the trace-driven workload.
+pub fn time_trace_scenario(proto: &Protocol, runs: usize) -> (f64, u64) {
+    let trace = LinkTrace::builtin("lte").expect("bundled");
+    best_of(runs, || {
+        run_trace(
+            proto.clone(),
+            &trace,
+            SimDuration::from_secs(REFERENCE_SIM_SECS),
+            1,
+            ShaperConfig::default(),
+        )
+        .report
+        .events_processed
+    })
+}
+
+/// Time the complete reference workload — the three dumbbell scenarios
+/// plus the trace-driven one — returning `(name, best_wall_ms, events)`
+/// per scenario. The single list both `pcc-bench --bench micro` and the
+/// `perf_probe` example iterate, so the two tools can never measure
+/// different workloads.
+pub fn time_all_scenarios(runs: usize) -> Vec<(&'static str, f64, u64)> {
+    let mut timed: Vec<(&'static str, f64, u64)> = reference_scenarios()
+        .into_iter()
+        .map(|(name, proto)| {
+            let (wall_ms, events) = time_reference_scenario(&proto, runs);
+            (name, wall_ms, events)
+        })
+        .collect();
+    let (trace_name, trace_proto) = trace_reference_scenario();
+    let (wall_ms, events) = time_trace_scenario(&trace_proto, runs);
+    timed.push((trace_name, wall_ms, events));
+    timed
+}
+
+/// Best-of-`runs` wall clock in milliseconds of `workload`, plus the
+/// (deterministic) simulator event count it returns. The one timing
+/// loop behind every reference number, so the methodology can never
+/// diverge between scenarios.
+fn best_of(runs: usize, mut workload: impl FnMut() -> u64) -> (f64, u64) {
+    let mut best_ms = f64::MAX;
+    let mut events = 0u64;
+    for _ in 0..runs.max(1) {
+        let t0 = Instant::now();
+        events = workload();
+        best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1000.0);
+    }
+    (best_ms, events)
+}
+
 /// Time `proto` on the reference dumbbell for [`REFERENCE_SIM_SECS`]
 /// simulated seconds: best-of-`runs` wall clock in milliseconds, plus
 /// the (deterministic) simulator event count of one run.
 pub fn time_reference_scenario(proto: &Protocol, runs: usize) -> (f64, u64) {
-    let mut best_ms = f64::MAX;
-    let mut events = 0u64;
-    for _ in 0..runs.max(1) {
-        let proto = proto.clone();
-        let t0 = Instant::now();
-        let r = run_single(
-            proto,
+    best_of(runs, || {
+        run_single(
+            proto.clone(),
             LinkSetup::new(100e6, SimDuration::from_millis(30), 375_000),
             SimDuration::from_secs(REFERENCE_SIM_SECS),
             1,
-        );
-        best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1000.0);
-        events = r.report.events_processed;
-    }
-    (best_ms, events)
+        )
+        .report
+        .events_processed
+    })
 }
 
 #[cfg(test)]

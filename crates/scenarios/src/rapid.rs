@@ -4,10 +4,15 @@
 //! loss rate are re-drawn independently and uniformly (10–100 Mbps,
 //! 10–100 ms, 0–1%). The paper tracks whether each protocol's *decided
 //! sending rate* follows the optimal (available bandwidth) line.
+//!
+//! The generated environment is materialized as a [`LinkTrace`] — the
+//! same substrate the bundled LTE/WiFi/satellite profiles use (see
+//! [`crate::vary`]) — so Fig. 11 is just one member of the trace-driven
+//! workload family, with a freshly synthesized trace per `env_seed`.
 
-use pcc_simnet::link::{LinkSchedule, LinkStep};
 use pcc_simnet::rng::SimRng;
 use pcc_simnet::time::{SimDuration, SimTime};
+use pcc_simnet::trace::{LinkTrace, TracePoint};
 
 use crate::protocol::Protocol;
 use crate::setup::{run_dumbbell_scheduled, FlowPlan, LinkSetup, ScenarioResult};
@@ -31,6 +36,9 @@ pub struct RapidResult {
     pub inner: ScenarioResult,
     /// The environment's epochs (the "optimal" line of Fig. 11).
     pub epochs: Vec<RapidEpoch>,
+    /// The same environment as a replayable trace (delays stored as the
+    /// one-way forward component applied to the bottleneck).
+    pub trace: LinkTrace,
 }
 
 impl RapidResult {
@@ -72,8 +80,8 @@ pub fn run_rapid_change(
     seed: u64,
 ) -> RapidResult {
     let mut env_rng = SimRng::new(env_seed);
-    let mut schedule = LinkSchedule::new();
     let mut epochs = Vec::new();
+    let mut points = Vec::new();
     let mut at = SimTime::ZERO;
     let horizon = SimTime::ZERO + duration;
     // Initial epoch uses the same distribution.
@@ -87,32 +95,37 @@ pub fn run_rapid_change(
             delay: delay * 2,
             loss,
         });
-        if at > SimTime::ZERO {
-            schedule.push(LinkStep {
-                at,
-                rate_bps: Some(rate_bps),
-                delay: Some(delay),
-                loss: Some(loss),
-            });
-        }
+        points.push(TracePoint {
+            at: at.saturating_since(SimTime::ZERO),
+            rate_bps,
+            delay: Some(delay),
+            loss: Some(loss),
+        });
         at += step;
         if at >= horizon {
             break;
         }
     }
+    let trace = LinkTrace::from_points("fig11", points, None)
+        .expect("generated points are ordered and positive");
     let first = epochs[0];
     // Base RTT shims carry half the initial delay; the scheduled bottleneck
-    // delay carries the varying forward component.
+    // delay (expanded from the trace) carries the varying forward
+    // component.
     let setup = LinkSetup::new(first.rate_bps, first.delay, 375_000).with_loss(first.loss);
     let inner = run_dumbbell_scheduled(
         setup,
         vec![FlowPlan::new(protocol, first.delay)],
         horizon,
         seed,
-        schedule,
+        trace.to_schedule(horizon),
         None,
     );
-    RapidResult { inner, epochs }
+    RapidResult {
+        inner,
+        epochs,
+        trace,
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +167,31 @@ mod tests {
         assert_eq!(r.epochs.len(), 6, "30 s / 5 s steps");
         let opt = r.optimal_mbps(SimTime::from_secs(30));
         assert!((10.0..100.0).contains(&opt), "optimal in range: {opt}");
+    }
+
+    #[test]
+    fn trace_mirrors_epochs() {
+        // Fig. 11's environment now *is* a LinkTrace: the materialized
+        // trace must agree with the epoch list sample-for-sample, and
+        // its deliverable-capacity average must equal the figure's
+        // optimal line.
+        let dur = SimDuration::from_secs(20);
+        let r = run_rapid_change(
+            Protocol::pcc_default(SimDuration::from_millis(50)),
+            SimDuration::from_secs(5),
+            dur,
+            9,
+            1,
+        );
+        assert_eq!(r.trace.points().len(), r.epochs.len());
+        for (p, e) in r.trace.points().iter().zip(&r.epochs) {
+            assert_eq!(p.rate_bps.to_bits(), e.rate_bps.to_bits());
+            assert_eq!(p.delay, Some(e.delay / 2), "trace stores one-way");
+            assert_eq!(p.loss.map(f64::to_bits), Some(e.loss.to_bits()));
+        }
+        let opt = r.optimal_mbps(SimTime::ZERO + dur);
+        let avg = r.trace.avg_capacity_mbps(dur);
+        assert!((opt - avg).abs() < 1e-9, "optimal {opt} vs trace avg {avg}");
     }
 
     #[test]

@@ -53,6 +53,10 @@ pub struct LinkSetup {
     pub ack_loss: f64,
     /// Queue discipline at the bottleneck.
     pub queue: QueueKind,
+    /// Optional jitter / bounded reordering at the bottleneck egress.
+    pub jitter: Option<JitterConfig>,
+    /// Optional token-bucket policer at the bottleneck ingress.
+    pub policer: Option<PolicerConfig>,
 }
 
 impl LinkSetup {
@@ -65,6 +69,8 @@ impl LinkSetup {
             loss: 0.0,
             ack_loss: 0.0,
             queue: QueueKind::DropTail,
+            jitter: None,
+            policer: None,
         }
     }
 
@@ -84,6 +90,26 @@ impl LinkSetup {
     pub fn with_queue(mut self, queue: QueueKind) -> Self {
         self.queue = queue;
         self
+    }
+
+    /// Add jitter / bounded reordering at the bottleneck egress.
+    pub fn with_jitter(mut self, jitter: JitterConfig) -> Self {
+        self.jitter = Some(jitter);
+        self
+    }
+
+    /// Add a token-bucket policer at the bottleneck ingress.
+    pub fn with_policer(mut self, policer: PolicerConfig) -> Self {
+        self.policer = Some(policer);
+        self
+    }
+
+    /// The impairment-stage configuration this setup implies.
+    pub fn shaper(&self) -> ShaperConfig {
+        ShaperConfig {
+            jitter: self.jitter,
+            policer: self.policer,
+        }
     }
 
     /// Bandwidth-delay product in bytes.
@@ -200,6 +226,7 @@ pub fn run_dumbbell_scheduled(
             loss: setup.loss,
             queue: setup.queue.build(setup.buffer_bytes),
             schedule,
+            shaper: setup.shaper(),
         };
         net.add_link(cfg)
     };

@@ -15,6 +15,11 @@
 //!   time-varying [`link::LinkSchedule`].
 //! * [`queue`] — DropTail, DRR [`queue::FairQueue`], RFC 8289
 //!   [`queue::Codel`], and FQ-CoDel.
+//! * [`shaper::LinkShaper`] — per-link impairment stage: stochastic
+//!   jitter, bounded reordering, and token-bucket policing.
+//! * [`trace::LinkTrace`] — trace-driven time-varying capacity: a
+//!   plain-text trace format with bundled LTE/WiFi/satellite profiles,
+//!   expanded into a [`link::LinkSchedule`].
 //! * [`endpoint::Endpoint`] — the protocol plug-in trait; transport
 //!   implementations (PCC, TCP variants, SABUL, PCP) live in sibling crates.
 //! * [`sim::Simulation`] — the event loop; [`sim::NetworkBuilder`] wires
@@ -58,10 +63,12 @@ pub mod link;
 pub mod packet;
 pub mod queue;
 pub mod rng;
+pub mod shaper;
 pub mod sim;
 pub mod stats;
 pub mod time;
 pub mod topology;
+pub mod trace;
 
 /// Convenient glob-import of the simulator's main types.
 pub mod prelude {
@@ -71,10 +78,12 @@ pub mod prelude {
     pub use crate::packet::{AckInfo, DataInfo, Packet, PacketKind};
     pub use crate::queue::{fq_codel, BufferLimit, Codel, CodelParams, DropTail, FairQueue, Queue};
     pub use crate::rng::SimRng;
+    pub use crate::shaper::{JitterConfig, PolicerConfig, ShaperConfig};
     pub use crate::sim::{FlowSpec, LinkReport, NetworkBuilder, SimConfig, SimReport, Simulation};
     pub use crate::stats::{
         convergence_time, jain_index, jain_index_at_scale, mean, percentile, std_dev, FlowStats,
     };
     pub use crate::time::{rate_bps, tx_time, SimDuration, SimTime};
     pub use crate::topology::{BottleneckSpec, Dumbbell, FlowPath};
+    pub use crate::trace::{builtin_names, LinkTrace, TracePoint};
 }

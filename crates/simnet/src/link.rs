@@ -21,6 +21,7 @@ use crate::ids::LinkId;
 use crate::packet::Packet;
 use crate::queue::{DropTail, Queue, QueueStats};
 use crate::rng::SimRng;
+use crate::shaper::{LinkShaper, ShaperConfig};
 use crate::time::{tx_time, SimDuration, SimTime};
 
 /// One step of a time-varying link schedule.
@@ -84,6 +85,9 @@ pub struct LinkConfig {
     pub queue: Box<dyn Queue>,
     /// Optional time-varying parameter schedule.
     pub schedule: LinkSchedule,
+    /// Impairment stage: jitter, bounded reordering, token-bucket
+    /// policing (default: none).
+    pub shaper: ShaperConfig,
 }
 
 impl LinkConfig {
@@ -96,6 +100,7 @@ impl LinkConfig {
             loss: 0.0,
             queue: Box::new(DropTail::bytes(buffer_bytes)),
             schedule: LinkSchedule::new(),
+            shaper: ShaperConfig::default(),
         }
     }
 
@@ -107,6 +112,7 @@ impl LinkConfig {
             loss: 0.0,
             queue: Box::new(DropTail::bytes(u64::MAX)),
             schedule: LinkSchedule::new(),
+            shaper: ShaperConfig::default(),
         }
     }
 
@@ -125,6 +131,12 @@ impl LinkConfig {
     /// Attach a time-varying schedule.
     pub fn with_schedule(mut self, schedule: LinkSchedule) -> Self {
         self.schedule = schedule;
+        self
+    }
+
+    /// Attach an impairment stage (jitter / reordering / policing).
+    pub fn with_shaper(mut self, shaper: ShaperConfig) -> Self {
+        self.shaper = shaper;
         self
     }
 }
@@ -163,6 +175,11 @@ pub struct LinkStats {
     pub egress_lost: u64,
     /// Bytes that completed serialization.
     pub transmitted_bytes: u64,
+    /// Packets dropped by the ingress token-bucket policer.
+    pub policed: u64,
+    /// Deliveries the shaper rushed ahead of an already-scheduled one
+    /// (actual out-of-order arrivals).
+    pub reordered: u64,
 }
 
 /// A simulated link.
@@ -175,6 +192,9 @@ pub struct Link {
     /// Packet currently being serialized (rated links only).
     in_flight: Option<Packet>,
     schedule: LinkSchedule,
+    /// Impairment stage, present only when configured (a no-op config
+    /// costs nothing on the hot path).
+    shaper: Option<LinkShaper>,
     rng: SimRng,
     stats: LinkStats,
 }
@@ -186,6 +206,11 @@ impl Link {
             (0.0..=1.0).contains(&config.loss),
             "loss probability must be in [0,1]"
         );
+        // The shaper draws from its own derived stream, so configuring
+        // one never perturbs this link's loss process (derive depends
+        // only on the seed, not on stream consumption).
+        let shaper = (!config.shaper.is_noop())
+            .then(|| LinkShaper::new(config.shaper, rng.derive(0x5348_4150_4552)));
         Link {
             id,
             rate_bps: config.rate_bps,
@@ -194,6 +219,7 @@ impl Link {
             queue: config.queue,
             in_flight: None,
             schedule: config.schedule,
+            shaper,
             rng,
             stats: LinkStats::default(),
         }
@@ -246,6 +272,14 @@ impl Link {
     /// time for them; egress loss is still applied via [`Link::roll_loss`]).
     pub fn offer(&mut self, pkt: Packet, now: SimTime) -> LinkOutcome {
         self.stats.offered += 1;
+        // Policing happens at ingress, before any queueing — a policer
+        // never buffers, it only passes or drops.
+        if let Some(shaper) = &mut self.shaper {
+            if !shaper.admit(pkt.bytes, now) {
+                self.stats.policed += 1;
+                return LinkOutcome::Dropped;
+            }
+        }
         match self.rate_bps {
             None => {
                 // Pure delay: no queue, no serialization.
@@ -287,7 +321,8 @@ impl Link {
         let delivered = if egress_lost {
             None
         } else {
-            Some((pkt, now + self.delay))
+            let arrive = self.shape_arrival(now + self.delay);
+            Some((pkt, arrive))
         };
         // Pull the next packet from the queue, if any.
         let next_tx_done = self.queue.dequeue(now).map(|next| {
@@ -307,9 +342,26 @@ impl Link {
         self.rng.chance(self.loss)
     }
 
-    /// Arrival time through a pure-delay link.
+    /// Arrival time through a pure-delay link (un-shaped; the simulation
+    /// loop applies [`Link::shape_arrival`] on top).
     pub fn propagate(&self, now: SimTime) -> SimTime {
         now + self.delay
+    }
+
+    /// Run a delivery through the impairment stage: jitter and bounded
+    /// reordering may move the nominal arrival time. Identity when no
+    /// shaper is configured.
+    pub fn shape_arrival(&mut self, nominal: SimTime) -> SimTime {
+        match &mut self.shaper {
+            Some(shaper) => {
+                let (arrive, reordered) = shaper.arrival(nominal);
+                if reordered {
+                    self.stats.reordered += 1;
+                }
+                arrive
+            }
+            None => nominal,
+        }
     }
 
     /// Apply schedule step `index`; returns the time of the next step.

@@ -334,10 +334,13 @@ impl Simulation {
         let link_id = path[hop];
         let link = &mut self.links[link_id.index()];
         if link.rate_bps().is_none() {
-            // Pure-delay link: apply loss, then propagate.
-            let _ = link.offer(pkt, self.now); // counts `offered`
+            // Pure-delay link: police at ingress, apply loss, then
+            // propagate through the impairment stage.
+            if link.offer(pkt, self.now) == LinkOutcome::Dropped {
+                return;
+            }
             if !link.roll_loss() {
-                let at = link.propagate(self.now);
+                let at = link.shape_arrival(link.propagate(self.now));
                 pkt.hop += 1;
                 self.events.schedule(at, Event::Arrive { packet: pkt });
             }

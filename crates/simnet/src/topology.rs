@@ -74,6 +74,7 @@ impl Dumbbell {
             loss: spec.loss,
             queue,
             schedule: Default::default(),
+            shaper: Default::default(),
         };
         Dumbbell {
             bottleneck: net.add_link(cfg),

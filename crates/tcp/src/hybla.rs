@@ -33,13 +33,16 @@ impl Hybla {
     }
 
     /// New instance with an explicit reference RTT and initial window
-    /// (`hybla:rtt0_ms=50,iw=32`).
+    /// (`hybla:rtt0_ms=50,iw=32`). A zero reference RTT would divide by
+    /// zero in ρ; it is raised to 1 ms (the registry schema floors
+    /// `rtt0_ms` at 1 too, but direct construction must not produce an
+    /// instance whose first ACK makes the window infinite).
     pub fn with_params(rtt0: SimDuration, iw: f64) -> Self {
         Hybla {
             cwnd: iw,
             ssthresh: f64::MAX,
             rho: 1.0,
-            rtt0,
+            rtt0: rtt0.max(SimDuration::from_millis(1)),
         }
     }
 
@@ -148,5 +151,18 @@ mod tests {
         let before = cc.cwnd();
         cc.on_loss_event(SimTime::ZERO);
         assert!((cc.cwnd() - before / 2.0).abs() < 1e-6, "hardwired halving");
+    }
+
+    #[test]
+    fn zero_reference_rtt_is_raised_not_divided_by() {
+        // Regression: rtt0 = 0 made update_rho divide by zero (ρ = inf)
+        // and the first CA ACK drove cwnd to infinity. Direct
+        // construction now floors the reference RTT at 1 ms, mirroring
+        // Illinois::with_params' degenerate-parameter guard.
+        let mut cc = Hybla::with_params(SimDuration::ZERO, 10.0);
+        cc.on_loss_event(SimTime::ZERO); // force CA
+        cc.on_ack(&ack_at(1, SimTime::ZERO, SimDuration::from_millis(50)));
+        assert!(cc.rho().is_finite(), "rho stays finite: {}", cc.rho());
+        assert!(cc.cwnd().is_finite(), "cwnd stays finite: {}", cc.cwnd());
     }
 }

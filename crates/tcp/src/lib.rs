@@ -80,14 +80,7 @@ pub const CUBIC_SCHEMA: Schema = &[
         },
         doc: "cubic scaling constant C (RFC 8312: 0.4)",
     },
-    ParamSpec {
-        key: "iw",
-        kind: ParamKind::Int {
-            min: 1,
-            max: 10_000,
-        },
-        doc: "initial congestion window, packets (default IW10)",
-    },
+    IW_PARAM,
 ];
 
 /// Vegas' spec parameters (`vegas:alpha=2,beta=4,iw=10`): the backlog
@@ -109,14 +102,7 @@ pub const VEGAS_SCHEMA: Schema = &[
         },
         doc: "upper backlog target β, packets (classic: 4)",
     },
-    ParamSpec {
-        key: "iw",
-        kind: ParamKind::Int {
-            min: 1,
-            max: 10_000,
-        },
-        doc: "initial congestion window, packets (default IW10)",
-    },
+    IW_PARAM,
 ];
 
 /// The initial-window key every baseline shares.

@@ -15,7 +15,7 @@
 //! * `on_loss` with [`LossKind::Timeout`] → [`WindowAlgo::on_rto`];
 //!
 //! and pushing the resulting window through [`Ctx::set_cwnd`] after every
-//! callback, floored at [`MIN_CWND`](crate::common::MIN_CWND) so the
+//! callback, floored at the crate-private `MIN_CWND` (2 packets) so the
 //! engine can always keep loss detection alive.
 //!
 //! [`PacedWindowed`] additionally derives a pacing rate (`cwnd/SRTT`) and
@@ -93,7 +93,7 @@ impl Windowed {
     }
 
     /// The wrapped algorithm's effective window: its cwnd, floored at
-    /// [`MIN_CWND`].
+    /// `MIN_CWND` (2 packets).
     pub fn effective_cwnd(&self) -> f64 {
         self.inner.cwnd().max(MIN_CWND)
     }

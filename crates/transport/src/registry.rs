@@ -31,13 +31,13 @@
 //! | Algorithm | Keys |
 //! |---|---|
 //! | `pcc`, `pcc-simple`, `pcc-lossresilient`, `pcc-latency` | `eps`, `eps_max`, `tm`, `slack`, `mi_pkts`, `rct`, `util`, `alpha`, `cutoff`, `slope_penalty` |
-//! | `newreno`[`-paced`] | `iw` |
-//! | `cubic`[`-paced`] | `beta`, `c`, `iw` |
-//! | `illinois`[`-paced`] | `alpha_max`, `beta_max`, `iw` |
-//! | `hybla`[`-paced`] | `rtt0_ms`, `iw` |
-//! | `vegas`[`-paced`] | `alpha`, `beta`, `iw` |
-//! | `bic`[`-paced`] | `beta`, `iw` |
-//! | `westwood`[`-paced`] | `gain`, `iw` |
+//! | `newreno[-paced]` | `iw` |
+//! | `cubic[-paced]` | `beta`, `c`, `iw` |
+//! | `illinois[-paced]` | `alpha_max`, `beta_max`, `iw` |
+//! | `hybla[-paced]` | `rtt0_ms`, `iw` |
+//! | `vegas[-paced]` | `alpha`, `beta`, `iw` |
+//! | `bic[-paced]` | `beta`, `iw` |
+//! | `westwood[-paced]` | `gain`, `iw` |
 //! | `sabul` | `syn_ms`, `decrease`, `rate0_mbps` |
 //! | `pcp` | `train`, `poll_ms`, `rate0_mbps` |
 //! | `bbr` | `probe_rtt_ms`, `cwnd_gain` |
@@ -279,10 +279,55 @@ pub fn register_alias(alias: &str, target: &str) {
 
 /// Construct an algorithm from a spec — a bare name (`"cubic"`) or a
 /// parameterized one (`"cubic:beta=0.7,iw=32"`). Unknown names — and
-/// unresolvable alias chains (dangling, cyclic, or deeper than
-/// [`MAX_ALIAS_HOPS`]) — are [`SpecError::Unknown`]; malformed, unknown,
+/// unresolvable alias chains (dangling, cyclic, or deeper than the
+/// 16-hop budget) — are [`SpecError::Unknown`]; malformed, unknown,
 /// or out-of-range parameters are [`SpecError::InvalidParam`]. Never a
 /// panic.
+///
+/// ```
+/// use pcc_transport::cc::{AckEvent, CongestionControl, Ctx, LossEvent};
+/// use pcc_transport::registry::{self, by_name, CcParams, SpecError};
+/// use pcc_transport::spec::{ParamKind, ParamSpec};
+///
+/// // A minimal algorithm, registered with a one-key schema. (Real
+/// // algorithms register via their crate's `register_algorithms()`,
+/// // installed by `pcc_scenarios::install_registry()` or pcc-udp's twin.)
+/// struct Fixed(f64);
+/// impl CongestionControl for Fixed {
+///     fn name(&self) -> &'static str { "fixed" }
+///     fn on_start(&mut self, ctx: &mut Ctx) { ctx.set_rate(self.0); }
+///     fn on_ack(&mut self, _: &AckEvent, _: &mut Ctx) {}
+///     fn on_loss(&mut self, _: &LossEvent, _: &mut Ctx) {}
+/// }
+/// registry::register_with_schema(
+///     "doc-fixed",
+///     &[ParamSpec {
+///         key: "rate",
+///         kind: ParamKind::Float { min: 1.0, max: 1e9 },
+///         doc: "fixed sending rate, bits/sec",
+///     }],
+///     Box::new(|p| Box::new(Fixed(p.spec.f64("rate").unwrap_or(1e6)))),
+/// );
+/// let params = CcParams::default();
+///
+/// // Valid: a bare name and a parameterized spec.
+/// assert!(by_name("doc-fixed", &params).is_ok());
+/// assert!(by_name("doc-fixed:rate=5e6", &params).is_ok());
+///
+/// // Invalid: unknown names and bad parameters are typed errors.
+/// assert!(matches!(
+///     by_name("frobnicate", &params),
+///     Err(SpecError::Unknown(e)) if e.name == "frobnicate"
+/// ));
+/// assert!(matches!(
+///     by_name("doc-fixed:rate=0.5", &params),   // out of range
+///     Err(SpecError::InvalidParam(e)) if e.key == "rate"
+/// ));
+/// assert!(matches!(
+///     by_name("doc-fixed:bogus=1", &params),    // unknown key
+///     Err(SpecError::InvalidParam(_))
+/// ));
+/// ```
 pub fn by_name(name: &str, params: &CcParams) -> Result<Box<dyn CongestionControl>, SpecError> {
     // The base name is extractable even from syntactically broken specs,
     // so "unknown algorithm" always wins over "bad parameter" reporting.

@@ -2,8 +2,7 @@
 //!
 //! [`CcSender`] hosts any [`CongestionControl`] algorithm and enforces
 //! whichever operating point the algorithm requests through its
-//! [`Effects`](crate::cc::Effects): a pacing rate, a congestion window, or
-//! both. This collapses the seed design's two engines (`RateSender` /
+//! [`Effects`]: a pacing rate, a congestion window, or both. This collapses the seed design's two engines (`RateSender` /
 //! `WindowSender`) into one, so *any* algorithm runs on *any* datapath —
 //! the paper's §3 split between dumb sending machinery and pluggable
 //! control intelligence, taken to its conclusion.

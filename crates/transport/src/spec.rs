@@ -184,6 +184,28 @@ pub struct SpecSyntaxError {
 impl AlgoSpec {
     /// Parse a spec string. Never panics, whatever the input; the empty
     /// pair list (`"pcc:"`) is accepted and equivalent to the plain name.
+    ///
+    /// ```
+    /// use pcc_transport::spec::AlgoSpec;
+    ///
+    /// // Valid spec strings: a bare name, and name:key=val pairs.
+    /// let spec = AlgoSpec::parse("cubic:beta=0.7,iw=32").unwrap();
+    /// assert_eq!(spec.name, "cubic");
+    /// assert_eq!(spec.params.len(), 2);
+    /// assert_eq!(spec.render(), "cubic:beta=0.7,iw=32");
+    /// assert_eq!(AlgoSpec::parse("bbr").unwrap().params.len(), 0);
+    /// assert_eq!(AlgoSpec::parse("pcc:").unwrap(), AlgoSpec::parse("pcc").unwrap());
+    ///
+    /// // Invalid spec strings are typed errors, never panics. (Note:
+    /// // this is the *syntax* layer — semantic checks such as unknown
+    /// // keys or out-of-range values happen against the algorithm's
+    /// // schema in `registry::by_name`.)
+    /// let err = AlgoSpec::parse("cubic:beta").unwrap_err();
+    /// assert_eq!(err.name, "cubic");
+    /// assert!(err.reason.contains("expected `key=value`"));
+    /// assert!(AlgoSpec::parse("cubic:=1").is_err());      // empty key
+    /// assert!(AlgoSpec::parse("cubic:beta=").is_err());   // empty value
+    /// ```
     pub fn parse(s: &str) -> Result<AlgoSpec, SpecSyntaxError> {
         let Some((name, rest)) = s.split_once(':') else {
             return Ok(AlgoSpec {

@@ -58,6 +58,24 @@
 //! let sender = CcSender::new(CcSenderConfig::default(), cc);
 //! # let _ = sender;
 //! ```
+//!
+//! Or play a protocol over a bundled time-varying trace (LTE-like here;
+//! see `pcc::simnet::trace` for the format and
+//! `pcc::scenarios::vary` for the harness):
+//!
+//! ```
+//! use pcc::prelude::*;
+//!
+//! let trace = LinkTrace::builtin("lte").unwrap();
+//! let run = run_trace(
+//!     Protocol::Tcp("cubic"),
+//!     &trace,
+//!     SimDuration::from_secs(5),
+//!     1,
+//!     ShaperConfig::default(),
+//! );
+//! assert!(run.utilization() > 0.0);
+//! ```
 
 pub use pcc_bbr as bbr;
 pub use pcc_core as core;
@@ -84,6 +102,7 @@ pub mod prelude {
         UtilityFunction,
     };
     pub use pcc_rate::{Pcp, Sabul};
+    pub use pcc_scenarios::vary::{run_trace, TraceRun};
     pub use pcc_scenarios::{
         install_registry, run_dumbbell, run_single, FlowPlan, LinkSetup, Protocol, QueueKind,
         UtilityKind,
