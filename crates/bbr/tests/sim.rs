@@ -12,7 +12,7 @@ fn run_bbr(link_mbps: f64, rtt_ms: u64, buffer: u64, loss: f64, secs: u64) -> (S
         sample_interval: SimDuration::from_millis(100),
         seed: 21,
     });
-    let db = Dumbbell::new(
+    let mut db = Dumbbell::new(
         &mut net,
         BottleneckSpec::new(link_mbps * 1e6, buffer).with_loss(loss),
     );

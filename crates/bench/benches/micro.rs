@@ -110,12 +110,12 @@ fn bench_utility() {
 /// always quote the same workload).
 fn bench_full_sim(out: &mut BenchReport) {
     let runs = if fast_mode() { 2 } else { 5 };
-    for (name, wall_ms, events) in perf::time_all_scenarios(runs) {
+    for (name, wall_ms, events, sim_secs) in perf::time_all_scenarios(runs) {
         let s = Scenario {
             name: name.to_string(),
             wall_ms,
             events,
-            sim_secs: perf::REFERENCE_SIM_SECS as f64,
+            sim_secs,
         };
         println!(
             "{name:<32} best {wall_ms:>9.3}ms   {:>12.0} events/s   {:>8.1} sim-s/wall-s",

@@ -11,6 +11,7 @@
 
 #![warn(missing_docs)]
 
+pub mod dc;
 pub mod fig05_internet;
 pub mod fig06_satellite;
 pub mod fig07_loss;
@@ -156,6 +157,11 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "Trace-driven time-varying links: every algorithm over lte/wifi/satellite",
             vary::run,
         ),
+        (
+            "dc",
+            "Datacenter fabrics: fat-tree rack incast, k=8 cross-pod permutation, oversubscribed leaf-spine mix",
+            dc::run,
+        ),
     ]
 }
 
@@ -166,11 +172,11 @@ mod tests {
     #[test]
     fn registry_ids_unique() {
         let reg = registry();
-        assert_eq!(reg.len(), 16);
+        assert_eq!(reg.len(), 17);
         let mut ids: Vec<_> = reg.iter().map(|(id, _, _)| *id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 16, "duplicate experiment ids");
+        assert_eq!(ids.len(), 17, "duplicate experiment ids");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! run — same table text, same CSV bytes — because every job owns its
 //! seed and results are returned in submission order.
 
-use pcc_experiments::{fig15_fct, sweep, vary, Opts};
+use pcc_experiments::{dc, fig15_fct, sweep, vary, Opts};
 
 fn opts(jobs: usize, dir: &str) -> Opts {
     Opts {
@@ -56,6 +56,26 @@ fn vary_trace_playback_parallel_is_bit_identical_to_serial() {
             "{name}.csv bytes identical across --jobs"
         );
     }
+}
+
+#[test]
+fn dc_fattree_parallel_is_bit_identical_to_serial() {
+    // The ≥64-host datacenter scenario: a k=8 fat-tree (128 hosts) cross-
+    // pod permutation with per-path FCT percentiles and per-link
+    // utilization. ECMP path choice is a pure hash of (seed, flow), so
+    // worker count must not perturb a byte of the CSV.
+    // (Dumbbell experiments' bit-identity across the graph rebase is
+    // pinned separately by golden fingerprints in pcc-scenarios::setup.)
+    let serial = opts(1, "pcc_det_dc_serial");
+    let parallel = opts(4, "pcc_det_dc_parallel");
+    let t_serial = dc::run_fattree_table(&serial);
+    let t_parallel = dc::run_fattree_table(&parallel);
+    assert_eq!(t_serial.render(), t_parallel.render(), "tables identical");
+    assert_eq!(
+        csv_bytes(&serial, "dc_fattree_perm"),
+        csv_bytes(&parallel, "dc_fattree_perm"),
+        "CSV bytes identical across --jobs"
+    );
 }
 
 #[test]

@@ -1,8 +1,8 @@
 //! Minimal full-simulation perf probe: times the reference scenarios
 //! (5 simulated seconds of PCC / CUBIC / BBR on the 100 Mbps, 30 ms
-//! dumbbell, plus PCC over the bundled LTE-like trace) and prints wall
-//! clock, event count, events/sec, and simulated seconds per wall
-//! second.
+//! dumbbell, PCC over the bundled LTE-like trace, and an 8-to-1 PCC
+//! incast on a k=4 fat-tree) and prints wall clock, event count,
+//! events/sec, and simulated seconds per wall second.
 //!
 //! ```text
 //! cargo run --release -p pcc-scenarios --example perf_probe
@@ -12,14 +12,14 @@
 //! simulator hot path across commits (PERFORMANCE.md); `cargo bench -p
 //! pcc-bench --bench micro` wraps the same measurement into BENCH.json.
 
-use pcc_scenarios::perf::{time_all_scenarios, REFERENCE_SIM_SECS};
+use pcc_scenarios::perf::time_all_scenarios;
 
 fn main() {
-    for (name, best_ms, events) in time_all_scenarios(5) {
+    for (name, best_ms, events, sim_secs) in time_all_scenarios(5) {
         println!(
             "{name:<28} best {best_ms:>9.3} ms   {events:>8} events   {:>12.0} events/s   {:>7.1} sim-s/wall-s",
             events as f64 / (best_ms / 1000.0),
-            REFERENCE_SIM_SECS as f64 / (best_ms / 1000.0),
+            sim_secs / (best_ms / 1000.0),
         );
     }
 }

@@ -12,12 +12,14 @@
 //! | [`fct`] | Fig. 15 |
 //! | [`power`] | Fig. 17 and §4.4.2 |
 //! | [`vary`] | trace-driven time-varying links (`pcc-experiments vary`) |
+//! | [`dc`] | datacenter fabrics: rack incast, cross-pod permutation, oversubscribed mix (`pcc-experiments dc`) |
 //!
 //! All scenarios take explicit durations/seeds so tests can run scaled-down
 //! versions while the `pcc-experiments` crate runs paper-scale parameters.
 
 #![warn(missing_docs)]
 
+pub mod dc;
 pub mod dynamics;
 pub mod fct;
 pub mod incast;

@@ -11,6 +11,7 @@ use pcc_simnet::shaper::ShaperConfig;
 use pcc_simnet::time::SimDuration;
 use pcc_simnet::trace::LinkTrace;
 
+use crate::dc::run_rack_incast;
 use crate::protocol::Protocol;
 use crate::setup::{run_single, LinkSetup};
 use crate::vary::{run_trace, trace_rtt};
@@ -61,22 +62,47 @@ pub fn time_trace_scenario(proto: &Protocol, runs: usize) -> (f64, u64) {
     })
 }
 
-/// Time the complete reference workload — the three dumbbell scenarios
-/// plus the trace-driven one — returning `(name, best_wall_ms, events)`
-/// per scenario. The single list both `pcc-bench --bench micro` and the
-/// `perf_probe` example iterate, so the two tools can never measure
-/// different workloads.
-pub fn time_all_scenarios(runs: usize) -> Vec<(&'static str, f64, u64)> {
-    let mut timed: Vec<(&'static str, f64, u64)> = reference_scenarios()
+/// Time the multi-hop reference workload: an 8-to-1 rack-scale incast of
+/// PCC on a k=4 fat-tree (the topology subsystem's routing, multi-hop
+/// paths, and ToR queueing on the hot path). Returns `(best_wall_ms,
+/// events, sim_secs)`; the simulated seconds are the (deterministic)
+/// slowest flow completion, since the workload ends when the last block
+/// lands rather than at a fixed horizon.
+pub fn time_dc_incast_scenario(runs: usize) -> (f64, u64, f64) {
+    let mut sim_secs = 0.0;
+    let (wall_ms, events) = best_of(runs, || {
+        let r = run_rack_incast(4, &|rtt| Protocol::pcc_default(rtt), 8, 256 * 1024, 1);
+        sim_secs = r
+            .run
+            .report
+            .flows
+            .iter()
+            .filter_map(|f| f.fct())
+            .map(|d| d.as_secs_f64())
+            .fold(0.0, f64::max);
+        r.run.report.events_processed
+    });
+    (wall_ms, events, sim_secs)
+}
+
+/// Time the complete reference workload — the three dumbbell scenarios,
+/// the trace-driven one, and the fat-tree incast — returning `(name,
+/// best_wall_ms, events, sim_secs)` per scenario. The single list both
+/// `pcc-bench --bench micro` and the `perf_probe` example iterate, so the
+/// two tools can never measure different workloads.
+pub fn time_all_scenarios(runs: usize) -> Vec<(&'static str, f64, u64, f64)> {
+    let mut timed: Vec<(&'static str, f64, u64, f64)> = reference_scenarios()
         .into_iter()
         .map(|(name, proto)| {
             let (wall_ms, events) = time_reference_scenario(&proto, runs);
-            (name, wall_ms, events)
+            (name, wall_ms, events, REFERENCE_SIM_SECS as f64)
         })
         .collect();
     let (trace_name, trace_proto) = trace_reference_scenario();
     let (wall_ms, events) = time_trace_scenario(&trace_proto, runs);
-    timed.push((trace_name, wall_ms, events));
+    timed.push((trace_name, wall_ms, events, REFERENCE_SIM_SECS as f64));
+    let (wall_ms, events, sim_secs) = time_dc_incast_scenario(runs);
+    timed.push(("dc_incast_ft4_pcc_8to1", wall_ms, events, sim_secs));
     timed
 }
 
@@ -114,6 +140,15 @@ pub fn time_reference_scenario(proto: &Protocol, runs: usize) -> (f64, u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dc_incast_scenario_is_deterministic() {
+        let (_, events_a, sim_a) = time_dc_incast_scenario(1);
+        let (_, events_b, sim_b) = time_dc_incast_scenario(1);
+        assert_eq!(events_a, events_b, "same seed, same event count");
+        assert_eq!(sim_a.to_bits(), sim_b.to_bits(), "same completion time");
+        assert!(sim_a > 0.0, "all incast flows complete");
+    }
 
     #[test]
     fn reference_workload_is_deterministic() {

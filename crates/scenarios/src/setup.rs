@@ -219,23 +219,47 @@ pub fn run_dumbbell_scheduled(
         sample_interval: sample_interval.unwrap_or(SimDuration::from_millis(100)),
         seed,
     });
-    let bottleneck = {
-        let cfg = LinkConfig {
+    // The dumbbell as a topology graph: a shared source host, a middle
+    // switch (the bottleneck edge between them, carrying the schedule,
+    // shaper, and queue discipline), and one receiver host per plan whose
+    // edges are that flow's RTT shims. Edge installation order reproduces
+    // the historical LinkId layout — bottleneck first, then each flow's
+    // forward/reverse shim pair — so pre-graph outputs are bit-identical.
+    let mut topo = Topology::new();
+    let src = topo.add_host();
+    let mid = topo.add_switch();
+    let bottleneck_edge = topo.add_link(
+        src,
+        mid,
+        LinkConfig {
             rate_bps: Some(setup.rate_bps),
             delay: SimDuration::ZERO,
             loss: setup.loss,
             queue: setup.queue.build(setup.buffer_bytes),
             schedule,
             shaper: setup.shaper(),
-        };
-        net.add_link(cfg)
-    };
+        },
+    );
+    let receivers: Vec<NodeId> = plans
+        .iter()
+        .map(|plan| {
+            let half = plan.rtt / 2;
+            let recv = topo.add_host();
+            topo.add_link(mid, recv, LinkConfig::delay_only(half));
+            topo.add_link(
+                recv,
+                src,
+                LinkConfig::delay_only(plan.rtt - half).with_loss(setup.ack_loss),
+            );
+            recv
+        })
+        .collect();
+    topo.install(&mut net);
+    let bottleneck = topo.link_of(bottleneck_edge);
     let mut flows = Vec::with_capacity(plans.len());
-    for plan in plans {
-        let half = plan.rtt / 2;
-        let fwd_shim = net.add_link(LinkConfig::delay_only(half));
-        let rev_shim =
-            net.add_link(LinkConfig::delay_only(plan.rtt - half).with_loss(setup.ack_loss));
+    for (plan, recv) in plans.into_iter().zip(receivers) {
+        // Single-path by construction, so the ECMP key is irrelevant.
+        let path = topo.flow_path(src, recv, 0);
         let sender = plan
             .protocol
             .build_sender_hinted(plan.size, 1500, plan.rtt)
@@ -243,8 +267,8 @@ pub fn run_dumbbell_scheduled(
         let flow = net.add_flow(FlowSpec {
             sender,
             receiver: Box::new(SackReceiver::new()),
-            fwd_path: vec![bottleneck, fwd_shim],
-            rev_path: vec![rev_shim],
+            fwd_path: path.fwd,
+            rev_path: path.rev,
             start_at: plan.start_at,
         });
         flows.push(flow);
@@ -317,6 +341,47 @@ mod tests {
         let r = quick(Protocol::Pcp, setup, 8);
         let t = r.throughput_in(0, SimTime::from_secs(4), SimTime::from_secs(8));
         assert!(t > 5.0, "PCP makes progress: {t} Mbps");
+    }
+
+    #[test]
+    fn golden_fingerprints_survive_graph_rebase() {
+        // Exact counters captured on the pre-graph (direct add_link)
+        // dumbbell construction. The topology rebase must not perturb a
+        // single event: link ids, per-link RNG streams, and path vectors
+        // all have to come out identical.
+        let setup = LinkSetup::new(50e6, SimDuration::from_millis(30), 64_000);
+        let r = run_single(
+            Protocol::pcc_default(SimDuration::from_millis(30)),
+            setup,
+            SimDuration::from_secs(8),
+            42,
+        );
+        assert_eq!(r.report.events_processed, 157_939);
+        assert_eq!(r.report.flows[0].delivered_bytes, 46_510_500);
+        assert_eq!(r.report.flows[0].goodput_bytes, 46_510_500);
+        assert_eq!(r.report.flows[0].sent_packets, 32_974);
+
+        // A heterogeneous case: random loss both ways, FQ at the
+        // bottleneck, staggered second flow with a different RTT.
+        let setup = LinkSetup::new(20e6, SimDuration::from_millis(30), 75_000)
+            .with_loss(0.01)
+            .with_ack_loss(0.005)
+            .with_queue(QueueKind::Fq);
+        let r = run_dumbbell(
+            setup,
+            vec![
+                FlowPlan::new(Protocol::Tcp("cubic"), SimDuration::from_millis(30)),
+                FlowPlan::new(Protocol::Tcp("newreno"), SimDuration::from_millis(60))
+                    .starting_at(SimTime::from_secs(1)),
+            ],
+            SimTime::from_secs(10),
+            7,
+        );
+        assert_eq!(r.report.events_processed, 29_420);
+        assert_eq!(r.report.flows[0].delivered_bytes, 7_152_000);
+        assert_eq!(r.report.flows[1].delivered_bytes, 2_410_500);
+        assert_eq!(r.report.flows[0].detected_losses, 263);
+        assert_eq!(r.report.flows[1].detected_losses, 28);
     }
 
     #[test]

@@ -37,6 +37,15 @@ id_type!(
     /// Identifies a flow (sender/receiver endpoint pair).
     FlowId
 );
+id_type!(
+    /// Identifies a node (host or switch) in a [`crate::topo::Topology`].
+    NodeId
+);
+id_type!(
+    /// Identifies a directed edge in a [`crate::topo::Topology`]; maps to
+    /// one simulator [`LinkId`] once the topology is installed.
+    EdgeId
+);
 
 /// Which side of a flow an event or action refers to.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]

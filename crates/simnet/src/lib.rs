@@ -26,6 +26,9 @@
 //!   links, paths, and flows.
 //! * [`stats`] — per-flow series plus the paper's metrics (Jain's index,
 //!   convergence time, percentiles).
+//! * [`topo`] — topology graph + routing: BFS next-hop tables with
+//!   deterministic per-flow ECMP, datacenter fabric builders
+//!   ([`topo::fat_tree`], [`topo::leaf_spine`]), per-link utilization.
 //!
 //! ## Example
 //!
@@ -41,7 +44,7 @@
 //! }
 //!
 //! let mut net = NetworkBuilder::new(SimConfig::default());
-//! let db = Dumbbell::new(&mut net, BottleneckSpec::new(100e6, 64_000));
+//! let mut db = Dumbbell::new(&mut net, BottleneckSpec::new(100e6, 64_000));
 //! let path = db.attach_flow(&mut net, SimDuration::from_millis(30));
 //! net.add_flow(FlowSpec {
 //!     sender: Box::new(Quiet),
@@ -67,13 +70,14 @@ pub mod shaper;
 pub mod sim;
 pub mod stats;
 pub mod time;
+pub mod topo;
 pub mod topology;
 pub mod trace;
 
 /// Convenient glob-import of the simulator's main types.
 pub mod prelude {
     pub use crate::endpoint::{Action, Endpoint, EndpointCtx};
-    pub use crate::ids::{Direction, FlowId, LinkId, Side};
+    pub use crate::ids::{Direction, EdgeId, FlowId, LinkId, NodeId, Side};
     pub use crate::link::{LinkConfig, LinkSchedule, LinkStep};
     pub use crate::packet::{AckInfo, DataInfo, Packet, PacketKind};
     pub use crate::queue::{fq_codel, BufferLimit, Codel, CodelParams, DropTail, FairQueue, Queue};
@@ -84,6 +88,10 @@ pub mod prelude {
         convergence_time, jain_index, jain_index_at_scale, mean, percentile, std_dev, FlowStats,
     };
     pub use crate::time::{rate_bps, tx_time, SimDuration, SimTime};
+    pub use crate::topo::{
+        ecmp_key, fat_tree, leaf_spine, link_usage, DcLinkSpec, FatTree, LeafSpine, LinkUse,
+        NodeKind, Routes, Topology,
+    };
     pub use crate::topology::{BottleneckSpec, Dumbbell, FlowPath};
     pub use crate::trace::{builtin_names, LinkTrace, TracePoint};
 }

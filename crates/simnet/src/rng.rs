@@ -11,12 +11,22 @@
 
 /// SplitMix64 step; used to derive independent stream seeds from a master
 /// seed combined with a component tag, and to expand a 64-bit seed into the
-/// generator's 256-bit state.
+/// generator's 256-bit state. Public as [`mix64`] for stateless hashing
+/// (e.g. the topology subsystem's per-flow ECMP choice).
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// One SplitMix64 mixing step: a stateless 64-bit bijective hash.
+///
+/// The deterministic mixer behind `SimRng::derive`, exposed for components
+/// that need an order-independent hash rather than a stream — notably the
+/// per-flow ECMP path choice in [`crate::topo`].
+pub fn mix64(z: u64) -> u64 {
+    splitmix64(z)
 }
 
 /// A deterministic random stream (xoshiro256++).

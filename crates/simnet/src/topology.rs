@@ -5,14 +5,23 @@
 //! the bottleneck. Forward path: `bottleneck → fwd shim(RTT/2)`; reverse
 //! path: `rev shim(RTT/2)`. All queueing happens at the bottleneck, exactly
 //! as in the paper's Emulab setups.
+//!
+//! Since the [`crate::topo`] subsystem landed, [`Dumbbell`] is a thin
+//! wrapper over a [`Topology`] graph: one shared source host, one middle
+//! switch (the bottleneck edge between them), and one receiver host per
+//! flow whose down-edge and return-edge are the RTT shims. Paths come from
+//! the graph's routing, and the edge installation order reproduces the
+//! historical [`crate::ids::LinkId`] assignment exactly, so pre-graph
+//! experiment outputs are bit-identical.
 
-use crate::ids::LinkId;
+use crate::ids::{EdgeId, LinkId, NodeId};
 use crate::link::LinkConfig;
 use crate::queue::{DropTail, Queue};
 use crate::sim::NetworkBuilder;
 use crate::time::SimDuration;
+use crate::topo::Topology;
 
-/// Paths for one flow through a dumbbell.
+/// Paths for one flow through a topology.
 #[derive(Clone, Debug)]
 pub struct FlowPath {
     /// Links for data packets, in order.
@@ -59,7 +68,10 @@ impl BottleneckSpec {
 
 /// A dumbbell under construction: one shared bottleneck, per-flow RTT shims.
 pub struct Dumbbell {
-    bottleneck: LinkId,
+    topo: Topology,
+    src: NodeId,
+    mid: NodeId,
+    bottleneck: EdgeId,
 }
 
 impl Dumbbell {
@@ -76,44 +88,57 @@ impl Dumbbell {
             schedule: Default::default(),
             shaper: Default::default(),
         };
+        let mut topo = Topology::new();
+        let src = topo.add_host();
+        let mid = topo.add_switch();
+        let bottleneck = topo.add_link(src, mid, cfg);
+        topo.install(net);
         Dumbbell {
-            bottleneck: net.add_link(cfg),
+            topo,
+            src,
+            mid,
+            bottleneck,
         }
     }
 
     /// The shared bottleneck link.
     pub fn bottleneck(&self) -> LinkId {
-        self.bottleneck
+        self.topo.link_of(self.bottleneck)
+    }
+
+    /// The underlying topology graph (shared sender, middle switch, one
+    /// receiver host per attached flow).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
     }
 
     /// Add per-flow delay shims realizing a round-trip time of `rtt`; data
     /// packets cross the bottleneck then the forward shim, ACKs cross the
     /// reverse shim only.
-    pub fn attach_flow(&self, net: &mut NetworkBuilder, rtt: SimDuration) -> FlowPath {
-        let half = rtt / 2;
-        let fwd_shim = net.add_link(LinkConfig::delay_only(half));
-        let rev_shim = net.add_link(LinkConfig::delay_only(rtt - half));
-        FlowPath {
-            fwd: vec![self.bottleneck, fwd_shim],
-            rev: vec![rev_shim],
-        }
+    pub fn attach_flow(&mut self, net: &mut NetworkBuilder, rtt: SimDuration) -> FlowPath {
+        self.attach_flow_with_ack_loss(net, rtt, 0.0)
     }
 
     /// Like [`Dumbbell::attach_flow`] but with random loss on the reverse
     /// (ACK) path as well — satellite links lose ACKs too.
     pub fn attach_flow_with_ack_loss(
-        &self,
+        &mut self,
         net: &mut NetworkBuilder,
         rtt: SimDuration,
         ack_loss: f64,
     ) -> FlowPath {
         let half = rtt / 2;
-        let fwd_shim = net.add_link(LinkConfig::delay_only(half));
-        let rev_shim = net.add_link(LinkConfig::delay_only(rtt - half).with_loss(ack_loss));
-        FlowPath {
-            fwd: vec![self.bottleneck, fwd_shim],
-            rev: vec![rev_shim],
-        }
+        let recv = self.topo.add_host();
+        self.topo
+            .add_link(self.mid, recv, LinkConfig::delay_only(half));
+        self.topo.add_link(
+            recv,
+            self.src,
+            LinkConfig::delay_only(rtt - half).with_loss(ack_loss),
+        );
+        self.topo.install(net);
+        // Single-path by construction, so the ECMP key is irrelevant.
+        self.topo.flow_path(self.src, recv, 0)
     }
 }
 
@@ -125,7 +150,7 @@ mod tests {
     #[test]
     fn dumbbell_wires_paths() {
         let mut net = NetworkBuilder::new(SimConfig::default());
-        let db = Dumbbell::new(&mut net, BottleneckSpec::new(100e6, 64_000));
+        let mut db = Dumbbell::new(&mut net, BottleneckSpec::new(100e6, 64_000));
         let p1 = db.attach_flow(&mut net, SimDuration::from_millis(30));
         let p2 = db.attach_flow(&mut net, SimDuration::from_millis(60));
         assert_eq!(p1.fwd[0], db.bottleneck(), "data crosses bottleneck first");
@@ -136,9 +161,24 @@ mod tests {
     }
 
     #[test]
+    fn dumbbell_link_ids_match_pre_graph_layout() {
+        // The historical layout: bottleneck first, then per flow the
+        // forward shim followed by the reverse shim. Determinism of every
+        // pre-graph experiment depends on this exact assignment.
+        let mut net = NetworkBuilder::new(SimConfig::default());
+        let mut db = Dumbbell::new(&mut net, BottleneckSpec::new(100e6, 64_000));
+        let p1 = db.attach_flow(&mut net, SimDuration::from_millis(30));
+        let p2 = db.attach_flow(&mut net, SimDuration::from_millis(60));
+        assert_eq!(p1.fwd, vec![LinkId(0), LinkId(1)]);
+        assert_eq!(p1.rev, vec![LinkId(2)]);
+        assert_eq!(p2.fwd, vec![LinkId(0), LinkId(3)]);
+        assert_eq!(p2.rev, vec![LinkId(4)]);
+    }
+
+    #[test]
     fn rtt_split_covers_odd_nanos() {
         let mut net = NetworkBuilder::new(SimConfig::default());
-        let db = Dumbbell::new(&mut net, BottleneckSpec::new(1e6, 1 << 16));
+        let mut db = Dumbbell::new(&mut net, BottleneckSpec::new(1e6, 1 << 16));
         // Odd RTT: halves must sum exactly.
         let rtt = SimDuration::from_nanos(30_000_001);
         let _ = db.attach_flow(&mut net, rtt);

@@ -845,7 +845,7 @@ mod tests {
         seed: u64,
     ) -> (SimReport, FlowId) {
         let mut net = net(seed);
-        let db = Dumbbell::new(
+        let mut db = Dumbbell::new(
             &mut net,
             BottleneckSpec::new(link_mbps * 1e6, 64_000).with_loss(loss),
         );
@@ -874,7 +874,7 @@ mod tests {
         paced: bool,
     ) -> (SimReport, FlowId) {
         let mut net = net(12);
-        let db = Dumbbell::new(
+        let mut db = Dumbbell::new(
             &mut net,
             BottleneckSpec::new(rate_mbps * 1e6, buffer).with_loss(loss),
         );
@@ -1063,7 +1063,7 @@ mod tests {
             fn on_loss(&mut self, _loss: &LossEvent, _ctx: &mut Ctx) {}
         }
         let mut net = net(5);
-        let db = Dumbbell::new(&mut net, BottleneckSpec::new(100e6, 1 << 20));
+        let mut db = Dumbbell::new(&mut net, BottleneckSpec::new(100e6, 1 << 20));
         let path = db.attach_flow(&mut net, SimDuration::from_millis(30));
         let flow = net.add_flow(FlowSpec {
             sender: Box::new(CcSender::new(
@@ -1095,7 +1095,7 @@ mod tests {
             fn on_loss(&mut self, _loss: &LossEvent, _ctx: &mut Ctx) {}
         }
         let mut net = net(1);
-        let db = Dumbbell::new(&mut net, BottleneckSpec::new(10e6, 64_000));
+        let mut db = Dumbbell::new(&mut net, BottleneckSpec::new(10e6, 64_000));
         let path = db.attach_flow(&mut net, SimDuration::from_millis(10));
         net.add_flow(FlowSpec {
             sender: Box::new(CcSender::new(CcSenderConfig::default(), Box::new(Lazy))),

@@ -24,7 +24,7 @@ fn run_with(label: &str, sender: Box<dyn Endpoint>) -> f64 {
     let mut net = NetworkBuilder::new(SimConfig::default());
     let setup = LinkSetup::new(100e6, SimDuration::from_millis(30), 375_000);
     let _ = setup;
-    let db = Dumbbell::new(
+    let mut db = Dumbbell::new(
         &mut net,
         BottleneckSpec::new(100e6, 375_000)
             .with_loss(0.30)
