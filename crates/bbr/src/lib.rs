@@ -31,8 +31,6 @@
 //! the scenario builders, the conformance suite, the experiments binary,
 //! and the real-UDP datapath with zero per-harness code.
 
-#![warn(missing_docs)]
-
 mod bbr;
 pub mod model;
 

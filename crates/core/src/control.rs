@@ -21,7 +21,7 @@
 //! concluding a decision immediately re-bases the current MI rather than
 //! waiting for the next boundary.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pcc_simnet::time::SimDuration;
 use pcc_transport::cc::{AckEvent, CongestionControl, Ctx as CtrlCtx, LossEvent, SentEvent};
@@ -96,15 +96,15 @@ pub struct PccController {
     phase: Phase,
     /// Base rate `r` (bits/sec) that decisions perturb around.
     rate: f64,
-    purposes: HashMap<u64, Purpose>,
+    purposes: BTreeMap<u64, Purpose>,
     /// Starting-phase utilities by step.
-    start_utils: HashMap<u32, f64>,
+    start_utils: BTreeMap<u32, f64>,
     /// Consecutive non-improving starting steps (for noise tolerance).
     start_misses: u32,
     /// Trial utilities by (round, slot).
-    trial_utils: HashMap<(u64, u8), (f64, f64)>,
+    trial_utils: BTreeMap<(u64, u8), (f64, f64)>,
     /// Adjusting utilities by n (0 = seed from winning trials).
-    adjust_utils: HashMap<u32, f64>,
+    adjust_utils: BTreeMap<u32, f64>,
     trial_round: u64,
     stats: PccStats,
     mss: u32,
@@ -125,11 +125,11 @@ impl PccController {
             rtt: RttEstimator::new(SimDuration::from_millis(200), SimDuration::from_secs(120)),
             phase: Phase::Starting,
             rate: 0.0,
-            purposes: HashMap::new(),
-            start_utils: HashMap::new(),
+            purposes: BTreeMap::new(),
+            start_utils: BTreeMap::new(),
             start_misses: 0,
-            trial_utils: HashMap::new(),
-            adjust_utils: HashMap::new(),
+            trial_utils: BTreeMap::new(),
+            adjust_utils: BTreeMap::new(),
             trial_round: 0,
             stats: PccStats::default(),
             mss: 1500,

@@ -46,8 +46,6 @@
 //! assert!(tput > 80.0, "PCC fills the pipe: {tput} Mbps");
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod config;
 pub mod control;
 pub mod fluid;

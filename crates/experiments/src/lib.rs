@@ -9,8 +9,6 @@
 //! every scaling decision is recorded in `EXPERIMENTS.md` at the repo root.
 //! Pass `--full` for paper-scale durations.
 
-#![warn(missing_docs)]
-
 pub mod dc;
 pub mod fig05_internet;
 pub mod fig06_satellite;

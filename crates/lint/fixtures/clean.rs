@@ -1,0 +1,14 @@
+//! Negative fixture: every lint trigger appears only where the lexer
+//! must refuse to see it. Zero diagnostics expected.
+// HashMap HashSet Instant::now() SystemTime thread_rng() OsRng
+/* m.lock().unwrap(); a.partial_cmp(b).unwrap(); RandomState */
+fn clean() -> &'static str {
+    let s = "HashMap Instant::now() thread_rng()";
+    let r = r##"SystemTime "# RandomState .lock().unwrap()"##;
+    let c = 'H';
+    let lt: &'static str = "partial_cmp(x).unwrap() as text";
+    let b = b"HashSet .read().expect(\"x\")";
+    let map = std::collections::BTreeMap::<u32, u32>::new();
+    let _ = (s, r, c, lt, b, map.len());
+    s
+}

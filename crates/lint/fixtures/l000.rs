@@ -1,0 +1,7 @@
+//! L000 fixture: suppressions must carry reasons and known ids.
+// lint: allow(L001)
+use std::collections::HashMap;
+// lint: allow(L999) — the id does not exist
+fn f(m: HashMap<u32, u32>) -> usize {
+    m.len()
+}

@@ -1,0 +1,15 @@
+//! L001 fixture: default-hasher collections in a deterministic crate.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn decoys() {
+    let a = "HashMap in a string is invisible";
+    // HashMap in a comment is invisible
+    let b = r#"HashSet in a raw string is invisible"#;
+    let _ = (a, b);
+}
+
+// lint: allow(L001) — fixture: a reasoned allow must suppress the hit on the next code line
+fn suppressed(m: HashMap<u32, u32>) -> usize {
+    m.len()
+}

@@ -1,0 +1,14 @@
+//! L002 fixture: wall-clock reads in a deterministic crate.
+use std::time::Instant;
+
+fn bad() {
+    let t0 = Instant::now();
+    let epoch = std::time::SystemTime::UNIX_EPOCH;
+    let _ = (t0, epoch);
+}
+
+fn decoys() {
+    let s = "Instant::now() and SystemTime in a string";
+    // Instant::now() in a comment
+    let _ = s;
+}

@@ -1,0 +1,13 @@
+//! L003 fixture: RNGs constructed from ambient entropy.
+fn bad() {
+    let mut rng = thread_rng();
+    let state = RandomState::new();
+    let os = OsRng;
+    let _ = (rng.next(), state, os);
+}
+
+fn good(seed: u64) -> u64 {
+    // The sanctioned plumbing: SimRng::new(seed) / rng.derive(tag).
+    let rng = SimRng::new(seed).derive(7);
+    rng.next_u64()
+}

@@ -1,0 +1,19 @@
+//! L004 fixture: poison-blind lock acquisition.
+use std::sync::{Mutex, RwLock};
+
+fn bad(m: &Mutex<u32>, rw: &RwLock<u32>) {
+    let a = *m.lock().unwrap();
+    let b = *rw.read().expect("poisoned");
+    let c = *rw
+        .write()
+        .unwrap();
+    let _ = (a, b, c);
+}
+
+fn good(m: &Mutex<u32>, f: &mut impl std::io::Read) {
+    // The canonical recovery idiom never fires.
+    let _ = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    // An io::Read with arguments is not a lock acquisition.
+    let mut buf = [0u8; 4];
+    let _ = f.read(&mut buf).unwrap();
+}

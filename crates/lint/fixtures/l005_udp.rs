@@ -1,0 +1,4 @@
+//! L005 fixture B: the udp side, missing the tcp family and the alias.
+pub fn install_registry() {
+    pcc_core::register_algorithms();
+}

@@ -1,0 +1,11 @@
+//! L007 fixture: partial order unwrapped inside sort comparators.
+fn bad(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(|a, b| a.partial_cmp(&b.abs().max(1.0)).expect("no NaNs"));
+}
+
+fn good(v: &mut [f64]) {
+    v.sort_by(|a, b| a.total_cmp(b));
+    // A bare partial_cmp handed to a combinator is fine.
+    let _ = v[0].partial_cmp(&v[1]);
+}

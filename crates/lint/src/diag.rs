@@ -1,0 +1,117 @@
+//! Diagnostics: the one output type every lint produces, with human
+//! (`path:line:col: Lxxx message`) and machine (JSON array) renderings.
+
+use std::fmt::Write as _;
+
+/// One lint finding, anchored to a file position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Catalog id (`"L001"` … `"L007"`, or `"L000"` for a malformed
+    /// suppression).
+    pub id: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line of the anchor token.
+    pub line: u32,
+    /// 1-based column of the anchor token.
+    pub col: u32,
+    /// What is wrong, in one sentence.
+    pub message: String,
+    /// How to fix it (rendered as a `help:` line), if the lint has a
+    /// canonical idiom to suggest.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// `path:line:col: Lxxx message` plus an optional indented help line.
+    pub fn render_human(&self) -> String {
+        let mut s = format!(
+            "{}:{}:{}: {} {}",
+            self.path, self.line, self.col, self.id, self.message
+        );
+        if let Some(h) = &self.help {
+            let _ = write!(s, "\n    help: {h}");
+        }
+        s
+    }
+}
+
+/// Render diagnostics as a JSON array (hand-rolled: the workspace builds
+/// without network access, so no serde).
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        let _ = write!(
+            out,
+            "\"id\":{},\"path\":{},\"line\":{},\"col\":{},\"message\":{}",
+            json_str(d.id),
+            json_str(&d.path),
+            d.line,
+            d.col,
+            json_str(&d.message)
+        );
+        if let Some(h) = &d.help {
+            let _ = write!(out, ",\"help\":{}", json_str(h));
+        }
+        out.push('}');
+    }
+    out.push_str(if diags.is_empty() { "]" } else { "\n]" });
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d() -> Diagnostic {
+        Diagnostic {
+            id: "L001",
+            path: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 9,
+            message: "a \"quoted\" problem".into(),
+            help: Some("use BTreeMap".into()),
+        }
+    }
+
+    #[test]
+    fn human_format() {
+        assert_eq!(
+            d().render_human(),
+            "crates/x/src/lib.rs:3:9: L001 a \"quoted\" problem\n    help: use BTreeMap"
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let j = render_json(&[d()]);
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(j.contains("\"id\":\"L001\""));
+        assert!(j.contains("a \\\"quoted\\\" problem"));
+        assert_eq!(render_json(&[]), "[]");
+    }
+}

@@ -1,0 +1,470 @@
+//! A hand-rolled Rust lexer, just deep enough to lint safely.
+//!
+//! The lints in this crate are token-pattern matchers, so the one thing
+//! the lexer must get *right* is the boundary between code and non-code:
+//! a `HashMap` inside a string literal, a doc comment, or a `r#"raw"#`
+//! string must never produce an `Ident` token. Everything else can be
+//! coarse — numbers are one blob, multi-character operators come out as
+//! single-character puncts — because no lint cares.
+//!
+//! Guarantees (enforced by the proptest suite in `tests/`):
+//!
+//! * never panics, on any byte sequence;
+//! * comments and every literal form (strings, raw strings with any hash
+//!   depth, byte strings, chars, lifetimes-vs-chars) are tokenized as
+//!   opaque units, so lint triggers hidden inside them are invisible;
+//! * every token carries the 1-based line/column of its first character.
+
+/// What a token is. See the module docs for the fidelity contract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#idents`, without the `r#`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (text excludes the quote).
+    Lifetime,
+    /// Numeric literal, consumed as one blob including suffixes.
+    Num,
+    /// String / raw-string / byte-string literal, consumed opaquely.
+    Str,
+    /// Character or byte-character literal, consumed opaquely.
+    Char,
+    /// Any other single character of code.
+    Punct,
+    /// `// ...` (text includes the slashes, excludes the newline).
+    LineComment,
+    /// `/* ... */`, nesting respected (text includes the delimiters).
+    BlockComment,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text (for `Str`/`Char`/comments: the raw spelling).
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// Is this token the identifier `name`?
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Is this token the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advance one byte, tracking line/col. Multi-byte UTF-8 continuation
+    /// bytes do not advance the column, so columns count characters.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn text_since(&self, start: usize) -> String {
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenize `src`. Total: every byte is consumed, unterminated literals
+/// and comments simply extend to end-of-input, and nothing panics.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut c = Cursor::new(src);
+    let mut toks = Vec::new();
+    while let Some(b) = c.peek() {
+        let (line, col, start) = (c.line, c.col, c.pos);
+        match b {
+            b if b.is_ascii_whitespace() => {
+                c.bump();
+            }
+            b'/' if c.peek_at(1) == Some(b'/') => {
+                while let Some(n) = c.peek() {
+                    if n == b'\n' {
+                        break;
+                    }
+                    c.bump();
+                }
+                toks.push(Tok {
+                    kind: TokKind::LineComment,
+                    text: c.text_since(start),
+                    line,
+                    col,
+                });
+            }
+            b'/' if c.peek_at(1) == Some(b'*') => {
+                c.bump();
+                c.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (c.peek(), c.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => break, // unterminated: swallow to EOF
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::BlockComment,
+                    text: c.text_since(start),
+                    line,
+                    col,
+                });
+            }
+            b'"' => {
+                lex_string(&mut c);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: c.text_since(start),
+                    line,
+                    col,
+                });
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(&c) => {
+                let kind = lex_prefixed_literal(&mut c);
+                toks.push(Tok {
+                    kind,
+                    text: c.text_since(start),
+                    line,
+                    col,
+                });
+            }
+            b'\'' => {
+                let kind = lex_quote(&mut c);
+                toks.push(Tok {
+                    kind,
+                    text: c.text_since(start),
+                    line,
+                    col,
+                });
+            }
+            b if is_ident_start(b) => {
+                while let Some(n) = c.peek() {
+                    if !is_ident_continue(n) {
+                        break;
+                    }
+                    c.bump();
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: c.text_since(start),
+                    line,
+                    col,
+                });
+            }
+            b if b.is_ascii_digit() => {
+                while let Some(n) = c.peek() {
+                    if is_ident_continue(n) {
+                        c.bump();
+                    } else if n == b'.' && c.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+                        // `1.5` continues the number; `1..n` does not.
+                        c.bump();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: c.text_since(start),
+                    line,
+                    col,
+                });
+            }
+            _ => {
+                c.bump();
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.text_since(start),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    toks
+}
+
+/// At a `r`/`b`: does a raw string (`r"`, `r#`), byte string (`b"`,
+/// `br`), or byte char (`b'`) start here — as opposed to an ordinary
+/// identifier like `rate` or a raw identifier `r#ident`?
+fn starts_raw_or_byte_literal(c: &Cursor<'_>) -> bool {
+    match (c.peek(), c.peek_at(1), c.peek_at(2)) {
+        (Some(b'r'), Some(b'"'), _) => true,
+        // `r#` could be a raw string `r#"`, a deeper one `r##"`, or a raw
+        // identifier `r#ident`; all are routed to the prefixed-literal
+        // lexer, which disambiguates after counting hashes.
+        (Some(b'r'), Some(b'#'), Some(n)) => n == b'"' || n == b'#' || is_ident_start(n),
+        (Some(b'b'), Some(b'"'), _) => true,
+        (Some(b'b'), Some(b'\''), _) => true,
+        (Some(b'b'), Some(b'r'), Some(b'"')) => true,
+        (Some(b'b'), Some(b'r'), Some(b'#')) => true,
+        _ => false,
+    }
+}
+
+/// Lex a `"` string body (cursor on the opening quote). Handles `\"`,
+/// `\\`, and multi-line strings; unterminated swallows to EOF.
+fn lex_string(c: &mut Cursor<'_>) {
+    c.bump(); // opening quote
+    while let Some(b) = c.peek() {
+        match b {
+            b'\\' => {
+                c.bump();
+                c.bump(); // whatever is escaped, even a quote
+            }
+            b'"' => {
+                c.bump();
+                return;
+            }
+            _ => {
+                c.bump();
+            }
+        }
+    }
+}
+
+/// Lex a literal starting with `r`/`b`/`br` (cursor on the prefix).
+fn lex_prefixed_literal(c: &mut Cursor<'_>) -> TokKind {
+    let mut raw = false;
+    if c.peek() == Some(b'b') {
+        c.bump();
+        if c.peek() == Some(b'r') {
+            raw = true;
+            c.bump();
+        }
+    } else if c.peek() == Some(b'r') {
+        raw = true;
+        c.bump();
+    }
+    if !raw {
+        // `b"..."` or `b'.'`: same body rules as the unprefixed forms.
+        return match c.peek() {
+            Some(b'"') => {
+                lex_string(c);
+                TokKind::Str
+            }
+            _ => lex_quote(c),
+        };
+    }
+    // Raw (byte) string: count hashes, then scan for `"` + that many `#`.
+    let mut hashes = 0usize;
+    while c.peek() == Some(b'#') {
+        hashes += 1;
+        c.bump();
+    }
+    if c.peek() != Some(b'"') {
+        // `r#ident` raw identifier (or stray `r#`): emit as ident-ish.
+        while let Some(n) = c.peek() {
+            if !is_ident_continue(n) {
+                break;
+            }
+            c.bump();
+        }
+        return TokKind::Ident;
+    }
+    c.bump(); // opening quote
+    'scan: while let Some(b) = c.peek() {
+        if b == b'"' {
+            for k in 0..hashes {
+                if c.peek_at(1 + k) != Some(b'#') {
+                    c.bump();
+                    continue 'scan;
+                }
+            }
+            for _ in 0..=hashes {
+                c.bump();
+            }
+            return TokKind::Str;
+        }
+        c.bump();
+    }
+    TokKind::Str // unterminated raw string: swallowed to EOF
+}
+
+/// Lex from a `'`: either a lifetime (`'a`, `'static`) or a char literal
+/// (`'x'`, `'\n'`, `'\u{1F600}'`). Cursor sits on the quote.
+fn lex_quote(c: &mut Cursor<'_>) -> TokKind {
+    c.bump(); // the quote
+    match c.peek() {
+        // Escape: definitely a char literal.
+        Some(b'\\') => {
+            c.bump();
+            c.bump(); // the escaped character
+            while let Some(b) = c.peek() {
+                // \u{...} bodies and the closing quote.
+                c.bump();
+                if b == b'\'' {
+                    break;
+                }
+            }
+            TokKind::Char
+        }
+        // `'a'` is a char; `'a` followed by anything else is a lifetime.
+        Some(b) if is_ident_start(b) => {
+            c.bump();
+            if c.peek() == Some(b'\'') {
+                c.bump();
+                return TokKind::Char;
+            }
+            while let Some(n) = c.peek() {
+                if !is_ident_continue(n) {
+                    break;
+                }
+                c.bump();
+            }
+            TokKind::Lifetime
+        }
+        // `'3'`, `' '`, `'('` … any single char then a quote.
+        Some(_) => {
+            c.bump();
+            if c.peek() == Some(b'\'') {
+                c.bump();
+            }
+            TokKind::Char
+        }
+        None => TokKind::Punct, // lone trailing quote
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            let a = "HashMap in a string";
+            // HashMap in a line comment
+            /* HashMap /* nested */ still comment */
+            let b = r#"HashMap in a raw string"#;
+            let c = b"HashMap bytes";
+            let real = HashMap_marker;
+        "##;
+        assert_eq!(
+            idents(src),
+            vec![
+                "let",
+                "a",
+                "let",
+                "b",
+                "let",
+                "c",
+                "let",
+                "real",
+                "HashMap_marker"
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "'x'");
+    }
+
+    #[test]
+    fn escaped_quote_in_char_does_not_derail() {
+        let src = r"let q = '\''; let h = HashMap;";
+        assert_eq!(idents(src), vec!["let", "q", "let", "h", "HashMap"]);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_string_hash_depth_respected() {
+        // The `"#` inside does not close a `##`-delimited raw string.
+        let src = r###"let s = r##"tricky "# HashMap "##; done"###;
+        assert_eq!(idents(src), vec!["let", "s", "done"]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        assert_eq!(
+            idents("r#fn r#type normal"),
+            vec!["r#fn", "r#type", "normal"]
+        );
+    }
+
+    #[test]
+    fn unterminated_forms_never_panic() {
+        for src in ["\"unterminated", "/* open", "r#\"open", "'", "b\"x", "r#"] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! `pcc-lint` CLI: the determinism & hygiene gate.
+//!
+//! ```text
+//! pcc-lint [--deny-all] [--json] [--root <dir>] [--list]
+//! ```
+//!
+//! * default: report diagnostics, exit 0 (advisory, for the dev loop);
+//! * `--deny-all`: exit non-zero on ANY diagnostic — unsuppressed lint
+//!   hit or reason-less suppression — the CI contract;
+//! * `--json`: machine-readable diagnostics on stdout;
+//! * `--list`: print the lint catalog and exit.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny_all = false;
+    let mut json = false;
+    let mut list = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny-all" => deny_all = true,
+            "--json" => json = true,
+            "--list" => list = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!(
+                    "pcc-lint: determinism & hygiene auditor\n\n\
+                     usage: pcc-lint [--deny-all] [--json] [--root <dir>] [--list]\n\n\
+                     --deny-all  exit non-zero on any diagnostic (the CI gate)\n\
+                     --json      machine-readable output\n\
+                     --root DIR  workspace root (default: walk up from cwd)\n\
+                     --list      print the lint catalog"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list {
+        println!("{:<6} {:<22} rule", "id", "slug");
+        for l in pcc_lint::rules::CATALOG {
+            println!("{:<6} {:<22} {}", l.id, l.slug, l.rule);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| pcc_lint::walk::find_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("pcc-lint: no workspace root found (set --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match pcc_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pcc-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", pcc_lint::diag::render_json(&report.diagnostics));
+    } else {
+        for d in &report.diagnostics {
+            println!("{}", d.render_human());
+        }
+    }
+    eprintln!(
+        "pcc-lint: {} file(s), {} manifest(s) scanned, {} diagnostic(s)",
+        report.files_scanned,
+        report.manifests_scanned,
+        report.diagnostics.len()
+    );
+    if deny_all && !report.diagnostics.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

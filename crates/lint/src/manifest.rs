@@ -1,0 +1,183 @@
+//! L006 dep-free: every `Cargo.toml` dependency must be an in-workspace
+//! path dependency.
+//!
+//! The build environment has no network access (see the proptest shim's
+//! origin story), so a registry/git dependency would break the build the
+//! moment the lockfile needs refreshing — and silently couples results
+//! to code the repo does not pin. A minimal line-oriented TOML scan is
+//! enough: dependency sections are flat, and Cargo requires inline
+//! tables on one line.
+
+use crate::diag::Diagnostic;
+
+/// Lint one manifest. `path` is the workspace-relative label used in
+/// diagnostics.
+pub fn lint_manifest(path: &str, src: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut in_dep_section = false;
+    // `[dependencies.foo]` sub-table: (dep name, header line), pending
+    // until we see a `path =` key or the next section.
+    let mut pending_table: Option<(String, u32)> = None;
+    let mut pending_has_path = false;
+
+    let close_pending =
+        |pending: &mut Option<(String, u32)>, has_path: &mut bool, diags: &mut Vec<Diagnostic>| {
+            if let Some((name, line)) = pending.take() {
+                if !*has_path {
+                    diags.push(violation(
+                        path,
+                        line,
+                        1,
+                        &name,
+                        "its table has no `path` key",
+                    ));
+                }
+            }
+            *has_path = false;
+        };
+
+    for (ix, raw) in src.lines().enumerate() {
+        let line_no = ix as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let header = header.trim_end_matches(']').trim();
+            close_pending(&mut pending_table, &mut pending_has_path, &mut diags);
+            if let Some(dep_name) = header
+                .strip_prefix("dependencies.")
+                .or_else(|| header.strip_prefix("dev-dependencies."))
+                .or_else(|| header.strip_prefix("build-dependencies."))
+            {
+                // `[dependencies.foo]` long form.
+                in_dep_section = false;
+                pending_table = Some((dep_name.to_string(), line_no));
+            } else {
+                in_dep_section = is_dep_section(header);
+            }
+            continue;
+        }
+        if pending_table.is_some() {
+            if let Some((key, _)) = split_kv(line) {
+                if key == "path" {
+                    pending_has_path = true;
+                }
+            }
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        let Some((name, value)) = split_kv(line) else {
+            continue;
+        };
+        if value.starts_with('{') {
+            if !inline_table_has_path(value) {
+                diags.push(violation(
+                    path,
+                    line_no,
+                    1,
+                    name,
+                    "its inline table has no `path` key",
+                ));
+            }
+        } else if name.ends_with(".path") || name.ends_with(".workspace") {
+            // `foo.path = "..."` is fine; `foo.workspace = true` resolves
+            // through `[workspace.dependencies]`, which is itself scanned.
+        } else {
+            // `foo = "1.0"` (registry) or `foo.workspace = true` etc.
+            diags.push(violation(
+                path,
+                line_no,
+                1,
+                name,
+                "it is not declared with a `path`",
+            ));
+        }
+    }
+    close_pending(&mut pending_table, &mut pending_has_path, &mut diags);
+    diags
+}
+
+fn violation(path: &str, line: u32, col: u32, dep: &str, why: &str) -> Diagnostic {
+    Diagnostic {
+        id: "L006",
+        path: path.to_string(),
+        line,
+        col,
+        message: format!(
+            "dependency `{dep}` is not an in-workspace path dep ({why}): the \
+             no-network build cannot fetch it"
+        ),
+        help: Some(
+            "declare it as `{ path = \"../<crate>\" }` or vendor it as a workspace member"
+                .to_string(),
+        ),
+    }
+}
+
+fn is_dep_section(header: &str) -> bool {
+    matches!(
+        header,
+        "dependencies" | "dev-dependencies" | "build-dependencies"
+    ) || header.ends_with(".dependencies")
+        || header.ends_with(".dev-dependencies")
+        || header.ends_with(".build-dependencies")
+}
+
+/// Split `key = value` (None for section-less junk).
+fn split_kv(line: &str) -> Option<(&str, &str)> {
+    let eq = line.find('=')?;
+    Some((line[..eq].trim(), line[eq + 1..].trim()))
+}
+
+/// Does `{ ... }` contain a top-level `path` key?
+fn inline_table_has_path(value: &str) -> bool {
+    let inner = value.trim_start_matches('{').trim_end_matches('}');
+    inner
+        .split(',')
+        .any(|kv| kv.split('=').next().is_some_and(|k| k.trim() == "path"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_deps_are_clean() {
+        let src = "[package]\nname = \"x\"\nversion = \"1.0\"\n\n[dependencies]\npcc-core = { path = \"../core\" }\n\n[dev-dependencies]\nproptest = { path = \"../proptest\" }\n";
+        assert!(lint_manifest("Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn registry_and_git_deps_fire() {
+        let src = "[dependencies]\nserde = \"1.0\"\nrand = { version = \"0.8\", features = [\"std\"] }\nfoo = { git = \"https://example.com/foo\" }\n";
+        let diags = lint_manifest("Cargo.toml", src);
+        assert_eq!(diags.len(), 3, "{diags:?}");
+        assert_eq!(diags[0].line, 2);
+        assert!(diags.iter().all(|d| d.id == "L006"));
+    }
+
+    #[test]
+    fn long_form_dep_table_needs_path() {
+        let good = "[dependencies.pcc-core]\npath = \"../core\"\n";
+        assert!(lint_manifest("Cargo.toml", good).is_empty());
+        let bad = "[dependencies.serde]\nversion = \"1.0\"\n\n[features]\n";
+        let diags = lint_manifest("Cargo.toml", bad);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn package_section_is_not_a_dep_section() {
+        let src = "[package]\nname = \"pcc\"\nversion.workspace = true\n";
+        assert!(lint_manifest("Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn target_specific_sections_are_covered() {
+        let src = "[target.'cfg(unix)'.dependencies]\nlibc = \"0.2\"\n";
+        assert_eq!(lint_manifest("Cargo.toml", src).len(), 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! L005 registry-parity: the cross-file semantic check.
+//!
+//! The simulator side (`pcc_scenarios::install_registry`) and the
+//! real-socket side (`pcc_udp::install_registry`) must assemble the same
+//! algorithm registry, or a name resolves in one datapath and not the
+//! other — exactly the PR 2 `bbr` bug, where the algorithm existed for
+//! scenarios but `udp_transfer -- bbr` failed. This check extracts, from
+//! each `install_registry` body, (a) every `X::register_algorithms()`
+//! call and (b) every name string passed to a direct `register*` call,
+//! and diagnoses any asymmetry.
+
+use std::collections::BTreeSet;
+
+use crate::diag::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+
+/// What one `install_registry` registers, with the fn's anchor position.
+#[derive(Debug)]
+pub struct Registrations {
+    /// Union of `X` from `X::register_algorithms()` calls and literal
+    /// names from direct `register*("name", ...)` calls.
+    pub names: BTreeSet<String>,
+    /// Line of the `install_registry` identifier.
+    pub line: u32,
+    /// Column of the `install_registry` identifier.
+    pub col: u32,
+}
+
+/// Extract registrations from a lexed file, if it defines
+/// `fn install_registry`.
+pub fn extract(toks: &[Tok]) -> Option<Registrations> {
+    let code: Vec<&Tok> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let fn_ix = code
+        .windows(2)
+        .position(|w| w[0].is_ident("fn") && w[1].is_ident("install_registry"))?
+        + 1;
+    // Find the body braces.
+    let open = (fn_ix..code.len()).find(|&j| code[j].is_punct('{'))?;
+    let mut depth = 0i32;
+    let mut close = code.len();
+    for (j, t) in code.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                close = j;
+                break;
+            }
+        }
+    }
+    let body = &code[open..close];
+    let mut names = BTreeSet::new();
+    for (j, t) in body.iter().enumerate() {
+        // `X::register_algorithms()` — record the source crate path `X`.
+        if t.is_ident("register_algorithms")
+            && j >= 3
+            && body[j - 1].is_punct(':')
+            && body[j - 2].is_punct(':')
+            && body[j - 3].kind == TokKind::Ident
+        {
+            names.insert(format!("{}::register_algorithms", body[j - 3].text));
+        }
+        // Direct `register*("name", ...)` — record the literal name.
+        if t.kind == TokKind::Ident
+            && t.text.starts_with("register")
+            && t.text != "register_algorithms"
+            && body.get(j + 1).is_some_and(|p| p.is_punct('('))
+        {
+            if let Some(lit) = body.get(j + 2).filter(|l| l.kind == TokKind::Str) {
+                names.insert(unquote(&lit.text));
+            }
+        }
+    }
+    Some(Registrations {
+        names,
+        line: code[fn_ix].line,
+        col: code[fn_ix].col,
+    })
+}
+
+/// Strip the quoting from a string literal's source text (`"x"`,
+/// `r#"x"#`, `b"x"` all yield `x`). Lossy on escapes, which algorithm
+/// names never contain.
+fn unquote(lit: &str) -> String {
+    lit.trim_start_matches(['r', 'b'])
+        .trim_matches('#')
+        .trim_matches('"')
+        .to_string()
+}
+
+/// Compare the two sides; one diagnostic per missing entry, anchored at
+/// the deficient side's `install_registry`.
+pub fn check(a: (&str, &Registrations), b: (&str, &Registrations)) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for ((here_path, here), (there_path, there)) in [(a, b), (b, a)] {
+        for missing in there.names.difference(&here.names) {
+            diags.push(Diagnostic {
+                id: "L005",
+                path: here_path.to_string(),
+                line: here.line,
+                col: here.col,
+                message: format!(
+                    "registry parity broken: `{missing}` is registered in \
+                     {there_path} but not here — the name would resolve on one \
+                     datapath and fail on the other"
+                ),
+                help: Some("add the same registration to both install_registry bodies".to_string()),
+            });
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const SIDE_A: &str = r#"
+        pub fn install_registry() {
+            ONCE.call_once(|| {
+                pcc_core::register_algorithms();
+                pcc_tcp::register_algorithms();
+                register_alias("reno", "newreno");
+            });
+        }
+    "#;
+
+    #[test]
+    fn extracts_both_call_forms() {
+        let r = extract(&lex(SIDE_A)).expect("found fn");
+        let names: Vec<&str> = r.names.iter().map(|s| s.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "pcc_core::register_algorithms",
+                "pcc_tcp::register_algorithms",
+                "reno"
+            ]
+        );
+    }
+
+    #[test]
+    fn symmetric_sides_are_clean() {
+        let a = extract(&lex(SIDE_A)).unwrap();
+        let b = extract(&lex(SIDE_A)).unwrap();
+        assert!(check(("a.rs", &a), ("b.rs", &b)).is_empty());
+    }
+
+    #[test]
+    fn missing_registration_fires_on_the_deficient_side() {
+        let a = extract(&lex(SIDE_A)).unwrap();
+        let b = extract(&lex(
+            "fn install_registry() { pcc_core::register_algorithms(); }",
+        ))
+        .unwrap();
+        let diags = check(("full.rs", &a), ("partial.rs", &b));
+        assert_eq!(diags.len(), 2, "{diags:?}"); // tcp call + reno alias
+        assert!(diags
+            .iter()
+            .all(|d| d.path == "partial.rs" && d.id == "L005"));
+    }
+
+    #[test]
+    fn no_fn_no_extraction() {
+        assert!(extract(&lex("fn other() {}")).is_none());
+    }
+}

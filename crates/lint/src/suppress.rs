@@ -1,0 +1,169 @@
+//! Suppression comments: `// lint: allow(L001) — <reason>`.
+//!
+//! A suppression is *scoped* (it covers its own line and the next line
+//! that carries code) and *accountable* (the reason after the dash is
+//! mandatory — a reason-less or malformed suppression is itself a
+//! diagnostic, `L000`, so `--deny-all` fails on it). Several ids can be
+//! allowed at once: `allow(L001, L004)`.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+use crate::rules;
+
+/// One parsed, well-formed allow comment.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// Lint ids this comment suppresses.
+    pub ids: Vec<String>,
+    /// Lines covered: the comment's own line and the next code line.
+    pub lines: [u32; 2],
+}
+
+/// Scan `toks` for lint-control comments. Returns the well-formed
+/// suppressions plus an `L000` diagnostic for every malformed one.
+pub fn collect(path: &str, toks: &[Tok]) -> (Vec<Allow>, Vec<Diagnostic>) {
+    let mut allows = Vec::new();
+    let mut diags = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let body = match t.kind {
+            TokKind::LineComment => t.text.trim_start_matches('/').trim(),
+            TokKind::BlockComment => t
+                .text
+                .trim_start_matches("/*")
+                .trim_end_matches("*/")
+                .trim(),
+            _ => continue,
+        };
+        let Some(rest) = body.strip_prefix("lint:") else {
+            continue;
+        };
+        let mut fail = |msg: String| {
+            diags.push(Diagnostic {
+                id: "L000",
+                path: path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: msg,
+                help: Some(
+                    "write `// lint: allow(L00x) — <why this is sound>`; the reason is mandatory"
+                        .to_string(),
+                ),
+            });
+        };
+        let rest = rest.trim();
+        let Some(rest) = rest.strip_prefix("allow") else {
+            fail(format!("unrecognized lint control `{body}`"));
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            fail("suppression is missing its `(L00x)` id list".to_string());
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            fail("suppression id list is missing its closing `)`".to_string());
+            continue;
+        };
+        let (id_list, after) = rest.split_at(close);
+        let ids: Vec<String> = id_list
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if ids.is_empty() {
+            fail("suppression allows no lint ids".to_string());
+            continue;
+        }
+        if let Some(bad) = ids.iter().find(|id| !rules::is_known_id(id)) {
+            fail(format!(
+                "unknown lint id `{bad}` (known: {})",
+                rules::known_ids().join(", ")
+            ));
+            continue;
+        }
+        let reason = after[1..] // past the ')'
+            .trim_start()
+            .trim_start_matches(['—', '–', '-', ':'])
+            .trim();
+        if reason.is_empty() {
+            fail(format!(
+                "suppression of {} carries no reason",
+                ids.join(", ")
+            ));
+            continue;
+        }
+        let next_code_line = toks[i + 1..]
+            .iter()
+            .find(|n| {
+                !matches!(n.kind, TokKind::LineComment | TokKind::BlockComment) && n.line > t.line
+            })
+            .map(|n| n.line)
+            .unwrap_or(t.line);
+        allows.push(Allow {
+            ids,
+            lines: [t.line, next_code_line],
+        });
+    }
+    (allows, diags)
+}
+
+/// Is a diagnostic with `id` at `line` covered by one of `allows`?
+pub fn is_suppressed(allows: &[Allow], id: &str, line: u32) -> bool {
+    allows
+        .iter()
+        .any(|a| a.lines.contains(&line) && a.ids.iter().any(|i| i == id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn well_formed_allow_parses_and_scopes() {
+        let toks = lex("// lint: allow(L001) — keyed by opaque ids; order never observed\nlet m = 1;\nlet n = 2;");
+        let (allows, diags) = collect("f.rs", &toks);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].lines, [1, 2]);
+        assert!(is_suppressed(&allows, "L001", 1));
+        assert!(is_suppressed(&allows, "L001", 2));
+        assert!(!is_suppressed(&allows, "L001", 3));
+        assert!(!is_suppressed(&allows, "L002", 2));
+    }
+
+    #[test]
+    fn reasonless_allow_is_l000() {
+        let (allows, diags) = collect("f.rs", &lex("// lint: allow(L002)\nx();"));
+        assert!(allows.is_empty());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].id, "L000");
+        assert!(diags[0].message.contains("no reason"));
+    }
+
+    #[test]
+    fn dash_variants_and_multi_id() {
+        for sep in ["—", "--", "-", ":"] {
+            let src = format!("// lint: allow(L001, L004) {sep} both are fine here\ny();");
+            let (allows, diags) = collect("f.rs", &lex(&src));
+            assert!(diags.is_empty(), "sep {sep}: {diags:?}");
+            assert_eq!(allows[0].ids, vec!["L001", "L004"]);
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_l000() {
+        let (_, diags) = collect("f.rs", &lex("// lint: allow(L999) — nope"));
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("unknown lint id"));
+    }
+
+    #[test]
+    fn non_lint_comments_are_ignored() {
+        let (allows, diags) = collect(
+            "f.rs",
+            &lex("// just a note about lint: things\n// lintel: allow(L001) — no"),
+        );
+        assert!(allows.is_empty() && diags.is_empty());
+    }
+}

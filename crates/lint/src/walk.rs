@@ -1,0 +1,200 @@
+//! Workspace discovery: find every member crate's sources and manifests
+//! from the root `Cargo.toml`, with a deterministic (sorted) file order.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One `.rs` file attributed to its crate.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Package name from the owning crate's manifest (e.g. `pcc-core`).
+    pub crate_name: String,
+    /// File contents.
+    pub src: String,
+}
+
+/// One `Cargo.toml`.
+pub struct ManifestFile {
+    /// Workspace-relative path.
+    pub rel_path: String,
+    /// File contents.
+    pub src: String,
+}
+
+/// Everything the linter scans.
+pub struct Workspace {
+    /// All member (and root-package) sources, sorted by path.
+    pub sources: Vec<SourceFile>,
+    /// Root + member manifests, sorted by path.
+    pub manifests: Vec<ManifestFile>,
+}
+
+/// Directories never scanned: build output and the lint fixture corpus
+/// (which exists to *contain* violations).
+const SKIP_DIRS: &[&str] = &["target", "fixtures", ".git"];
+
+/// Load the workspace rooted at `root` (must contain a `Cargo.toml` with
+/// a `[workspace]` table).
+pub fn load(root: &Path) -> io::Result<Workspace> {
+    let root_manifest_path = root.join("Cargo.toml");
+    let root_manifest = fs::read_to_string(&root_manifest_path)?;
+    let mut manifests = vec![ManifestFile {
+        rel_path: "Cargo.toml".to_string(),
+        src: root_manifest.clone(),
+    }];
+    let mut sources = Vec::new();
+
+    // The root package (if any) owns the top-level src/tests/examples.
+    if let Some(name) = package_name(&root_manifest) {
+        for sub in ["src", "tests", "examples", "benches"] {
+            collect_rs(root, &root.join(sub), &name, &mut sources)?;
+        }
+    }
+
+    for member in members(&root_manifest) {
+        let dir = root.join(&member);
+        let manifest_path = dir.join("Cargo.toml");
+        let manifest = match fs::read_to_string(&manifest_path) {
+            Ok(m) => m,
+            Err(_) => continue, // stale member entry; cargo would fail first
+        };
+        let name = package_name(&manifest).unwrap_or_else(|| member.clone());
+        manifests.push(ManifestFile {
+            rel_path: rel(root, &manifest_path),
+            src: manifest,
+        });
+        collect_rs(root, &dir, &name, &mut sources)?;
+    }
+
+    sources.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    manifests.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(Workspace { sources, manifests })
+}
+
+/// Walk upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(src) = fs::read_to_string(&manifest) {
+            if src.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+fn rel(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// `members = [ "crates/a", ... ]` from a workspace manifest.
+fn members(manifest: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_members = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("members") {
+            if rest.trim_start().starts_with('=') {
+                in_members = true;
+            }
+        }
+        if in_members {
+            for piece in line.split(',') {
+                let piece = piece.trim();
+                if let Some(q) = piece.find('"') {
+                    if let Some(q2) = piece[q + 1..].find('"') {
+                        out.push(piece[q + 1..q + 1 + q2].to_string());
+                    }
+                }
+            }
+            if line.contains(']') {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// `name = "..."` from the `[package]` section.
+fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(v) = rest.strip_prefix('=') {
+                    return Some(v.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Recursively collect `.rs` files under `dir` (which may not exist).
+fn collect_rs(
+    root: &Path,
+    dir: &Path,
+    crate_name: &str,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            collect_rs(root, &path, crate_name, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(SourceFile {
+                rel_path: rel(root, &path),
+                crate_name: crate_name.to_string(),
+                src: fs::read_to_string(&path)?,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_parses_the_root_manifest_shape() {
+        let m =
+            "[workspace]\nresolver = \"2\"\nmembers = [\n    \"crates/a\",\n    \"crates/b\",\n]\n";
+        assert_eq!(members(m), vec!["crates/a", "crates/b"]);
+    }
+
+    #[test]
+    fn package_name_reads_only_the_package_section() {
+        let m = "[workspace]\n\n[package]\nname = \"pcc\"\n\n[dependencies]\nname = \"decoy\"\n";
+        assert_eq!(package_name(m), Some("pcc".to_string()));
+        assert_eq!(package_name("[workspace]\n"), None);
+    }
+}

@@ -15,7 +15,6 @@
 //! each type; both preserve the control laws the paper's comparison is
 //! about. [`register_algorithms`] installs them as `sabul` and `pcp` in
 //! the workspace-wide [`pcc_transport::registry`].
-#![warn(missing_docs)]
 
 mod pcp;
 mod sabul;

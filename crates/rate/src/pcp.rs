@@ -18,7 +18,7 @@
 //! pause" schedule; we keep a fixed poll interval with doubling probes,
 //! which preserves the estimate-driven rate selection being compared.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pcc_simnet::time::{SimDuration, SimTime};
 use pcc_transport::cc::{AckEvent, CongestionControl, Ctx as CtrlCtx, LossEvent, SentEvent};
@@ -49,9 +49,9 @@ pub struct Pcp {
     /// Next probe-train tag.
     next_train: u32,
     /// Arrival observations per outstanding train.
-    trains: HashMap<u32, TrainObs>,
+    trains: BTreeMap<u32, TrainObs>,
     /// The rate each train probed at.
-    probe_rates: HashMap<u32, f64>,
+    probe_rates: BTreeMap<u32, f64>,
     /// Most recent dispersion-based bandwidth estimate, bits/sec.
     last_estimate_bps: Option<f64>,
     /// Sequences assigned to the in-progress train (tagging window).
@@ -76,8 +76,8 @@ impl Pcp {
             rate_bps: rate0_bps.max(1e5),
             pkt_bits: 1500.0 * 8.0,
             next_train: 0,
-            trains: HashMap::new(),
-            probe_rates: HashMap::new(),
+            trains: BTreeMap::new(),
+            probe_rates: BTreeMap::new(),
             last_estimate_bps: None,
             tagging: None,
             train_len: train_len.max(2),

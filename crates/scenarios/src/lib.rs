@@ -17,8 +17,6 @@
 //! All scenarios take explicit durations/seeds so tests can run scaled-down
 //! versions while the `pcc-experiments` crate runs paper-scale parameters.
 
-#![warn(missing_docs)]
-
 pub mod dc;
 pub mod dynamics;
 pub mod fct;

@@ -57,8 +57,6 @@
 //! assert_eq!(report.flows.len(), 1);
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod endpoint;
 pub mod event;
 pub mod ids;

@@ -194,7 +194,7 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
     sorted[rank.min(sorted.len() - 1)]
 }
@@ -284,6 +284,20 @@ mod tests {
         let med = percentile(&v, 50.0);
         assert!((49.0..=51.0).contains(&med));
         assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_tolerates_nan_instead_of_panicking() {
+        // The comparator used to be `partial_cmp(..).expect("no NaNs")`,
+        // which turned one NaN sample (e.g. 0/0 from an empty-interval
+        // rate) into a panic mid-table. `total_cmp` sorts NaN above every
+        // finite value, so finite percentiles of a mostly-finite series
+        // stay meaningful and nothing crashes.
+        let v = [3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        let p67 = percentile(&v, 67.0);
+        assert_eq!(p67, 3.0, "finite ranks unaffected by the NaN tail");
+        assert!(percentile(&v, 100.0).is_nan(), "NaN sorts last");
     }
 
     #[test]

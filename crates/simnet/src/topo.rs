@@ -697,7 +697,7 @@ mod tests {
             t.add_duplex(a, s, cfg(), cfg());
             t.add_duplex(s, b, cfg(), cfg());
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for f in 0..64u64 {
             let key = ecmp_key(9, f);
             let p1 = t.path_edges(a, b, key);
@@ -841,7 +841,7 @@ mod proptests {
             let path = t.path_edges(src, dst, key);
             prop_assert_eq!(path.len() as u32, t.routes().distance(src, dst).expect("connected"));
             let mut cur = src;
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = std::collections::BTreeSet::new();
             prop_assert!(seen.insert(cur));
             for e in &path {
                 let (a, b) = t.edge_endpoints(*e);

@@ -27,8 +27,6 @@
 //! errors, never a panic) or the workspace-wide
 //! [`pcc_transport::registry`] after [`register_algorithms`] has run.
 
-#![warn(missing_docs)]
-
 mod bic;
 mod common;
 mod cubic;

@@ -30,8 +30,6 @@
 //! are gone; both roles are modes of [`sender::CcSender`], selected by
 //! what the algorithm sets in `on_start`.
 
-#![warn(missing_docs)]
-
 pub mod cc;
 pub mod flow;
 pub mod receiver;

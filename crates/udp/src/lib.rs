@@ -17,8 +17,6 @@
 //! demonstration (pick the algorithm on the command line), and
 //! `crates/udp/tests/loopback.rs` for the integration tests.
 
-#![warn(missing_docs)]
-
 pub mod receiver;
 pub mod sender;
 pub mod wire;
