@@ -6,6 +6,7 @@
 use pcc_simnet::time::{SimDuration, SimTime};
 use pcc_transport::cc::{AckEvent, CongestionControl, Ctx, LossEvent, LossKind, SentEvent};
 use pcc_transport::registry::CcParams;
+use pcc_transport::report::MeasurementReport;
 
 use crate::model::{DeliverySampler, MaxBwFilter, MinRttTracker};
 
@@ -252,7 +253,18 @@ impl Bbr {
         }
     }
 
-    fn advance_machine(&mut self, ack: &AckEvent, round_advanced: bool, ctx: &mut Ctx) {
+    /// One step of the four-phase machine, fed by values rather than a
+    /// specific event shape so both feedback granularities (per-ACK and
+    /// batched [`MeasurementReport`]s) drive the same transitions.
+    /// `sampled_rtt` is a genuine propagation sample from the feedback
+    /// that triggered this step, if one exists.
+    fn advance_machine(
+        &mut self,
+        in_flight: u64,
+        sampled_rtt: Option<SimDuration>,
+        round_advanced: bool,
+        ctx: &mut Ctx,
+    ) {
         match self.state {
             State::Startup => {
                 if round_advanced {
@@ -263,7 +275,7 @@ impl Bbr {
                 }
             }
             State::Drain => {
-                if (ack.in_flight as f64) <= self.bdp_pkts() {
+                if (in_flight as f64) <= self.bdp_pkts() {
                     self.enter_probe_bw(ctx);
                 }
             }
@@ -276,10 +288,10 @@ impl Bbr {
                 }
             }
             State::ProbeRtt { until, min_seen } => {
-                if ack.sampled {
+                if let Some(rtt) = sampled_rtt {
                     self.state = State::ProbeRtt {
                         until,
-                        min_seen: Some(min_seen.map_or(ack.rtt, |m| m.min(ack.rtt))),
+                        min_seen: Some(min_seen.map_or(rtt, |m| m.min(rtt))),
                     };
                 }
                 if ctx.now >= until {
@@ -292,7 +304,7 @@ impl Bbr {
         // the probe's minimum; an unsampled trigger (e.g. the ACK of a
         // retransmission) starts it empty.
         if !matches!(self.state, State::ProbeRtt { .. }) && self.min_rtt.expired(ctx.now) {
-            self.enter_probe_rtt(ack.sampled.then_some(ack.rtt), ctx);
+            self.enter_probe_rtt(sampled_rtt, ctx);
         }
     }
 }
@@ -335,7 +347,12 @@ impl CongestionControl for Bbr {
             }
             self.bw.update(self.round, s.bw_bps);
         }
-        self.advance_machine(ack, round_advanced, ctx);
+        self.advance_machine(
+            ack.in_flight,
+            ack.sampled.then_some(ack.rtt),
+            round_advanced,
+            ctx,
+        );
         self.control(ctx);
     }
 
@@ -347,6 +364,33 @@ impl CongestionControl for Bbr {
         if loss.kind == LossKind::Timeout {
             self.conservation = true;
         }
+        self.control(ctx);
+    }
+
+    fn on_report(&mut self, rep: &MeasurementReport, ctx: &mut Ctx) {
+        // Batched feedback: one report ≈ one packet-timed round trip (the
+        // engine's default cadence is `Rtts(1.0)`), so the report sequence
+        // itself clocks the round counter and the bandwidth filter — the
+        // per-packet `DeliverySampler` never sees batched traffic.
+        if rep.rtt_samples > 0 {
+            if let Some(min) = rep.rtt_min {
+                self.min_rtt.update(min, ctx.now);
+            }
+        }
+        if rep.acked_pkts > 0 {
+            self.round += 1;
+            self.conservation = false;
+            let bw = rep.delivery_rate_bps();
+            if bw > 0.0 {
+                self.bw.update(self.round, bw);
+            }
+        }
+        if rep.timeouts > 0 {
+            // Same policy as the per-ACK path: only whole-flight death
+            // clamps the window; detected losses leave the model alone.
+            self.conservation = true;
+        }
+        self.advance_machine(rep.in_flight, rep.rtt_min, rep.acked_pkts > 0, ctx);
         self.control(ctx);
     }
 
@@ -405,17 +449,17 @@ mod tests {
         }
 
         fn drain(&mut self) {
-            let (rate, cwnd, timers) = self.fx.drain();
-            if rate.is_some() || cwnd.is_some() {
-                self.decisions.push((rate, cwnd));
+            let d = self.fx.drain();
+            if d.rate.is_some() || d.cwnd.is_some() {
+                self.decisions.push((d.rate, d.cwnd));
             }
-            if let Some(r) = rate {
+            if let Some(r) = d.rate {
                 self.rate = r;
             }
-            if let Some(w) = cwnd {
+            if let Some(w) = d.cwnd {
                 self.cwnd = w;
             }
-            self.timers.extend(timers);
+            self.timers.extend(d.timers);
         }
 
         fn start(&mut self) {
@@ -711,6 +755,99 @@ mod tests {
         assert!(rate_after > 1.0, "pacing continues at the model rate");
         // A full new round of delivery lifts the clamp.
         h.round_trip(40, RTT, PPS_20MBPS, 1);
+        assert!(h.cwnd > MIN_CWND_PKTS, "restored: {}", h.cwnd);
+    }
+
+    /// One synthetic report spanning `span` with `acked` packets fully
+    /// delivered at RTT; the interval-average delivery rate is then
+    /// `acked · MSS · 8 / span`.
+    fn mk_report(start: SimTime, end: SimTime, acked: u64, in_flight: u64) -> MeasurementReport {
+        MeasurementReport {
+            start,
+            end,
+            sent_pkts: acked,
+            sent_bytes: acked * MSS as u64,
+            acked_pkts: acked,
+            acked_bytes: acked * MSS as u64,
+            rtt_min: (acked > 0).then_some(RTT),
+            rtt_max: (acked > 0).then_some(RTT),
+            rtt_sum_ns: RTT.as_nanos() as u128 * acked as u128,
+            rtt_samples: acked,
+            srtt: RTT,
+            min_rtt: RTT,
+            in_flight,
+            mss: MSS,
+            ..MeasurementReport::default()
+        }
+    }
+
+    impl Harness {
+        fn report(&mut self, rep: &MeasurementReport) {
+            self.now = rep.end;
+            {
+                let mut ctx = Ctx::new(self.now, &mut self.rng, &mut self.fx);
+                self.cc.on_report(rep, &mut ctx);
+            }
+            self.drain();
+        }
+    }
+
+    #[test]
+    fn batched_reports_drive_startup_through_drain_to_probe_bw() {
+        let mut h = Harness::new(30);
+        h.start();
+        assert_eq!(h.cc.phase_name(), "startup");
+        // Ten back-to-back one-RTT reports, each carrying the same 20 Mbps
+        // interval-average delivery rate: the plateau detector must fire
+        // off report-clocked rounds exactly as it does off ACK-clocked
+        // ones, and Drain must exit on the report's in-flight snapshot.
+        let pkts_per_rtt = (20e6 * RTT.as_secs_f64() / (MSS as f64 * 8.0)) as u64;
+        let mut t = SimTime::ZERO;
+        for _ in 0..10 {
+            let end = t + RTT;
+            h.report(&mk_report(t, end, pkts_per_rtt, 1));
+            t = end;
+            if h.cc.phase_name() == "probe-bw" {
+                break;
+            }
+        }
+        assert_eq!(h.cc.phase_name(), "probe-bw");
+        assert!(h.cc.filled_pipe());
+        let bw = h.cc.btl_bw_bps();
+        assert!(
+            (bw - 20e6).abs() / 20e6 < 0.05,
+            "report-fed filter converges on the interval rate: {bw:.0}"
+        );
+        assert!(h.rate > 1.0 && h.cwnd >= MIN_CWND_PKTS, "both effects live");
+    }
+
+    #[test]
+    fn batched_timeout_report_clamps_until_a_delivering_report() {
+        let mut h = Harness::new(30);
+        h.start();
+        let pkts_per_rtt = (20e6 * RTT.as_secs_f64() / (MSS as f64 * 8.0)) as u64;
+        let mut t = SimTime::ZERO;
+        for _ in 0..10 {
+            let end = t + RTT;
+            h.report(&mk_report(t, end, pkts_per_rtt, 1));
+            t = end;
+        }
+        assert!(h.cwnd > MIN_CWND_PKTS);
+        // An all-timeout report (the engine's urgent flush after an RTO)
+        // clamps the window to the floor…
+        let end = t + RTT;
+        let mut dead = mk_report(t, end, 0, 0);
+        dead.timeouts = 1;
+        dead.lost_pkts = 2;
+        dead.lost_bytes = 2 * MSS as u64;
+        dead.loss_events = 1;
+        dead.new_loss_episode = true;
+        h.report(&dead);
+        t = end;
+        assert_eq!(h.cwnd, MIN_CWND_PKTS, "conservation window");
+        // …and the next report that carries acknowledged data lifts it.
+        let end = t + RTT;
+        h.report(&mk_report(t, end, pkts_per_rtt, 1));
         assert!(h.cwnd > MIN_CWND_PKTS, "restored: {}", h.cwnd);
     }
 

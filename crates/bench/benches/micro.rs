@@ -24,11 +24,15 @@ use pcc_bench::report::{BenchReport, Scenario, SuiteTiming};
 use pcc_core::{MiMetrics, SafeSigmoid, UtilityFunction};
 use pcc_experiments::{registry, runner, Opts};
 use pcc_scenarios::perf;
+use pcc_scenarios::protocol::Protocol;
 use pcc_simnet::event::{Event, EventQueue};
 use pcc_simnet::ids::FlowId;
 use pcc_simnet::packet::Packet;
 use pcc_simnet::queue::{fq_codel, Codel, DropTail, FairQueue, Queue};
+use pcc_simnet::rng::SimRng;
 use pcc_simnet::time::{SimDuration, SimTime};
+use pcc_transport::report::ReportAggregator;
+use pcc_transport::{registry as cc_registry, AckEvent, Ctx, Effects, SentEvent};
 
 fn fast_mode() -> bool {
     std::env::var_os("PCC_BENCH_FAST").is_some_and(|v| v != "0")
@@ -126,6 +130,166 @@ fn bench_full_sim(out: &mut BenchReport) {
     }
 }
 
+/// The off-path control-plane twins: the reference PCC and CUBIC
+/// dumbbells rerun with the engine flipped to 1-RTT batched reports.
+/// Read against `full_sim_5s_{pcc,cubic}_100mbps` from [`bench_full_sim`]
+/// (same link, same seed, same horizon), the pair quotes the end-to-end
+/// engine-cost delta of moving the algorithm off the per-ACK path.
+fn bench_batched_sim(out: &mut BenchReport) {
+    let runs = if fast_mode() { 2 } else { 5 };
+    let twins: [(&str, Protocol); 2] = [
+        (
+            "full_sim_5s_pcc_batched",
+            Protocol::pcc_default(SimDuration::from_millis(30)),
+        ),
+        ("full_sim_5s_cubic_batched", Protocol::Tcp("cubic")),
+    ];
+    for (name, proto) in twins {
+        let (wall_ms, events) = perf::time_batched_scenario(&proto, runs);
+        let s = Scenario {
+            name: name.to_string(),
+            wall_ms,
+            events,
+            sim_secs: perf::REFERENCE_SIM_SECS as f64,
+        };
+        println!(
+            "{name:<32} best {wall_ms:>9.3}ms   {:>12.0} events/s   {:>8.1} sim-s/wall-s",
+            s.events_per_sec(),
+            s.sim_secs_per_wall_sec(),
+        );
+        out.scenarios.push(s);
+    }
+}
+
+/// Pure engine-dispatch cost, no simulator: drive one algorithm object
+/// with synthetic sent+ACK pairs at 100 µs spacing, once through the
+/// per-ACK callback path (`on_sent` + `on_ack` + an effects drain per
+/// packet, due timers delivered) and once through the batched path (the
+/// aggregator absorbs each event and the algorithm sees one
+/// `on_report` per 300 packets ≈ one 30 ms RTT). The wall-clock delta is
+/// the control-plane work a datapath core sheds when feedback goes
+/// off-path.
+fn bench_cc_dispatch(out: &mut BenchReport) {
+    pcc_scenarios::install_registry();
+    const PKTS: u64 = if cfg!(debug_assertions) {
+        20_000
+    } else {
+        200_000
+    };
+    const SPACING_US: u64 = 100;
+    const PER_REPORT: u64 = 300;
+    let rtt = SimDuration::from_millis(30);
+    let sim_secs = (PKTS * SPACING_US) as f64 / 1e6;
+    let runs = if fast_mode() { 2 } else { 5 };
+
+    let drive = |algo: &str, batched: bool| -> f64 {
+        let params = cc_registry::CcParams::default().with_rtt_hint(rtt);
+        let mut cc = cc_registry::by_name(algo, &params).expect("registered algorithm");
+        let mut rng = SimRng::new(1);
+        let mut fx = Effects::default();
+        let mut timers: Vec<(SimTime, u64)> = Vec::new();
+        let mut agg = ReportAggregator::default();
+        let mut now = SimTime::ZERO;
+        {
+            let mut ctx = Ctx::new(now, &mut rng, &mut fx);
+            cc.on_start(&mut ctx);
+        }
+        timers.extend(fx.drain().timers);
+        if batched {
+            agg.begin(now);
+        }
+        let t0 = Instant::now();
+        for i in 0..PKTS {
+            now = SimTime::from_nanos(i * SPACING_US * 1_000);
+            // Timers fire on both paths (batched mode withholds event
+            // callbacks, not the clock).
+            while let Some(ix) = timers.iter().position(|&(at, _)| at <= now) {
+                let (_, token) = timers.swap_remove(ix);
+                {
+                    let mut ctx = Ctx::new(now, &mut rng, &mut fx);
+                    cc.on_timer(token, &mut ctx);
+                }
+                timers.extend(fx.drain().timers);
+            }
+            let sent = SentEvent {
+                now,
+                seq: i,
+                bytes: 1500,
+                retx: false,
+                in_flight: 30,
+            };
+            let ack = AckEvent {
+                now,
+                seq: i,
+                rtt,
+                sampled: true,
+                srtt: rtt,
+                min_rtt: rtt,
+                max_rtt: rtt,
+                recv_at: now,
+                probe_train: cc.probe_tag(),
+                of_retx: false,
+                cum_ack: i + 1,
+                newly_acked: 1,
+                in_flight: 30,
+                mss: 1500,
+                in_recovery: false,
+            };
+            if batched {
+                agg.on_sent(&sent);
+                agg.on_ack(&ack);
+                if (i + 1) % PER_REPORT == 0 {
+                    let mut rep = agg.take(now);
+                    rep.srtt = rtt;
+                    rep.min_rtt = rtt;
+                    rep.in_flight = 30;
+                    rep.cum_ack = i + 1;
+                    rep.mss = 1500;
+                    {
+                        let mut ctx = Ctx::new(now, &mut rng, &mut fx);
+                        cc.on_report(&rep, &mut ctx);
+                    }
+                    timers.extend(fx.drain().timers);
+                }
+            } else {
+                {
+                    let mut ctx = Ctx::new(now, &mut rng, &mut fx);
+                    cc.on_sent(&sent, &mut ctx);
+                }
+                timers.extend(fx.drain().timers);
+                {
+                    let mut ctx = Ctx::new(now, &mut rng, &mut fx);
+                    cc.on_ack(&ack, &mut ctx);
+                }
+                timers.extend(fx.drain().timers);
+            }
+        }
+        t0.elapsed().as_secs_f64() * 1000.0
+    };
+
+    for algo in ["cubic", "newreno", "pcc"] {
+        for (suffix, batched) in [("per_ack", false), ("batched", true)] {
+            let mut best_ms = f64::MAX;
+            for _ in 0..runs {
+                best_ms = best_ms.min(drive(algo, batched));
+            }
+            let s = Scenario {
+                name: format!("cc_dispatch_{algo}_{suffix}"),
+                wall_ms: best_ms,
+                events: PKTS,
+                sim_secs,
+            };
+            println!(
+                "{:<32} best {best_ms:>9.3}ms   {:>12.0} events/s   {:>8.1} sim-s/wall-s",
+                s.name,
+                s.events_per_sec(),
+                s.sim_secs_per_wall_sec(),
+            );
+            out.scenarios.push(s);
+        }
+    }
+}
+
 /// Time a subset of the experiment registry serially (`jobs = 1`) and in
 /// parallel (`jobs = N`): the BENCH.json datapoint for the parallel
 /// runner. Tables print as a side effect (they are the workload).
@@ -214,6 +378,8 @@ fn main() {
         ..Default::default()
     };
     bench_full_sim(&mut out);
+    bench_batched_sim(&mut out);
+    bench_cc_dispatch(&mut out);
     bench_experiments_suite(&mut out);
     let path = BenchReport::default_path();
     match out.write(&path) {

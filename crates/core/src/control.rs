@@ -21,10 +21,11 @@
 //! concluding a decision immediately re-bases the current MI rather than
 //! waiting for the next boundary.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use pcc_simnet::time::SimDuration;
 use pcc_transport::cc::{AckEvent, CongestionControl, Ctx as CtrlCtx, LossEvent, SentEvent};
+use pcc_transport::report::MeasurementReport;
 use pcc_transport::rtt::RttEstimator;
 
 use crate::config::{MiTiming, PccConfig};
@@ -108,6 +109,22 @@ pub struct PccController {
     trial_round: u64,
     stats: PccStats,
     mss: u32,
+    /// Off-path (batched-report) operation detected: the [`Monitor`] and
+    /// its boundary/deadline timers are bypassed — each engine report is
+    /// one MI, and `set_report_interval` plays the boundary timer's role.
+    batched: bool,
+    /// Batched mode: issued MIs awaiting measurement `(id, rate)`, oldest
+    /// first. A report evaluates the MI from one window back (its acks
+    /// arrive ≈1 RTT after that MI's sends — the §3.1 result lag).
+    pending_mis: VecDeque<(u64, f64)>,
+    /// Batched mode: next synthetic MI id.
+    next_batched_mi: u64,
+    /// Batched mode: a `begin_mi` ran while processing the current report
+    /// (the re-align trick already advanced the pipeline).
+    mi_begun: bool,
+    /// Batched mode: previous report's average RTT (latency-gradient
+    /// chaining, mirroring the monitor's `last_avg_rtt`).
+    prev_avg_rtt: Option<SimDuration>,
 }
 
 impl PccController {
@@ -133,6 +150,11 @@ impl PccController {
             trial_round: 0,
             stats: PccStats::default(),
             mss: 1500,
+            batched: false,
+            pending_mis: VecDeque::new(),
+            next_batched_mi: 0,
+            mi_begun: false,
+            prev_avg_rtt: None,
         }
     }
 
@@ -245,10 +267,35 @@ impl PccController {
             .max(self.cfg.deadline_floor)
     }
 
-    /// Begin a new MI at `rate` with the given purpose; arms its boundary
-    /// and deadline timers.
+    /// Begin a new MI at `rate` with the given purpose.
+    ///
+    /// On-path (per-ACK) mode opens a [`Monitor`] interval and arms its
+    /// boundary and deadline timers. Batched mode has no monitor: the MI
+    /// *is* the next report interval — record the purpose, request the
+    /// rate, and ask the engine to deliver the next report one MI
+    /// duration from now (which also implements the §3.1 re-align: a
+    /// mid-interval decision re-bases the boundary).
     fn begin_mi(&mut self, rate_bps: f64, purpose: Purpose, ctx: &mut CtrlCtx) {
         let rate = self.clamp_rate(rate_bps);
+        if self.batched {
+            self.mi_begun = true;
+            let id = self.next_batched_mi;
+            self.next_batched_mi += 1;
+            self.purposes.insert(id, purpose);
+            self.pending_mis.push_back((id, rate));
+            // A re-align abandons the interval it interrupts: keep only
+            // the most recent two issues (the one measuring now and the
+            // one just issued) so stale purposes can't conclude later.
+            while self.pending_mis.len() > 2 {
+                if let Some((old, _)) = self.pending_mis.pop_front() {
+                    self.purposes.remove(&old);
+                }
+            }
+            ctx.set_rate(rate);
+            let dur = self.mi_duration(rate, ctx);
+            ctx.set_report_interval(dur);
+            return;
+        }
         let slack = self.deadline_slack();
         let id = self.monitor.begin(ctx.now, rate, slack);
         self.purposes.insert(id, purpose);
@@ -329,12 +376,20 @@ impl PccController {
         if self.monitor.current_id() != Some(mi_id) {
             return; // stale boundary: the MI was re-aligned away
         }
+        let step = match self.purposes.get(&mi_id) {
+            Some(Purpose::Start { step, .. }) => *step,
+            _ => 0,
+        };
+        self.advance_phase(step, ctx);
+    }
+
+    /// The phase machine's boundary action: the active MI ended (timer in
+    /// per-ACK mode, report delivery in batched mode); issue the next MI.
+    /// `start_step` is the starting-phase step of the MI that just ended.
+    fn advance_phase(&mut self, start_step: u32, ctx: &mut CtrlCtx) {
         match self.phase.clone() {
             Phase::Starting => {
-                let step = match self.purposes.get(&mi_id) {
-                    Some(Purpose::Start { step, .. }) => *step,
-                    _ => 0,
-                };
+                let step = start_step;
                 let next_rate = self.clamp_rate(self.rate * 2.0);
                 self.rate = next_rate;
                 self.begin_mi(
@@ -563,6 +618,53 @@ impl PccController {
         self.enter_decision(self.cfg.eps_min, ctx);
     }
 
+    /// Translate one report window into the monitor's [`MiMetrics`]
+    /// vocabulary. The formulas mirror `Monitor`'s exactly (send rate =
+    /// sent bytes over the window, spacing-based delivery rate, loss over
+    /// sent, genuine-sample RTT mean; see the parity tests in
+    /// `pcc_transport::report`), so where an MI boundary coincides with a
+    /// report boundary the two paths compute identical utilities.
+    fn metrics_from_report(
+        &mut self,
+        id: u64,
+        target_rate: f64,
+        rep: &MeasurementReport,
+    ) -> MiMetrics {
+        let secs = rep.span().as_secs_f64().max(1e-9);
+        let avg_rtt = if rep.rtt_samples == 0 {
+            self.prev_avg_rtt.unwrap_or(SimDuration::from_millis(100))
+        } else {
+            rep.mean_rtt()
+        };
+        let min_rtt = if rep.min_rtt.is_zero() {
+            avg_rtt
+        } else {
+            rep.min_rtt
+        };
+        let m = MiMetrics {
+            mi_id: id,
+            target_rate_bps: target_rate,
+            send_rate_bps: rep.sent_bytes as f64 * 8.0 / secs,
+            throughput_bps: rep.delivery_rate_bps(),
+            loss_rate: if rep.sent_pkts == 0 {
+                0.0
+            } else {
+                rep.lost_pkts as f64 / rep.sent_pkts as f64
+            },
+            avg_rtt,
+            prev_avg_rtt: self.prev_avg_rtt,
+            min_rtt,
+            rtt_slope: rep.rtt_slope().unwrap_or(0.0),
+            duration: rep.span(),
+            started_at: rep.start,
+            sent: rep.sent_pkts,
+            acked: rep.acked_pkts,
+            lost: rep.lost_pkts,
+        };
+        self.prev_avg_rtt = Some(avg_rtt);
+        m
+    }
+
     /// Rate of starting step `k` assuming pure doubling from the current
     /// overshoot position (used when the step's purpose is gone).
     fn rate_of_start_step(&self, step: u32) -> f64 {
@@ -687,7 +789,71 @@ impl CongestionControl for PccController {
         }
     }
 
+    fn on_report(&mut self, rep: &MeasurementReport, ctx: &mut CtrlCtx) {
+        if !self.batched {
+            // First report: the engine runs us off-path. Abandon the
+            // monitor pipeline (its timers are dead from here on) and
+            // restart the MI pipeline report-clocked at the current rate
+            // and phase. This report measured the unmonitored prelude, so
+            // it issues the first batched MI instead of being judged.
+            self.batched = true;
+            self.purposes.clear();
+            self.pending_mis.clear();
+            self.start_utils.clear();
+            self.start_misses = 0;
+            let purpose = if matches!(self.phase, Phase::Starting) {
+                Purpose::Start {
+                    step: 0,
+                    rate: self.rate,
+                }
+            } else {
+                Purpose::Hold
+            };
+            let rate = self.rate;
+            self.begin_mi(rate, purpose, ctx);
+            self.mi_begun = false;
+            return;
+        }
+        // The estimator normally eats every sampled ACK; feed it the
+        // report's extremes instead (the min keeps the propagation
+        // estimate honest, the mean drives SRTT-scaled slacks).
+        if rep.rtt_samples > 0 {
+            if let Some(min) = rep.rtt_min {
+                self.rtt.on_sample(min);
+            }
+            self.rtt.on_sample(rep.mean_rtt());
+        }
+        self.mi_begun = false;
+        // This report's ACKs measure the MI issued one window back
+        // (results lag ≈1 RTT, §3.1); judge it now.
+        if self.pending_mis.len() >= 2 {
+            if let Some((id, rate)) = self.pending_mis.pop_front() {
+                let m = self.metrics_from_report(id, rate, rep);
+                self.on_mi_complete(&m, ctx);
+            }
+        }
+        // Unless judging re-aligned the pipeline, the report boundary is
+        // the MI boundary: issue the next MI per the current phase.
+        if !self.mi_begun {
+            let step = self
+                .purposes
+                .values()
+                .filter_map(|p| match p {
+                    Purpose::Start { step, .. } => Some(*step),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0);
+            self.advance_phase(step, ctx);
+        }
+    }
+
     fn on_timer(&mut self, token: u64, ctx: &mut CtrlCtx) {
+        if self.batched {
+            // Leftover monitor boundary/deadline timers from the per-ACK
+            // prelude — meaningless once report-clocked.
+            return;
+        }
         let mi_id = token >> 2;
         let kind = token & 0b11;
         match kind {
@@ -739,11 +905,11 @@ mod tests {
         }
 
         fn drain(&mut self) {
-            let (rate, _cwnd, timers) = self.fx.drain();
-            if let Some(r) = rate {
+            let d = self.fx.drain();
+            if let Some(r) = d.rate {
                 self.rate = r;
             }
-            self.timers.extend(timers);
+            self.timers.extend(d.timers);
         }
 
         fn start(&mut self) {
@@ -1031,6 +1197,192 @@ mod tests {
             h.advance_to(SimTime::from_millis(250 * (step + 1)));
         }
         assert!(h.rate <= 1e6 + 1.0, "clamped: {}", h.rate);
+    }
+
+    /// A report window: `sent` packets over `[start_ms, end_ms)`, `acked`
+    /// delivered (100 ms RTT — matching the hint, so the 2·MSS/RTT floor
+    /// stays put — arrivals spanning the window) and `lost` written off.
+    /// Engine snapshots stamped like `CcSender::emit_report`.
+    fn mk_rep(start_ms: u64, end_ms: u64, sent: u64, acked: u64, lost: u64) -> MeasurementReport {
+        let rtt = SimDuration::from_millis(100);
+        MeasurementReport {
+            start: SimTime::from_millis(start_ms),
+            end: SimTime::from_millis(end_ms),
+            sent_pkts: sent,
+            sent_bytes: sent * 1500,
+            acked_pkts: acked,
+            acked_bytes: acked * 1500,
+            lost_pkts: lost,
+            lost_bytes: lost * 1500,
+            loss_events: u32::from(lost > 0),
+            new_loss_episode: lost > 0,
+            rtt_min: (acked > 0).then_some(rtt),
+            rtt_max: (acked > 0).then_some(rtt),
+            first_rtt: (acked > 0).then_some(rtt),
+            last_rtt: (acked > 0).then_some(rtt),
+            rtt_sum_ns: rtt.as_nanos() as u128 * acked as u128,
+            rtt_samples: acked,
+            first_recv: (acked > 0).then(|| SimTime::from_millis(start_ms + 1)),
+            last_recv: (acked > 0).then(|| SimTime::from_millis(end_ms)),
+            srtt: rtt,
+            min_rtt: rtt,
+            in_flight: 4,
+            cum_ack: 0,
+            mss: 1500,
+            in_recovery: false,
+            ..MeasurementReport::default()
+        }
+    }
+
+    impl Harness {
+        fn report(&mut self, rep: &MeasurementReport) {
+            self.now = rep.end;
+            {
+                let mut cc = CtrlCtx::new(self.now, &mut self.rng, &mut self.fx);
+                self.ctrl.on_report(rep, &mut cc);
+            }
+            self.drain();
+        }
+    }
+
+    #[test]
+    fn batched_reports_clock_the_mi_pipeline() {
+        let mut h = Harness::new(cfg());
+        h.start();
+        // First report flips the controller off-path and issues the first
+        // report-clocked MI: a rate and a report interval, no new timers.
+        let before = h.timers.len();
+        h.report(&mk_rep(0, 100, 3, 3, 0));
+        let d = h.fx.drain();
+        assert_eq!(h.timers.len(), before, "no monitor timers off-path");
+        // Starting phase: each subsequent report boundary doubles.
+        let r1 = h.rate;
+        h.report(&mk_rep(100, 200, 6, 6, 0));
+        assert!((h.rate - 2.0 * r1).abs() < 1.0, "doubled: {}", h.rate);
+        h.report(&mk_rep(200, 300, 12, 12, 0));
+        assert!((h.rate - 4.0 * r1).abs() < 1.0, "doubled again");
+        assert_eq!(h.ctrl.phase_name(), "starting");
+        drop(d);
+        // A collapse window — three quarters lost — judged against the
+        // clean previous step is an unambiguous utility cliff.
+        h.report(&mk_rep(300, 400, 48, 12, 36));
+        h.report(&mk_rep(400, 500, 40, 10, 30));
+        assert_eq!(
+            h.ctrl.stats().starts_exited,
+            1,
+            "cliff ends starting off-path: {:?}",
+            h.ctrl.stats()
+        );
+        assert_eq!(h.ctrl.phase_name(), "decision-trials");
+    }
+
+    #[test]
+    fn batched_reports_request_their_own_interval() {
+        let mut h = Harness::new(cfg());
+        h.start();
+        h.fx.drain();
+        {
+            let mut cc = CtrlCtx::new(SimTime::from_millis(100), &mut h.rng, &mut h.fx);
+            h.ctrl.on_report(&mk_rep(0, 100, 3, 3, 0), &mut cc);
+        }
+        let d = h.fx.drain();
+        assert!(d.rate.is_some(), "rate re-asserted");
+        let next = d.report_in.expect("MI duration drives the report clock");
+        // ≥ the 10-packet MI floor at this rate, and bounded by the RTT
+        // multiple rule — i.e. a genuine mi_duration, not a default.
+        assert!(next > SimDuration::from_millis(50), "interval {next:?}");
+    }
+
+    #[test]
+    fn batched_metrics_match_the_monitor_where_boundaries_align() {
+        use crate::monitor::Monitor;
+        use crate::utility::UtilityFunction;
+        use pcc_transport::report::ReportAggregator;
+
+        let rtt = SimDuration::from_millis(30);
+        let t0 = SimTime::ZERO;
+        let t_end = SimTime::from_millis(60);
+        let target = 4e6;
+        // Identical traffic through both measurement paths: 20 packets,
+        // the first 18 delivered (30 ms RTT, arrivals evenly spread), the
+        // last 2 lost.
+        let mut mon = Monitor::new();
+        mon.begin(t0, target, SimDuration::from_millis(50));
+        let mut agg = ReportAggregator::default();
+        agg.begin(t0);
+        for seq in 0..20u64 {
+            let at = t0 + SimDuration::from_millis(seq * 2);
+            mon.on_sent(seq, 1500);
+            agg.on_sent(&SentEvent {
+                now: at,
+                seq,
+                bytes: 1500,
+                retx: false,
+                in_flight: seq + 1,
+            });
+        }
+        for seq in 0..18u64 {
+            let recv = t0 + SimDuration::from_millis(2 + seq * 3);
+            mon.on_ack(seq, rtt, recv);
+            agg.on_ack(&AckEvent {
+                now: recv,
+                seq,
+                rtt,
+                sampled: true,
+                srtt: rtt,
+                min_rtt: rtt,
+                max_rtt: rtt,
+                recv_at: recv,
+                probe_train: None,
+                of_retx: false,
+                cum_ack: seq + 1,
+                newly_acked: 1,
+                in_flight: 20 - seq,
+                mss: 1500,
+                in_recovery: false,
+            });
+        }
+        let lost = [18u64, 19];
+        for &seq in &lost {
+            mon.on_loss(seq);
+        }
+        agg.on_loss(&LossEvent {
+            now: t_end,
+            seqs: &lost,
+            kind: LossKind::Detected,
+            new_episode: true,
+            in_flight: 2,
+            mss: 1500,
+        });
+        // Close both windows at the same instant.
+        mon.begin(t_end, target, SimDuration::from_millis(50));
+        let out = mon.poll(t_end + SimDuration::from_secs(1));
+        let m_mon = out.first().expect("monitor published the MI");
+        let mut rep = agg.take(t_end);
+        rep.srtt = rtt;
+        rep.min_rtt = rtt;
+        rep.mss = 1500;
+        let mut ctrl = PccController::new(cfg());
+        let m_rep = ctrl.metrics_from_report(m_mon.mi_id, target, &rep);
+        assert!(
+            (m_rep.send_rate_bps - m_mon.send_rate_bps).abs() < 1e-6,
+            "x: {} vs {}",
+            m_rep.send_rate_bps,
+            m_mon.send_rate_bps
+        );
+        assert!(
+            (m_rep.throughput_bps - m_mon.throughput_bps).abs() < 1e-6,
+            "T: {} vs {}",
+            m_rep.throughput_bps,
+            m_mon.throughput_bps
+        );
+        assert!((m_rep.loss_rate - m_mon.loss_rate).abs() < 1e-12);
+        assert_eq!(m_rep.avg_rtt, m_mon.avg_rtt);
+        assert!((m_rep.rtt_slope - m_mon.rtt_slope).abs() < 1e-12);
+        assert_eq!(m_rep.duration, m_mon.duration);
+        // Same metrics ⇒ bit-identical utility.
+        let u = crate::utility::SafeSigmoid::default();
+        assert_eq!(u.utility(&m_rep), u.utility(m_mon));
     }
 
     #[test]

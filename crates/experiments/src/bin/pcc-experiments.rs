@@ -8,6 +8,7 @@
 //! pcc-experiments all             # run everything
 //! pcc-experiments all --seed 42 --out target/experiments
 //! pcc-experiments all --jobs 8  # 8 simulation workers (0 = auto, default)
+//! pcc-experiments fig07 --batched # engines on 1-RTT batched reports
 //! pcc-experiments sweep "pcc:eps=0.01..0.1" "cubic:iw=4|32" --points 3
 //! pcc-experiments vary            # every algorithm over the bundled traces
 //! pcc-experiments vary lte --secs 30 --jobs 4
@@ -36,6 +37,11 @@ fn main() -> ExitCode {
     while i < args.len() {
         match args[i].as_str() {
             "--full" => opts.full = true,
+            // Process-wide: every engine this run switches from per-ACK
+            // callbacks to 1-RTT batched measurement reports (the
+            // off-path control plane). Numbers shift within the
+            // documented tolerance; fingerprints are per-ACK only.
+            "--batched" => pcc_scenarios::force_batched_reports(true),
             "--jobs" => {
                 i += 1;
                 opts.jobs = args

@@ -22,6 +22,7 @@ use std::collections::BTreeMap;
 
 use pcc_simnet::time::{SimDuration, SimTime};
 use pcc_transport::cc::{AckEvent, CongestionControl, Ctx as CtrlCtx, LossEvent, SentEvent};
+use pcc_transport::report::MeasurementReport;
 
 /// Packets per probe train.
 pub const DEFAULT_TRAIN_LEN: u32 = 8;
@@ -198,6 +199,48 @@ impl CongestionControl for Pcp {
         ctx.set_rate(self.rate_bps);
     }
 
+    /// Batched feedback: the report's own arrival statistics *are* a
+    /// dispersion measurement — [`MeasurementReport::delivery_rate_bps`]
+    /// computes `(n−1)·pkt_bits / arrival-span` from the echoed `recv_at`
+    /// spacing, exactly the train formula, just coarsened from an 8-packet
+    /// train to a one-report interval. Each report closes whatever probe
+    /// is outstanding with that estimate.
+    fn on_report(&mut self, rep: &MeasurementReport, ctx: &mut CtrlCtx) {
+        if rep.mss > 0 {
+            self.pkt_bits = rep.mss as f64 * 8.0;
+        }
+        if rep.lost_pkts > 0 {
+            // A lossy interval is a failed probe: abandon the train and
+            // back off, same law as the per-ACK path.
+            if let Some((id, _)) = self.tagging.take() {
+                self.trains.remove(&id);
+                self.probe_rates.remove(&id);
+            }
+            let fallback = self
+                .last_estimate_bps
+                .map(|e| e * 0.8)
+                .unwrap_or(self.rate_bps * 0.5);
+            self.rate_bps = fallback.min(self.rate_bps).max(1e5);
+            ctx.set_rate(self.rate_bps);
+            return;
+        }
+        if let Some((id, _)) = self.tagging.take() {
+            self.trains.remove(&id);
+            let probe_rate = self.probe_rates.remove(&id).unwrap_or(self.rate_bps);
+            let est = rep.delivery_rate_bps();
+            if rep.acked_pkts >= 2 && est > 0.0 {
+                self.last_estimate_bps = Some(est);
+                self.rate_bps = if est >= probe_rate * 0.9 {
+                    probe_rate
+                } else {
+                    (est * 0.9).min(probe_rate)
+                }
+                .max(1e5);
+            }
+            ctx.set_rate(self.rate_bps);
+        }
+    }
+
     fn on_timer(&mut self, token: u64, ctx: &mut CtrlCtx) {
         if token == TOKEN_POLL {
             self.start_train(ctx);
@@ -314,6 +357,58 @@ mod tests {
             &loss_of(&[1, 2]),
             &mut CtrlCtx::new(SimTime::ZERO, &mut rng, &mut fx),
         );
+        assert!((c.rate_bps - 8e6).abs() < 1e3, "0.8×est: {}", c.rate_bps);
+    }
+
+    #[test]
+    fn batched_report_closes_the_outstanding_probe() {
+        use pcc_transport::report::MeasurementReport;
+        let mut c = Pcp::new();
+        let mut rng = SimRng::new(8);
+        let mut fx = CtrlEffects::default();
+        c.on_start(&mut CtrlCtx::new(SimTime::ZERO, &mut rng, &mut fx));
+        let probed = c.probe_rates[&0];
+        // Report whose arrival statistics say ~10 Mbps — far above the
+        // 2 Mbps probe — so the probe commits.
+        let rep = MeasurementReport {
+            start: SimTime::ZERO,
+            end: SimTime::from_millis(30),
+            acked_pkts: 25,
+            acked_bytes: 25 * 1500,
+            first_recv: Some(SimTime::from_millis(1)),
+            last_recv: Some(SimTime::from_nanos(29_800_000)),
+            rtt_samples: 25,
+            mss: 1500,
+            ..Default::default()
+        };
+        c.on_report(&rep, &mut CtrlCtx::new(rep.end, &mut rng, &mut fx));
+        assert!(c.probe_tag().is_none(), "train closed");
+        assert!((c.rate_bps - probed).abs() < 1.0, "committed the probe");
+        assert!(c.last_estimate_bps().is_some());
+    }
+
+    #[test]
+    fn batched_lossy_report_abandons_the_probe_and_backs_off() {
+        use pcc_transport::report::MeasurementReport;
+        let mut c = Pcp::new();
+        let mut rng = SimRng::new(9);
+        let mut fx = CtrlEffects::default();
+        c.on_start(&mut CtrlCtx::new(SimTime::ZERO, &mut rng, &mut fx));
+        c.rate_bps = 20e6;
+        c.last_estimate_bps = Some(10e6);
+        let rep = MeasurementReport {
+            lost_pkts: 2,
+            lost_bytes: 3000,
+            loss_events: 1,
+            new_loss_episode: true,
+            mss: 1500,
+            ..Default::default()
+        };
+        c.on_report(
+            &rep,
+            &mut CtrlCtx::new(SimTime::from_millis(30), &mut rng, &mut fx),
+        );
+        assert!(c.probe_tag().is_none(), "failed probe abandoned");
         assert!((c.rate_bps - 8e6).abs() < 1e3, "0.8×est: {}", c.rate_bps);
     }
 

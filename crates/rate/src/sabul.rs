@@ -18,6 +18,7 @@
 
 use pcc_simnet::time::{SimDuration, SimTime};
 use pcc_transport::cc::{AckEvent, CongestionControl, Ctx as CtrlCtx, LossEvent, SentEvent};
+use pcc_transport::report::MeasurementReport;
 
 /// UDT's SYN interval: the fixed control clock.
 pub const DEFAULT_SYN: SimDuration = SimDuration::from_millis(10);
@@ -162,6 +163,25 @@ impl CongestionControl for Sabul {
         self.loss_since_tick = true;
     }
 
+    fn on_report(&mut self, rep: &MeasurementReport, ctx: &mut CtrlCtx) {
+        // Batched feedback folds straight into the SYN-clocked law: acked
+        // bytes feed the delivery-rate window the next tick closes, and a
+        // lossy report is one NAK (the engine's urgent flush on a new loss
+        // episode keeps the cut as timely as the per-ACK path's).
+        if rep.mss > 0 {
+            self.pkt_bits = rep.mss as f64 * 8.0;
+        }
+        self.acked_bytes_window += rep.acked_bytes;
+        if rep.lost_pkts > 0 {
+            self.losses += rep.lost_pkts;
+            if !self.loss_since_tick {
+                self.rate_bps = (self.rate_bps * self.decrease).max(1e5);
+                ctx.set_rate(self.rate_bps);
+            }
+            self.loss_since_tick = true;
+        }
+    }
+
     fn on_timer(&mut self, token: u64, ctx: &mut CtrlCtx) {
         if token == TOKEN_SYN {
             self.tick(ctx);
@@ -233,6 +253,29 @@ mod tests {
         c.on_timer(TOKEN_SYN, &mut ctx(20, &mut rng, &mut fx));
         c.on_loss(&loss_of(&[4]), &mut ctx(21, &mut rng, &mut fx));
         assert!(c.rate_bps < 80e6);
+    }
+
+    #[test]
+    fn batched_report_feeds_the_window_and_cuts_once() {
+        let mut c = Sabul::new();
+        let mut rng = SimRng::new(9);
+        let mut fx = CtrlEffects::default();
+        c.on_start(&mut ctx(0, &mut rng, &mut fx));
+        c.rate_bps = 90e6;
+        let mut rep = pcc_transport::report::MeasurementReport {
+            acked_pkts: 100,
+            acked_bytes: 150_000,
+            mss: 1500,
+            ..Default::default()
+        };
+        c.on_report(&rep, &mut ctx(5, &mut rng, &mut fx));
+        assert_eq!(c.acked_bytes_window, 150_000, "acked bytes accumulate");
+        assert!((c.rate_bps - 90e6).abs() < 1.0, "clean report: no cut");
+        // Two lossy reports inside the same SYN: exactly one NAK cut.
+        rep.lost_pkts = 3;
+        c.on_report(&rep, &mut ctx(6, &mut rng, &mut fx));
+        c.on_report(&rep, &mut ctx(7, &mut rng, &mut fx));
+        assert!((c.rate_bps - 80e6).abs() < 1e3, "one ×8/9 cut per SYN");
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! (5 simulated seconds of PCC / CUBIC / BBR on the 100 Mbps, 30 ms
 //! dumbbell, PCC over the bundled LTE-like trace, and an 8-to-1 PCC
 //! incast on a k=4 fat-tree) and prints wall clock, event count,
-//! events/sec, and simulated seconds per wall second.
+//! events/sec, and simulated seconds per wall second. A second block
+//! reruns the PCC and CUBIC dumbbells with the engine flipped to 1-RTT
+//! batched reports — the per-ACK vs off-path engine-cost pair.
 //!
 //! ```text
 //! cargo run --release -p pcc-scenarios --example perf_probe
@@ -12,14 +14,31 @@
 //! simulator hot path across commits (PERFORMANCE.md); `cargo bench -p
 //! pcc-bench --bench micro` wraps the same measurement into BENCH.json.
 
-use pcc_scenarios::perf::time_all_scenarios;
+use pcc_scenarios::perf::{time_all_scenarios, time_batched_scenario, REFERENCE_SIM_SECS};
+use pcc_scenarios::Protocol;
+use pcc_simnet::time::SimDuration;
+
+fn row(name: &str, best_ms: f64, events: u64, sim_secs: f64) {
+    println!(
+        "{name:<28} best {best_ms:>9.3} ms   {events:>8} events   {:>12.0} events/s   {:>7.1} sim-s/wall-s",
+        events as f64 / (best_ms / 1000.0),
+        sim_secs / (best_ms / 1000.0),
+    );
+}
 
 fn main() {
     for (name, best_ms, events, sim_secs) in time_all_scenarios(5) {
-        println!(
-            "{name:<28} best {best_ms:>9.3} ms   {events:>8} events   {:>12.0} events/s   {:>7.1} sim-s/wall-s",
-            events as f64 / (best_ms / 1000.0),
-            sim_secs / (best_ms / 1000.0),
-        );
+        row(name, best_ms, events, sim_secs);
+    }
+    let twins = [
+        (
+            "full_sim_5s_pcc_batched",
+            Protocol::pcc_default(SimDuration::from_millis(30)),
+        ),
+        ("full_sim_5s_cubic_batched", Protocol::Tcp("cubic")),
+    ];
+    for (name, proto) in twins {
+        let (best_ms, events) = time_batched_scenario(&proto, 5);
+        row(name, best_ms, events, REFERENCE_SIM_SECS as f64);
     }
 }

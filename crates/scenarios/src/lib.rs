@@ -30,7 +30,9 @@ pub mod rapid;
 pub mod setup;
 pub mod vary;
 
-pub use protocol::{install_registry, Protocol, UtilityKind};
+pub use protocol::{
+    batched_reports_forced, force_batched_reports, install_registry, Protocol, UtilityKind,
+};
 pub use setup::{
     run_dumbbell, run_dumbbell_scheduled, run_single, FlowPlan, LinkSetup, QueueKind,
     ScenarioResult,

@@ -8,12 +8,13 @@
 use std::time::Instant;
 
 use pcc_simnet::shaper::ShaperConfig;
-use pcc_simnet::time::SimDuration;
+use pcc_simnet::time::{SimDuration, SimTime};
 use pcc_simnet::trace::LinkTrace;
+use pcc_transport::ReportMode;
 
 use crate::dc::run_rack_incast;
 use crate::protocol::Protocol;
-use crate::setup::{run_single, LinkSetup};
+use crate::setup::{run_dumbbell, run_single, FlowPlan, LinkSetup};
 use crate::vary::{run_trace, trace_rtt};
 
 /// The reference full-simulation scenarios: 5 simulated seconds each of
@@ -131,6 +132,25 @@ pub fn time_reference_scenario(proto: &Protocol, runs: usize) -> (f64, u64) {
             proto.clone(),
             LinkSetup::new(100e6, SimDuration::from_millis(30), 375_000),
             SimDuration::from_secs(REFERENCE_SIM_SECS),
+            1,
+        )
+        .report
+        .events_processed
+    })
+}
+
+/// The off-path twin of [`time_reference_scenario`]: identical dumbbell,
+/// identical protocol, but the engine withholds per-ACK callbacks and
+/// feeds the algorithm 1-RTT batched reports. Benched side by side with
+/// the per-ACK number, the pair quotes the engine-cost delta of the
+/// off-path control plane on a full simulation.
+pub fn time_batched_scenario(proto: &Protocol, runs: usize) -> (f64, u64) {
+    let rtt = SimDuration::from_millis(30);
+    best_of(runs, || {
+        run_dumbbell(
+            LinkSetup::new(100e6, rtt, 375_000),
+            vec![FlowPlan::new(proto.clone(), rtt).reporting(ReportMode::batched_rtt())],
+            SimTime::from_secs(REFERENCE_SIM_SECS),
             1,
         )
         .report

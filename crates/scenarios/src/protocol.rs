@@ -11,6 +11,7 @@
 //! parameters by string. Unknown names and invalid parameters are a typed
 //! [`SpecError`], never a panic.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Once;
 
 use pcc_core::{
@@ -20,7 +21,28 @@ use pcc_core::{
 use pcc_simnet::endpoint::Endpoint;
 use pcc_simnet::time::{SimDuration, SimTime};
 use pcc_transport::registry::{self, CcParams, SpecError};
-use pcc_transport::{CcSender, CcSenderConfig, CongestionControl, FlowSize, TransportConfig};
+use pcc_transport::{
+    CcSender, CcSenderConfig, CongestionControl, FlowSize, ReportMode, TransportConfig,
+};
+
+/// Process-global default feedback granularity for scenario-built senders
+/// (see [`force_batched_reports`]).
+static FORCE_BATCHED: AtomicBool = AtomicBool::new(false);
+
+/// Force every sender subsequently built through [`Protocol`] onto
+/// batched one-RTT measurement reports (the off-path control plane),
+/// regardless of each algorithm's preferred [`ReportMode`]. Per-flow
+/// overrides (e.g. `FlowPlan::reporting`) still win. Used by
+/// `pcc-experiments --batched` and the CI smoke run; golden-fingerprint
+/// scenarios run with this off, so defaults stay bit-identical.
+pub fn force_batched_reports(on: bool) {
+    FORCE_BATCHED.store(on, Ordering::SeqCst);
+}
+
+/// Whether [`force_batched_reports`] is currently set.
+pub fn batched_reports_forced() -> bool {
+    FORCE_BATCHED.load(Ordering::SeqCst)
+}
 
 /// Install every algorithm in the workspace — the PCC×utility family from
 /// `pcc-core`, the seven TCP baselines (plus `-paced` variants) from
@@ -143,7 +165,7 @@ impl Protocol {
     /// [`SpecError`].
     /// Prefer [`Protocol::build_sender_hinted`] when the path RTT is known.
     pub fn build_sender(&self, size: FlowSize, mss: u32) -> Result<Box<dyn Endpoint>, SpecError> {
-        self.build_sender_with(size, &CcParams::default().with_mss(mss))
+        self.build_sender_with(size, &CcParams::default().with_mss(mss), None)
     }
 
     /// [`Protocol::build_sender`] with the flow's path RTT threaded into
@@ -154,9 +176,24 @@ impl Protocol {
         mss: u32,
         rtt_hint: SimDuration,
     ) -> Result<Box<dyn Endpoint>, SpecError> {
+        self.build_sender_reporting(size, mss, rtt_hint, None)
+    }
+
+    /// [`Protocol::build_sender_hinted`] with an explicit feedback
+    /// granularity. `report: None` falls through to the process-global
+    /// [`force_batched_reports`] default, then to the algorithm's own
+    /// [`ReportMode`] preference.
+    pub fn build_sender_reporting(
+        &self,
+        size: FlowSize,
+        mss: u32,
+        rtt_hint: SimDuration,
+        report: Option<ReportMode>,
+    ) -> Result<Box<dyn Endpoint>, SpecError> {
         self.build_sender_with(
             size,
             &CcParams::default().with_mss(mss).with_rtt_hint(rtt_hint),
+            report,
         )
     }
 
@@ -164,13 +201,16 @@ impl Protocol {
         &self,
         size: FlowSize,
         params: &CcParams,
+        report: Option<ReportMode>,
     ) -> Result<Box<dyn Endpoint>, SpecError> {
         let cc = self.build_cc(params)?;
+        let report = report.or_else(|| batched_reports_forced().then(ReportMode::batched_rtt));
         let cfg = CcSenderConfig {
             transport: TransportConfig {
                 mss: params.mss,
                 size,
             },
+            report,
             ..Default::default()
         };
         Ok(Box::new(CcSender::new(cfg, cc)))

@@ -3,7 +3,7 @@
 
 use pcc_simnet::link::LinkSchedule;
 use pcc_simnet::prelude::*;
-use pcc_transport::{FlowSize, SackReceiver};
+use pcc_transport::{FlowSize, ReportMode, SackReceiver};
 
 use crate::protocol::Protocol;
 
@@ -128,6 +128,10 @@ pub struct FlowPlan {
     pub start_at: SimTime,
     /// How much it sends.
     pub size: FlowSize,
+    /// Feedback granularity override for this flow (`None` = the
+    /// process-global [`crate::protocol::force_batched_reports`] default,
+    /// then the algorithm's own preference).
+    pub report: Option<ReportMode>,
 }
 
 impl FlowPlan {
@@ -138,6 +142,7 @@ impl FlowPlan {
             rtt,
             start_at: SimTime::ZERO,
             size: FlowSize::Infinite,
+            report: None,
         }
     }
 
@@ -150,6 +155,13 @@ impl FlowPlan {
     /// Give the flow a fixed size.
     pub fn sized(mut self, size: FlowSize) -> Self {
         self.size = size;
+        self
+    }
+
+    /// Force this flow's engine onto the given feedback granularity
+    /// (e.g. `ReportMode::batched_rtt()` for the off-path control plane).
+    pub fn reporting(mut self, mode: ReportMode) -> Self {
+        self.report = Some(mode);
         self
     }
 }
@@ -262,7 +274,7 @@ pub fn run_dumbbell_scheduled(
         let path = topo.flow_path(src, recv, 0);
         let sender = plan
             .protocol
-            .build_sender_hinted(plan.size, 1500, plan.rtt)
+            .build_sender_reporting(plan.size, 1500, plan.rtt, plan.report)
             .unwrap_or_else(|e| panic!("scenario plan references an unknown algorithm: {e}"));
         let flow = net.add_flow(FlowSpec {
             sender,
@@ -382,6 +394,54 @@ mod tests {
         assert_eq!(r.report.flows[1].delivered_bytes, 2_410_500);
         assert_eq!(r.report.flows[0].detected_losses, 263);
         assert_eq!(r.report.flows[1].detected_losses, 28);
+    }
+
+    #[test]
+    fn batched_reports_land_near_the_per_ack_baseline() {
+        // Tolerance gate for the off-path control plane: the same CUBIC
+        // flow fed 1-RTT batched reports must land within 10% of the
+        // per-ACK baseline on a clean BDP-buffered link.
+        let setup = LinkSetup::new(50e6, SimDuration::from_millis(30), 187_500);
+        let rtt = SimDuration::from_millis(30);
+        let horizon = SimTime::from_secs(8);
+        let base = run_dumbbell(
+            setup,
+            vec![FlowPlan::new(Protocol::Tcp("cubic"), rtt)],
+            horizon,
+            42,
+        );
+        let batched = run_dumbbell(
+            setup,
+            vec![FlowPlan::new(Protocol::Tcp("cubic"), rtt).reporting(ReportMode::batched_rtt())],
+            horizon,
+            42,
+        );
+        let tb = base.throughput_in(0, SimTime::from_secs(4), SimTime::from_secs(8));
+        let tr = batched.throughput_in(0, SimTime::from_secs(4), SimTime::from_secs(8));
+        assert!(tr > 40.0, "batched CUBIC still fills the link: {tr} Mbps");
+        assert!(
+            (tr - tb).abs() / tb < 0.10,
+            "within 10% of per-ACK: {tb} vs {tr} Mbps"
+        );
+    }
+
+    #[test]
+    fn mode_switching_algorithm_completes_a_scenario() {
+        // rate-then-window starts in Rate mode and hands the engine a
+        // window mid-flight; the sim datapath must survive the switch.
+        let setup = LinkSetup::new(20e6, SimDuration::from_millis(30), 75_000);
+        let rtt = SimDuration::from_millis(30);
+        let r = run_dumbbell(
+            setup,
+            vec![FlowPlan::new(
+                Protocol::Named("rate-then-window".into()),
+                rtt,
+            )],
+            SimTime::from_secs(8),
+            11,
+        );
+        let t = r.throughput_in(0, SimTime::from_secs(4), SimTime::from_secs(8));
+        assert!(t > 5.0, "rate-then-window makes progress: {t} Mbps");
     }
 
     #[test]

@@ -337,7 +337,7 @@ mod tests {
         let mut rng = SimRng::new(1);
         let mut fx = Effects::default();
         cc.on_start(&mut Ctx::new(SimTime::ZERO, &mut rng, &mut fx));
-        let (_, cwnd, _) = fx.drain();
+        let cwnd = fx.drain().cwnd;
         assert_eq!(cwnd, Some(32.0), "iw=32 reaches the engine");
         let seqs = [0u64];
         let loss = LossEvent {
@@ -349,7 +349,7 @@ mod tests {
             mss: 1500,
         };
         cc.on_loss(&loss, &mut Ctx::new(SimTime::ZERO, &mut rng, &mut fx));
-        let (_, cwnd, _) = fx.drain();
+        let cwnd = fx.drain().cwnd;
         assert_eq!(cwnd, Some(16.0), "beta=0.5 halves instead of ×0.7");
     }
 
@@ -388,7 +388,7 @@ mod tests {
             let mut rng = SimRng::new(1);
             let mut fx = Effects::default();
             cc.on_start(&mut Ctx::new(SimTime::ZERO, &mut rng, &mut fx));
-            let (_, cwnd, _) = fx.drain();
+            let cwnd = fx.drain().cwnd;
             if spec.contains("iw=32") {
                 assert_eq!(cwnd, Some(32.0), "{spec}: iw reaches the engine");
             }

@@ -25,6 +25,7 @@
 use pcc_simnet::time::{SimDuration, SimTime};
 use pcc_transport::cc::{AckEvent, CongestionControl, Ctx, LossEvent, LossKind};
 use pcc_transport::registry::CcParams;
+use pcc_transport::report::MeasurementReport;
 
 use crate::common::MIN_CWND;
 
@@ -145,6 +146,33 @@ impl CongestionControl for Windowed {
         }
         self.push_cwnd(ctx);
     }
+
+    fn on_report(&mut self, rep: &MeasurementReport, ctx: &mut Ctx) {
+        // Loss-event-driven semantics reconstructed from report deltas:
+        // a timeout collapses, a fresh loss episode cuts once, and growth
+        // is credited only for clean intervals (the engine flushes a
+        // report the moment an episode opens, so a lossy interval never
+        // smuggles its ACKs past the cut — same once-per-episode behaviour
+        // as the per-ACK path).
+        if rep.timeouts > 0 {
+            self.inner.on_rto(rep.end);
+        } else if rep.loss_events > 0 && rep.new_loss_episode {
+            self.inner.on_loss_event(rep.end);
+        } else if rep.acked_pkts > 0 && !rep.in_recovery {
+            let ack = CcAck {
+                now: rep.end,
+                rtt: rep.mean_rtt(),
+                srtt: rep.srtt,
+                min_rtt: rep.min_rtt,
+                max_rtt: rep.rtt_max.unwrap_or(rep.srtt),
+                newly_acked: rep.acked_pkts.min(u32::MAX as u64) as u32,
+                in_flight: rep.in_flight,
+                mss: rep.mss,
+            };
+            self.inner.on_ack(&ack);
+        }
+        self.push_cwnd(ctx);
+    }
 }
 
 /// Adapter: a [`WindowAlgo`] with pacing — sets the congestion window
@@ -194,6 +222,13 @@ impl CongestionControl for PacedWindowed {
         self.inner.on_loss(loss, ctx);
         self.push_rate(ctx);
     }
+
+    fn on_report(&mut self, rep: &MeasurementReport, ctx: &mut Ctx) {
+        self.mss = rep.mss;
+        self.last_srtt = rep.srtt;
+        self.inner.on_report(rep, ctx);
+        self.push_rate(ctx);
+    }
 }
 
 #[cfg(test)]
@@ -225,8 +260,7 @@ mod tests {
     }
 
     fn drain_cwnd(fx: &mut Effects) -> Option<f64> {
-        let (_, cwnd, _) = fx.drain();
-        cwnd
+        fx.drain().cwnd
     }
 
     #[test]
@@ -304,10 +338,84 @@ mod tests {
         let mut rng = SimRng::new(1);
         let mut fx = Effects::default();
         cc.on_start(&mut Ctx::new(SimTime::ZERO, &mut rng, &mut fx));
-        let (rate, cwnd, _) = fx.drain();
-        assert_eq!(cwnd, Some(10.0));
+        let d = fx.drain();
+        assert_eq!(d.cwnd, Some(10.0));
         // 10 pkts × 1500 B × 8 / 100 ms = 1.2 Mbps.
-        let rate = rate.expect("pacing rate set");
+        let rate = d.rate.expect("pacing rate set");
         assert!((rate - 1.2e6).abs() < 1.0, "rate {rate}");
+    }
+
+    fn report(acked: u64, loss_events: u32, new_episode: bool, timeouts: u32) -> MeasurementReport {
+        let rtt = SimDuration::from_millis(30);
+        MeasurementReport {
+            start: SimTime::ZERO,
+            end: SimTime::from_millis(30),
+            acked_pkts: acked,
+            acked_bytes: acked * 1500,
+            loss_events,
+            new_loss_episode: new_episode,
+            timeouts,
+            srtt: rtt,
+            min_rtt: rtt,
+            mss: 1500,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn batched_report_reconstructs_loss_event_semantics() {
+        // The same NewReno through reports: a clean 5-ack interval grows
+        // exactly like 5 per-ACK deliveries; a loss-episode report cuts
+        // once; a timeout report collapses to the floor.
+        let mut cc = Windowed::new(Box::new(NewReno::new()));
+        let mut rng = SimRng::new(1);
+        let mut fx = Effects::default();
+        cc.on_start(&mut Ctx::new(SimTime::ZERO, &mut rng, &mut fx));
+        let _ = fx.drain();
+        cc.on_report(
+            &report(5, 0, false, 0),
+            &mut Ctx::new(SimTime::ZERO, &mut rng, &mut fx),
+        );
+        assert_eq!(drain_cwnd(&mut fx), Some(15.0), "slow start via report");
+        cc.on_report(
+            &report(3, 1, true, 0),
+            &mut Ctx::new(SimTime::ZERO, &mut rng, &mut fx),
+        );
+        assert_eq!(drain_cwnd(&mut fx), Some(7.5), "halved on episode report");
+        cc.on_report(
+            &report(0, 4, true, 1),
+            &mut Ctx::new(SimTime::ZERO, &mut rng, &mut fx),
+        );
+        assert_eq!(
+            drain_cwnd(&mut fx),
+            Some(MIN_CWND),
+            "timeout report collapses"
+        );
+    }
+
+    #[test]
+    fn batched_growth_matches_per_ack_totals() {
+        // 20 packets acked in one clean interval must land on the same
+        // window as 4 per-ACK events of 5 — lossless aggregation end to
+        // end for ack-counting algorithms.
+        let mut per_ack = Windowed::new(Box::new(NewReno::new()));
+        let mut batched = Windowed::new(Box::new(NewReno::new()));
+        let mut rng = SimRng::new(1);
+        let mut fx = Effects::default();
+        per_ack.on_start(&mut Ctx::new(SimTime::ZERO, &mut rng, &mut fx));
+        batched.on_start(&mut Ctx::new(SimTime::ZERO, &mut rng, &mut fx));
+        let _ = fx.drain();
+        for _ in 0..4 {
+            per_ack.on_ack(
+                &ack_event(5, false),
+                &mut Ctx::new(SimTime::ZERO, &mut rng, &mut fx),
+            );
+        }
+        let per_ack_cwnd = drain_cwnd(&mut fx).expect("cwnd");
+        batched.on_report(
+            &report(20, 0, false, 0),
+            &mut Ctx::new(SimTime::ZERO, &mut rng, &mut fx),
+        );
+        assert_eq!(drain_cwnd(&mut fx), Some(per_ack_cwnd));
     }
 }

@@ -35,6 +35,8 @@
 use pcc_simnet::rng::SimRng;
 use pcc_simnet::time::{SimDuration, SimTime};
 
+use crate::report::MeasurementReport;
+
 /// Everything an algorithm sees when an ACK arrives.
 #[derive(Clone, Copy, Debug)]
 pub struct AckEvent {
@@ -119,33 +121,110 @@ pub struct LossEvent<'a> {
     pub mss: u32,
 }
 
+/// Which transmission machinery the engine runs for a flow.
+///
+/// Normally implied by what the algorithm set in `on_start` (rate →
+/// [`CcMode::Rate`], cwnd → [`CcMode::Window`], both →
+/// [`CcMode::Hybrid`]); an algorithm can *switch* modes mid-flow with
+/// [`Ctx::set_mode`] — e.g. rate-based startup followed by window-based
+/// steady state. On a switch the engine derives a sane operating point for
+/// the new mode from the old one (rate × SRTT → cwnd and vice versa)
+/// unless the algorithm set one explicitly in the same callback.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CcMode {
+    /// Pure pacing: the engine clocks transmissions off the requested rate.
+    Rate,
+    /// Pure window clocking: ack-clocked with TSO burstiness and RTO
+    /// machinery.
+    Window,
+    /// Both machineries run; a closed window blocks transmission even when
+    /// the pacing gap has elapsed, and vice versa.
+    Hybrid,
+}
+
+/// How long one measurement interval lasts in batched mode.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ReportInterval {
+    /// A multiple of the smoothed RTT, re-evaluated at each report
+    /// boundary (the adaptive default: 1 RTT).
+    Rtts(f64),
+    /// A fixed wall-clock interval.
+    Fixed(SimDuration),
+}
+
+/// How the engine delivers measurement feedback to an algorithm.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ReportMode {
+    /// Legacy/compatibility path: every ACK and loss event is delivered
+    /// individually through `on_ack` / `on_loss`.
+    PerAck,
+    /// Off-path control plane: the engine aggregates events locally and
+    /// delivers one [`MeasurementReport`] per interval through
+    /// [`CongestionControl::on_report`]. `on_ack` / `on_loss` are *not*
+    /// called.
+    Batched(ReportInterval),
+}
+
+impl ReportMode {
+    /// The batched default: one report per smoothed RTT.
+    pub fn batched_rtt() -> Self {
+        ReportMode::Batched(ReportInterval::Rtts(1.0))
+    }
+}
+
+/// Everything an algorithm requested during one callback, drained by the
+/// hosting engine.
+#[derive(Debug, Default)]
+pub struct Decisions {
+    /// Pacing rate (bits/sec), if requested.
+    pub rate: Option<f64>,
+    /// Congestion window (packets), if requested.
+    pub cwnd: Option<f64>,
+    /// Engine-mode switch, if requested.
+    pub mode: Option<CcMode>,
+    /// One-shot override for the next report interval, if requested.
+    pub report_in: Option<SimDuration>,
+    /// Timers to arm; each token is redelivered through
+    /// [`CongestionControl::on_timer`].
+    pub timers: Vec<(SimTime, u64)>,
+}
+
 /// Control decisions an algorithm requests during a callback.
 ///
 /// The engine applies whatever subset was set: a pacing rate, a congestion
-/// window, or both. Timers are redelivered through
-/// [`CongestionControl::on_timer`] with their token.
+/// window, or both — plus mode switches and report-cadence overrides.
+/// Timers are redelivered through [`CongestionControl::on_timer`] with
+/// their token.
 #[derive(Debug, Default)]
 pub struct Effects {
     new_rate: Option<f64>,
     new_cwnd: Option<f64>,
+    new_mode: Option<CcMode>,
+    report_in: Option<SimDuration>,
     timers: Vec<(SimTime, u64)>,
 }
 
 impl Effects {
-    /// Take everything requested so far: `(rate, cwnd, timers)`. Used by
-    /// engines hosting an algorithm outside the simulator (e.g. the
-    /// real-network UDP sender) as well as by [`crate::sender::CcSender`].
-    pub fn drain(&mut self) -> (Option<f64>, Option<f64>, Vec<(SimTime, u64)>) {
-        (
-            self.new_rate.take(),
-            self.new_cwnd.take(),
-            std::mem::take(&mut self.timers),
-        )
+    /// Take everything requested so far. Used by engines hosting an
+    /// algorithm outside the simulator (e.g. the real-network UDP sender)
+    /// as well as by [`crate::sender::CcSender`].
+    pub fn drain(&mut self) -> Decisions {
+        Decisions {
+            rate: self.new_rate.take(),
+            cwnd: self.new_cwnd.take(),
+            mode: self.new_mode.take(),
+            report_in: self.report_in.take(),
+            timers: std::mem::take(&mut self.timers),
+        }
     }
 
     /// True if nothing was requested.
     pub fn is_empty(&self) -> bool {
-        self.new_rate.is_none() && self.new_cwnd.is_none() && self.timers.is_empty()
+        self.new_rate.is_none()
+            && self.new_cwnd.is_none()
+            && self.new_mode.is_none()
+            && self.report_in.is_none()
+            && self.timers.is_empty()
     }
 }
 
@@ -180,6 +259,23 @@ impl<'a> Ctx<'a> {
     /// [`CongestionControl::on_timer`].
     pub fn set_timer(&mut self, at: SimTime, token: u64) {
         self.effects.timers.push((at, token));
+    }
+
+    /// Switch the engine's transmission machinery mid-flow (the
+    /// mode-switch seam: rate-based startup, window-based steady state).
+    /// If the algorithm does not also set the new mode's operating point
+    /// in the same callback, the engine derives one from the current
+    /// operating point (rate × SRTT → cwnd and vice versa).
+    pub fn set_mode(&mut self, mode: CcMode) {
+        self.effects.new_mode = Some(mode);
+    }
+
+    /// One-shot override of the *next* report interval (batched mode
+    /// only): the next [`MeasurementReport`] is emitted `d` after now.
+    /// Lets interval-structured algorithms (PCC) align report boundaries
+    /// with their own monitor intervals.
+    pub fn set_report_interval(&mut self, d: SimDuration) {
+        self.effects.report_in = Some(d);
     }
 }
 
@@ -217,6 +313,25 @@ pub trait CongestionControl: Send {
         let _ = (token, ctx);
     }
 
+    /// Which feedback path this algorithm wants. [`ReportMode::PerAck`]
+    /// (the default) delivers every event through `on_ack` / `on_loss`;
+    /// [`ReportMode::Batched`] makes the engine aggregate locally and
+    /// deliver one [`MeasurementReport`] per interval through
+    /// [`CongestionControl::on_report`] instead. Engines may override the
+    /// preference per flow (e.g. a host driving many flows batches all of
+    /// them).
+    fn report_mode(&self) -> ReportMode {
+        ReportMode::PerAck
+    }
+
+    /// One aggregated measurement interval completed (batched mode). The
+    /// default implementation ignores it; algorithms opting into
+    /// [`ReportMode::Batched`] — or hosted behind an engine that forces
+    /// batching — must implement it.
+    fn on_report(&mut self, rep: &MeasurementReport, ctx: &mut Ctx) {
+        let _ = (rep, ctx);
+    }
+
     /// Probe-train tag to stamp on the next outgoing data packet, if the
     /// algorithm is currently probing (dispersion-based designs like PCP).
     /// The receiver echoes the tag in its ACKs.
@@ -236,9 +351,9 @@ mod tests {
         let mut ctx = Ctx::new(SimTime::ZERO, &mut rng, &mut fx);
         ctx.set_rate(-5.0);
         ctx.set_cwnd(0.0);
-        let (rate, cwnd, _) = fx.drain();
-        assert_eq!(rate, Some(1.0));
-        assert_eq!(cwnd, Some(1.0));
+        let d = fx.drain();
+        assert_eq!(d.rate, Some(1.0));
+        assert_eq!(d.cwnd, Some(1.0));
     }
 
     #[test]
@@ -248,9 +363,9 @@ mod tests {
         let mut ctx = Ctx::new(SimTime::ZERO, &mut rng, &mut fx);
         ctx.set_rate(f64::NAN);
         ctx.set_cwnd(f64::INFINITY);
-        let (rate, cwnd, _) = fx.drain();
-        assert_eq!(rate, Some(1.0));
-        assert_eq!(cwnd, Some(1.0));
+        let d = fx.drain();
+        assert_eq!(d.rate, Some(1.0));
+        assert_eq!(d.cwnd, Some(1.0));
     }
 
     #[test]
@@ -260,11 +375,25 @@ mod tests {
         let mut ctx = Ctx::new(SimTime::ZERO, &mut rng, &mut fx);
         ctx.set_timer(SimTime::from_millis(5), 7);
         ctx.set_timer(SimTime::from_millis(1), 9);
-        let (_, _, timers) = fx.drain();
+        let d = fx.drain();
         assert_eq!(
-            timers,
+            d.timers,
             vec![(SimTime::from_millis(5), 7), (SimTime::from_millis(1), 9)]
         );
+        assert!(fx.is_empty());
+    }
+
+    #[test]
+    fn effects_carry_mode_and_report_interval() {
+        let mut fx = Effects::default();
+        let mut rng = SimRng::new(1);
+        let mut ctx = Ctx::new(SimTime::ZERO, &mut rng, &mut fx);
+        ctx.set_mode(CcMode::Window);
+        ctx.set_report_interval(SimDuration::from_millis(30));
+        assert!(!fx.is_empty());
+        let d = fx.drain();
+        assert_eq!(d.mode, Some(CcMode::Window));
+        assert_eq!(d.report_in, Some(SimDuration::from_millis(30)));
         assert!(fx.is_empty());
     }
 }

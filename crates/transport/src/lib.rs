@@ -32,17 +32,24 @@
 
 pub mod cc;
 pub mod flow;
+pub mod host;
 pub mod receiver;
 pub mod registry;
+pub mod report;
 pub mod rtt;
 pub mod sack;
 pub mod sender;
 pub mod spec;
 
-pub use cc::{AckEvent, CongestionControl, Ctx, Effects, LossEvent, LossKind, SentEvent};
+pub use cc::{
+    AckEvent, CcMode, CongestionControl, Ctx, Decisions, Effects, LossEvent, LossKind,
+    ReportInterval, ReportMode, SentEvent,
+};
 pub use flow::{FlowSize, TransportConfig};
+pub use host::{shared_host, CcHost, Command, HostFlowId, HostedCc, SharedHost};
 pub use receiver::SackReceiver;
 pub use registry::{CcParams, SpecError, UnknownAlgorithm};
+pub use report::{MeasurementReport, ReportAggregator};
 pub use rtt::RttEstimator;
 pub use sack::{AckOutcome, Scoreboard};
 pub use sender::{CcSender, CcSenderConfig};

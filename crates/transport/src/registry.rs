@@ -515,7 +515,7 @@ mod tests {
             &mut rng,
             &mut fx,
         ));
-        let (rate, _, _) = fx.drain();
+        let rate = fx.drain().rate;
         assert_eq!(rate, Some(42.0), "spec value tuned the controller");
         // Empty pair list ≡ plain name.
         assert!(by_name("test-tuned:", &CcParams::default()).is_ok());

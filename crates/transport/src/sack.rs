@@ -72,6 +72,15 @@ pub struct Scoreboard {
     /// the sweep itself refreshes the bound, so a stale value costs at
     /// most one extra sweep per RTO. `None` until the first send.
     timeout_floor: Option<SimTime>,
+    /// Sequences below this have already been judged by the reordering
+    /// rule. Once a scan reaches a cutoff, no entry below it can ever
+    /// qualify again (originals there were marked `Lost` on the spot and
+    /// retransmissions carry `retx_count > 0`, which the rule excludes),
+    /// so the next scan resumes here instead of re-walking from `base` —
+    /// without this, a single unrepaired hole pinning `base` makes every
+    /// ACK rescan the whole outstanding window, turning a loss-heavy run
+    /// quadratic.
+    reorder_floor: u64,
 }
 
 impl Default for Scoreboard {
@@ -92,6 +101,7 @@ impl Scoreboard {
             losses: 0,
             dup_thresh: 3,
             timeout_floor: None,
+            reorder_floor: 0,
         }
     }
 
@@ -200,9 +210,11 @@ impl Scoreboard {
         // frontier minus DupThresh qualify, and everything below `base` is
         // acked — so the candidates live in `[base, dup_cutoff)`.
         let dup_cutoff = self.high_sacked.saturating_sub(self.dup_thresh);
-        if dup_cutoff > self.base {
+        let start = self.base.max(self.reorder_floor);
+        if dup_cutoff > start {
+            let skip = (start - self.base) as usize;
             let end = ((dup_cutoff - self.base) as usize).min(self.entries.len());
-            for (i, e) in self.entries.iter_mut().take(end).enumerate() {
+            for (i, e) in self.entries.iter_mut().enumerate().take(end).skip(skip) {
                 if e.state == SeqState::Outstanding && e.retx_count == 0 {
                     e.state = SeqState::Lost;
                     self.in_flight -= 1;
@@ -210,6 +222,7 @@ impl Scoreboard {
                     lost.push(self.base + i as u64);
                 }
             }
+            self.reorder_floor = self.base + end as u64;
         }
         // Timeout rule (covers retransmissions the reorder rule cannot
         // judge): sweep only when the floor says a timeout is possible,

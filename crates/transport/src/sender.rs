@@ -30,8 +30,12 @@ use pcc_simnet::endpoint::{Endpoint, EndpointCtx};
 use pcc_simnet::packet::Packet;
 use pcc_simnet::time::{SimDuration, SimTime};
 
-use crate::cc::{AckEvent, CongestionControl, Ctx, Effects, LossEvent, LossKind, SentEvent};
+use crate::cc::{
+    AckEvent, CcMode, CongestionControl, Ctx, Effects, LossEvent, LossKind, ReportInterval,
+    ReportMode, SentEvent,
+};
 use crate::flow::TransportConfig;
+use crate::report::ReportAggregator;
 use crate::rtt::RttEstimator;
 use crate::sack::Scoreboard;
 
@@ -65,6 +69,11 @@ pub struct CcSenderConfig {
     /// How long segments may wait for a burst to fill before the NIC
     /// flushes anyway (models the offload flush timer).
     pub tso_flush: SimDuration,
+    /// Feedback path override. `None` (the default) honours the
+    /// algorithm's own [`CongestionControl::report_mode`] preference;
+    /// `Some` forces per-ACK or batched delivery regardless — e.g. a host
+    /// driving many flows off-path batches all of them.
+    pub report: Option<ReportMode>,
 }
 
 impl Default for CcSenderConfig {
@@ -76,6 +85,7 @@ impl Default for CcSenderConfig {
             max_cwnd_pkts: 20_000.0,
             tso_burst_pkts: 44,
             tso_flush: SimDuration::from_millis(1),
+            report: None,
         }
     }
 }
@@ -92,6 +102,7 @@ const TOKEN_SCAN: u64 = 2 << TOKEN_KIND_SHIFT;
 const TOKEN_CTRL: u64 = 3 << TOKEN_KIND_SHIFT;
 const TOKEN_RTO: u64 = 4 << TOKEN_KIND_SHIFT;
 const TOKEN_TSO: u64 = 5 << TOKEN_KIND_SHIFT;
+const TOKEN_REPORT: u64 = 6 << TOKEN_KIND_SHIFT;
 const TOKEN_GEN_MASK: u64 = (1 << TOKEN_KIND_SHIFT) - 1;
 
 /// The unified sender endpoint: reliability + transmission scheduling
@@ -128,6 +139,14 @@ pub struct CcSender {
     finished: bool,
     last_rate_report: (SimTime, f64),
     effects: Effects,
+    /// Resolved feedback path (config override, else the algorithm's
+    /// preference); fixed at `start()`.
+    report_mode: ReportMode,
+    /// Local event accumulator for batched mode.
+    agg: ReportAggregator,
+    report_gen: u64,
+    /// One-shot report-interval override requested by the algorithm.
+    requested_interval: Option<SimDuration>,
 }
 
 impl CcSender {
@@ -156,6 +175,10 @@ impl CcSender {
             finished: false,
             last_rate_report: (SimTime::MAX, 0.0),
             effects: Effects::default(),
+            report_mode: ReportMode::PerAck,
+            agg: ReportAggregator::default(),
+            report_gen: 0,
+            requested_interval: None,
         }
     }
 
@@ -198,6 +221,11 @@ impl CcSender {
         self.recovery_point.is_some()
     }
 
+    /// Events are aggregated locally and delivered as reports.
+    fn batched(&self) -> bool {
+        matches!(self.report_mode, ReportMode::Batched(_))
+    }
+
     /// Effective in-flight limit right now: the memory guard, tightened by
     /// the congestion window when the algorithm drives one.
     fn flight_limit(&self) -> u64 {
@@ -235,10 +263,12 @@ impl CcSender {
                 .exhausted(self.sb.next_seq(), self.mss())
     }
 
-    /// Apply rate/cwnd changes and timers the algorithm requested.
+    /// Apply rate/cwnd changes, mode switches, and timers the algorithm
+    /// requested. Order matters: the operating point is applied first so a
+    /// mode switch in the same callback derives from the values just set.
     fn apply_effects(&mut self, ctx: &mut EndpointCtx) {
-        let (rate, cwnd, timers) = self.effects.drain();
-        if let Some(rate) = rate {
+        let d = self.effects.drain();
+        if let Some(rate) = d.rate {
             if self.rate_bps != Some(rate) {
                 self.rate_bps = Some(rate);
                 if self.windowed() {
@@ -250,12 +280,69 @@ impl CcSender {
                 }
             }
         }
-        if let Some(cwnd) = cwnd {
+        if let Some(cwnd) = d.cwnd {
             self.cwnd_pkts = Some(cwnd);
         }
-        for (at, token) in timers {
+        if let Some(d) = d.report_in {
+            self.requested_interval = Some(d);
+        }
+        for (at, token) in d.timers {
             debug_assert!(token <= TOKEN_GEN_MASK, "algorithm token too large");
             ctx.set_timer(at, TOKEN_CTRL | (token & TOKEN_GEN_MASK));
+        }
+        if let Some(mode) = d.mode {
+            self.apply_mode(mode, ctx);
+        }
+    }
+
+    /// Switch transmission machinery mid-flow ([`Ctx::set_mode`]). The
+    /// machinery of the departed mode is disengaged (its timers are
+    /// invalidated lazily — a stale pace tick is generation-checked, the
+    /// loss scan simply keeps re-arming and is harmless under window
+    /// clocking); if the algorithm did not set the new mode's operating
+    /// point in the same callback the engine derives one from the old
+    /// point. The RTO floor keeps the convention chosen at `start()`.
+    fn apply_mode(&mut self, mode: CcMode, ctx: &mut EndpointCtx) {
+        let srtt = self.rtt.srtt_or(SimDuration::from_millis(100));
+        let derived_cwnd = |rate: f64, mss: u32| -> f64 {
+            (rate * srtt.as_secs_f64() / (mss as f64 * 8.0)).max(2.0)
+        };
+        match mode {
+            CcMode::Rate => {
+                if self.rate_bps.is_none() {
+                    self.rate_bps = Some(self.derived_rate().max(1.0));
+                }
+                self.cwnd_pkts = None;
+                self.recovery_point = None;
+                ctx.record_rate(self.rate_bps.unwrap_or(1.0));
+                self.arm_scan(ctx);
+                self.wake_pacer(ctx);
+            }
+            CcMode::Window => {
+                if self.cwnd_pkts.is_none() {
+                    let rate = self.rate_bps.unwrap_or(1.0);
+                    self.cwnd_pkts = Some(derived_cwnd(rate, self.mss()));
+                }
+                self.rate_bps = None;
+                // Invalidate any in-flight pace tick.
+                self.pace_gen += 1;
+                self.pace_armed = false;
+                self.report_rate(ctx);
+                self.try_send(ctx);
+                self.arm_rto(ctx);
+            }
+            CcMode::Hybrid => {
+                if self.rate_bps.is_none() {
+                    self.rate_bps = Some(self.derived_rate().max(1.0));
+                }
+                if self.cwnd_pkts.is_none() {
+                    let rate = self.rate_bps.unwrap_or(1.0);
+                    self.cwnd_pkts = Some(derived_cwnd(rate, self.mss()));
+                }
+                self.report_rate(ctx);
+                self.wake_pacer(ctx);
+                self.arm_rto(ctx);
+            }
         }
     }
 
@@ -292,7 +379,11 @@ impl CcSender {
                 retx: true,
                 in_flight: self.sb.in_flight(),
             };
-            self.with_cc(ctx, |c, cc| c.on_sent(&ev, cc));
+            if self.batched() {
+                self.agg.on_sent(&ev);
+            } else {
+                self.with_cc(ctx, |c, cc| c.on_sent(&ev, cc));
+            }
             return true;
         }
         let next = self.sb.next_seq();
@@ -311,7 +402,11 @@ impl CcSender {
             retx: false,
             in_flight: self.sb.in_flight(),
         };
-        self.with_cc(ctx, |c, cc| c.on_sent(&ev, cc));
+        if self.batched() {
+            self.agg.on_sent(&ev);
+        } else {
+            self.with_cc(ctx, |c, cc| c.on_sent(&ev, cc));
+        }
         true
     }
 
@@ -470,7 +565,17 @@ impl CcSender {
             in_flight: self.sb.in_flight(),
             mss: self.mss(),
         };
-        self.with_cc(ctx, |c, cc| c.on_loss(&ev, cc));
+        if self.batched() {
+            self.agg.on_loss(&ev);
+            if ev.new_episode {
+                // Urgent flush: a fresh loss episode is delivered on the
+                // spot so batched loss-driven algorithms react as promptly
+                // as per-ACK ones (only growth is deferred to the cadence).
+                self.flush_report(ctx);
+            }
+        } else {
+            self.with_cc(ctx, |c, cc| c.on_loss(&ev, cc));
+        }
         if self.paced() {
             self.wake_pacer(ctx);
         }
@@ -547,7 +652,14 @@ impl CcSender {
             in_flight: self.sb.in_flight(),
             mss: self.mss(),
         };
-        self.with_cc(ctx, |c, cc| c.on_loss(&ev, cc));
+        if self.batched() {
+            self.agg.on_loss(&ev);
+            // A timeout is always flushed immediately: the algorithm must
+            // collapse its window / rate before the retransmission burst.
+            self.flush_report(ctx);
+        } else {
+            self.with_cc(ctx, |c, cc| c.on_loss(&ev, cc));
+        }
         self.report_rate(ctx);
         self.try_send(ctx);
         self.arm_rto(ctx);
@@ -578,10 +690,85 @@ impl CcSender {
             }
         }
     }
+
+    // ---- batched measurement reports -------------------------------------
+
+    /// Length of the next report interval: the algorithm's one-shot
+    /// override if it set one (PCC aligning reports with its monitor
+    /// intervals), else the configured cadence. The adaptive default
+    /// re-reads the smoothed RTT at every boundary.
+    fn report_interval(&mut self) -> SimDuration {
+        if let Some(d) = self.requested_interval.take() {
+            return d.max(SimDuration::from_micros(100));
+        }
+        match self.report_mode {
+            ReportMode::Batched(ReportInterval::Rtts(k)) => self
+                .rtt
+                .srtt_or(SimDuration::from_millis(100))
+                .mul_f64(k)
+                .max(SimDuration::from_millis(1)),
+            ReportMode::Batched(ReportInterval::Fixed(d)) => d.max(SimDuration::from_micros(100)),
+            // Unreachable: the report timer is only armed in batched mode.
+            ReportMode::PerAck => SimDuration::MAX,
+        }
+    }
+
+    fn arm_report(&mut self, ctx: &mut EndpointCtx) {
+        if self.finished {
+            return;
+        }
+        let interval = self.report_interval();
+        self.report_gen += 1;
+        ctx.set_timer(
+            ctx.now + interval,
+            TOKEN_REPORT | (self.report_gen & TOKEN_GEN_MASK),
+        );
+    }
+
+    /// Close the current interval, stamp the engine snapshot, and deliver
+    /// the report. Empty intervals are delivered too — interval-structured
+    /// algorithms (PCC) use the boundary itself as their clock.
+    fn emit_report(&mut self, ctx: &mut EndpointCtx) {
+        let mut rep = self.agg.take(ctx.now);
+        let srtt = self.rtt.srtt_or(SimDuration::from_millis(100));
+        rep.srtt = srtt;
+        rep.min_rtt = self.rtt.min_rtt().unwrap_or(srtt);
+        rep.in_flight = self.sb.in_flight();
+        rep.cum_ack = self.sb.cum_ack();
+        rep.mss = self.mss();
+        rep.in_recovery = self.in_recovery();
+        self.with_cc(ctx, |c, cc| c.on_report(&rep, cc));
+        if self.windowed() {
+            self.report_rate(ctx);
+        }
+        if self.paced() {
+            self.wake_pacer(ctx);
+        } else {
+            self.try_send(ctx);
+        }
+    }
+
+    /// Out-of-cadence report (loss episode / timeout): emit now and
+    /// restart the cadence, invalidating the pending tick via generation.
+    fn flush_report(&mut self, ctx: &mut EndpointCtx) {
+        self.emit_report(ctx);
+        self.arm_report(ctx);
+    }
+
+    fn on_report_tick(&mut self, ctx: &mut EndpointCtx) {
+        if self.finished {
+            return;
+        }
+        self.emit_report(ctx);
+        self.arm_report(ctx);
+    }
 }
 
 impl Endpoint for CcSender {
     fn start(&mut self, ctx: &mut EndpointCtx) {
+        // Resolve the feedback path before the first callback so a
+        // `set_report_interval` in `on_start` lands on the right machinery.
+        self.report_mode = self.cfg.report.unwrap_or_else(|| self.cc.report_mode());
         self.with_cc(ctx, |c, cc| c.on_start(cc));
         assert!(
             self.rate_bps.is_some() || self.cwnd_pkts.is_some(),
@@ -608,6 +795,10 @@ impl Endpoint for CcSender {
             self.arm_rto(ctx);
         } else {
             self.arm_scan(ctx);
+        }
+        if self.batched() {
+            self.agg.begin(ctx.now);
+            self.arm_report(ctx);
         }
     }
 
@@ -651,7 +842,11 @@ impl Endpoint for CcSender {
                 mss: self.mss(),
                 in_recovery: self.in_recovery(),
             };
-            self.with_cc(ctx, |c, cc| c.on_ack(&ack, cc));
+            if self.batched() {
+                self.agg.on_ack(&ack);
+            } else {
+                self.with_cc(ctx, |c, cc| c.on_ack(&ack, cc));
+            }
         }
         if self.windowed() {
             self.report_rate(ctx);
@@ -697,6 +892,11 @@ impl Endpoint for CcSender {
             TOKEN_TSO => {
                 if gen == (self.tso_gen & TOKEN_GEN_MASK) {
                     self.on_tso_flush(ctx);
+                }
+            }
+            TOKEN_REPORT => {
+                if gen == (self.report_gen & TOKEN_GEN_MASK) {
+                    self.on_report_tick(ctx);
                 }
             }
             _ => debug_assert!(false, "unknown timer token"),
@@ -1080,6 +1280,169 @@ mod tests {
         // 4 pkts per 30 ms RTT = 1.6 Mbps; allow generous slack.
         assert!(tput < 3.0, "window caps the paced rate: {tput} Mbps");
         assert!(tput > 0.5, "data still flows: {tput} Mbps");
+    }
+
+    // ---- batched reports & mode switching --------------------------------
+
+    /// Rate algorithm on the batched path: counts its reports and sums the
+    /// per-report ack totals (shared with the test via a sink).
+    struct BatchedFixed {
+        bps: f64,
+        sink: std::sync::Arc<std::sync::Mutex<(u64, u64, u64)>>, // (reports, acked, lost)
+    }
+
+    impl CongestionControl for BatchedFixed {
+        fn name(&self) -> &'static str {
+            "batched-fixed"
+        }
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.set_rate(self.bps);
+        }
+        fn on_ack(&mut self, _ack: &AckEvent, _ctx: &mut Ctx) {
+            panic!("batched mode must not deliver per-ACK events");
+        }
+        fn on_loss(&mut self, _loss: &LossEvent, _ctx: &mut Ctx) {
+            panic!("batched mode must not deliver per-event losses");
+        }
+        fn report_mode(&self) -> ReportMode {
+            ReportMode::batched_rtt()
+        }
+        fn on_report(&mut self, rep: &crate::report::MeasurementReport, _ctx: &mut Ctx) {
+            let mut s = self
+                .sink
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            s.0 += 1;
+            s.1 += rep.acked_pkts;
+            s.2 += rep.lost_pkts;
+        }
+    }
+
+    #[test]
+    fn batched_path_aggregates_instead_of_per_ack() {
+        let sink = std::sync::Arc::new(std::sync::Mutex::new((0u64, 0u64, 0u64)));
+        let mut net = net(21);
+        let mut db = Dumbbell::new(&mut net, BottleneckSpec::new(100e6, 64_000).with_loss(0.02));
+        let path = db.attach_flow(&mut net, SimDuration::from_millis(30));
+        let flow = net.add_flow(FlowSpec {
+            sender: Box::new(CcSender::new(
+                CcSenderConfig::default(),
+                Box::new(BatchedFixed {
+                    bps: 10e6,
+                    sink: std::sync::Arc::clone(&sink),
+                }),
+            )),
+            receiver: Box::new(SackReceiver::new()),
+            fwd_path: path.fwd,
+            rev_path: path.rev,
+            start_at: SimTime::ZERO,
+        });
+        let report = net.build().run_until(SimTime::from_secs(10));
+        let st = &report.flows[flow.index()];
+        let (reports, acked, lost) = *sink
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // ~10 s at one report per 30 ms RTT ⇒ hundreds of reports, far
+        // fewer than the ~8000 ACKs per-ACK mode would have delivered.
+        assert!(reports > 100, "reports delivered on cadence: {reports}");
+        assert!(
+            reports < st.delivered_packets / 4,
+            "batching amortized: {reports} reports vs {} acks",
+            st.delivered_packets
+        );
+        // Aggregation is lossless: summed report fields cover what the
+        // engine resolved (the final partial interval is never emitted).
+        assert!(acked <= st.delivered_packets);
+        assert!(acked >= st.delivered_packets * 95 / 100);
+        assert!(lost > 0, "2% loss surfaced through reports");
+    }
+
+    /// Rate-based startup, window-based steady state: the mode-switch
+    /// seam. Switches on the first productive report *without* setting a
+    /// cwnd (exercising the engine's rate→cwnd derivation), then opens the
+    /// window explicitly.
+    struct SwitchToy {
+        switched: bool,
+    }
+
+    impl CongestionControl for SwitchToy {
+        fn name(&self) -> &'static str {
+            "switch-toy"
+        }
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.set_rate(2e6);
+        }
+        fn on_ack(&mut self, _ack: &AckEvent, _ctx: &mut Ctx) {}
+        fn on_loss(&mut self, _loss: &LossEvent, _ctx: &mut Ctx) {}
+        fn report_mode(&self) -> ReportMode {
+            ReportMode::batched_rtt()
+        }
+        fn on_report(&mut self, rep: &crate::report::MeasurementReport, ctx: &mut Ctx) {
+            if !self.switched {
+                // Hold the rate phase for 2 s so both phases are visible
+                // at the report's 100 ms sampling grid.
+                if rep.acked_pkts > 0 && rep.end >= SimTime::from_secs(2) {
+                    self.switched = true;
+                    ctx.set_mode(CcMode::Window);
+                }
+            } else {
+                ctx.set_cwnd(40.0);
+            }
+        }
+    }
+
+    #[test]
+    fn mode_switch_rate_startup_then_window_steady_state() {
+        let mut net = net(22);
+        let mut db = Dumbbell::new(&mut net, BottleneckSpec::new(10e6, 64_000));
+        let path = db.attach_flow(&mut net, SimDuration::from_millis(30));
+        let flow = net.add_flow(FlowSpec {
+            sender: Box::new(CcSender::new(
+                CcSenderConfig::default(),
+                Box::new(SwitchToy { switched: false }),
+            )),
+            receiver: Box::new(SackReceiver::new()),
+            fwd_path: path.fwd,
+            rev_path: path.rev,
+            start_at: SimTime::ZERO,
+        });
+        let report = net.build().run_until(SimTime::from_secs(10));
+        let early =
+            report.avg_throughput_mbps(flow, SimTime::from_millis(500), SimTime::from_secs(2));
+        let late = report.avg_throughput_mbps(flow, SimTime::from_secs(5), SimTime::from_secs(10));
+        // Startup paces at 2 Mbps; after the switch a 40-packet window over
+        // 30 ms RTT wants 16 Mbps and pins the 10 Mbps bottleneck.
+        assert!(early < 4.0, "rate-paced startup: {early} Mbps");
+        assert!(
+            late > 8.0,
+            "window steady state fills the pipe: {late} Mbps"
+        );
+    }
+
+    #[test]
+    fn config_override_forces_batching_on_a_per_ack_algorithm() {
+        // MiniReno knows nothing about reports; forcing batched mode must
+        // keep the engine machinery alive (window clocking, RTO) even
+        // though the algorithm sees no events after on_start — cwnd just
+        // stays at its initial value.
+        let mut net = net(23);
+        let mut db = Dumbbell::new(&mut net, BottleneckSpec::new(10e6, 64_000));
+        let path = db.attach_flow(&mut net, SimDuration::from_millis(30));
+        let cfg = CcSenderConfig {
+            report: Some(ReportMode::batched_rtt()),
+            ..Default::default()
+        };
+        let flow = net.add_flow(FlowSpec {
+            sender: Box::new(CcSender::new(cfg, Box::new(MiniReno::new()))),
+            receiver: Box::new(SackReceiver::new()),
+            fwd_path: path.fwd,
+            rev_path: path.rev,
+            start_at: SimTime::ZERO,
+        });
+        let report = net.build().run_until(SimTime::from_secs(5));
+        let tput = report.avg_throughput_mbps(flow, SimTime::from_secs(1), SimTime::from_secs(5));
+        // 10-packet initial window over 30 ms RTT ⇒ ~4 Mbps, ack-clocked.
+        assert!(tput > 2.0, "static window still moves data: {tput} Mbps");
     }
 
     #[test]

@@ -19,9 +19,12 @@ use pcc_simnet::packet::AckInfo;
 use pcc_simnet::rng::SimRng;
 use pcc_simnet::time::{SimDuration, SimTime};
 use pcc_transport::cc::{
-    AckEvent, CongestionControl, Ctx, Effects, LossEvent, LossKind, SentEvent,
+    AckEvent, CcMode, CongestionControl, Ctx, Effects, LossEvent, LossKind, ReportInterval,
+    ReportMode, SentEvent,
 };
+use pcc_transport::host::{HostedCc, SharedHost};
 use pcc_transport::registry::{self, CcParams, SpecError};
+use pcc_transport::report::ReportAggregator;
 use pcc_transport::rtt::RttEstimator;
 use pcc_transport::sack::Scoreboard;
 
@@ -36,6 +39,11 @@ pub struct UdpSenderConfig {
     pub total_bytes: u64,
     /// RNG seed for the algorithm's randomized decisions.
     pub seed: u64,
+    /// Feedback-path override. `None` honours the algorithm's own
+    /// [`CongestionControl::report_mode`] preference; `Some` forces per-ACK
+    /// or batched delivery regardless, mirroring
+    /// `CcSenderConfig::report` on the simulated datapath.
+    pub report: Option<ReportMode>,
 }
 
 impl Default for UdpSenderConfig {
@@ -44,6 +52,7 @@ impl Default for UdpSenderConfig {
             payload: 1200,
             total_bytes: 8 * 1024 * 1024,
             seed: 1,
+            report: None,
         }
     }
 }
@@ -152,6 +161,23 @@ pub fn send_named(
     }
 }
 
+/// Send with the algorithm's brain living in a shared
+/// [`CcHost`](pcc_transport::CcHost) — the
+/// off-path control plane on the real-socket datapath. The flow is
+/// registered with `host`, every engine event is forwarded through the
+/// host's command queue, and one host can drive all of a process's
+/// concurrent transfers. The flow is removed from the host when the
+/// transfer ends.
+pub fn send_hosted(
+    socket: &UdpSocket,
+    peer: SocketAddr,
+    cfg: UdpSenderConfig,
+    host: SharedHost,
+    cc: Box<dyn CongestionControl>,
+) -> std::io::Result<SenderReport> {
+    send_with(socket, peer, cfg, Box::new(HostedCc::new(host, cc)))
+}
+
 /// Pop the next sequence that genuinely needs retransmission, eagerly
 /// discarding stale entries (already acked, or no longer marked lost) on
 /// the way. Draining stales here — instead of one per pacing slot — means
@@ -193,6 +219,16 @@ pub fn send_with(
     let mut cwnd_pkts: Option<f64> = None;
     // Engine-side recovery-episode tracking for window algorithms.
     let mut recovery_point: Option<u64> = None;
+    // Off-path feedback machinery. When the algorithm (or the config
+    // override) asks for batched reports, per-packet events accumulate in
+    // the aggregator and the algorithm only hears from the engine at report
+    // boundaries — the real-socket twin of `CcSender`'s batched mode.
+    let report_mode = cfg.report.unwrap_or_else(|| cc.report_mode());
+    let batched = matches!(report_mode, ReportMode::Batched(_));
+    let mut agg = ReportAggregator::default();
+    // One-shot interval override requested via `Ctx::set_report_interval`.
+    let mut requested_interval: Option<SimDuration> = None;
+    let mut next_report: Option<Instant> = None;
     // Exponential RTO backoff, mirroring `CcSender`'s windowed mode: each
     // whole-window loss declaration doubles the effective RTO (capped at
     // 2^6×), and any ACK that delivers new data resets it. Without this a
@@ -205,19 +241,102 @@ pub fn send_with(
 
     socket.set_nonblocking(true)?;
 
-    // Drain algorithm effects into engine state.
+    // Drain algorithm decisions into engine state. The operating point is
+    // applied before any mode switch so a switch in the same callback
+    // derives from the values just set (same ordering as `CcSender`).
     macro_rules! apply_effects {
         () => {{
-            let (new_rate, new_cwnd, new_timers) = effects.drain();
-            if let Some(r) = new_rate {
+            let d = effects.drain();
+            if let Some(r) = d.rate {
                 rate_bps = Some(r.max(1_000.0));
             }
-            if let Some(w) = new_cwnd {
+            if let Some(w) = d.cwnd {
                 cwnd_pkts = Some(w);
             }
-            for (at, token) in new_timers {
+            if let Some(dur) = d.report_in {
+                requested_interval = Some(dur);
+            }
+            for (at, token) in d.timers {
                 timers.push(TimerEntry(at, token));
             }
+            if let Some(mode) = d.mode {
+                let srtt = rtt.srtt_or(SimDuration::from_millis(100)).as_secs_f64();
+                match mode {
+                    CcMode::Rate => {
+                        if rate_bps.is_none() {
+                            let w = cwnd_pkts.unwrap_or(2.0).max(1.0);
+                            rate_bps = Some((w * wire_bytes as f64 * 8.0 / srtt).max(1_000.0));
+                        }
+                        cwnd_pkts = None;
+                        recovery_point = None;
+                    }
+                    CcMode::Window => {
+                        if cwnd_pkts.is_none() {
+                            let r = rate_bps.unwrap_or(1_000.0);
+                            cwnd_pkts = Some((r * srtt / (wire_bytes as f64 * 8.0)).max(2.0));
+                        }
+                        rate_bps = None;
+                    }
+                    CcMode::Hybrid => {
+                        if rate_bps.is_none() {
+                            let w = cwnd_pkts.unwrap_or(2.0).max(1.0);
+                            rate_bps = Some((w * wire_bytes as f64 * 8.0 / srtt).max(1_000.0));
+                        }
+                        if cwnd_pkts.is_none() {
+                            let r = rate_bps.unwrap_or(1_000.0);
+                            cwnd_pkts = Some((r * srtt / (wire_bytes as f64 * 8.0)).max(2.0));
+                        }
+                    }
+                }
+            }
+        }};
+    }
+
+    // Re-arm the report deadline: the algorithm's one-shot override if it
+    // set one (PCC aligning reports with its monitor intervals), else the
+    // configured cadence — the adaptive default re-reads the smoothed RTT
+    // at every boundary, exactly like `CcSender::report_interval`.
+    macro_rules! arm_report {
+        () => {{
+            let interval = match requested_interval.take() {
+                Some(d) => d.max(SimDuration::from_micros(100)),
+                None => match report_mode {
+                    ReportMode::Batched(ReportInterval::Rtts(k)) => rtt
+                        .srtt_or(SimDuration::from_millis(100))
+                        .mul_f64(k)
+                        .max(SimDuration::from_millis(1)),
+                    ReportMode::Batched(ReportInterval::Fixed(d)) => {
+                        d.max(SimDuration::from_micros(100))
+                    }
+                    // Unreachable: only armed in batched mode.
+                    ReportMode::PerAck => SimDuration::from_secs(3600),
+                },
+            }
+            .min(SimDuration::from_secs(3600));
+            next_report = Some(Instant::now() + Duration::from_nanos(interval.as_nanos()));
+        }};
+    }
+
+    // Close the current interval, stamp the engine snapshot, and deliver
+    // the report. Empty intervals are delivered too — interval-structured
+    // algorithms (PCC) use the boundary itself as their clock.
+    macro_rules! emit_report {
+        ($now:expr) => {{
+            let now = $now;
+            let mut rep = agg.take(now);
+            let srtt = rtt.srtt_or(SimDuration::from_millis(100));
+            rep.srtt = srtt;
+            rep.min_rtt = rtt.min_rtt().unwrap_or(srtt);
+            rep.in_flight = sb.in_flight();
+            rep.cum_ack = sb.cum_ack();
+            rep.mss = wire_bytes;
+            rep.in_recovery = recovery_point.is_some();
+            {
+                let mut ctx = Ctx::new(now, &mut rng, &mut effects);
+                cc.on_report(&rep, &mut ctx);
+            }
+            apply_effects!();
+            arm_report!();
         }};
     }
 
@@ -232,6 +351,10 @@ pub fn send_with(
             format!("algorithm `{}` set neither rate nor cwnd", cc.name()),
         ));
     }
+    if batched {
+        agg.begin(now_sim(start));
+        arm_report!();
+    }
 
     while !sb.all_acked_below(total_pkts) {
         let now = now_sim(start);
@@ -243,6 +366,10 @@ pub fn send_with(
                 cc.on_timer(token, &mut ctx);
             }
             apply_effects!();
+        }
+        // Close a due report interval.
+        if batched && next_report.is_some_and(|t| Instant::now() >= t) {
+            emit_report!(now_sim(start));
         }
         // Loss detection. When the scan wipes out the *entire* in-flight
         // window, that is the real-socket analogue of the simulator
@@ -283,11 +410,20 @@ pub fn send_with(
                 in_flight: sb.in_flight(),
                 mss: wire_bytes,
             };
-            {
-                let mut ctx = Ctx::new(now, &mut rng, &mut effects);
-                cc.on_loss(&ev, &mut ctx);
+            if batched {
+                agg.on_loss(&ev);
+                if ev.new_episode || whole_window {
+                    // Urgent flush: a fresh loss episode must not wait out
+                    // the report cadence (same rule as the sim engine).
+                    emit_report!(now);
+                }
+            } else {
+                {
+                    let mut ctx = Ctx::new(now, &mut rng, &mut effects);
+                    cc.on_loss(&ev, &mut ctx);
+                }
+                apply_effects!();
             }
-            apply_effects!();
         }
         // Transmit if the algorithm's operating point allows it right now.
         let pace_due = rate_bps.is_none() || Instant::now() >= next_send;
@@ -316,11 +452,15 @@ pub fn send_with(
                     retx: is_retx,
                     in_flight: sb.in_flight(),
                 };
-                {
-                    let mut ctx = Ctx::new(now, &mut rng, &mut effects);
-                    cc.on_sent(&ev, &mut ctx);
+                if batched {
+                    agg.on_sent(&ev);
+                } else {
+                    {
+                        let mut ctx = Ctx::new(now, &mut rng, &mut effects);
+                        cc.on_sent(&ev, &mut ctx);
+                    }
+                    apply_effects!();
                 }
-                apply_effects!();
                 if let Some(rate) = rate_bps {
                     let gap = wire_bytes as f64 * 8.0 / rate;
                     next_send = Instant::now() + Duration::from_secs_f64(gap);
@@ -379,11 +519,15 @@ pub fn send_with(
                             mss: wire_bytes,
                             in_recovery: recovery_point.is_some(),
                         };
-                        {
-                            let mut ctx = Ctx::new(now, &mut rng, &mut effects);
-                            cc.on_ack(&ev, &mut ctx);
+                        if batched {
+                            agg.on_ack(&ev);
+                        } else {
+                            {
+                                let mut ctx = Ctx::new(now, &mut rng, &mut effects);
+                                cc.on_ack(&ev, &mut ctx);
+                            }
+                            apply_effects!();
                         }
-                        apply_effects!();
                     }
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,

@@ -98,6 +98,7 @@ fn rto_backoff_limits_blackout_refires_and_recovers() {
         payload: 1200,
         total_bytes: total,
         seed: 21,
+        ..Default::default()
     };
     let t0 = Instant::now();
     let report = send_named(&tx_sock, rx_addr, cfg, "cubic", SimDuration::from_millis(2))

@@ -28,6 +28,7 @@ fn pcc_transfers_over_loopback() {
         payload: 1200,
         total_bytes: total,
         seed: 3,
+        ..Default::default()
     };
     let pcc = PccConfig::paper().with_rtt_hint(SimDuration::from_millis(2));
     let report = send_pcc(&tx_sock, rx_addr, cfg, pcc).expect("send");
@@ -56,6 +57,7 @@ fn cubic_transfers_over_loopback_via_registry() {
         payload: 1200,
         total_bytes: total,
         seed: 7,
+        ..Default::default()
     };
     let report = send_named(&tx_sock, rx_addr, cfg, "cubic", SimDuration::from_millis(2))
         .expect("io")
@@ -134,6 +136,7 @@ fn parameterized_specs_transfer_over_loopback() {
             payload: 1200,
             total_bytes: total,
             seed: 13,
+            ..Default::default()
         };
         let report = send_named(&tx_sock, rx_addr, cfg, spec, SimDuration::from_millis(2))
             .expect("io")
@@ -164,6 +167,7 @@ fn bbr_transfers_over_loopback_as_a_hybrid() {
         payload: 1200,
         total_bytes: total,
         seed: 11,
+        ..Default::default()
     };
     let report = send_named(&tx_sock, rx_addr, cfg, "bbr", SimDuration::from_millis(2))
         .expect("io")
@@ -202,6 +206,7 @@ fn send_pcc_uses_wire_mss_on_a_nonstandard_payload() {
         payload: 400,
         total_bytes: total,
         seed: 5,
+        ..Default::default()
     };
     let pcc = PccConfig::paper().with_rtt_hint(SimDuration::from_millis(2));
     let report = send_pcc(&tx_sock, rx_addr, cfg, pcc).expect("send");

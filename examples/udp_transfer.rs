@@ -8,19 +8,44 @@
 //! cargo run --release --example udp_transfer -- cubic              # any registered name
 //! cargo run --release --example udp_transfer -- "cubic:iw=32"      # parameterized spec
 //! cargo run --release --example udp_transfer -- "pcc:eps=0.05,util=latency"
+//! cargo run --release --example udp_transfer -- cubic --batched    # 1-RTT batched reports
+//! cargo run --release --example udp_transfer -- pcc --hosted       # brain in a shared CcHost
 //! cargo run --release --example udp_transfer -- list               # registry + spec keys
 //! ```
+//!
+//! `--batched` flips the engine from per-ACK callbacks to 1-RTT
+//! aggregated measurement reports; `--hosted` additionally moves the
+//! algorithm instance into a shared [`pcc::transport::CcHost`] — the
+//! off-path control plane, one controller able to drive every transfer
+//! in the process (see ARCHITECTURE.md's control-plane section).
 
 use std::net::UdpSocket;
 use std::thread;
 
 use pcc::simnet::time::SimDuration;
-use pcc::transport::registry;
-use pcc::udp::{install_registry, receive, send_named, UdpSenderConfig};
+use pcc::transport::{registry, shared_host, ReportMode};
+use pcc::udp::{install_registry, receive, send_hosted, send_named, wire_mss, UdpSenderConfig};
 
 fn main() -> std::io::Result<()> {
     install_registry();
-    let algo = std::env::args().nth(1).unwrap_or_else(|| "pcc".into());
+    let mut algo = String::from("pcc");
+    let mut batched = false;
+    let mut hosted = false;
+    let mut spec_set = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--batched" => batched = true,
+            "--hosted" => hosted = true,
+            other if !spec_set => {
+                algo = other.to_string();
+                spec_set = true;
+            }
+            other => {
+                eprintln!("unexpected argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
     if algo == "list" {
         println!("registered algorithms (parameterize with name:key=val,...):");
         for name in registry::names() {
@@ -35,7 +60,12 @@ fn main() -> std::io::Result<()> {
     let rx_sock = UdpSocket::bind("127.0.0.1:0")?;
     let rx_addr = rx_sock.local_addr()?;
     let tx_sock = UdpSocket::bind("127.0.0.1:0")?;
-    println!("receiver on {rx_addr}, sending 16 MB of real datagrams with `{algo}`...");
+    let path = match (hosted, batched) {
+        (true, _) => " through a shared CcHost",
+        (false, true) => " on 1-RTT batched reports",
+        (false, false) => "",
+    };
+    println!("receiver on {rx_addr}, sending 16 MB of real datagrams with `{algo}`{path}...");
 
     let total: u64 = 16 * 1024 * 1024;
     let rx = thread::spawn(move || receive(&rx_sock, total));
@@ -44,12 +74,28 @@ fn main() -> std::io::Result<()> {
         payload: 1200,
         total_bytes: total,
         seed: 42,
+        report: batched.then(ReportMode::batched_rtt),
     };
-    let report = match send_named(&tx_sock, rx_addr, cfg, &algo, SimDuration::from_millis(1))? {
-        Ok(report) => report,
-        Err(unknown) => {
-            eprintln!("{unknown}");
-            std::process::exit(2);
+    let rtt_hint = SimDuration::from_millis(1);
+    let report = if hosted {
+        let params = registry::CcParams::default()
+            .with_mss(wire_mss(&cfg))
+            .with_rtt_hint(rtt_hint);
+        let cc = match registry::by_name(&algo, &params) {
+            Ok(cc) => cc,
+            Err(unknown) => {
+                eprintln!("{unknown}");
+                std::process::exit(2);
+            }
+        };
+        send_hosted(&tx_sock, rx_addr, cfg, shared_host(), cc)?
+    } else {
+        match send_named(&tx_sock, rx_addr, cfg, &algo, rtt_hint)? {
+            Ok(report) => report,
+            Err(unknown) => {
+                eprintln!("{unknown}");
+                std::process::exit(2);
+            }
         }
     };
     let rx_report = rx.join().expect("receiver thread")?;

@@ -69,18 +69,24 @@ impl Script {
     }
 
     fn apply(&mut self) {
-        let (rate, cwnd, timers) = self.fx.drain();
-        if let Some(r) = rate {
+        let d = self.fx.drain();
+        if let Some(r) = d.rate {
             assert!(r >= 1.0 && r.is_finite(), "rate floor respected: {r}");
             self.rate = Some(r);
             self.log.push(format!("rate={r:.3}"));
         }
-        if let Some(w) = cwnd {
+        if let Some(w) = d.cwnd {
             assert!(w >= 1.0 && w.is_finite(), "cwnd floor respected: {w}");
             self.cwnd = Some(w);
             self.log.push(format!("cwnd={w:.3}"));
         }
-        for (at, token) in timers {
+        if let Some(m) = d.mode {
+            self.log.push(format!("mode={m:?}"));
+        }
+        if let Some(ri) = d.report_in {
+            self.log.push(format!("report_in={}", ri.as_nanos()));
+        }
+        for (at, token) in d.timers {
             self.log.push(format!("timer@{}#{token}", at.as_nanos()));
             self.timers.push((at, token));
         }
@@ -370,6 +376,7 @@ mod hybrid_enforcement {
             payload: 1200,
             total_bytes: total,
             seed: 2,
+            ..Default::default()
         };
         let report = pcc::udp::send_with(&tx_sock, rx_addr, cfg, Box::new(cc)).expect("send");
         rx.join().expect("join").expect("receive");
@@ -400,6 +407,7 @@ mod hybrid_enforcement {
             payload: 1200,
             total_bytes: total,
             seed: 3,
+            ..Default::default()
         };
         // lint: allow(L002) — this test times a real loopback UDP transfer; wall clock is the thing under test, not a simulation input
         let t0 = std::time::Instant::now();
@@ -492,6 +500,7 @@ fn parameterized_specs_transfer_on_the_udp_datapath() {
             payload: 1200,
             total_bytes: total,
             seed: 23,
+            ..Default::default()
         };
         let report =
             pcc::udp::send_named(&tx_sock, rx_addr, cfg, spec, SimDuration::from_millis(2))
@@ -577,4 +586,117 @@ fn every_algorithm_moves_data_end_to_end() {
             "{name}: moves data through CcSender: {tput:.2} Mbps"
         );
     }
+}
+
+/// Every registered algorithm certified on the off-path control plane:
+/// driven end-to-end with 1-RTT batched [`MeasurementReport`]s instead of
+/// per-ACK callbacks (`every_algorithm_moves_data_with_batched_reports`
+/// runs this exact list). A registered algorithm missing from this list
+/// fails `batched_conformance_list_matches_the_registry` below — and the
+/// in-repo `pcc-lint` L008 rule cross-checks the literal entries against
+/// every `register_*` call site, so the list cannot silently rot.
+const BATCHED_CONFORMANCE: &[&str] = &[
+    "bbr",
+    "bic",
+    "bic-paced",
+    "cubic",
+    "cubic-paced",
+    "hybla",
+    "hybla-paced",
+    "illinois",
+    "illinois-paced",
+    "newreno",
+    "newreno-paced",
+    "pcc",
+    "pcc-latency",
+    "pcc-lossresilient",
+    "pcc-simple",
+    "pcp",
+    "rate-then-window",
+    "reno",
+    "sabul",
+    "vegas",
+    "vegas-paced",
+    "westwood",
+    "westwood-paced",
+];
+
+#[test]
+fn batched_conformance_list_matches_the_registry() {
+    // Set equality, both directions: a newly registered algorithm must be
+    // added to BATCHED_CONFORMANCE (and thereby certified batched), and a
+    // removed one must be pruned from it.
+    use std::collections::BTreeSet;
+    let registered: BTreeSet<String> = all_names().into_iter().collect();
+    let listed: BTreeSet<String> = BATCHED_CONFORMANCE.iter().map(|s| s.to_string()).collect();
+    let missing: Vec<_> = registered.difference(&listed).collect();
+    let stale: Vec<_> = listed.difference(&registered).collect();
+    assert!(
+        missing.is_empty(),
+        "registered but not batched-certified (add to BATCHED_CONFORMANCE \
+         and make the batched battery pass): {missing:?}"
+    );
+    assert!(
+        stale.is_empty(),
+        "listed but no longer registered: {stale:?}"
+    );
+}
+
+#[test]
+fn every_algorithm_moves_data_with_batched_reports() {
+    // The tentpole acceptance gate: the identical end-to-end scenario as
+    // `every_algorithm_moves_data_end_to_end`, but the engine withholds
+    // per-ACK callbacks and delivers one aggregated report per RTT. Every
+    // algorithm — including the rate→window mode switcher — must still
+    // move a meaningful share of the link.
+    use pcc::transport::cc::ReportMode;
+    pcc::install_registry();
+    let rtt = SimDuration::from_millis(20);
+    for name in BATCHED_CONFORMANCE {
+        let r = pcc::scenarios::run_dumbbell(
+            LinkSetup::new(20e6, rtt, 75_000),
+            vec![pcc::scenarios::FlowPlan::new(
+                pcc::scenarios::Protocol::Named(name.to_string()),
+                rtt,
+            )
+            .reporting(ReportMode::batched_rtt())],
+            SimTime::from_secs(4),
+            17,
+        );
+        let tput = r.throughput_in(0, SimTime::from_secs(1), SimTime::from_secs(4));
+        assert!(
+            tput > 0.5,
+            "{name}: moves data on batched reports: {tput:.2} Mbps"
+        );
+    }
+}
+
+#[test]
+fn batched_reports_are_deterministic_end_to_end() {
+    // Same seed, same batched run, bit-identical results — the off-path
+    // report machinery must not introduce any nondeterminism.
+    use pcc::transport::cc::ReportMode;
+    pcc::install_registry();
+    let rtt = SimDuration::from_millis(20);
+    let run = || {
+        pcc::scenarios::run_dumbbell(
+            LinkSetup::new(20e6, rtt, 75_000),
+            vec![
+                pcc::scenarios::FlowPlan::new(pcc::scenarios::Protocol::Named("pcc".into()), rtt)
+                    .reporting(ReportMode::batched_rtt()),
+            ],
+            SimTime::from_secs(4),
+            17,
+        )
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.report.events_processed, b.report.events_processed);
+    assert_eq!(
+        a.report.flows[0].delivered_bytes,
+        b.report.flows[0].delivered_bytes
+    );
+    assert_eq!(
+        a.report.flows[0].sent_packets,
+        b.report.flows[0].sent_packets
+    );
 }
