@@ -789,6 +789,26 @@ impl CongestionControl for PccController {
         }
     }
 
+    fn on_resume(&mut self, ctx: &mut CtrlCtx) {
+        // Outage recovery: every in-flight MI measured a path that no
+        // longer exists (or a blackout). Discard the measurement pipeline
+        // wholesale — stale boundary/deadline timers die against the
+        // fresh monitor's id space — keep the base rate as the operating
+        // point, and re-probe around it with a fresh decision round
+        // instead of concluding half-dark trials.
+        self.monitor = Monitor::new();
+        self.purposes.clear();
+        self.start_utils.clear();
+        self.start_misses = 0;
+        self.trial_utils.clear();
+        self.adjust_utils.clear();
+        self.pending_mis.clear();
+        self.prev_avg_rtt = None;
+        self.rtt = RttEstimator::new(SimDuration::from_millis(200), SimDuration::from_secs(120));
+        self.rate = self.clamp_rate(self.rate);
+        self.enter_decision(self.cfg.eps_min, ctx);
+    }
+
     fn on_report(&mut self, rep: &MeasurementReport, ctx: &mut CtrlCtx) {
         if !self.batched {
             // First report: the engine runs us off-path. Abandon the

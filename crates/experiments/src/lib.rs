@@ -9,6 +9,7 @@
 //! every scaling decision is recorded in `EXPERIMENTS.md` at the repo root.
 //! Pass `--full` for paper-scale durations.
 
+pub mod chaos;
 pub mod dc;
 pub mod fig05_internet;
 pub mod fig06_satellite;
@@ -160,6 +161,11 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "Datacenter fabrics: fat-tree rack incast, k=8 cross-pod permutation, oversubscribed leaf-spine mix",
             dc::run,
         ),
+        (
+            "chaos",
+            "Fault-injection battery: every algorithm through link flap, ACK blackout, spine failure, corruption storm",
+            chaos::run,
+        ),
     ]
 }
 
@@ -170,11 +176,11 @@ mod tests {
     #[test]
     fn registry_ids_unique() {
         let reg = registry();
-        assert_eq!(reg.len(), 17);
+        assert_eq!(reg.len(), 18);
         let mut ids: Vec<_> = reg.iter().map(|(id, _, _)| *id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 17, "duplicate experiment ids");
+        assert_eq!(ids.len(), 18, "duplicate experiment ids");
     }
 
     #[test]

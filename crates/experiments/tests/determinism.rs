@@ -2,7 +2,7 @@
 //! run — same table text, same CSV bytes — because every job owns its
 //! seed and results are returned in submission order.
 
-use pcc_experiments::{dc, fig15_fct, sweep, vary, Opts};
+use pcc_experiments::{chaos, dc, fig15_fct, sweep, vary, Opts};
 
 fn opts(jobs: usize, dir: &str) -> Opts {
     Opts {
@@ -76,6 +76,36 @@ fn dc_fattree_parallel_is_bit_identical_to_serial() {
         csv_bytes(&parallel, "dc_fattree_perm"),
         "CSV bytes identical across --jobs"
     );
+}
+
+#[test]
+fn chaos_tables_parallel_are_bit_identical_to_serial() {
+    // The fault-injection battery leans hardest on determinism: per-fault
+    // RNG streams are derived from the schedule index, node failures
+    // re-resolve ECMP paths, and the per-run fingerprint column would
+    // expose a single divergent event. Serial vs `--jobs 4` must agree to
+    // the byte — tables, CSVs, and fingerprints alike.
+    let specs = ["cubic".to_string(), "pcc".to_string()];
+    let serial = opts(1, "pcc_det_chaos_serial");
+    let parallel = opts(4, "pcc_det_chaos_parallel");
+    let t_serial = chaos::run_specs(&serial, &specs);
+    let t_parallel = chaos::run_specs(&parallel, &specs);
+    assert_eq!(t_serial.len(), t_parallel.len());
+    for (a, b) in t_serial.iter().zip(&t_parallel) {
+        assert_eq!(a.render(), b.render(), "rendered tables identical");
+    }
+    for name in [
+        "chaos_flap",
+        "chaos_blackout",
+        "chaos_spine",
+        "chaos_corrupt",
+    ] {
+        assert_eq!(
+            csv_bytes(&serial, name),
+            csv_bytes(&parallel, name),
+            "{name}.csv bytes identical across --jobs"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,21 @@
+// L009 fixture: a real-datapath timeout site with no backoff/budget
+// state anywhere in the file must fire; decoys in strings/comments and
+// non-timeout loss kinds must not. (A witness ident like `rto_backoff`
+// would exempt the whole file, so this fixture deliberately has none.)
+fn classify(whole_window: bool) -> LossKind {
+    if whole_window {
+        LossKind::Timeout
+    } else {
+        LossKind::Detected
+    }
+}
+
+fn decoys() {
+    let _s = "LossKind::Timeout"; // string, not code
+    // LossKind::Timeout in a comment is invisible too.
+}
+
+fn allowed() -> LossKind {
+    // lint: allow(L009) — this loop is bounded by the caller's deadline
+    LossKind::Timeout
+}

@@ -13,10 +13,12 @@
 //! | [`power`] | Fig. 17 and §4.4.2 |
 //! | [`vary`] | trace-driven time-varying links (`pcc-experiments vary`) |
 //! | [`dc`] | datacenter fabrics: rack incast, cross-pod permutation, oversubscribed mix (`pcc-experiments dc`) |
+//! | [`chaos`] | fault-injection conformance: link flap, ACK blackout, spine failure, corruption storm (`pcc-experiments chaos`) |
 //!
 //! All scenarios take explicit durations/seeds so tests can run scaled-down
 //! versions while the `pcc-experiments` crate runs paper-scale parameters.
 
+pub mod chaos;
 pub mod dc;
 pub mod dynamics;
 pub mod fct;

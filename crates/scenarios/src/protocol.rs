@@ -165,7 +165,7 @@ impl Protocol {
     /// [`SpecError`].
     /// Prefer [`Protocol::build_sender_hinted`] when the path RTT is known.
     pub fn build_sender(&self, size: FlowSize, mss: u32) -> Result<Box<dyn Endpoint>, SpecError> {
-        self.build_sender_with(size, &CcParams::default().with_mss(mss), None)
+        self.build_sender_with(size, &CcParams::default().with_mss(mss), None, None)
     }
 
     /// [`Protocol::build_sender`] with the flow's path RTT threaded into
@@ -194,6 +194,28 @@ impl Protocol {
             size,
             &CcParams::default().with_mss(mss).with_rtt_hint(rtt_hint),
             report,
+            None,
+        )
+    }
+
+    /// [`Protocol::build_sender_hinted`] with a dead-time budget: the
+    /// engine aborts the flow as [`pcc_transport::TransferError::Stalled`]
+    /// (recorded in `FlowStats::stalled`) once that long passes without
+    /// forward progress while timeouts keep firing. Used by the chaos
+    /// scenarios, where a wedged flow must become a typed outcome instead
+    /// of burning the rest of the horizon.
+    pub fn build_sender_budgeted(
+        &self,
+        size: FlowSize,
+        mss: u32,
+        rtt_hint: SimDuration,
+        dead_time_budget: Option<SimDuration>,
+    ) -> Result<Box<dyn Endpoint>, SpecError> {
+        self.build_sender_with(
+            size,
+            &CcParams::default().with_mss(mss).with_rtt_hint(rtt_hint),
+            None,
+            dead_time_budget,
         )
     }
 
@@ -202,6 +224,7 @@ impl Protocol {
         size: FlowSize,
         params: &CcParams,
         report: Option<ReportMode>,
+        dead_time_budget: Option<SimDuration>,
     ) -> Result<Box<dyn Endpoint>, SpecError> {
         let cc = self.build_cc(params)?;
         let report = report.or_else(|| batched_reports_forced().then(ReportMode::batched_rtt));
@@ -211,6 +234,7 @@ impl Protocol {
                 size,
             },
             report,
+            dead_time_budget,
             ..Default::default()
         };
         Ok(Box::new(CcSender::new(cfg, cc)))

@@ -30,6 +30,14 @@ pub enum Action {
     RecordLoss(u64),
     /// Record `n` unique data bytes accepted (receiver goodput).
     RecordGoodput(u64),
+    /// Declare the flow stalled: the sender's dead-time budget elapsed with
+    /// no forward progress and it aborted the transfer.
+    Stall {
+        /// How long the flow went without forward progress.
+        dark: SimDuration,
+        /// Consecutive RTO fires observed during the dark period.
+        timeouts: u64,
+    },
     /// Declare the flow complete (records the flow completion time).
     Finish,
 }
@@ -116,6 +124,13 @@ impl<'a> EndpointCtx<'a> {
     /// Mark the flow finished (for sized flows; records FCT).
     pub fn finish(&mut self) {
         self.actions.push(Action::Finish);
+    }
+
+    /// Declare the flow stalled: `dark` time without progress over
+    /// `timeouts` consecutive RTO fires (records
+    /// [`crate::stats::FlowStats::stalled`]).
+    pub fn stall(&mut self, dark: SimDuration, timeouts: u64) {
+        self.actions.push(Action::Stall { dark, timeouts });
     }
 
     /// This endpoint's deterministic random stream.

@@ -31,6 +31,8 @@ pub enum Event {
     FlowStart { flow: FlowId },
     /// Apply step `step` of a link's time-varying parameter schedule.
     LinkUpdate { link: LinkId, step: usize },
+    /// Apply entry `index` of the fault plane's compiled schedule.
+    Fault { index: usize },
     /// Periodic statistics sampling tick.
     Sample,
 }

@@ -29,6 +29,9 @@
 //! * [`topo`] — topology graph + routing: BFS next-hop tables with
 //!   deterministic per-flow ECMP, datacenter fabric builders
 //!   ([`topo::fat_tree`], [`topo::leaf_spine`]), per-link utilization.
+//! * [`fault`] — deterministic fault-injection plane: scripted link/node
+//!   failures, corruption, and duplication ([`fault::FaultScript`] →
+//!   [`fault::FaultPlane`]), with post-failure ECMP re-resolution.
 //!
 //! ## Example
 //!
@@ -59,6 +62,7 @@
 
 pub mod endpoint;
 pub mod event;
+pub mod fault;
 pub mod ids;
 pub mod link;
 pub mod packet;
@@ -75,6 +79,7 @@ pub mod trace;
 /// Convenient glob-import of the simulator's main types.
 pub mod prelude {
     pub use crate::endpoint::{Action, Endpoint, EndpointCtx};
+    pub use crate::fault::{FaultError, FaultEvent, FaultPlane, FaultScript};
     pub use crate::ids::{Direction, EdgeId, FlowId, LinkId, NodeId, Side};
     pub use crate::link::{LinkConfig, LinkSchedule, LinkStep};
     pub use crate::packet::{AckInfo, DataInfo, Packet, PacketKind};
@@ -84,6 +89,7 @@ pub mod prelude {
     pub use crate::sim::{FlowSpec, LinkReport, NetworkBuilder, SimConfig, SimReport, Simulation};
     pub use crate::stats::{
         convergence_time, jain_index, jain_index_at_scale, mean, percentile, std_dev, FlowStats,
+        StallInfo,
     };
     pub use crate::time::{rate_bps, tx_time, SimDuration, SimTime};
     pub use crate::topo::{

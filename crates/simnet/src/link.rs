@@ -160,6 +160,10 @@ pub struct TxResult {
     pub delivered: Option<(Packet, SimTime)>,
     /// The packet was killed by random egress loss.
     pub egress_lost: bool,
+    /// A fault-injected duplicate of the delivered packet, arriving at the
+    /// same nominal time (the event queue's tie-break keeps it right behind
+    /// the original).
+    pub duplicate: Option<(Packet, SimTime)>,
     /// If another packet is waiting, when its serialization completes.
     pub next_tx_done: Option<SimTime>,
 }
@@ -180,6 +184,35 @@ pub struct LinkStats {
     /// Deliveries the shaper rushed ahead of an already-scheduled one
     /// (actual out-of-order arrivals).
     pub reordered: u64,
+    /// Packets killed by an injected fault: offered to (or completing on) a
+    /// downed link, or purged from its queue when the link went down.
+    pub fault_dropped: u64,
+    /// Packets killed by an injected corruption fault at egress.
+    pub fault_corrupted: u64,
+    /// Extra deliveries created by an injected duplication fault.
+    pub fault_duplicated: u64,
+}
+
+/// Injected-fault state attached to a link, present only while the fault
+/// plane has ever touched it (a fault-free link pays one `Option` check).
+#[derive(Debug)]
+struct FaultState {
+    /// False while the link is administratively down.
+    up: bool,
+    /// Corruption fault: kill probability and its dedicated RNG stream.
+    corrupt: Option<(f64, SimRng)>,
+    /// Duplication fault: duplicate probability and its dedicated stream.
+    duplicate: Option<(f64, SimRng)>,
+}
+
+impl FaultState {
+    fn new() -> Self {
+        FaultState {
+            up: true,
+            corrupt: None,
+            duplicate: None,
+        }
+    }
 }
 
 /// A simulated link.
@@ -195,6 +228,9 @@ pub struct Link {
     /// Impairment stage, present only when configured (a no-op config
     /// costs nothing on the hot path).
     shaper: Option<LinkShaper>,
+    /// Injected-fault state, allocated only once the fault plane first
+    /// touches this link (no-fault runs never allocate it).
+    fault: Option<Box<FaultState>>,
     rng: SimRng,
     stats: LinkStats,
 }
@@ -220,6 +256,7 @@ impl Link {
             in_flight: None,
             schedule: config.schedule,
             shaper,
+            fault: None,
             rng,
             stats: LinkStats::default(),
         }
@@ -272,6 +309,12 @@ impl Link {
     /// time for them; egress loss is still applied via [`Link::roll_loss`]).
     pub fn offer(&mut self, pkt: Packet, now: SimTime) -> LinkOutcome {
         self.stats.offered += 1;
+        // A downed link black-holes everything offered to it; the drop is
+        // accounted so no fault loss is ever silent.
+        if !self.is_up() {
+            self.stats.fault_dropped += 1;
+            return LinkOutcome::Dropped;
+        }
         // Policing happens at ingress, before any queueing — a policer
         // never buffers, it only passes or drops.
         if let Some(shaper) = &mut self.shaper {
@@ -312,17 +355,37 @@ impl Link {
             .in_flight
             .take()
             .expect("tx_complete with nothing in flight");
+        // A packet whose serialization completes while the link is down is
+        // killed (the queue behind it was already purged, so nothing
+        // chains). It never counts as transmitted.
+        if !self.is_up() {
+            self.stats.fault_dropped += 1;
+            return TxResult {
+                delivered: None,
+                egress_lost: false,
+                duplicate: None,
+                next_tx_done: None,
+            };
+        }
         self.stats.transmitted += 1;
         self.stats.transmitted_bytes += pkt.bytes as u64;
         let egress_lost = self.roll_loss();
         if egress_lost {
             self.stats.egress_lost += 1;
         }
-        let delivered = if egress_lost {
+        // Fault rolls draw from their own derived streams *after* the
+        // link's loss roll, so activating a fault never shifts the link's
+        // base loss process.
+        let corrupted = !egress_lost && self.roll_corrupt();
+        let delivered = if egress_lost || corrupted {
             None
         } else {
             let arrive = self.shape_arrival(now + self.delay);
             Some((pkt, arrive))
+        };
+        let duplicate = match delivered {
+            Some(d) if self.roll_duplicate() => Some(d),
+            _ => None,
         };
         // Pull the next packet from the queue, if any.
         let next_tx_done = self.queue.dequeue(now).map(|next| {
@@ -333,6 +396,7 @@ impl Link {
         TxResult {
             delivered,
             egress_lost,
+            duplicate,
             next_tx_done,
         }
     }
@@ -340,6 +404,97 @@ impl Link {
     /// Bernoulli egress-loss trial with the link's current loss probability.
     pub fn roll_loss(&mut self) -> bool {
         self.rng.chance(self.loss)
+    }
+
+    /// [`Link::roll_loss`], but a hit is also counted in
+    /// [`LinkStats::egress_lost`] — the accounting entry point the
+    /// simulation loop uses for pure-delay links, so no random loss is ever
+    /// silent.
+    pub fn roll_loss_counted(&mut self) -> bool {
+        let lost = self.roll_loss();
+        if lost {
+            self.stats.egress_lost += 1;
+        }
+        lost
+    }
+
+    /// True unless an injected fault has taken the link down.
+    pub fn is_up(&self) -> bool {
+        self.fault.as_ref().is_none_or(|f| f.up)
+    }
+
+    /// Take the link down: everything queued is purged (counted in
+    /// [`LinkStats::fault_dropped`]) and everything offered or completing
+    /// while down is killed. Idempotent.
+    pub fn set_down(&mut self, now: SimTime) {
+        let fault = self.fault_state();
+        if !fault.up {
+            return;
+        }
+        fault.up = false;
+        while self.queue.dequeue(now).is_some() {
+            self.stats.fault_dropped += 1;
+        }
+    }
+
+    /// Bring the link back up. The in-flight slot is idle (anything
+    /// serializing when the link went down was killed at its completion
+    /// event), so the next offered packet serializes immediately. Idempotent.
+    pub fn set_up(&mut self) {
+        self.fault_state().up = true;
+    }
+
+    /// Install or clear an egress corruption fault: each surviving packet
+    /// is killed with probability `prob`, rolled on the fault's own RNG
+    /// stream.
+    pub fn set_fault_corrupt(&mut self, fault: Option<(f64, SimRng)>) {
+        self.fault_state().corrupt = fault;
+    }
+
+    /// Install or clear a duplication fault: each delivered packet is
+    /// delivered twice with probability `prob`, rolled on the fault's own
+    /// RNG stream.
+    pub fn set_fault_duplicate(&mut self, fault: Option<(f64, SimRng)>) {
+        self.fault_state().duplicate = fault;
+    }
+
+    /// Corruption trial for a packet about to be delivered; counts a hit in
+    /// [`LinkStats::fault_corrupted`]. Always false without an active
+    /// corruption fault.
+    pub fn roll_corrupt(&mut self) -> bool {
+        let hit = match self.fault.as_deref_mut().and_then(|f| f.corrupt.as_mut()) {
+            Some((prob, rng)) => {
+                let p = *prob;
+                rng.chance(p)
+            }
+            None => false,
+        };
+        if hit {
+            self.stats.fault_corrupted += 1;
+        }
+        hit
+    }
+
+    /// Duplication trial for a delivered packet; counts a hit in
+    /// [`LinkStats::fault_duplicated`]. Always false without an active
+    /// duplication fault.
+    pub fn roll_duplicate(&mut self) -> bool {
+        let hit = match self.fault.as_deref_mut().and_then(|f| f.duplicate.as_mut()) {
+            Some((prob, rng)) => {
+                let p = *prob;
+                rng.chance(p)
+            }
+            None => false,
+        };
+        if hit {
+            self.stats.fault_duplicated += 1;
+        }
+        hit
+    }
+
+    fn fault_state(&mut self) -> &mut FaultState {
+        self.fault
+            .get_or_insert_with(|| Box::new(FaultState::new()))
     }
 
     /// Arrival time through a pure-delay link (un-shaped; the simulation

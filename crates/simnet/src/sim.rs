@@ -8,13 +8,18 @@
 
 use crate::endpoint::{Action, Endpoint, EndpointCtx};
 use crate::event::{Event, EventQueue};
+use crate::fault::FaultPlane;
 use crate::ids::{Direction, FlowId, LinkId, Side};
 use crate::link::{Link, LinkConfig, LinkOutcome, LinkStats};
 use crate::packet::Packet;
 use crate::queue::QueueStats;
 use crate::rng::SimRng;
-use crate::stats::FlowStats;
+use crate::stats::{FlowStats, StallInfo};
 use crate::time::{SimDuration, SimTime};
+
+/// Salt deriving the fault plane's master RNG stream from the simulation
+/// seed (`"FAUL"`); per-fault streams derive from it by schedule index.
+const FAULT_RNG_SALT: u64 = 0x4641_554C;
 
 /// Global simulation parameters.
 #[derive(Clone, Copy, Debug)]
@@ -122,6 +127,7 @@ pub struct NetworkBuilder {
     config: SimConfig,
     links: Vec<Link>,
     flows: Vec<FlowRuntime>,
+    fault: Option<FaultPlane>,
     rng: SimRng,
 }
 
@@ -133,8 +139,15 @@ impl NetworkBuilder {
             config,
             links: Vec::new(),
             flows: Vec::new(),
+            fault: None,
             rng,
         }
+    }
+
+    /// Attach a fault plane; its compiled schedule is fired as
+    /// [`Event::Fault`] events during the run.
+    pub fn set_fault_plane(&mut self, plane: FaultPlane) {
+        self.fault = Some(plane);
     }
 
     /// Add a link; returns its id.
@@ -190,12 +203,17 @@ impl NetworkBuilder {
         // every BDP in the evaluation; the cap keeps incast-style
         // many-flow scenarios from pre-allocating megabytes.
         let hint = (self.flows.len() * 512 + self.links.len() * 2).clamp(1024, 65_536);
+        // Deriving is consumption-independent, so taking the fault stream
+        // unconditionally leaves every other stream untouched.
+        let fault_rng = self.rng.derive(FAULT_RNG_SALT);
         Simulation {
             now: SimTime::ZERO,
             events: EventQueue::with_capacity(hint),
             links: self.links,
             flows: self.flows,
             config: self.config,
+            fault: self.fault,
+            fault_rng,
             scratch: Vec::new(),
             events_processed: 0,
             started: false,
@@ -210,6 +228,8 @@ pub struct Simulation {
     links: Vec<Link>,
     flows: Vec<FlowRuntime>,
     config: SimConfig,
+    fault: Option<FaultPlane>,
+    fault_rng: SimRng,
     scratch: Vec<Action>,
     events_processed: u64,
     started: bool,
@@ -239,6 +259,11 @@ impl Simulation {
                         step: 0,
                     },
                 );
+            }
+        }
+        if let Some(plane) = &self.fault {
+            for (i, &(at, _)) in plane.entries().iter().enumerate() {
+                self.events.schedule(at, Event::Fault { index: i });
             }
         }
         self.events
@@ -293,6 +318,11 @@ impl Simulation {
                     self.events
                         .schedule(arrive_at, Event::Arrive { packet: pkt });
                 }
+                if let Some((mut pkt, arrive_at)) = res.duplicate {
+                    pkt.hop += 1;
+                    self.events
+                        .schedule(arrive_at, Event::Arrive { packet: pkt });
+                }
             }
             Event::Arrive { packet } => {
                 self.route(packet);
@@ -308,6 +338,9 @@ impl Simulation {
                     );
                 }
             }
+            Event::Fault { index } => {
+                self.apply_fault(index);
+            }
             Event::Sample => {
                 self.take_sample();
                 let next = self.now + self.config.sample_interval;
@@ -316,6 +349,51 @@ impl Simulation {
                 }
             }
         }
+    }
+
+    /// Apply one fault-plane schedule entry: link state changes, per-fault
+    /// corruption/duplication streams, and post-failure ECMP re-resolution.
+    fn apply_fault(&mut self, index: usize) {
+        let Some(mut plane) = self.fault.take() else {
+            return;
+        };
+        let change = plane.transition(index);
+        // Out-of-range targets (a script written for a different topology)
+        // are ignored rather than panicking: the fault plane must never be
+        // able to crash a run.
+        let n = self.links.len();
+        for link in change.link_down {
+            if link.index() < n {
+                self.links[link.index()].set_down(self.now);
+            }
+        }
+        for link in change.link_up {
+            if link.index() < n {
+                self.links[link.index()].set_up();
+            }
+        }
+        for (link, prob) in change.corrupt {
+            if link.index() < n {
+                let fault = prob.map(|p| (p, self.fault_rng.derive(index as u64)));
+                self.links[link.index()].set_fault_corrupt(fault);
+            }
+        }
+        for (link, prob) in change.duplicate {
+            if link.index() < n {
+                let fault = prob.map(|p| (p, self.fault_rng.derive(index as u64)));
+                self.links[link.index()].set_fault_duplicate(fault);
+            }
+        }
+        if change.reroute {
+            for (flow, fwd, rev) in plane.reroute() {
+                if flow.index() < self.flows.len() {
+                    let rt = &mut self.flows[flow.index()];
+                    rt.fwd_path = fwd;
+                    rt.rev_path = rev;
+                }
+            }
+        }
+        self.fault = Some(plane);
     }
 
     /// Move `pkt` along its path: offer to the next link, or deliver to the
@@ -334,15 +412,20 @@ impl Simulation {
         let link_id = path[hop];
         let link = &mut self.links[link_id.index()];
         if link.rate_bps().is_none() {
-            // Pure-delay link: police at ingress, apply loss, then
-            // propagate through the impairment stage.
+            // Pure-delay link: police at ingress (offer also black-holes
+            // and accounts for downed links), apply counted loss, then
+            // propagate through the impairment stage. Fault rolls draw
+            // from their own streams after the loss roll.
             if link.offer(pkt, self.now) == LinkOutcome::Dropped {
                 return;
             }
-            if !link.roll_loss() {
+            if !link.roll_loss_counted() && !link.roll_corrupt() {
                 let at = link.shape_arrival(link.propagate(self.now));
                 pkt.hop += 1;
                 self.events.schedule(at, Event::Arrive { packet: pkt });
+                if link.roll_duplicate() {
+                    self.events.schedule(at, Event::Arrive { packet: pkt });
+                }
             }
             return;
         }
@@ -450,6 +533,16 @@ impl Simulation {
                 let rt = &mut self.flows[flow.index()];
                 rt.stats.goodput_bytes += bytes;
                 rt.window_goodput_bytes += bytes;
+            }
+            Action::Stall { dark, timeouts } => {
+                let rt = &mut self.flows[flow.index()];
+                if rt.stats.stalled.is_none() {
+                    rt.stats.stalled = Some(StallInfo {
+                        at: self.now,
+                        dark,
+                        timeouts,
+                    });
+                }
             }
             Action::Finish => {
                 let rt = &mut self.flows[flow.index()];
@@ -775,6 +868,167 @@ mod tests {
         // The latest decision in the run survives, and stamps ascend.
         assert_eq!(log.last().expect("non-empty").1, 2000e6);
         assert!(log.windows(2).all(|w| w[0].0 < w[1].0), "ascending stamps");
+    }
+
+    #[test]
+    fn link_flap_drops_are_counted_not_silent() {
+        use crate::fault::{FaultEvent, FaultPlane, FaultScript};
+        let (mut nb, fwd, rev) = two_way_net(10e6, SimDuration::from_millis(5));
+        let flow = nb.add_flow(FlowSpec {
+            sender: Box::new(TickSender {
+                next_seq: 0,
+                count: 300,
+                spacing: SimDuration::from_millis(2),
+                acked: 0,
+            }),
+            receiver: Box::new(EchoReceiver { received: 0 }),
+            fwd_path: vec![fwd],
+            rev_path: vec![rev],
+            start_at: SimTime::ZERO,
+        });
+        let mut script = FaultScript::new();
+        script.push(
+            SimTime::from_millis(100),
+            FaultEvent::LinkDown { link: fwd },
+        );
+        script.push(SimTime::from_millis(200), FaultEvent::LinkUp { link: fwd });
+        nb.set_fault_plane(FaultPlane::new(script));
+        let report = nb.build().run_until(SimTime::from_secs(2));
+        let st = &report.flows[flow.index()];
+        let ls = report.links[fwd.index()].stats;
+        assert!(ls.fault_dropped > 0, "the flap killed something");
+        // Conservation: every sent packet is delivered or accounted as a
+        // fault drop (no random loss, ample buffer => nothing else).
+        assert_eq!(
+            st.sent_packets,
+            st.delivered_packets + ls.fault_dropped,
+            "no silent drops"
+        );
+        // Delivery resumed after repair: everything sent post-repair lands.
+        assert!(st.delivered_packets > 200, "flow recovered after the flap");
+    }
+
+    #[test]
+    fn duplicate_and_corrupt_faults_are_counted() {
+        use crate::fault::{FaultEvent, FaultPlane, FaultScript};
+        let (mut nb, fwd, rev) = two_way_net(10e6, SimDuration::from_millis(5));
+        let flow = nb.add_flow(FlowSpec {
+            sender: Box::new(TickSender {
+                next_seq: 0,
+                count: 500,
+                spacing: SimDuration::from_millis(2),
+                acked: 0,
+            }),
+            receiver: Box::new(EchoReceiver { received: 0 }),
+            fwd_path: vec![fwd],
+            rev_path: vec![rev],
+            start_at: SimTime::ZERO,
+        });
+        let mut script = FaultScript::new();
+        script.push(
+            SimTime::from_millis(100),
+            FaultEvent::DuplicateOn {
+                link: fwd,
+                prob: 0.5,
+            },
+        );
+        script.push(
+            SimTime::from_millis(400),
+            FaultEvent::DuplicateOff { link: fwd },
+        );
+        script.push(
+            SimTime::from_millis(500),
+            FaultEvent::CorruptOn {
+                link: fwd,
+                prob: 1.0,
+            },
+        );
+        script.push(
+            SimTime::from_millis(600),
+            FaultEvent::CorruptOff { link: fwd },
+        );
+        nb.set_fault_plane(FaultPlane::new(script));
+        let report = nb.build().run_until(SimTime::from_secs(2));
+        let st = &report.flows[flow.index()];
+        let ls = report.links[fwd.index()].stats;
+        assert!(ls.fault_duplicated > 0, "duplication fault fired");
+        assert!(ls.fault_corrupted > 0, "corruption fault fired");
+        // Conservation with duplicates counted as extra deliveries.
+        assert_eq!(
+            st.sent_packets + ls.fault_duplicated,
+            st.delivered_packets + ls.fault_corrupted,
+            "every packet delivered, duplicated-and-delivered, or corrupted"
+        );
+    }
+
+    #[test]
+    fn node_failure_reroutes_live_flow_onto_survivor() {
+        use crate::fault::{FaultEvent, FaultPlane, FaultScript};
+        use crate::topo::{ecmp_key, Topology};
+        // Two equal-cost switch paths between two hosts.
+        let mut topo = Topology::new();
+        let a = topo.add_host();
+        let b = topo.add_host();
+        let s1 = topo.add_switch();
+        let s2 = topo.add_switch();
+        let cfg = || LinkConfig::bottleneck(10e6, SimDuration::from_millis(2), 64_000);
+        for &s in &[s1, s2] {
+            topo.add_duplex(a, s, cfg(), cfg());
+            topo.add_duplex(s, b, cfg(), cfg());
+        }
+        let mut nb = NetworkBuilder::new(SimConfig::default());
+        topo.install(&mut nb);
+        let key = ecmp_key(11, 0);
+        let path = topo.flow_path(a, b, key);
+        // Which middle switch does the forward path transit? Its first hop
+        // link leaves host `a` toward that switch.
+        let via = topo
+            .edge_endpoints(
+                (0..topo.num_edges() as u32)
+                    .map(crate::ids::EdgeId)
+                    .find(|&e| topo.link_of(e) == path.fwd[0])
+                    .expect("first hop edge"),
+            )
+            .1;
+        let flow = nb.add_flow(FlowSpec {
+            sender: Box::new(TickSender {
+                next_seq: 0,
+                count: 400,
+                spacing: SimDuration::from_millis(2),
+                acked: 0,
+            }),
+            receiver: Box::new(EchoReceiver { received: 0 }),
+            fwd_path: path.fwd,
+            rev_path: path.rev,
+            start_at: SimTime::ZERO,
+        });
+        let mut script = FaultScript::new();
+        script.push(
+            SimTime::from_millis(200),
+            FaultEvent::NodeDown { node: via },
+        );
+        let mut plane = FaultPlane::new(script);
+        plane.attach_topology(&topo);
+        plane.register_flow(flow, a, b, key);
+        nb.set_fault_plane(plane);
+        let report = nb.build().run_until(SimTime::from_secs(2));
+        let st = &report.flows[flow.index()];
+        // The switch never comes back, yet delivery continues over the
+        // surviving equal-cost path; only the handful of packets in flight
+        // at the failure instant die (this sender never retransmits), and
+        // every one of them is accounted as a fault drop.
+        assert_eq!(st.sent_packets, 400);
+        assert!(
+            st.delivered_packets >= 395,
+            "rerouted onto the survivor: {} delivered",
+            st.delivered_packets
+        );
+        let fault_drops: u64 = report.links.iter().map(|l| l.stats.fault_dropped).sum();
+        assert!(fault_drops > 0, "the failure killed the in-flight packets");
+        assert!(
+            st.sent_packets - st.delivered_packets <= fault_drops,
+            "every undelivered data packet is accounted as a fault drop"
+        );
     }
 
     #[test]

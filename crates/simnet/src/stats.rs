@@ -24,6 +24,18 @@ pub struct FlowSeries {
     pub losses: Vec<u64>,
 }
 
+/// How a flow stalled out: recorded when a sender's dead-time budget
+/// elapsed with no forward progress and it aborted the transfer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StallInfo {
+    /// When the sender declared the stall.
+    pub at: SimTime,
+    /// How long the flow went without forward progress before aborting.
+    pub dark: SimDuration,
+    /// Consecutive RTO fires observed during the dark period.
+    pub timeouts: u64,
+}
+
 /// Everything measured about one flow.
 #[derive(Clone, Debug, Default)]
 pub struct FlowStats {
@@ -45,6 +57,9 @@ pub struct FlowStats {
     pub started_at: SimTime,
     /// Completion time, for sized flows that finished.
     pub completed_at: Option<SimTime>,
+    /// Set when the sender aborted the transfer on its dead-time budget
+    /// (graceful degradation instead of retrying forever).
+    pub stalled: Option<StallInfo>,
     /// Sampled series.
     pub series: FlowSeries,
     /// Sparse log of control-rate changes `(when, bits/sec)`.

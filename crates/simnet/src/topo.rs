@@ -253,8 +253,9 @@ impl Topology {
     }
 }
 
-/// Salt folded into every ECMP hop hash (`"ECMP"`).
-const ECMP_SALT: u64 = 0x4543_4D50;
+/// Salt folded into every ECMP hop hash (`"ECMP"`). Shared with the fault
+/// plane so post-failure re-resolution picks the exact path routing would.
+pub(crate) const ECMP_SALT: u64 = 0x4543_4D50;
 
 /// Combine an experiment seed and a flow index into a flow key for
 /// [`Topology::path_edges`]: deterministic, and distinct flows land on

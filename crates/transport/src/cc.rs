@@ -332,6 +332,18 @@ pub trait CongestionControl: Send {
         let _ = (rep, ctx);
     }
 
+    /// The engine detected recovery from a connectivity outage: progress
+    /// resumed after deep RTO backoff. The engine has already re-seeded
+    /// its RTT estimator from the first post-repair sample; the algorithm
+    /// should discard measurement state accumulated against the dead path
+    /// (e.g. PCC resets its monitor machinery) and may set a fresh
+    /// operating point. Default: no-op — any rate/cwnd the algorithm does
+    /// not reset is re-derived by the engine from the surviving operating
+    /// point and the fresh RTT.
+    fn on_resume(&mut self, ctx: &mut Ctx) {
+        let _ = ctx;
+    }
+
     /// Probe-train tag to stamp on the next outgoing data packet, if the
     /// algorithm is currently probing (dispersion-based designs like PCP).
     /// The receiver echoes the tag in its ACKs.

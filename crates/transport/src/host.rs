@@ -192,6 +192,11 @@ impl CcHost {
         self.with_flow(id, rep.end, rng, |c, cc| c.on_report(rep, cc));
     }
 
+    /// The flow's engine detected post-outage resumption.
+    pub fn on_resume(&mut self, id: HostFlowId, now: SimTime, rng: &mut SimRng) {
+        self.with_flow(id, now, rng, |c, cc| c.on_resume(cc));
+    }
+
     /// Replay every queued decision for a flow into a datapath context, in
     /// the order the algorithm issued them.
     pub fn apply_to(&mut self, id: HostFlowId, ctx: &mut Ctx) {
@@ -317,6 +322,12 @@ impl CongestionControl for HostedCc {
         h.apply_to(self.flow, ctx);
     }
 
+    fn on_resume(&mut self, ctx: &mut Ctx) {
+        let mut h = lock(&self.host);
+        h.on_resume(self.flow, ctx.now, &mut *ctx.rng);
+        h.apply_to(self.flow, ctx);
+    }
+
     fn report_mode(&self) -> ReportMode {
         lock(&self.host).report_mode(self.flow)
     }
@@ -403,6 +414,42 @@ mod tests {
         let c = host.add_flow(Box::new(Toy { rate: 1.0 }));
         assert_eq!(c.index(), 0, "freed slot reused");
         assert_eq!(host.len(), 2);
+    }
+
+    #[test]
+    fn middle_flow_dies_mid_transfer_without_disturbing_siblings() {
+        let mut host = CcHost::new();
+        let mut rng = SimRng::new(1);
+        let a = host.add_flow(Box::new(Toy { rate: 1e6 }));
+        let b = host.add_flow(Box::new(Toy { rate: 2e6 }));
+        let c = host.add_flow(Box::new(Toy { rate: 3e6 }));
+        assert_eq!((a.index(), b.index(), c.index()), (0, 1, 2));
+        for &id in &[a, b, c] {
+            host.on_start(id, SimTime::ZERO, &mut rng);
+        }
+        // The middle flow dies mid-transfer (its sender aborted); its
+        // queued-but-undelivered decisions die with it.
+        host.remove_flow(b);
+        assert_eq!(host.len(), 2);
+        // Siblings keep processing under their original dense ids.
+        let rep = MeasurementReport {
+            lost_pkts: 1,
+            end: SimTime::from_millis(50),
+            ..Default::default()
+        };
+        host.on_report(a, &rep, &mut rng);
+        host.on_report(c, &rep, &mut rng);
+        for (id, want) in [(a, 0.5e6), (c, 1.5e6)] {
+            let mut fx = Effects::default();
+            let mut rng2 = SimRng::new(2);
+            let mut ctx = Ctx::new(rep.end, &mut rng2, &mut fx);
+            host.apply_to(id, &mut ctx);
+            assert_eq!(fx.drain().rate, Some(want), "sibling state undisturbed");
+        }
+        // The freed id is recycled by the next arrival — no renumbering.
+        let d = host.add_flow(Box::new(Toy { rate: 9e6 }));
+        assert_eq!(d.index(), 1, "middle slot recycled");
+        assert_eq!(host.len(), 3);
     }
 
     #[test]

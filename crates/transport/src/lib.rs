@@ -31,6 +31,7 @@
 //! what the algorithm sets in `on_start`.
 
 pub mod cc;
+pub mod error;
 pub mod flow;
 pub mod host;
 pub mod receiver;
@@ -45,6 +46,7 @@ pub use cc::{
     AckEvent, CcMode, CongestionControl, Ctx, Decisions, Effects, LossEvent, LossKind,
     ReportInterval, ReportMode, SentEvent,
 };
+pub use error::TransferError;
 pub use flow::{FlowSize, TransportConfig};
 pub use host::{shared_host, CcHost, Command, HostFlowId, HostedCc, SharedHost};
 pub use receiver::SackReceiver;

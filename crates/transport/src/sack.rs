@@ -329,6 +329,13 @@ impl Scoreboard {
         self.in_flight
     }
 
+    /// Entries currently tracked (the `base..next_seq` window). Memory is
+    /// proportional to this; the engine bounds it against its in-flight
+    /// cap as a leak tripwire.
+    pub fn tracked(&self) -> usize {
+        self.entries.len()
+    }
+
     /// Cumulative-ack point (all sequences below are acked and pruned —
     /// equals `base`, which may lag the true cum-ack until pruning).
     pub fn cum_ack(&self) -> u64 {

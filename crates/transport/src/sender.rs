@@ -74,6 +74,14 @@ pub struct CcSenderConfig {
     /// `Some` forces per-ACK or batched delivery regardless — e.g. a host
     /// driving many flows off-path batches all of them.
     pub report: Option<ReportMode>,
+    /// Dead-time budget: if the flow makes no forward progress (no new
+    /// cumulative bytes acknowledged) for this long while the RTO keeps
+    /// firing, the engine aborts with [`crate::TransferError::Stalled`]
+    /// semantics — the flow stops and its stall is recorded in
+    /// `FlowStats::stalled` with partial-progress statistics. `None` (the
+    /// simulation default) retries forever on the capped-backoff timer;
+    /// real-socket datapaths should set a budget.
+    pub dead_time_budget: Option<SimDuration>,
 }
 
 impl Default for CcSenderConfig {
@@ -86,9 +94,18 @@ impl Default for CcSenderConfig {
             tso_burst_pkts: 44,
             tso_flush: SimDuration::from_millis(1),
             report: None,
+            dead_time_budget: None,
         }
     }
 }
+
+/// Forward progress returning after at least this many consecutive
+/// fruitless timeouts (RTO firings in windowed mode, whole-window
+/// write-offs in rate mode) is treated as recovery from an outage and
+/// triggers the resumption path (RTT estimator re-seeded,
+/// [`CongestionControl::on_resume`], operating point re-derived). Three
+/// deep means several RTOs of darkness — beyond any plausible reordering.
+const RESUME_TIMEOUTS: u64 = 3;
 
 /// Mode defaults for the RTO floor (see [`CcSenderConfig::min_rto`]).
 pub const WINDOWED_MIN_RTO: SimDuration = SimDuration::from_millis(200);
@@ -147,6 +164,16 @@ pub struct CcSender {
     report_gen: u64,
     /// One-shot report-interval override requested by the algorithm.
     requested_interval: Option<SimDuration>,
+    /// When the flow last made forward progress (new cumulative bytes
+    /// acknowledged); seeds the dead-time budget clock.
+    last_progress_at: SimTime,
+    /// Consecutive RTO firings since the last forward progress.
+    timeouts_since_progress: u64,
+    /// RTO floor resolved at `start()` (mode convention or explicit
+    /// override); the resumption path re-seeds the RTT estimator with it.
+    resolved_min_rto: SimDuration,
+    /// Monotonicity tripwire for the cumulative-ack point.
+    last_cum_ack: u64,
 }
 
 impl CcSender {
@@ -179,6 +206,10 @@ impl CcSender {
             agg: ReportAggregator::default(),
             report_gen: 0,
             requested_interval: None,
+            last_progress_at: SimTime::ZERO,
+            timeouts_since_progress: 0,
+            resolved_min_rto: RATE_MIN_RTO,
+            last_cum_ack: 0,
         }
     }
 
@@ -557,6 +588,22 @@ impl CcSender {
             true
         };
         self.retx_queue.extend(lost.iter().copied());
+        if !self.windowed() {
+            // Pure rate control never arms the RTO timer — the
+            // SRTT-clocked scan is its timeout machinery, so a scan that
+            // writes packets off without any intervening forward progress
+            // plays the role of an RTO firing: it drives the consecutive-
+            // timeout count (any progress resets it) and enforces the
+            // dead-time budget.
+            self.timeouts_since_progress += 1;
+            if let Some(budget) = self.cfg.dead_time_budget {
+                let dark = ctx.now.saturating_since(self.last_progress_at);
+                if dark >= budget {
+                    self.stall(ctx, dark);
+                    return;
+                }
+            }
+        }
         let ev = LossEvent {
             now: ctx.now,
             seqs: &lost,
@@ -628,9 +675,25 @@ impl CcSender {
         self.on_rto_fire(ctx);
     }
 
+    /// Abort the flow: the dead-time budget expired. All machinery halts
+    /// behind the `finished` flag (stale timers no-op); the stall and its
+    /// partial-progress statistics land in the flow's `FlowStats::stalled`.
+    fn stall(&mut self, ctx: &mut EndpointCtx, dark: SimDuration) {
+        self.finished = true;
+        ctx.stall(dark, self.timeouts_since_progress);
+    }
+
     fn on_rto_fire(&mut self, ctx: &mut EndpointCtx) {
         if self.finished || (self.sb.in_flight() == 0 && self.retx_queue.is_empty()) {
             return;
+        }
+        self.timeouts_since_progress += 1;
+        if let Some(budget) = self.cfg.dead_time_budget {
+            let dark = ctx.now.saturating_since(self.last_progress_at);
+            if dark >= budget {
+                self.stall(ctx, dark);
+                return;
+            }
         }
         self.rto_backoff += 1;
         let lost = self.sb.mark_all_lost();
@@ -663,6 +726,32 @@ impl CcSender {
         self.report_rate(ctx);
         self.try_send(ctx);
         self.arm_rto(ctx);
+    }
+
+    /// Recovery from an outage: first forward progress after deep RTO
+    /// backoff. The RTT estimator is re-seeded from the fresh sample
+    /// (pre-outage smoothing no longer describes the path — after a
+    /// reroute it may be a different path entirely), the algorithm gets
+    /// its [`CongestionControl::on_resume`] hook, and any hybrid window
+    /// the algorithm left untouched is re-derived from the pacing rate and
+    /// the fresh RTT instead of resuming stale.
+    fn resume(&mut self, ctx: &mut EndpointCtx, sample: Option<SimDuration>) {
+        self.rto_backoff = 0;
+        let mut fresh = RttEstimator::new(self.resolved_min_rto, SimDuration::from_secs(120));
+        if let Some(s) = sample {
+            fresh.on_sample(s);
+        }
+        self.rtt = fresh;
+        let cwnd_before = self.cwnd_pkts;
+        self.with_cc(ctx, |c, cc| c.on_resume(cc));
+        if let (Some(rate), Some(_)) = (self.rate_bps, self.cwnd_pkts) {
+            if self.cwnd_pkts == cwnd_before {
+                let srtt = self.rtt.srtt_or(SimDuration::from_millis(100));
+                let derived = (rate * srtt.as_secs_f64() / (self.mss() as f64 * 8.0)).max(2.0);
+                self.cwnd_pkts = Some(derived.min(self.cfg.max_cwnd_pkts));
+            }
+        }
+        self.report_rate(ctx);
     }
 
     // ---- reporting / completion -----------------------------------------
@@ -782,6 +871,8 @@ impl Endpoint for CcSender {
         } else {
             RATE_MIN_RTO
         });
+        self.resolved_min_rto = min_rto;
+        self.last_progress_at = ctx.now;
         self.rtt = RttEstimator::new(min_rto, SimDuration::from_secs(120));
         if let Some(rate) = self.rate_bps {
             ctx.record_rate(rate);
@@ -807,13 +898,38 @@ impl Endpoint for CcSender {
             debug_assert!(false, "sender got non-ACK");
             return;
         };
+        if self.finished {
+            // A stalled flow ignores stragglers (a real socket is closed).
+            return;
+        }
         let out = self.sb.on_ack(info, ctx.now);
+        debug_assert!(
+            self.sb.cum_ack() >= self.last_cum_ack,
+            "cumulative ack went backwards: {} < {}",
+            self.sb.cum_ack(),
+            self.last_cum_ack
+        );
+        self.last_cum_ack = self.sb.cum_ack();
+        debug_assert!(
+            (self.sb.tracked() as u64) <= self.cfg.max_in_flight.saturating_mul(2) + 64,
+            "scoreboard leak: {} entries tracked against an in-flight cap of {}",
+            self.sb.tracked(),
+            self.cfg.max_in_flight
+        );
+        let resuming = out.newly_acked > 0 && self.timeouts_since_progress >= RESUME_TIMEOUTS;
         if let Some(rtt) = out.rtt {
             self.rtt.on_sample(rtt);
             ctx.record_rtt(rtt);
             if self.windowed() {
                 self.rto_backoff = 0;
             }
+        }
+        if out.newly_acked > 0 {
+            self.last_progress_at = ctx.now;
+            self.timeouts_since_progress = 0;
+        }
+        if resuming {
+            self.resume(ctx, out.rtt);
         }
         // Loss detection (reordering threshold / deadline), both modes.
         self.scan_losses(ctx);
@@ -1221,6 +1337,154 @@ mod tests {
         let resumed =
             report.avg_throughput_mbps(flow, SimTime::from_secs(8), SimTime::from_secs(12));
         assert!(resumed > 5.0, "flow resumed after blackout: {resumed} Mbps");
+    }
+
+    // ---- graceful degradation: dead-time budget & resumption -------------
+
+    /// Dumbbell whose forward link goes 100% lossy at `die` (and heals at
+    /// `heal`, if given).
+    fn blackout_net(
+        seed: u64,
+        die: SimTime,
+        heal: Option<SimTime>,
+    ) -> (NetworkBuilder, Vec<LinkId>, Vec<LinkId>) {
+        let mut net = net(seed);
+        let mut sched = LinkSchedule::new();
+        sched.push(LinkStep {
+            at: die,
+            rate_bps: None,
+            delay: None,
+            loss: Some(1.0),
+        });
+        if let Some(at) = heal {
+            sched.push(LinkStep {
+                at,
+                rate_bps: None,
+                delay: None,
+                loss: Some(0.0),
+            });
+        }
+        let fwd = net.add_link(
+            LinkConfig::bottleneck(10e6, SimDuration::from_millis(10), 64_000).with_schedule(sched),
+        );
+        let rev = net.add_link(LinkConfig::delay_only(SimDuration::from_millis(10)));
+        (net, vec![fwd], vec![rev])
+    }
+
+    #[test]
+    fn dead_time_budget_stalls_windowed_flow_with_partial_progress() {
+        // Permanent blackout at 2 s with a 3 s budget: instead of backing
+        // off forever, the engine aborts and records the stall.
+        let (mut net, fwd, rev) = blackout_net(31, SimTime::from_secs(2), None);
+        let cfg = CcSenderConfig {
+            dead_time_budget: Some(SimDuration::from_secs(3)),
+            ..Default::default()
+        };
+        let flow = net.add_flow(FlowSpec {
+            sender: Box::new(CcSender::new(cfg, Box::new(MiniReno::new()))),
+            receiver: Box::new(SackReceiver::new()),
+            fwd_path: fwd,
+            rev_path: rev,
+            start_at: SimTime::ZERO,
+        });
+        let report = net.build().run_until(SimTime::from_secs(30));
+        let st = &report.flows[flow.index()];
+        let stall = st.stalled.expect("typed stall recorded in flow stats");
+        assert!(st.completed_at.is_none(), "the flow did not complete");
+        assert!(stall.dark >= SimDuration::from_secs(3), "budget respected");
+        assert!(stall.timeouts >= 1, "fruitless timeouts counted");
+        assert!(
+            stall.at < SimTime::from_secs(15),
+            "gave up near budget + backoff, not at the horizon: {:?}",
+            stall.at
+        );
+        assert!(st.delivered_bytes > 0, "partial progress preserved");
+    }
+
+    #[test]
+    fn dead_time_budget_stalls_rate_flow_too() {
+        // Pure rate mode has no RTO timer; the scan-driven budget must
+        // still convert the blackout into a stall.
+        let (mut net, fwd, rev) = blackout_net(32, SimTime::from_secs(2), None);
+        let cfg = CcSenderConfig {
+            dead_time_budget: Some(SimDuration::from_secs(3)),
+            ..Default::default()
+        };
+        let flow = net.add_flow(FlowSpec {
+            sender: Box::new(CcSender::new(cfg, Box::new(FixedRate::new(5e6)))),
+            receiver: Box::new(SackReceiver::new()),
+            fwd_path: fwd,
+            rev_path: rev,
+            start_at: SimTime::ZERO,
+        });
+        let report = net.build().run_until(SimTime::from_secs(30));
+        let st = &report.flows[flow.index()];
+        let stall = st.stalled.expect("rate-mode stall recorded");
+        assert!(stall.dark >= SimDuration::from_secs(3));
+        assert!(stall.timeouts >= 3, "consecutive dark scans counted");
+        assert!(
+            stall.at < SimTime::from_secs(6),
+            "rate mode gives up promptly: {:?}",
+            stall.at
+        );
+    }
+
+    /// Rate algorithm that counts its `on_resume` calls.
+    struct ResumeProbe {
+        inner: FixedRate,
+        resumes: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    }
+
+    impl CongestionControl for ResumeProbe {
+        fn name(&self) -> &'static str {
+            "resume-probe"
+        }
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            self.inner.on_start(ctx);
+        }
+        fn on_ack(&mut self, ack: &AckEvent, ctx: &mut Ctx) {
+            self.inner.on_ack(ack, ctx);
+        }
+        fn on_loss(&mut self, loss: &LossEvent, ctx: &mut Ctx) {
+            self.inner.on_loss(loss, ctx);
+        }
+        fn on_resume(&mut self, _ctx: &mut Ctx) {
+            self.resumes
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn outage_recovery_invokes_on_resume_and_flow_continues() {
+        // Blackout from 2 s to 5 s, no budget: the engine must ride it out,
+        // then detect the recovery, fire `on_resume`, and keep delivering.
+        let (mut net, fwd, rev) =
+            blackout_net(33, SimTime::from_secs(2), Some(SimTime::from_secs(5)));
+        let resumes = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let flow = net.add_flow(FlowSpec {
+            sender: Box::new(CcSender::new(
+                CcSenderConfig::default(),
+                Box::new(ResumeProbe {
+                    inner: FixedRate::new(5e6),
+                    resumes: std::sync::Arc::clone(&resumes),
+                }),
+            )),
+            receiver: Box::new(SackReceiver::new()),
+            fwd_path: fwd,
+            rev_path: rev,
+            start_at: SimTime::ZERO,
+        });
+        let report = net.build().run_until(SimTime::from_secs(12));
+        assert!(
+            resumes.load(std::sync::atomic::Ordering::Relaxed) >= 1,
+            "the resumption hook fired"
+        );
+        let after = report.avg_throughput_mbps(flow, SimTime::from_secs(6), SimTime::from_secs(12));
+        assert!(after > 3.0, "flow resumed after repair: {after} Mbps");
+        assert!(
+            report.flows[flow.index()].stalled.is_none(),
+            "no budget, no stall"
+        );
     }
 
     // ---- hybrid mode (rate + cwnd together) ------------------------------

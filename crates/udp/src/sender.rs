@@ -22,6 +22,7 @@ use pcc_transport::cc::{
     AckEvent, CcMode, CongestionControl, Ctx, Effects, LossEvent, LossKind, ReportInterval,
     ReportMode, SentEvent,
 };
+use pcc_transport::error::TransferError;
 use pcc_transport::host::{HostedCc, SharedHost};
 use pcc_transport::registry::{self, CcParams, SpecError};
 use pcc_transport::report::ReportAggregator;
@@ -44,6 +45,16 @@ pub struct UdpSenderConfig {
     /// or batched delivery regardless, mirroring
     /// `CcSenderConfig::report` on the simulated datapath.
     pub report: Option<ReportMode>,
+    /// Dead-time budget: if no forward progress (no new bytes cumulatively
+    /// acknowledged) happens for this long while whole-window timeouts keep
+    /// firing, the transfer aborts with an [`ErrorKind::TimedOut`]
+    /// `io::Error` wrapping [`TransferError::Stalled`] (downcast via
+    /// `err.get_ref()`), instead of retrying a dead peer forever on the
+    /// capped-backoff timer. `None` disables the budget. Unlike the
+    /// simulator engine (where the default is off and the experiment
+    /// horizon bounds every run), a real socket has no horizon — the
+    /// default is 30 s on.
+    pub dead_time_budget: Option<Duration>,
 }
 
 impl Default for UdpSenderConfig {
@@ -53,6 +64,7 @@ impl Default for UdpSenderConfig {
             total_bytes: 8 * 1024 * 1024,
             seed: 1,
             report: None,
+            dead_time_budget: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -236,6 +248,21 @@ pub fn send_with(
     // the full-window retransmission burst — every *base* RTO, hammering
     // the dead path and recovering far slower than the simulated engine.
     let mut rto_backoff: u32 = 0;
+    // Dead-time bookkeeping for the graceful-degradation budget: the last
+    // wall-clock instant at which an ACK delivered new bytes, and how many
+    // consecutive whole-window timeouts have fired since. Any forward
+    // progress resets both; crossing `cfg.dead_time_budget` aborts with
+    // `TransferError::Stalled` *before* the retransmission burst, so an
+    // aborted transfer leaves the dead path quiet.
+    let mut last_progress = Instant::now();
+    let mut timeouts_since_progress: u64 = 0;
+    // Consecutive fruitless timeouts after which progress returning is
+    // treated as outage recovery rather than ordinary loss: the RTT
+    // estimator is re-seeded from the fresh sample (stale-path SRTT and a
+    // backed-off RTO would otherwise govern the healed path for a long
+    // tail) and the algorithm's `on_resume` hook runs. Mirrors the
+    // simulator engine's constant of the same name.
+    const RESUME_TIMEOUTS: u64 = 3;
     let mut next_send = Instant::now();
     let mut buf = vec![0u8; 65_536];
 
@@ -385,6 +412,23 @@ pub fn send_with(
             if whole_window {
                 rto_backoff = rto_backoff.saturating_add(1);
                 report.timeouts += 1;
+                timeouts_since_progress += 1;
+                if let Some(budget) = cfg.dead_time_budget {
+                    let dark = last_progress.elapsed();
+                    if dark >= budget {
+                        // Abort before the retransmission burst below: a
+                        // stalled transfer must not keep hammering the
+                        // dead path on its way out.
+                        return Err(std::io::Error::new(
+                            ErrorKind::TimedOut,
+                            TransferError::Stalled {
+                                dark_ms: dark.as_millis() as u64,
+                                timeouts: timeouts_since_progress,
+                                acked_bytes: sb.cum_ack().saturating_mul(cfg.payload as u64),
+                            },
+                        ));
+                    }
+                }
             }
             let new_episode = match (cwnd_pkts.is_some(), recovery_point) {
                 (false, _) => true,
@@ -494,6 +538,23 @@ pub fn send_with(
                     if out.newly_acked > 0 {
                         // Fresh delivery: the path is alive again.
                         rto_backoff = 0;
+                        last_progress = Instant::now();
+                        if timeouts_since_progress >= RESUME_TIMEOUTS {
+                            // Outage recovery: discard the dead path's RTT
+                            // history (re-seeded from this fresh sample) and
+                            // let the algorithm reset its measurement state.
+                            rtt = RttEstimator::new(
+                                SimDuration::from_millis(10),
+                                SimDuration::from_secs(10),
+                            );
+                            rtt.on_sample(sample);
+                            {
+                                let mut ctx = Ctx::new(now, &mut rng, &mut effects);
+                                cc.on_resume(&mut ctx);
+                            }
+                            apply_effects!();
+                        }
+                        timeouts_since_progress = 0;
                     }
                     if let Some(rp) = recovery_point {
                         if sb.cum_ack() >= rp {

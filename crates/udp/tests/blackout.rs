@@ -142,3 +142,139 @@ fn rto_backoff_limits_blackout_refires_and_recovers() {
         "backoff reset on the first post-blackout ACK, transfer not wedged: {elapsed:?}"
     );
 }
+
+#[test]
+fn never_returning_receiver_stalls_within_budget_without_parting_burst() {
+    // Graceful-degradation hardening: a receiver that ACKs the start of a
+    // transfer and then goes silent *forever* must not be retried on the
+    // capped-backoff timer until the heat death of the universe. With a
+    // dead-time budget configured the sender aborts with a typed
+    // `TransferError::Stalled` carrying partial-progress stats, and the
+    // abort happens *before* the whole-window retransmission burst — the
+    // dead path goes quiet, it is not hammered one last time on the way
+    // out.
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use pcc_transport::TransferError;
+    use pcc_udp::wire::{decode, encode_ack, AckPacket, Frame};
+
+    /// ACKs normally until `ack_until_bytes` unique bytes arrived, then
+    /// never ACKs again — but keeps draining datagrams, timestamping each
+    /// data arrival, so the test can prove the sender stopped transmitting
+    /// once it declared the transfer stalled.
+    fn receive_then_vanish(
+        socket: &UdpSocket,
+        ack_until_bytes: u64,
+        stop: &AtomicBool,
+    ) -> std::io::Result<Vec<Instant>> {
+        let start = Instant::now();
+        let mut buf = vec![0u8; 65_536];
+        let mut cum_ack = 0u64;
+        let mut unique = 0u64;
+        let mut arrivals = Vec::new();
+        socket.set_nonblocking(true)?;
+        while !stop.load(Ordering::Relaxed) {
+            let (n, from) = match socket.recv_from(&mut buf) {
+                Ok(ok) => ok,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_micros(500));
+                    continue;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            let Some(Frame::Data(h, payload)) = decode(&buf[..n]) else {
+                continue;
+            };
+            arrivals.push(Instant::now());
+            if unique >= ack_until_bytes {
+                // Gone dark, for good.
+                continue;
+            }
+            if h.seq == cum_ack {
+                cum_ack += 1;
+                unique += payload.len() as u64;
+            }
+            let ack = AckPacket {
+                acked_seq: h.seq,
+                cum_ack,
+                echo_sent_us: h.sent_us,
+                recv_us: start.elapsed().as_micros() as u64,
+                of_retx: h.retx,
+            };
+            socket.send_to(&encode_ack(&ack), from)?;
+        }
+        Ok(arrivals)
+    }
+
+    let (rx_sock, tx_sock, rx_addr) = sockets();
+    let total: u64 = 256 * 1024;
+    let ack_until: u64 = 32 * 1024;
+    let budget = Duration::from_millis(400);
+    let stop = Arc::new(AtomicBool::new(false));
+    let rx_stop = Arc::clone(&stop);
+    let rx = thread::spawn(move || receive_then_vanish(&rx_sock, ack_until, &rx_stop));
+
+    let cfg = UdpSenderConfig {
+        payload: 1200,
+        total_bytes: total,
+        seed: 7,
+        dead_time_budget: Some(budget),
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let err = send_named(&tx_sock, rx_addr, cfg, "cubic", SimDuration::from_millis(2))
+        .expect_err("a permanently silent receiver must abort the transfer");
+    let aborted_at = Instant::now();
+    let elapsed = t0.elapsed();
+
+    // Give any in-flight loopback datagrams time to land, then stop the
+    // receiver and inspect what it saw.
+    thread::sleep(Duration::from_millis(150));
+    stop.store(true, Ordering::Relaxed);
+    let arrivals = rx.join().expect("join").expect("receive");
+
+    assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+    let stalled = err
+        .get_ref()
+        .and_then(|inner| inner.downcast_ref::<TransferError>())
+        .expect("the io::Error wraps the typed stall");
+    let TransferError::Stalled {
+        dark_ms,
+        timeouts,
+        acked_bytes,
+    } = *stalled;
+    assert!(
+        dark_ms >= budget.as_millis() as u64,
+        "the budget was actually exhausted before aborting: {dark_ms} ms"
+    );
+    assert!(timeouts >= 1, "the stall was declared off the timeout path");
+    assert!(
+        acked_bytes >= ack_until,
+        "partial progress is reported: {acked_bytes} bytes acked"
+    );
+    assert!(
+        acked_bytes < total,
+        "the transfer did not secretly complete"
+    );
+    // Backed-off whole-window fires land at cumulative base·(2^k − 1); the
+    // 400 ms budget is crossed by the ~630 ms fire even on a bare 10 ms
+    // loopback RTO floor. Allow generous CI-scheduler slack, but nothing
+    // like the ~30 s a budget-less sender would burn before the test's own
+    // safety net.
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "the stall was declared promptly: {elapsed:?}"
+    );
+    // No parting burst: the abort fires *before* the retransmission leg,
+    // so nothing new hits the wire after it. A 20 ms grace covers
+    // loopback delivery + receiver scheduling of datagrams already sent.
+    let grace = aborted_at + Duration::from_millis(20);
+    let late = arrivals.iter().filter(|&&t| t > grace).count();
+    assert_eq!(
+        late, 0,
+        "no datagrams transmitted after the stall was declared"
+    );
+}

@@ -79,6 +79,7 @@ fn batched_reports_move_data_over_loopback() {
             total_bytes: total,
             seed,
             report: Some(ReportMode::batched_rtt()),
+            ..Default::default()
         };
         let report = send_named(&tx_sock, rx_addr, cfg, name, SimDuration::from_millis(2))
             .expect("io")
@@ -109,6 +110,7 @@ fn mode_switcher_runs_hosted_and_batched() {
         total_bytes: total,
         seed: 47,
         report: Some(ReportMode::batched_rtt()),
+        ..Default::default()
     };
     let params = CcParams::default()
         .with_mss((cfg.payload + 40) as u32)

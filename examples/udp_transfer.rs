@@ -75,6 +75,7 @@ fn main() -> std::io::Result<()> {
         total_bytes: total,
         seed: 42,
         report: batched.then(ReportMode::batched_rtt),
+        ..Default::default()
     };
     let rtt_hint = SimDuration::from_millis(1);
     let report = if hosted {

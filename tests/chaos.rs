@@ -1,0 +1,90 @@
+//! Chaos conformance battery: every registered algorithm through every
+//! canonical fault script (`pcc_scenarios::chaos`) — a mid-flow
+//! bottleneck flap, an ACK-path blackout spanning several backed-off
+//! RTOs, a core-switch failure under a k=4 fat-tree, and a corruption
+//! storm.
+//!
+//! The contract each (algorithm × script) cell must uphold:
+//!
+//! * **no panic** — faults, re-routes, and budget aborts never unwind;
+//! * **no wedge** — the flow either delivers every byte within the
+//!   horizon or aborts as a typed `Stalled` on the dead-time budget;
+//! * **monotone cum-ack and bounded memory** — the engine's debug
+//!   invariants (cumulative ACK never regresses; the scoreboard never
+//!   tracks more than ~2× the in-flight cap) are armed in these debug
+//!   test builds and fire on violation; the report aggregator is
+//!   counters-only by construction, so it cannot grow with loss volume;
+//! * **bit-identical reruns** — the same seed reproduces the same
+//!   counter fingerprint, script by script.
+
+use pcc::scenarios::chaos::{run_chaos, ChaosScript};
+use pcc::scenarios::Protocol;
+use pcc::transport::registry;
+
+fn all_names() -> Vec<String> {
+    pcc::install_registry();
+    let names = registry::names();
+    assert!(
+        names.len() >= 12,
+        "registry spans PCC×utilities, 7 TCPs, SABUL, PCP, BBR: {names:?}"
+    );
+    names
+}
+
+#[test]
+fn every_algorithm_survives_every_chaos_script() {
+    for name in all_names() {
+        for script in ChaosScript::all() {
+            let proto = Protocol::Named(name.clone());
+            let o = run_chaos(&proto, script, 0xC4A05);
+            assert!(
+                o.completed || o.stalled,
+                "{name} × {}: neither completed nor stalled within the \
+                 horizon (wedged: goodput {} Mbps)",
+                script.label(),
+                o.goodput_mbps
+            );
+            assert!(
+                !(o.completed && o.stalled),
+                "{name} × {}: a completed flow must not also report a stall",
+                script.label()
+            );
+            assert!(
+                o.goodput_mbps > 0.0,
+                "{name} × {}: some forward progress before/after the fault",
+                script.label()
+            );
+            let rerun = run_chaos(&proto, script, 0xC4A05);
+            assert_eq!(
+                o.fingerprint,
+                rerun.fingerprint,
+                "{name} × {}: rerun is bit-identical",
+                script.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn flap_and_spine_recover_rather_than_stall() {
+    // The survivable scripts (half-second flap; spine death with three
+    // live cores to re-route over) must end in completion for the two
+    // headline algorithms, with observable post-repair recovery.
+    for name in ["pcc", "cubic"] {
+        for script in [ChaosScript::LinkFlap, ChaosScript::SpineFailure] {
+            let o = run_chaos(&Protocol::Named(name.into()), script, 0xC4A05);
+            assert!(
+                o.completed && !o.stalled,
+                "{name} × {}: survivable fault completes",
+                script.label()
+            );
+            if let Some(r) = o.recovery_ms {
+                assert!(
+                    r < 10_000.0,
+                    "{name} × {}: post-repair recovery prompt: {r} ms",
+                    script.label()
+                );
+            }
+        }
+    }
+}
