@@ -10,6 +10,7 @@
 //! Pass `--full` for paper-scale durations.
 
 pub mod chaos;
+pub mod churn;
 pub mod dc;
 pub mod fig05_internet;
 pub mod fig06_satellite;
@@ -166,6 +167,11 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "Fault-injection battery: every algorithm through link flap, ACK blackout, spine failure, corruption storm",
             chaos::run,
         ),
+        (
+            "churn",
+            "Production-traffic churn: heavy-tailed flow sizes, Poisson arrivals, FCT percentiles by size bucket",
+            churn::run,
+        ),
     ]
 }
 
@@ -176,11 +182,11 @@ mod tests {
     #[test]
     fn registry_ids_unique() {
         let reg = registry();
-        assert_eq!(reg.len(), 18);
+        assert_eq!(reg.len(), 19);
         let mut ids: Vec<_> = reg.iter().map(|(id, _, _)| *id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 18, "duplicate experiment ids");
+        assert_eq!(ids.len(), 19, "duplicate experiment ids");
     }
 
     #[test]

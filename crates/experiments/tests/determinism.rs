@@ -2,7 +2,7 @@
 //! run — same table text, same CSV bytes — because every job owns its
 //! seed and results are returned in submission order.
 
-use pcc_experiments::{chaos, dc, fig15_fct, sweep, vary, Opts};
+use pcc_experiments::{chaos, churn, dc, fig15_fct, sweep, vary, Opts};
 
 fn opts(jobs: usize, dir: &str) -> Opts {
     Opts {
@@ -99,6 +99,35 @@ fn chaos_tables_parallel_are_bit_identical_to_serial() {
         "chaos_blackout",
         "chaos_spine",
         "chaos_corrupt",
+    ] {
+        assert_eq!(
+            csv_bytes(&serial, name),
+            csv_bytes(&parallel, name),
+            "{name}.csv bytes identical across --jobs"
+        );
+    }
+}
+
+#[test]
+fn churn_tables_parallel_are_bit_identical_to_serial() {
+    // The churn engine's whole pitch is open-loop workload determinism:
+    // arrival gaps and flow sizes come off derived RNG streams, harvests
+    // land in retirement order, and the per-cell fingerprint column in
+    // the accounting table would expose a single divergent flow. Serial
+    // vs `--jobs 4` must agree to the byte — FCT tables, bucket rows,
+    // accounting counters, and CSVs alike.
+    let serial = opts(1, "pcc_det_churn_serial");
+    let parallel = opts(4, "pcc_det_churn_parallel");
+    let t_serial = churn::run_flows(&serial, 60);
+    let t_parallel = churn::run_flows(&parallel, 60);
+    assert_eq!(t_serial.len(), t_parallel.len());
+    for (a, b) in t_serial.iter().zip(&t_parallel) {
+        assert_eq!(a.render(), b.render(), "rendered tables identical");
+    }
+    for name in [
+        "churn_web-search",
+        "churn_cache-follower",
+        "churn_accounting",
     ] {
         assert_eq!(
             csv_bytes(&serial, name),

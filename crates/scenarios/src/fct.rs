@@ -5,12 +5,12 @@
 //! learning startup hurts short transfers relative to TCP's slow start.
 
 use pcc_simnet::rng::SimRng;
-use pcc_simnet::stats::{mean, percentile};
 use pcc_simnet::time::{SimDuration, SimTime};
 use pcc_transport::FlowSize;
 
 use crate::protocol::Protocol;
 use crate::setup::{run_dumbbell, FlowPlan, LinkSetup};
+use crate::workload::FctSummary;
 
 /// Fig. 15 path: 15 Mbps, 60 ms RTT.
 pub const FCT_RATE_BPS: f64 = 15e6;
@@ -19,31 +19,9 @@ pub const FCT_RTT: SimDuration = SimDuration::from_millis(60);
 /// Short-flow size (100 KB).
 pub const FCT_FLOW_BYTES: u64 = 100 * 1024;
 
-/// FCT distribution summary.
-#[derive(Clone, Debug)]
-pub struct FctResult {
-    /// All completion times, seconds, in arrival order.
-    pub fcts: Vec<f64>,
-    /// Flows that did not complete within the horizon.
-    pub incomplete: usize,
-}
-
-impl FctResult {
-    /// Mean FCT in milliseconds.
-    pub fn mean_ms(&self) -> f64 {
-        mean(&self.fcts) * 1000.0
-    }
-
-    /// Median FCT in milliseconds.
-    pub fn median_ms(&self) -> f64 {
-        percentile(&self.fcts, 50.0) * 1000.0
-    }
-
-    /// 95th-percentile FCT in milliseconds.
-    pub fn p95_ms(&self) -> f64 {
-        percentile(&self.fcts, 95.0) * 1000.0
-    }
-}
+/// FCT distribution summary — the shared [`FctSummary`] type (the churn
+/// engine's percentile reporter subsumed this module's old bespoke one).
+pub type FctResult = FctSummary;
 
 /// Run the short-flow workload at `load` (fraction of link capacity) for
 /// `duration`, with `mk_protocol` building each flow's sender.
@@ -84,7 +62,7 @@ pub fn run_fct(
             None => incomplete += 1,
         }
     }
-    FctResult { fcts, incomplete }
+    FctSummary { fcts, incomplete }
 }
 
 #[cfg(test)]
@@ -129,6 +107,37 @@ mod tests {
             pcc.median_ms(),
             tcp.median_ms()
         );
+    }
+
+    #[test]
+    fn golden_fct_output_survives_summary_rebase() {
+        // Exact values captured on the pre-rebase bespoke `FctResult`
+        // (arrival RNG, plan construction, and percentile math must all
+        // come out identical through the shared `FctSummary`).
+        let close = |a: f64, b: f64| (a - b).abs() < 1e-6;
+        let r = run_fct(
+            || Protocol::Tcp("cubic"),
+            0.2,
+            SimDuration::from_secs(20),
+            7,
+        );
+        assert_eq!(r.fcts.len(), 76);
+        assert_eq!(r.incomplete, 0);
+        assert!(close(r.mean_ms(), 225.333621434), "{}", r.mean_ms());
+        assert!(close(r.median_ms(), 215.800000000), "{}", r.median_ms());
+        assert!(close(r.p95_ms(), 251.497116000), "{}", r.p95_ms());
+
+        let r = run_fct(
+            || Protocol::Tcp("cubic"),
+            0.5,
+            SimDuration::from_secs(20),
+            11,
+        );
+        assert_eq!(r.fcts.len(), 194);
+        assert_eq!(r.incomplete, 0);
+        assert!(close(r.mean_ms(), 275.702913258), "{}", r.mean_ms());
+        assert!(close(r.median_ms(), 236.786557000), "{}", r.median_ms());
+        assert!(close(r.p95_ms(), 487.669031000), "{}", r.p95_ms());
     }
 
     #[test]

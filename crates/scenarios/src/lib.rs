@@ -14,6 +14,7 @@
 //! | [`vary`] | trace-driven time-varying links (`pcc-experiments vary`) |
 //! | [`dc`] | datacenter fabrics: rack incast, cross-pod permutation, oversubscribed mix (`pcc-experiments dc`) |
 //! | [`chaos`] | fault-injection conformance: link flap, ACK blackout, spine failure, corruption storm (`pcc-experiments chaos`) |
+//! | [`workload`] | production-traffic flow churn: heavy-tailed sizes, Poisson arrivals, FCT percentiles (`pcc-experiments churn`) |
 //!
 //! All scenarios take explicit durations/seeds so tests can run scaled-down
 //! versions while the `pcc-experiments` crate runs paper-scale parameters.
@@ -31,6 +32,7 @@ pub mod protocol;
 pub mod rapid;
 pub mod setup;
 pub mod vary;
+pub mod workload;
 
 pub use protocol::{
     batched_reports_forced, force_batched_reports, install_registry, Protocol, UtilityKind,
@@ -38,4 +40,7 @@ pub use protocol::{
 pub use setup::{
     run_dumbbell, run_dumbbell_scheduled, run_single, FlowPlan, LinkSetup, QueueKind,
     ScenarioResult,
+};
+pub use workload::{
+    run_churn, Arrival, ChurnConfig, ChurnReport, ChurnSample, FctSummary, SizeCdf,
 };

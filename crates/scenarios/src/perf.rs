@@ -16,6 +16,7 @@ use crate::dc::run_rack_incast;
 use crate::protocol::Protocol;
 use crate::setup::{run_dumbbell, run_single, FlowPlan, LinkSetup};
 use crate::vary::{run_trace, trace_rtt};
+use crate::workload::{churn_benchmark_config, run_churn};
 
 /// The reference full-simulation scenarios: 5 simulated seconds each of
 /// PCC, CUBIC, and BBR alone on the 100 Mbps / 30 ms / 3×BDP dumbbell.
@@ -86,11 +87,37 @@ pub fn time_dc_incast_scenario(runs: usize) -> (f64, u64, f64) {
     (wall_ms, events, sim_secs)
 }
 
+/// Flows the `churn_100k` benchmark scenario admits.
+pub const CHURN_BENCH_FLOWS: u64 = 100_000;
+
+/// Time the churn-heavy regime: [`CHURN_BENCH_FLOWS`] cache-follower
+/// flows at 80% load through the recycling slot arena (the workload
+/// generator, per-timestamp arrival batching, and slot recycling all on
+/// the hot path). Returns `(best_wall_ms, events, sim_secs)`; the
+/// simulated seconds are the (deterministic) horizon of the run. The
+/// flow count is parameterized so tests can time a scaled-down churn
+/// without waiting on the full benchmark regime.
+pub fn time_churn_scenario(flows: u64, runs: usize) -> (f64, u64, f64) {
+    let mut sim_secs = 0.0;
+    let (wall_ms, events) = best_of(runs, || {
+        let r = run_churn(churn_benchmark_config(flows, 1));
+        assert_eq!(
+            r.churn.arrivals,
+            r.churn.completions + r.churn.stalls + r.churn.live_at_end,
+            "churn conservation holds under benchmarking"
+        );
+        sim_secs = r.horizon_secs;
+        r.events_processed
+    });
+    (wall_ms, events, sim_secs)
+}
+
 /// Time the complete reference workload — the three dumbbell scenarios,
-/// the trace-driven one, and the fat-tree incast — returning `(name,
-/// best_wall_ms, events, sim_secs)` per scenario. The single list both
-/// `pcc-bench --bench micro` and the `perf_probe` example iterate, so the
-/// two tools can never measure different workloads.
+/// the trace-driven one, the fat-tree incast, and the 100k-flow churn
+/// regime — returning `(name, best_wall_ms, events, sim_secs)` per
+/// scenario. The single list both `pcc-bench --bench micro` and the
+/// `perf_probe` example iterate, so the two tools can never measure
+/// different workloads.
 pub fn time_all_scenarios(runs: usize) -> Vec<(&'static str, f64, u64, f64)> {
     let mut timed: Vec<(&'static str, f64, u64, f64)> = reference_scenarios()
         .into_iter()
@@ -104,6 +131,8 @@ pub fn time_all_scenarios(runs: usize) -> Vec<(&'static str, f64, u64, f64)> {
     timed.push((trace_name, wall_ms, events, REFERENCE_SIM_SECS as f64));
     let (wall_ms, events, sim_secs) = time_dc_incast_scenario(runs);
     timed.push(("dc_incast_ft4_pcc_8to1", wall_ms, events, sim_secs));
+    let (wall_ms, events, sim_secs) = time_churn_scenario(CHURN_BENCH_FLOWS, runs);
+    timed.push(("churn_100k", wall_ms, events, sim_secs));
     timed
 }
 
@@ -169,6 +198,15 @@ mod tests {
         assert_eq!(events_a, events_b, "same seed, same event count");
         assert_eq!(sim_a.to_bits(), sim_b.to_bits(), "same completion time");
         assert!(sim_a > 0.0, "all incast flows complete");
+    }
+
+    #[test]
+    fn churn_scenario_is_deterministic_at_small_n() {
+        let (_, events_a, sim_a) = time_churn_scenario(150, 1);
+        let (_, events_b, sim_b) = time_churn_scenario(150, 1);
+        assert_eq!(events_a, events_b, "same seed, same event count");
+        assert_eq!(sim_a.to_bits(), sim_b.to_bits(), "same horizon");
+        assert!(events_a > 0);
     }
 
     #[test]

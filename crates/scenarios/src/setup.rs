@@ -26,7 +26,7 @@ pub enum QueueKind {
 }
 
 impl QueueKind {
-    fn build(self, buffer_bytes: u64) -> Box<dyn Queue> {
+    pub(crate) fn build(self, buffer_bytes: u64) -> Box<dyn Queue> {
         match self {
             QueueKind::DropTail => Box::new(DropTail::bytes(buffer_bytes)),
             QueueKind::Fq => Box::new(FairQueue::new(buffer_bytes)),

@@ -1,0 +1,935 @@
+//! Production-traffic workload engine: flow churn at scale.
+//!
+//! Everything the paper's steady-state figures leave out: real traffic is
+//! not four infinite flows, it is thousands of finite flows arriving,
+//! transferring a heavy-tailed number of bytes, and leaving. This module
+//! generates that workload deterministically and drives it through the
+//! simulator's churn rails ([`pcc_simnet::sim::ChurnDriver`]):
+//!
+//! * [`SizeCdf`] — a flow-size distribution loaded from a plain-text
+//!   `size_cdf` file (bundled `web-search` and `cache-follower` profiles,
+//!   parsed with line-attributed errors like `LinkTrace`), sampled via
+//!   inverse-CDF with linear interpolation on a derived [`SimRng`] stream.
+//! * [`Arrival`] — the arrival process: open-loop Poisson (the classic
+//!   M/G model) or deterministic intervals.
+//! * [`run_churn`] — wires both into a shared-bottleneck dumbbell and runs
+//!   an open-loop churn experiment: flows are admitted lazily one arrival
+//!   ahead, recycled through the simulator's slot arena, and harvested
+//!   into a [`ChurnReport`] of FCT percentiles by flow-size bucket.
+//!
+//! ## `size_cdf` file format
+//!
+//! Plain text, one CDF breakpoint per line:
+//!
+//! ```text
+//! # pcc-scenarios flow-size CDF v1
+//! # columns: bytes cum_prob
+//! 1000     0.35
+//! 10000    0.85
+//! 1000000  1.0
+//! ```
+//!
+//! `#` starts a comment; blank lines are ignored. Byte sizes must be
+//! strictly increasing and positive; cumulative probabilities must be in
+//! `(0, 1]`, non-decreasing, and end at exactly `1.0`. The first
+//! breakpoint carries a point mass (`P(size ≤ b₀) = p₀` maps the whole
+//! mass to `b₀`); between breakpoints the CDF is linearly interpolated.
+//!
+//! ## Determinism
+//!
+//! Arrival gaps and flow sizes are drawn from two streams derived off the
+//! scenario seed (`derive` is consumption-independent), so the workload
+//! sequence is a pure function of `(seed, arrival, cdf, flows)` — the
+//! same flows arrive at the same instants with the same sizes regardless
+//! of what the transport layer does, and the whole report is bit-identical
+//! at any parallelism.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use pcc_simnet::link::LinkSchedule;
+use pcc_simnet::prelude::*;
+use pcc_transport::{FlowSize, SackReceiver};
+
+use crate::protocol::Protocol;
+use crate::setup::LinkSetup;
+
+/// RNG stream tag for arrival gaps ("WLAR"): disjoint from the engine's
+/// per-slot, per-link, and per-churn-arrival derivations.
+const ARRIVAL_STREAM: u64 = 0x574C_4152_0000_0000;
+/// RNG stream tag for flow sizes ("WLSZ").
+const SIZE_STREAM: u64 = 0x574C_535A_0000_0000;
+
+/// A `size_cdf` file that failed to parse: the offending line and why
+/// (line 0 means the file as a whole).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CdfError {
+    /// 1-based line number in the input (0 for whole-file errors).
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl std::fmt::Display for CdfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "size_cdf line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for CdfError {}
+
+fn err(line: usize, reason: impl Into<String>) -> CdfError {
+    CdfError {
+        line,
+        reason: reason.into(),
+    }
+}
+
+const BUILTIN: &[(&str, &str)] = &[
+    (
+        "web-search",
+        include_str!("../workloads/web-search.size_cdf"),
+    ),
+    (
+        "cache-follower",
+        include_str!("../workloads/cache-follower.size_cdf"),
+    ),
+];
+
+/// Names of the bundled flow-size distributions, in presentation order.
+pub fn builtin_names() -> Vec<&'static str> {
+    BUILTIN.iter().map(|(n, _)| *n).collect()
+}
+
+/// A named flow-size distribution: an empirical CDF over flow sizes in
+/// bytes, sampled by inverse transform with linear interpolation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SizeCdf {
+    name: String,
+    points: Vec<(u64, f64)>,
+}
+
+impl SizeCdf {
+    /// Build a CDF from `(bytes, cum_prob)` breakpoints (files go through
+    /// [`SizeCdf::parse`]). Sizes must be strictly increasing and
+    /// positive; probabilities non-decreasing in `(0, 1]`, ending at
+    /// exactly `1.0`.
+    pub fn from_points(name: &str, points: Vec<(u64, f64)>) -> Result<SizeCdf, CdfError> {
+        if points.is_empty() {
+            return Err(err(0, "distribution has no breakpoints"));
+        }
+        for &(bytes, prob) in &points {
+            if bytes == 0 {
+                return Err(err(0, "flow sizes must be positive"));
+            }
+            if !prob.is_finite() || prob <= 0.0 || prob > 1.0 {
+                return Err(err(0, "cum_prob must be in (0, 1]"));
+            }
+        }
+        for w in points.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(err(0, "byte sizes must be strictly increasing"));
+            }
+            if w[1].1 < w[0].1 {
+                return Err(err(0, "cum_prob must be non-decreasing"));
+            }
+        }
+        if points[points.len() - 1].1 != 1.0 {
+            return Err(err(0, "last cum_prob must be exactly 1.0"));
+        }
+        Ok(SizeCdf {
+            name: name.to_string(),
+            points,
+        })
+    }
+
+    /// Parse the plain-text `size_cdf` format (see the module docs).
+    /// Returns the first offending line on failure, never panics.
+    pub fn parse(name: &str, text: &str) -> Result<SizeCdf, CdfError> {
+        let mut points: Vec<(u64, f64)> = Vec::new();
+        let mut last_line = 0;
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut cols = line.split_whitespace();
+            let bytes_tok = cols.next().unwrap_or("");
+            let Some(prob_tok) = cols.next() else {
+                return Err(err(lineno, "expected two columns: `bytes cum_prob`"));
+            };
+            if cols.next().is_some() {
+                return Err(err(lineno, "too many columns (expected `bytes cum_prob`)"));
+            }
+            let bytes: u64 = bytes_tok
+                .parse()
+                .map_err(|_| err(lineno, format!("bad byte count `{bytes_tok}`")))?;
+            let prob: f64 = prob_tok
+                .parse()
+                .map_err(|_| err(lineno, format!("bad probability `{prob_tok}`")))?;
+            if bytes == 0 {
+                return Err(err(lineno, "flow sizes must be positive"));
+            }
+            if !prob.is_finite() || prob <= 0.0 || prob > 1.0 {
+                return Err(err(lineno, "cum_prob must be in (0, 1]"));
+            }
+            if let Some(&(pb, pp)) = points.last() {
+                if bytes <= pb {
+                    return Err(err(lineno, "byte sizes must be strictly increasing"));
+                }
+                if prob < pp {
+                    return Err(err(lineno, "cum_prob must be non-decreasing"));
+                }
+            }
+            points.push((bytes, prob));
+            last_line = lineno;
+        }
+        if points.is_empty() {
+            return Err(err(0, "distribution has no breakpoints"));
+        }
+        if points[points.len() - 1].1 != 1.0 {
+            return Err(err(last_line, "last cum_prob must be exactly 1.0"));
+        }
+        Ok(SizeCdf {
+            name: name.to_string(),
+            points,
+        })
+    }
+
+    /// Load a bundled distribution by name (see [`builtin_names`]).
+    pub fn builtin(name: &str) -> Option<SizeCdf> {
+        let (_, text) = BUILTIN.iter().find(|(n, _)| *n == name)?;
+        Some(SizeCdf::parse(name, text).expect("bundled size CDFs parse"))
+    }
+
+    /// The distribution's name (file stem or builtin id).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The CDF breakpoints `(bytes, cum_prob)`, size-ordered.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Render back to the `size_cdf` text format (round-trips through
+    /// [`SizeCdf::parse`] exactly: Rust's float `Display` is shortest
+    /// round-trip).
+    pub fn render(&self) -> String {
+        let mut out = String::from("# pcc-scenarios flow-size CDF v1\n# columns: bytes cum_prob\n");
+        for &(bytes, prob) in &self.points {
+            out.push_str(&format!("{bytes} {prob}\n"));
+        }
+        out
+    }
+
+    /// The quantile function (inverse CDF) at `u ∈ [0, 1)`: the first
+    /// breakpoint carries a point mass, segments between breakpoints are
+    /// linearly interpolated, and zero-mass (flat) segments map to their
+    /// right endpoint.
+    pub fn quantile(&self, u: f64) -> u64 {
+        let pts = &self.points;
+        if u <= pts[0].1 {
+            return pts[0].0;
+        }
+        for w in pts.windows(2) {
+            let (b0, p0) = w[0];
+            let (b1, p1) = w[1];
+            if u <= p1 {
+                if p1 <= p0 {
+                    return b1;
+                }
+                let f = (u - p0) / (p1 - p0);
+                return b0 + ((b1 - b0) as f64 * f).round() as u64;
+            }
+        }
+        pts[pts.len() - 1].0
+    }
+
+    /// Draw one flow size.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        self.quantile(rng.uniform())
+    }
+
+    /// Mean flow size implied by the interpolated CDF: the first
+    /// breakpoint's point mass plus a trapezoid per segment.
+    pub fn mean_bytes(&self) -> f64 {
+        let mut mean = self.points[0].1 * self.points[0].0 as f64;
+        for w in self.points.windows(2) {
+            let (b0, p0) = w[0];
+            let (b1, p1) = w[1];
+            mean += (p1 - p0) * (b0 as f64 + b1 as f64) / 2.0;
+        }
+        mean
+    }
+
+    /// Smallest possible sampled size.
+    pub fn min_bytes(&self) -> u64 {
+        self.points[0].0
+    }
+
+    /// Largest possible sampled size.
+    pub fn max_bytes(&self) -> u64 {
+        self.points[self.points.len() - 1].0
+    }
+}
+
+/// The flow arrival process.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Arrival {
+    /// Open-loop Poisson arrivals at `rate_hz` flows per second
+    /// (exponential inter-arrival gaps).
+    Poisson {
+        /// Mean arrival rate, flows per second.
+        rate_hz: f64,
+    },
+    /// One arrival every `interval`, exactly.
+    Deterministic {
+        /// The fixed inter-arrival gap.
+        interval: SimDuration,
+    },
+}
+
+impl Arrival {
+    /// Poisson arrivals at `rate_hz` flows per second.
+    pub fn poisson(rate_hz: f64) -> Arrival {
+        assert!(rate_hz > 0.0, "arrival rate must be positive");
+        Arrival::Poisson { rate_hz }
+    }
+
+    /// Poisson arrivals sized to offer `load` (fraction of `rate_bps`)
+    /// given a mean flow size: `λ = load·C / (8·mean_bytes)`.
+    pub fn poisson_for_load(load: f64, rate_bps: f64, mean_flow_bytes: f64) -> Arrival {
+        assert!(load > 0.0 && rate_bps > 0.0 && mean_flow_bytes > 0.0);
+        Arrival::poisson(load * rate_bps / (8.0 * mean_flow_bytes))
+    }
+
+    /// Deterministic arrivals, one every `interval`.
+    pub fn every(interval: SimDuration) -> Arrival {
+        assert!(interval > SimDuration::ZERO, "interval must be positive");
+        Arrival::Deterministic { interval }
+    }
+
+    /// Draw the next inter-arrival gap in seconds.
+    pub fn gap_secs(&self, rng: &mut SimRng) -> f64 {
+        match self {
+            Arrival::Poisson { rate_hz } => rng.exponential(1.0 / rate_hz),
+            Arrival::Deterministic { interval } => interval.as_secs_f64(),
+        }
+    }
+
+    /// Mean inter-arrival gap in seconds.
+    pub fn mean_gap_secs(&self) -> f64 {
+        match self {
+            Arrival::Poisson { rate_hz } => 1.0 / rate_hz,
+            Arrival::Deterministic { interval } => interval.as_secs_f64(),
+        }
+    }
+}
+
+/// FCT distribution summary — the one flow-completion-time type shared by
+/// the churn engine and the Fig. 15 short-flow scenario.
+#[derive(Clone, Debug, Default)]
+pub struct FctSummary {
+    /// All completion times, seconds, in harvest order.
+    pub fcts: Vec<f64>,
+    /// Flows that did not complete (stalled or truncated by the horizon).
+    pub incomplete: usize,
+}
+
+impl FctSummary {
+    /// Number of completed flows summarized.
+    pub fn count(&self) -> usize {
+        self.fcts.len()
+    }
+
+    /// Mean FCT in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        mean(&self.fcts) * 1000.0
+    }
+
+    /// Median FCT in milliseconds.
+    pub fn median_ms(&self) -> f64 {
+        self.p50_ms()
+    }
+
+    /// Median (p50) FCT in milliseconds.
+    pub fn p50_ms(&self) -> f64 {
+        percentile(&self.fcts, 50.0) * 1000.0
+    }
+
+    /// 95th-percentile FCT in milliseconds.
+    pub fn p95_ms(&self) -> f64 {
+        percentile(&self.fcts, 95.0) * 1000.0
+    }
+
+    /// 99th-percentile FCT in milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        percentile(&self.fcts, 99.0) * 1000.0
+    }
+
+    /// 99.9th-percentile FCT in milliseconds.
+    pub fn p999_ms(&self) -> f64 {
+        percentile(&self.fcts, 99.9) * 1000.0
+    }
+}
+
+/// Flow-size buckets the churn report groups FCTs by: `(label, max
+/// bytes inclusive)`.
+pub const SIZE_BUCKETS: &[(&str, u64)] = &[
+    ("<=10KB", 10_000),
+    ("<=100KB", 100_000),
+    ("<=1MB", 1_000_000),
+    (">1MB", u64::MAX),
+];
+
+/// One harvested churn flow.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnSample {
+    /// The flow's size in bytes (the driver's churn tag).
+    pub bytes: u64,
+    /// Completion time in seconds, `None` if the flow stalled out.
+    pub fct: Option<f64>,
+    /// Unique bytes the receiver accepted.
+    pub goodput: u64,
+}
+
+/// Per-size-bucket FCT summary.
+#[derive(Clone, Debug)]
+pub struct ChurnBucket {
+    /// Bucket label from [`SIZE_BUCKETS`].
+    pub label: &'static str,
+    /// Flows whose size fell in this bucket.
+    pub flows: usize,
+    /// FCT summary over the bucket's completed flows.
+    pub fct: FctSummary,
+}
+
+/// Everything a churn run produces.
+#[derive(Clone, Debug)]
+pub struct ChurnReport {
+    /// Per-flow harvests, in retirement order.
+    pub samples: Vec<ChurnSample>,
+    /// Engine-level churn accounting (conservation, recycling, peaks).
+    pub churn: ChurnStats,
+    /// FCT summary over all completed flows.
+    pub overall: FctSummary,
+    /// FCT summaries grouped by [`SIZE_BUCKETS`].
+    pub buckets: Vec<ChurnBucket>,
+    /// Aggregate goodput over the run, Mbit/s.
+    pub goodput_mbps: f64,
+    /// Offered arrival rate realized by the generator, flows/sec.
+    pub arrival_rate_hz: f64,
+    /// Completion rate over the full horizon, flows/sec.
+    pub completion_rate_hz: f64,
+    /// Simulated horizon, seconds.
+    pub horizon_secs: f64,
+    /// Total simulator events processed.
+    pub events_processed: u64,
+}
+
+impl ChurnReport {
+    /// Order-sensitive fingerprint over every harvested flow and the
+    /// engine counters — two runs are behaviorally identical iff their
+    /// fingerprints match (FNV-1a over the sample stream).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325_u64;
+        let mix = |h: &mut u64, v: u64| {
+            *h ^= v;
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for s in &self.samples {
+            mix(&mut h, s.bytes);
+            mix(&mut h, s.fct.map_or(u64::MAX, f64::to_bits));
+            mix(&mut h, s.goodput);
+        }
+        for v in [
+            self.churn.arrivals,
+            self.churn.completions,
+            self.churn.stalls,
+            self.churn.live_at_end,
+            self.churn.peak_live,
+            self.churn.recycled,
+            self.churn.stale_packets,
+            self.churn.stale_timers,
+            self.events_processed,
+        ] {
+            mix(&mut h, v);
+        }
+        h
+    }
+}
+
+/// Configuration for an open-loop churn run.
+pub struct ChurnConfig {
+    /// The protocol driving every flow's sender.
+    pub protocol: Protocol,
+    /// The shared bottleneck path.
+    pub link: LinkSetup,
+    /// Flow-size distribution.
+    pub cdf: SizeCdf,
+    /// Arrival process.
+    pub arrival: Arrival,
+    /// Total flows to admit.
+    pub flows: u64,
+    /// Scenario seed (drives arrivals, sizes, and the simulator).
+    pub seed: u64,
+    /// Extra horizon after the last arrival for in-flight flows to drain.
+    pub drain: SimDuration,
+    /// Dead-time budget per sender: a flow making no progress for this
+    /// long aborts as a typed stall instead of wedging the run.
+    pub dead_time_budget: Option<SimDuration>,
+    /// Optional fault script (the [`crate::chaos`] plain-text format)
+    /// injected into the run — churn under failures.
+    pub fault_script: Option<String>,
+    /// Stats sampling interval.
+    pub sample_interval: SimDuration,
+}
+
+impl ChurnConfig {
+    /// A churn run with drain 10 s, a 10 s dead-time budget, no faults,
+    /// and 1 s sampling.
+    pub fn new(
+        protocol: Protocol,
+        link: LinkSetup,
+        cdf: SizeCdf,
+        arrival: Arrival,
+        flows: u64,
+        seed: u64,
+    ) -> ChurnConfig {
+        ChurnConfig {
+            protocol,
+            link,
+            cdf,
+            arrival,
+            flows,
+            seed,
+            drain: SimDuration::from_secs(10),
+            dead_time_budget: Some(SimDuration::from_secs(10)),
+            fault_script: None,
+            sample_interval: SimDuration::from_secs(1),
+        }
+    }
+
+    /// Inject a fault script (see [`crate::chaos`] for the format).
+    pub fn with_fault_script(mut self, script: impl Into<String>) -> ChurnConfig {
+        self.fault_script = Some(script.into());
+        self
+    }
+}
+
+/// The benchmark churn regime: `flows` cache-follower flows at 80% load
+/// on a 1 Gbps / 10 ms dumbbell under CUBIC — `churn_100k` in
+/// `perf::time_all_scenarios` runs this with `flows = 100_000` (~29 s of
+/// simulated time; O(100k) flows through a handful of arena slots).
+pub fn churn_benchmark_config(flows: u64, seed: u64) -> ChurnConfig {
+    let cdf = SizeCdf::builtin("cache-follower").expect("bundled CDF");
+    let rate_bps = 1e9;
+    let arrival = Arrival::poisson_for_load(0.8, rate_bps, cdf.mean_bytes());
+    let link = LinkSetup::new(rate_bps, SimDuration::from_millis(10), 1_250_000);
+    ChurnConfig::new(Protocol::Tcp("cubic"), link, cdf, arrival, flows, seed)
+}
+
+/// The workload generator as a churn driver: lazy one-arrival look-ahead,
+/// sizes and gaps from derived RNG streams, harvests into a shared
+/// collector.
+struct WorkloadDriver {
+    protocol: Protocol,
+    rtt: SimDuration,
+    fwd_path: Vec<LinkId>,
+    rev_path: Vec<LinkId>,
+    arr_rng: SimRng,
+    size_rng: SimRng,
+    arrival: Arrival,
+    cdf: SizeCdf,
+    remaining: u64,
+    clock_secs: f64,
+    dead_time_budget: Option<SimDuration>,
+    samples: Rc<RefCell<Vec<ChurnSample>>>,
+}
+
+impl ChurnDriver for WorkloadDriver {
+    fn next_arrival(&mut self, _now: SimTime) -> Option<(SimTime, ChurnFlow)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.clock_secs += self.arrival.gap_secs(&mut self.arr_rng);
+        let bytes = self.cdf.sample(&mut self.size_rng);
+        let sender = self
+            .protocol
+            .build_sender_budgeted(
+                FlowSize::Bytes(bytes),
+                1500,
+                self.rtt,
+                self.dead_time_budget,
+            )
+            .unwrap_or_else(|e| panic!("churn config references an unknown algorithm: {e}"));
+        Some((
+            SimTime::from_secs_f64(self.clock_secs),
+            ChurnFlow {
+                sender,
+                receiver: Box::new(SackReceiver::new()),
+                fwd_path: self.fwd_path.clone(),
+                rev_path: self.rev_path.clone(),
+                tag: bytes,
+            },
+        ))
+    }
+
+    fn on_flow_complete(&mut self, tag: u64, stats: &FlowStats, _now: SimTime) {
+        self.samples.borrow_mut().push(ChurnSample {
+            bytes: tag,
+            fct: stats.fct().map(|d| d.as_secs_f64()),
+            goodput: stats.goodput_bytes,
+        });
+    }
+}
+
+/// Replay the arrival-gap stream to find when the last flow arrives —
+/// `derive` is consumption-independent, so this probe stream is identical
+/// to the one the driver will consume.
+fn last_arrival_secs(cfg: &ChurnConfig) -> f64 {
+    let mut probe = SimRng::new(cfg.seed).derive(ARRIVAL_STREAM);
+    let mut t = 0.0;
+    for _ in 0..cfg.flows {
+        t += cfg.arrival.gap_secs(&mut probe);
+    }
+    t
+}
+
+/// Run an open-loop churn experiment: admit `cfg.flows` flows over a
+/// shared dumbbell bottleneck through the simulator's recycling slot
+/// arena, then summarize FCTs by size bucket.
+pub fn run_churn(cfg: ChurnConfig) -> ChurnReport {
+    let last_arrival = last_arrival_secs(&cfg);
+    let horizon = SimTime::from_secs_f64(last_arrival) + cfg.drain;
+
+    let mut net = NetworkBuilder::new(SimConfig {
+        sample_interval: cfg.sample_interval,
+        seed: cfg.seed,
+    });
+    // One shared path for every flow: src → (bottleneck) → mid → recv and
+    // back, with the RTT split across delay shims exactly like
+    // `run_dumbbell` — but one receiver host total, not one per flow.
+    let setup = cfg.link;
+    let mut topo = Topology::new();
+    let src = topo.add_host();
+    let mid = topo.add_switch();
+    topo.add_link(
+        src,
+        mid,
+        LinkConfig {
+            rate_bps: Some(setup.rate_bps),
+            delay: SimDuration::ZERO,
+            loss: setup.loss,
+            queue: setup.queue.build(setup.buffer_bytes),
+            schedule: LinkSchedule::new(),
+            shaper: setup.shaper(),
+        },
+    );
+    let half = setup.rtt / 2;
+    let recv = topo.add_host();
+    topo.add_link(mid, recv, LinkConfig::delay_only(half));
+    topo.add_link(
+        recv,
+        src,
+        LinkConfig::delay_only(setup.rtt - half).with_loss(setup.ack_loss),
+    );
+    topo.install(&mut net);
+    let path = topo.flow_path(src, recv, 0);
+
+    if let Some(text) = &cfg.fault_script {
+        let script = FaultScript::parse(text).expect("churn fault scripts are well-formed");
+        net.set_fault_plane(FaultPlane::new(script));
+    }
+
+    let samples: Rc<RefCell<Vec<ChurnSample>>> = Rc::new(RefCell::new(Vec::new()));
+    let master = SimRng::new(cfg.seed);
+    net.set_churn_driver(Box::new(WorkloadDriver {
+        protocol: cfg.protocol,
+        rtt: setup.rtt,
+        fwd_path: path.fwd,
+        rev_path: path.rev,
+        arr_rng: master.derive(ARRIVAL_STREAM),
+        size_rng: master.derive(SIZE_STREAM),
+        arrival: cfg.arrival,
+        cdf: cfg.cdf,
+        remaining: cfg.flows,
+        clock_secs: 0.0,
+        dead_time_budget: cfg.dead_time_budget,
+        samples: Rc::clone(&samples),
+    }));
+    // O(100k) flows: keep aggregates and FCTs, skip per-flow series.
+    net.set_record_series(false);
+
+    let report = net.build().run_until(horizon);
+
+    let samples = Rc::try_unwrap(samples)
+        .expect("driver dropped with the simulation")
+        .into_inner();
+    summarize(samples, &report, last_arrival, horizon)
+}
+
+fn summarize(
+    samples: Vec<ChurnSample>,
+    report: &SimReport,
+    last_arrival: f64,
+    horizon: SimTime,
+) -> ChurnReport {
+    let mut overall = FctSummary::default();
+    let mut buckets: Vec<ChurnBucket> = SIZE_BUCKETS
+        .iter()
+        .map(|&(label, _)| ChurnBucket {
+            label,
+            flows: 0,
+            fct: FctSummary::default(),
+        })
+        .collect();
+    let mut goodput_bytes = 0u64;
+    for s in &samples {
+        goodput_bytes += s.goodput;
+        let b = SIZE_BUCKETS
+            .iter()
+            .position(|&(_, max)| s.bytes <= max)
+            .expect("buckets end at u64::MAX");
+        buckets[b].flows += 1;
+        match s.fct {
+            Some(fct) => {
+                overall.fcts.push(fct);
+                buckets[b].fct.fcts.push(fct);
+            }
+            None => {
+                overall.incomplete += 1;
+                buckets[b].fct.incomplete += 1;
+            }
+        }
+    }
+    let horizon_secs = horizon.as_secs_f64();
+    let churn = report.churn;
+    ChurnReport {
+        overall,
+        buckets,
+        goodput_mbps: goodput_bytes as f64 * 8.0 / horizon_secs / 1e6,
+        arrival_rate_hz: if last_arrival > 0.0 {
+            churn.arrivals as f64 / last_arrival
+        } else {
+            0.0
+        },
+        completion_rate_hz: churn.completions as f64 / horizon_secs,
+        horizon_secs,
+        events_processed: report.events_processed,
+        churn,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_parse_and_report_sane_means() {
+        for name in builtin_names() {
+            let cdf = SizeCdf::builtin(name).expect("listed builtin loads");
+            assert_eq!(cdf.name(), name);
+            assert!(cdf.points().len() >= 3);
+            let mean = cdf.mean_bytes();
+            assert!(
+                mean > cdf.min_bytes() as f64 && mean < cdf.max_bytes() as f64,
+                "{name}: mean {mean} inside support"
+            );
+        }
+        // The documented shapes: cache-follower ~24 KB, web-search ~1.7 MB.
+        let cache = SizeCdf::builtin("cache-follower").unwrap().mean_bytes();
+        assert!((20_000.0..30_000.0).contains(&cache), "{cache}");
+        let web = SizeCdf::builtin("web-search").unwrap().mean_bytes();
+        assert!((1.2e6..2.2e6).contains(&web), "{web}");
+    }
+
+    #[test]
+    fn builtins_round_trip_through_render() {
+        for name in builtin_names() {
+            let cdf = SizeCdf::builtin(name).unwrap();
+            let back = SizeCdf::parse(name, &cdf.render()).expect("rendered text parses");
+            assert_eq!(cdf, back, "{name} round-trips");
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_line_attributed() {
+        let cases: &[(&str, usize)] = &[
+            ("", 0),                            // empty file
+            ("# only comments\n", 0),           // no breakpoints
+            ("1000\n", 1),                      // missing column
+            ("1000 0.5 extra\n", 1),            // too many columns
+            ("abc 0.5\n", 1),                   // bad byte count
+            ("1000 xyz\n", 1),                  // bad probability
+            ("0 0.5\n", 1),                     // zero size
+            ("1000 0.0\n", 1),                  // prob out of range
+            ("1000 1.5\n", 1),                  // prob out of range
+            ("1000 nan\n", 1),                  // non-finite prob
+            ("1000 0.5\n500 1.0\n", 2),         // sizes not increasing
+            ("1000 0.5\n2000 0.4\n", 2),        // probs decreasing
+            ("1000 0.5\n2000 0.9\n", 2),        // does not end at 1.0
+            ("# c\n1000 0.5\n\n2000 0.9\n", 4), // line numbers count raw lines
+        ];
+        for (text, line) in cases {
+            let e = SizeCdf::parse("junk", text).expect_err("must fail");
+            assert_eq!(e.line, *line, "input {text:?} → {e}");
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_bounded() {
+        let cdf = SizeCdf::builtin("web-search").unwrap();
+        let mut last = 0;
+        for i in 0..=1000 {
+            let u = i as f64 / 1000.0 * 0.999_999;
+            let q = cdf.quantile(u);
+            assert!(q >= last, "quantile monotone at u={u}");
+            assert!(q >= cdf.min_bytes() && q <= cdf.max_bytes());
+            last = q;
+        }
+    }
+
+    #[test]
+    fn poisson_interarrival_mean_within_ci() {
+        // 20k exponential gaps at λ = 250/s: the sample mean lands within
+        // 3σ/√n ≈ 2.1% of 1/λ for a correct generator at this fixed seed.
+        let arrival = Arrival::poisson(250.0);
+        let mut rng = SimRng::new(7).derive(ARRIVAL_STREAM);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| arrival.gap_secs(&mut rng)).sum();
+        let m = sum / n as f64;
+        let want = arrival.mean_gap_secs();
+        assert!(
+            (m - want).abs() / want < 0.03,
+            "sample mean {m} vs 1/λ {want}"
+        );
+    }
+
+    #[test]
+    fn sampled_sizes_reproduce_cdf_at_breakpoints() {
+        // KS-style check: with interpolated inverse-CDF sampling the
+        // empirical CDF at every breakpoint must match the spec within
+        // sampling noise (20k draws → tolerance 0.02 ≫ 3·√(p(1−p)/n)).
+        for name in builtin_names() {
+            let cdf = SizeCdf::builtin(name).unwrap();
+            let mut rng = SimRng::new(11).derive(SIZE_STREAM);
+            let n = 20_000;
+            let draws: Vec<u64> = (0..n).map(|_| cdf.sample(&mut rng)).collect();
+            for &(bytes, prob) in cdf.points() {
+                let emp = draws.iter().filter(|&&d| d <= bytes).count() as f64 / n as f64;
+                assert!(
+                    (emp - prob).abs() < 0.02,
+                    "{name} @ {bytes}: empirical {emp} vs {prob}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_arrivals_are_exact() {
+        let arrival = Arrival::every(SimDuration::from_millis(10));
+        let mut rng = SimRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(arrival.gap_secs(&mut rng), 0.010);
+        }
+    }
+
+    #[test]
+    fn churn_run_conserves_and_recycles() {
+        let cdf = SizeCdf::builtin("cache-follower").unwrap();
+        let link = LinkSetup::new(100e6, SimDuration::from_millis(20), 250_000);
+        let arrival = Arrival::poisson_for_load(0.5, 100e6, cdf.mean_bytes());
+        let cfg = ChurnConfig::new(Protocol::Tcp("cubic"), link, cdf, arrival, 400, 42);
+        let r = run_churn(cfg);
+        let c = r.churn;
+        assert_eq!(c.arrivals, 400);
+        assert_eq!(
+            c.arrivals,
+            c.completions + c.stalls + c.live_at_end,
+            "conservation: {c:?}"
+        );
+        assert_eq!(c.completions, 400, "all flows drain: {c:?}");
+        // Allocation-free steady state: a few dozen live slots serve 400
+        // flows, so the arena recycles heavily.
+        assert!(c.peak_live < 100, "peak live slots {} ≪ 400", c.peak_live);
+        assert!(c.recycled > 300, "slots recycled: {}", c.recycled);
+        assert_eq!(r.samples.len(), 400);
+        assert_eq!(r.overall.count(), 400);
+        assert!(r.overall.p50_ms() > 0.0);
+        assert!(r.overall.p999_ms() >= r.overall.p50_ms());
+        // Every bucket flow count sums back to the total.
+        let n: usize = r.buckets.iter().map(|b| b.flows).sum();
+        assert_eq!(n, 400);
+    }
+
+    #[test]
+    fn churn_report_is_reproducible() {
+        let mk = || {
+            let cdf = SizeCdf::builtin("web-search").unwrap();
+            let link = LinkSetup::new(200e6, SimDuration::from_millis(10), 250_000);
+            let arrival = Arrival::poisson_for_load(0.4, 200e6, cdf.mean_bytes());
+            ChurnConfig::new(Protocol::Tcp("cubic"), link, cdf, arrival, 60, 9)
+        };
+        let a = run_churn(mk());
+        let b = run_churn(mk());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.events_processed, b.events_processed);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The parser never panics on junk: any input either parses into
+        /// a valid CDF or yields a line-attributed error.
+        #[test]
+        fn parse_never_panics(
+            bytes in collection::vec(0u8..128, 0..200)
+        ) {
+            let text: String = bytes.into_iter().map(|b| b as char).collect();
+            match SizeCdf::parse("fuzz", &text) {
+                Ok(cdf) => {
+                    prop_assert!(!cdf.points().is_empty());
+                    prop_assert_eq!(cdf.points().last().unwrap().1, 1.0);
+                }
+                Err(e) => prop_assert!(!e.reason.is_empty()),
+            }
+        }
+
+        /// Structured junk: random lines of numbers, still never panics,
+        /// and any accepted CDF is internally consistent (monotone with a
+        /// normalized tail).
+        #[test]
+        fn parse_structured_junk(
+            rows in proptest::collection::vec((0u64..5000, -1.0f64..2.0), 0..12)
+        ) {
+            let text: String = rows
+                .iter()
+                .map(|(b, p)| format!("{b} {p}\n"))
+                .collect();
+            if let Ok(cdf) = SizeCdf::parse("fuzz", &text) {
+                let pts = cdf.points();
+                for w in pts.windows(2) {
+                    prop_assert!(w[1].0 > w[0].0);
+                    prop_assert!(w[1].1 >= w[0].1);
+                }
+                prop_assert_eq!(pts.last().unwrap().1, 1.0);
+                // And sampling from it stays in-support.
+                let mut rng = SimRng::new(3);
+                for _ in 0..32 {
+                    let s = cdf.sample(&mut rng);
+                    prop_assert!(s >= cdf.min_bytes() && s <= cdf.max_bytes());
+                }
+            }
+        }
+    }
+}

@@ -21,14 +21,22 @@ pub enum Event {
     /// A packet finished propagating and arrives at the next hop (or the
     /// endpoint, if it was the last hop).
     Arrive { packet: Packet },
-    /// An endpoint timer fires. `token` is opaque to the simulator.
+    /// An endpoint timer fires. `token` is opaque to the simulator; `gen`
+    /// is the flow slot's generation when the timer was armed — a timer
+    /// whose generation no longer matches (the slot was recycled under
+    /// churn) is discarded instead of firing into the new tenant.
     Timer {
         flow: FlowId,
         side: Side,
         token: u64,
+        gen: u32,
     },
     /// A flow's sender should start transmitting.
     FlowStart { flow: FlowId },
+    /// The churn driver's next flow arrival is due. One event admits every
+    /// arrival batched at the same timestamp, then re-arms for the next
+    /// distinct arrival instant.
+    ChurnArrival,
     /// Apply step `step` of a link's time-varying parameter schedule.
     LinkUpdate { link: LinkId, step: usize },
     /// Apply entry `index` of the fault plane's compiled schedule.

@@ -86,7 +86,10 @@ pub mod prelude {
     pub use crate::queue::{fq_codel, BufferLimit, Codel, CodelParams, DropTail, FairQueue, Queue};
     pub use crate::rng::SimRng;
     pub use crate::shaper::{JitterConfig, PolicerConfig, ShaperConfig};
-    pub use crate::sim::{FlowSpec, LinkReport, NetworkBuilder, SimConfig, SimReport, Simulation};
+    pub use crate::sim::{
+        ChurnDriver, ChurnFlow, ChurnStats, FlowSpec, LinkReport, NetworkBuilder, SimConfig,
+        SimReport, Simulation,
+    };
     pub use crate::stats::{
         convergence_time, jain_index, jain_index_at_scale, mean, percentile, std_dev, FlowStats,
         StallInfo,

@@ -64,6 +64,13 @@ pub struct Packet {
     /// Index of the next link along the packet's path (maintained by the
     /// simulation loop as the packet hops).
     pub hop: u16,
+    /// Generation of the owning flow's slot when the packet was sent
+    /// (stamped by the simulation loop, like `flow`/`dir`). Flow slots are
+    /// recycled under churn; a packet whose generation no longer matches
+    /// its slot belongs to a retired flow and is dropped on arrival instead
+    /// of bleeding into the slot's new tenant. Always 0 for statically
+    /// registered flows.
+    pub gen: u32,
     /// Wire size in bytes (includes all headers).
     pub bytes: u32,
     /// Time this packet was enqueued at its current queue (set by queues;
@@ -80,6 +87,7 @@ impl Packet {
             flow,
             dir: Direction::Forward,
             hop: 0,
+            gen: 0,
             bytes,
             enqueued_at: now,
             kind: PacketKind::Data(DataInfo {
@@ -97,6 +105,7 @@ impl Packet {
             flow,
             dir: Direction::Reverse,
             hop: 0,
+            gen: 0,
             bytes: DEFAULT_ACK_BYTES,
             enqueued_at: now,
             kind: PacketKind::Ack(info),

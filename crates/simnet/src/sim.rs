@@ -39,6 +39,73 @@ impl Default for SimConfig {
     }
 }
 
+/// A dynamically arriving flow supplied by a [`ChurnDriver`].
+///
+/// Unlike a [`FlowSpec`], a churn flow has no `start_at`: it starts the
+/// instant it is admitted. The `tag` is opaque to the engine and handed back
+/// in [`ChurnDriver::on_flow_complete`] so the driver can key its own
+/// per-flow records (e.g. the flow's size) without the engine keeping a map.
+pub struct ChurnFlow {
+    /// Sender endpoint (drives data transmission).
+    pub sender: Box<dyn Endpoint>,
+    /// Receiver endpoint (generates ACKs).
+    pub receiver: Box<dyn Endpoint>,
+    /// Links traversed by data packets, in order.
+    pub fwd_path: Vec<LinkId>,
+    /// Links traversed by ACKs, in order.
+    pub rev_path: Vec<LinkId>,
+    /// Opaque driver-owned tag, echoed back on completion.
+    pub tag: u64,
+}
+
+/// Supplies an open-loop workload of dynamically arriving flows and
+/// receives their final statistics back as they retire.
+///
+/// The engine pulls arrivals lazily — one look-ahead flow at a time — so a
+/// driver can generate millions of arrivals without materializing them. All
+/// arrivals due at the same instant are admitted in a single event. When a
+/// churn flow finishes (or stalls on its dead-time budget), its slot is
+/// harvested: the stats are passed to [`ChurnDriver::on_flow_complete`] and
+/// the dense [`FlowId`] goes onto a free list for the next arrival,
+/// bounding live state by the number of *concurrent* flows.
+pub trait ChurnDriver {
+    /// The next flow arrival at or after `now`, or `None` when the workload
+    /// is exhausted. Arrival times must be non-decreasing; an arrival in
+    /// the past is admitted immediately.
+    fn next_arrival(&mut self, now: SimTime) -> Option<(SimTime, ChurnFlow)>;
+
+    /// Called when a churn flow retires (completed or stalled). `stats` is
+    /// the flow's final harvested state; `tag` is the [`ChurnFlow::tag`]
+    /// it was admitted with.
+    fn on_flow_complete(&mut self, tag: u64, stats: &FlowStats, now: SimTime);
+}
+
+/// Engine-level churn accounting, all zeros when no driver is installed.
+///
+/// The conservation invariant `arrivals == completions + stalls +
+/// live_at_end` holds at any horizon; `peak_live` vs `arrivals` is the
+/// free-list recycling ratio (peak concurrent slots, not total flows, bound
+/// memory).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChurnStats {
+    /// Flows admitted by the churn driver.
+    pub arrivals: u64,
+    /// Churn flows that finished and were harvested.
+    pub completions: u64,
+    /// Churn flows that aborted on their dead-time budget.
+    pub stalls: u64,
+    /// Churn flows still live when the run ended.
+    pub live_at_end: u64,
+    /// Peak concurrently live flows (including statically registered ones).
+    pub peak_live: u64,
+    /// Slot allocations served by the free list instead of growing the arena.
+    pub recycled: u64,
+    /// Packets dropped on arrival because their flow had already retired.
+    pub stale_packets: u64,
+    /// Timers discarded because their flow had already retired.
+    pub stale_timers: u64,
+}
+
 /// A flow being added to the network.
 pub struct FlowSpec {
     /// Sender endpoint (drives data transmission).
@@ -70,6 +137,30 @@ struct FlowRuntime {
     window_losses: u64,
     last_rate_bps: f64,
     finished: bool,
+    /// True for driver-admitted flows: retire (harvest stats, recycle the
+    /// slot) on finish or stall instead of lingering to the horizon.
+    churn: bool,
+    /// Driver-owned tag echoed back on harvest.
+    tag: u64,
+}
+
+/// One arena slot: a generation counter plus the current tenant, if any.
+/// The generation increments on every retire, so packets and timers stamped
+/// with an older generation can never alias the slot's next tenant.
+struct FlowSlot {
+    gen: u32,
+    rt: Option<FlowRuntime>,
+}
+
+impl FlowSlot {
+    /// The live tenant, or `None` for a retired (free-listed) slot.
+    fn live(&self) -> Option<&FlowRuntime> {
+        self.rt.as_ref()
+    }
+
+    fn live_mut(&mut self) -> Option<&mut FlowRuntime> {
+        self.rt.as_mut()
+    }
 }
 
 /// Per-link summary in the final report.
@@ -96,6 +187,8 @@ pub struct SimReport {
     pub ended_at: SimTime,
     /// Total events processed (for performance accounting).
     pub events_processed: u64,
+    /// Churn-engine accounting (all zeros unless a [`ChurnDriver`] ran).
+    pub churn: ChurnStats,
 }
 
 impl SimReport {
@@ -126,8 +219,10 @@ impl SimReport {
 pub struct NetworkBuilder {
     config: SimConfig,
     links: Vec<Link>,
-    flows: Vec<FlowRuntime>,
+    flows: Vec<FlowSlot>,
     fault: Option<FaultPlane>,
+    driver: Option<Box<dyn ChurnDriver>>,
+    record_series: bool,
     rng: SimRng,
 }
 
@@ -140,6 +235,8 @@ impl NetworkBuilder {
             links: Vec::new(),
             flows: Vec::new(),
             fault: None,
+            driver: None,
+            record_series: true,
             rng,
         }
     }
@@ -148,6 +245,19 @@ impl NetworkBuilder {
     /// [`Event::Fault`] events during the run.
     pub fn set_fault_plane(&mut self, plane: FaultPlane) {
         self.fault = Some(plane);
+    }
+
+    /// Attach a churn driver supplying an open-loop flow-arrival workload.
+    pub fn set_churn_driver(&mut self, driver: Box<dyn ChurnDriver>) {
+        self.driver = Some(driver);
+    }
+
+    /// Enable or disable per-flow sampled series (on by default). Churn
+    /// runs over O(100k) flows turn this off: aggregate stats and FCTs are
+    /// still recorded, but the five per-flow series stay empty, keeping
+    /// steady-state memory proportional to *concurrent* flows only.
+    pub fn set_record_series(&mut self, record: bool) {
+        self.record_series = record;
     }
 
     /// Add a link; returns its id.
@@ -175,22 +285,27 @@ impl NetworkBuilder {
             started_at: spec.start_at,
             ..Default::default()
         };
-        self.flows.push(FlowRuntime {
-            sender: spec.sender,
-            receiver: spec.receiver,
-            fwd_path: spec.fwd_path,
-            rev_path: spec.rev_path,
-            start_at: spec.start_at,
-            sender_rng,
-            receiver_rng,
-            stats,
-            window_delivered_bytes: 0,
-            window_goodput_bytes: 0,
-            window_rtt_sum_ns: 0,
-            window_rtt_count: 0,
-            window_losses: 0,
-            last_rate_bps: 0.0,
-            finished: false,
+        self.flows.push(FlowSlot {
+            gen: 0,
+            rt: Some(FlowRuntime {
+                sender: spec.sender,
+                receiver: spec.receiver,
+                fwd_path: spec.fwd_path,
+                rev_path: spec.rev_path,
+                start_at: spec.start_at,
+                sender_rng,
+                receiver_rng,
+                stats,
+                window_delivered_bytes: 0,
+                window_goodput_bytes: 0,
+                window_rtt_sum_ns: 0,
+                window_rtt_count: 0,
+                window_losses: 0,
+                last_rate_bps: 0.0,
+                finished: false,
+                churn: false,
+                tag: 0,
+            }),
         });
         id
     }
@@ -206,14 +321,29 @@ impl NetworkBuilder {
         // Deriving is consumption-independent, so taking the fault stream
         // unconditionally leaves every other stream untouched.
         let fault_rng = self.rng.derive(FAULT_RNG_SALT);
+        let live = self.flows.len() as u64;
+        let has_driver = self.driver.is_some();
         Simulation {
             now: SimTime::ZERO,
             events: EventQueue::with_capacity(hint),
             links: self.links,
             flows: self.flows,
+            free_slots: Vec::new(),
             config: self.config,
             fault: self.fault,
             fault_rng,
+            rng: self.rng,
+            driver: self.driver,
+            pending_arrival: None,
+            pending_harvest: Vec::new(),
+            churn_seq: 0,
+            churn: ChurnStats {
+                // Zeros (the documented no-churn state) unless a driver runs.
+                peak_live: if has_driver { live } else { 0 },
+                ..ChurnStats::default()
+            },
+            live_count: live,
+            record_series: self.record_series,
             scratch: Vec::new(),
             events_processed: 0,
             started: false,
@@ -226,10 +356,26 @@ pub struct Simulation {
     now: SimTime,
     events: EventQueue,
     links: Vec<Link>,
-    flows: Vec<FlowRuntime>,
+    flows: Vec<FlowSlot>,
+    /// Retired slot indices awaiting reuse (the churn free list).
+    free_slots: Vec<u32>,
     config: SimConfig,
     fault: Option<FaultPlane>,
     fault_rng: SimRng,
+    /// Master stream; per-arrival endpoint streams derive from it.
+    rng: SimRng,
+    driver: Option<Box<dyn ChurnDriver>>,
+    /// One-arrival look-ahead pulled from the driver but not yet due.
+    pending_arrival: Option<(SimTime, ChurnFlow)>,
+    /// Harvests that retired while the driver was checked out (see
+    /// `admit_arrivals`), delivered as soon as it returns.
+    pending_harvest: Vec<(u64, FlowStats)>,
+    /// Monotone arrival counter, salting per-churn-flow RNG streams so a
+    /// recycled slot never replays its previous tenant's randomness.
+    churn_seq: u64,
+    churn: ChurnStats,
+    live_count: u64,
+    record_series: bool,
     scratch: Vec<Action>,
     events_processed: u64,
     started: bool,
@@ -242,13 +388,15 @@ impl Simulation {
     }
 
     fn bootstrap(&mut self) {
-        for (i, f) in self.flows.iter().enumerate() {
-            self.events.schedule(
-                f.start_at,
-                Event::FlowStart {
-                    flow: FlowId(i as u32),
-                },
-            );
+        for (i, slot) in self.flows.iter().enumerate() {
+            if let Some(f) = slot.live() {
+                self.events.schedule(
+                    f.start_at,
+                    Event::FlowStart {
+                        flow: FlowId(i as u32),
+                    },
+                );
+            }
         }
         for (i, l) in self.links.iter().enumerate() {
             if let Some(step) = l.schedule().step(0) {
@@ -268,6 +416,12 @@ impl Simulation {
         }
         self.events
             .schedule(SimTime::ZERO + self.config.sample_interval, Event::Sample);
+        if let Some(driver) = &mut self.driver {
+            if let Some((at, flow)) = driver.next_arrival(SimTime::ZERO) {
+                self.pending_arrival = Some((at, flow));
+                self.events.schedule(at, Event::ChurnArrival);
+            }
+        }
         self.started = true;
     }
 
@@ -278,13 +432,17 @@ impl Simulation {
             // The horizon fixes the series lengths exactly; reserve once.
             let samples = (horizon.as_nanos() / self.config.sample_interval.as_nanos().max(1))
                 .min(1 << 24) as usize;
-            for rt in &mut self.flows {
-                let s = &mut rt.stats.series;
-                s.throughput_mbps.reserve_exact(samples);
-                s.goodput_mbps.reserve_exact(samples);
-                s.rate_mbps.reserve_exact(samples);
-                s.rtt_ms.reserve_exact(samples);
-                s.losses.reserve_exact(samples);
+            if self.record_series {
+                for slot in &mut self.flows {
+                    if let Some(rt) = slot.live_mut() {
+                        let s = &mut rt.stats.series;
+                        s.throughput_mbps.reserve_exact(samples);
+                        s.goodput_mbps.reserve_exact(samples);
+                        s.rate_mbps.reserve_exact(samples);
+                        s.rtt_ms.reserve_exact(samples);
+                        s.losses.reserve_exact(samples);
+                    }
+                }
             }
         }
         while let Some((at, event)) = self.events.pop() {
@@ -305,8 +463,20 @@ impl Simulation {
                 self.call_endpoint(flow, Side::Sender, |e, ctx| e.start(ctx));
                 self.call_endpoint(flow, Side::Receiver, |e, ctx| e.start(ctx));
             }
-            Event::Timer { flow, side, token } => {
-                self.call_endpoint(flow, side, |e, ctx| e.on_timer(token, ctx));
+            Event::Timer {
+                flow,
+                side,
+                token,
+                gen,
+            } => {
+                let slot = &self.flows[flow.index()];
+                if slot.gen != gen || slot.rt.is_none() {
+                    // The slot was recycled after this timer was armed: it
+                    // belongs to a retired flow, never to the new tenant.
+                    self.churn.stale_timers += 1;
+                } else {
+                    self.call_endpoint(flow, side, |e, ctx| e.on_timer(token, ctx));
+                }
             }
             Event::TxComplete { link } => {
                 let res = self.links[link.index()].tx_complete(self.now);
@@ -340,6 +510,9 @@ impl Simulation {
             }
             Event::Fault { index } => {
                 self.apply_fault(index);
+            }
+            Event::ChurnArrival => {
+                self.admit_arrivals();
             }
             Event::Sample => {
                 self.take_sample();
@@ -387,19 +560,137 @@ impl Simulation {
         if change.reroute {
             for (flow, fwd, rev) in plane.reroute() {
                 if flow.index() < self.flows.len() {
-                    let rt = &mut self.flows[flow.index()];
-                    rt.fwd_path = fwd;
-                    rt.rev_path = rev;
+                    if let Some(rt) = self.flows[flow.index()].live_mut() {
+                        rt.fwd_path = fwd;
+                        rt.rev_path = rev;
+                    }
                 }
             }
         }
         self.fault = Some(plane);
     }
 
+    /// Admit every driver arrival due at the current instant (batched into
+    /// this one event), then re-arm for the next distinct arrival time.
+    fn admit_arrivals(&mut self) {
+        // Take the driver out so admitting (which calls endpoints) doesn't
+        // alias the `&mut self` borrow — the apply_fault idiom.
+        let Some(mut driver) = self.driver.take() else {
+            return;
+        };
+        loop {
+            let Some((at, flow)) = self.pending_arrival.take() else {
+                break;
+            };
+            if at > self.now {
+                self.pending_arrival = Some((at, flow));
+                self.events.schedule(at, Event::ChurnArrival);
+                break;
+            }
+            self.spawn_churn_flow(flow);
+            self.pending_arrival = driver.next_arrival(self.now);
+        }
+        for (tag, stats) in self.pending_harvest.drain(..) {
+            driver.on_flow_complete(tag, &stats, self.now);
+        }
+        self.driver = Some(driver);
+    }
+
+    /// Allocate a slot (recycling the free list when possible) and start a
+    /// driver-admitted flow right now.
+    fn spawn_churn_flow(&mut self, flow: ChurnFlow) {
+        assert!(
+            !flow.fwd_path.is_empty() && !flow.rev_path.is_empty(),
+            "churn flow needs at least one link each way"
+        );
+        let k = self.churn_seq;
+        self.churn_seq += 1;
+        self.churn.arrivals += 1;
+        // Per-arrival streams are salted by the monotone arrival index, not
+        // the slot id, so a recycled slot never replays its previous
+        // tenant's randomness. The high bits ("WLSD"/"WLRC") keep these
+        // tags disjoint from the builder's per-slot and per-link streams.
+        let sender_rng = self.rng.derive(0x574C_5344_0000_0000_u64.wrapping_add(k));
+        let receiver_rng = self.rng.derive(0x574C_5243_0000_0000_u64.wrapping_add(k));
+        let rt = FlowRuntime {
+            sender: flow.sender,
+            receiver: flow.receiver,
+            fwd_path: flow.fwd_path,
+            rev_path: flow.rev_path,
+            start_at: self.now,
+            sender_rng,
+            receiver_rng,
+            stats: FlowStats {
+                started_at: self.now,
+                ..Default::default()
+            },
+            window_delivered_bytes: 0,
+            window_goodput_bytes: 0,
+            window_rtt_sum_ns: 0,
+            window_rtt_count: 0,
+            window_losses: 0,
+            last_rate_bps: 0.0,
+            finished: false,
+            churn: true,
+            tag: flow.tag,
+        };
+        let idx = match self.free_slots.pop() {
+            Some(i) => {
+                self.churn.recycled += 1;
+                i as usize
+            }
+            None => {
+                self.flows.push(FlowSlot { gen: 0, rt: None });
+                self.flows.len() - 1
+            }
+        };
+        debug_assert!(self.flows[idx].rt.is_none(), "allocated an occupied slot");
+        self.flows[idx].rt = Some(rt);
+        self.live_count += 1;
+        self.churn.peak_live = self.churn.peak_live.max(self.live_count);
+        let id = FlowId(idx as u32);
+        self.call_endpoint(id, Side::Sender, |e, ctx| e.start(ctx));
+        self.call_endpoint(id, Side::Receiver, |e, ctx| e.start(ctx));
+    }
+
+    /// Harvest a terminal churn flow: hand its stats to the driver, bump the
+    /// slot generation (orphaning any in-flight packets/timers), and free
+    /// the slot for reuse.
+    fn retire_flow(&mut self, flow: FlowId) {
+        let slot = &mut self.flows[flow.index()];
+        let Some(rt) = slot.rt.take() else {
+            return;
+        };
+        slot.gen = slot.gen.wrapping_add(1);
+        self.live_count -= 1;
+        if rt.stats.completed_at.is_some() {
+            self.churn.completions += 1;
+        } else {
+            self.churn.stalls += 1;
+        }
+        self.free_slots.push(flow.0);
+        match &mut self.driver {
+            Some(driver) => driver.on_flow_complete(rt.tag, &rt.stats, self.now),
+            // The driver is momentarily out while admit_arrivals runs (a
+            // flow can go terminal inside its own start); buffer the
+            // harvest and deliver it when the driver is re-installed.
+            None => self.pending_harvest.push((rt.tag, rt.stats)),
+        }
+    }
+
     /// Move `pkt` along its path: offer to the next link, or deliver to the
     /// destination endpoint if all links are traversed.
     fn route(&mut self, mut pkt: Packet) {
-        let flow = &self.flows[pkt.flow.index()];
+        let slot = &self.flows[pkt.flow.index()];
+        let Some(flow) = slot.live() else {
+            self.churn.stale_packets += 1;
+            return;
+        };
+        if slot.gen != pkt.gen {
+            // Sent by a retired tenant of this (recycled) slot.
+            self.churn.stale_packets += 1;
+            return;
+        }
         let path = match pkt.dir {
             Direction::Forward => &flow.fwd_path,
             Direction::Reverse => &flow.rev_path,
@@ -444,15 +735,22 @@ impl Simulation {
     /// Hand a fully propagated packet to its destination endpoint.
     fn deliver(&mut self, pkt: Packet) {
         let flow_id = pkt.flow;
+        // The generation check comes before any stats update: a packet from
+        // a retired tenant must not bleed bytes into the slot's new flow.
+        let slot = &mut self.flows[flow_id.index()];
+        if slot.gen != pkt.gen || slot.rt.is_none() {
+            self.churn.stale_packets += 1;
+            return;
+        }
         let side = match pkt.dir {
             Direction::Forward => Side::Receiver,
             Direction::Reverse => Side::Sender,
         };
         if pkt.is_data() {
-            let st = &mut self.flows[flow_id.index()].stats;
-            st.delivered_bytes += pkt.bytes as u64;
-            st.delivered_packets += 1;
-            self.flows[flow_id.index()].window_delivered_bytes += pkt.bytes as u64;
+            let rt = slot.live_mut().expect("checked live above");
+            rt.stats.delivered_bytes += pkt.bytes as u64;
+            rt.stats.delivered_packets += 1;
+            rt.window_delivered_bytes += pkt.bytes as u64;
         }
         self.call_endpoint(flow_id, side, |e, ctx| e.on_packet(&pkt, ctx));
     }
@@ -467,7 +765,10 @@ impl Simulation {
         let mut actions = std::mem::take(&mut self.scratch);
         actions.clear();
         {
-            let rt = &mut self.flows[flow.index()];
+            let Some(rt) = self.flows[flow.index()].live_mut() else {
+                self.scratch = actions;
+                return;
+            };
             let (endpoint, rng) = match side {
                 Side::Sender => (&mut rt.sender, &mut rt.sender_rng),
                 Side::Receiver => (&mut rt.receiver, &mut rt.receiver_rng),
@@ -480,6 +781,14 @@ impl Simulation {
             self.apply_action(flow, side, action);
         }
         self.scratch = actions;
+        // Retire terminal churn flows only after the whole action batch is
+        // applied, so trailing Record* actions still land on this flow.
+        let terminal = self.flows[flow.index()]
+            .live()
+            .is_some_and(|rt| rt.churn && (rt.finished || rt.stats.stalled.is_some()));
+        if terminal {
+            self.retire_flow(flow);
+        }
     }
 
     fn apply_action(&mut self, flow: FlowId, side: Side, action: Action) {
@@ -491,17 +800,31 @@ impl Simulation {
                     Side::Receiver => Direction::Reverse,
                 };
                 pkt.hop = 0;
+                pkt.gen = self.flows[flow.index()].gen;
                 if side == Side::Sender && pkt.is_data() {
-                    self.flows[flow.index()].stats.sent_packets += 1;
+                    if let Some(rt) = self.flows[flow.index()].live_mut() {
+                        rt.stats.sent_packets += 1;
+                    }
                 }
                 self.route(pkt);
             }
             Action::SetTimer { at, token } => {
                 let at = if at < self.now { self.now } else { at };
-                self.events.schedule(at, Event::Timer { flow, side, token });
+                let gen = self.flows[flow.index()].gen;
+                self.events.schedule(
+                    at,
+                    Event::Timer {
+                        flow,
+                        side,
+                        token,
+                        gen,
+                    },
+                );
             }
             Action::RecordRate(bps) => {
-                let rt = &mut self.flows[flow.index()];
+                let Some(rt) = self.flows[flow.index()].live_mut() else {
+                    return;
+                };
                 rt.last_rate_bps = bps;
                 // Downsample to at most one entry per sample interval
                 // (keeping the latest decision in the window, like the
@@ -518,24 +841,32 @@ impl Simulation {
                 }
             }
             Action::RecordRtt(rtt) => {
-                let rt = &mut self.flows[flow.index()];
+                let Some(rt) = self.flows[flow.index()].live_mut() else {
+                    return;
+                };
                 rt.stats.rtt_sum_ns += rtt.as_nanos();
                 rt.stats.rtt_samples += 1;
                 rt.window_rtt_sum_ns += rtt.as_nanos();
                 rt.window_rtt_count += 1;
             }
             Action::RecordLoss(n) => {
-                let rt = &mut self.flows[flow.index()];
+                let Some(rt) = self.flows[flow.index()].live_mut() else {
+                    return;
+                };
                 rt.stats.detected_losses += n;
                 rt.window_losses += n;
             }
             Action::RecordGoodput(bytes) => {
-                let rt = &mut self.flows[flow.index()];
+                let Some(rt) = self.flows[flow.index()].live_mut() else {
+                    return;
+                };
                 rt.stats.goodput_bytes += bytes;
                 rt.window_goodput_bytes += bytes;
             }
             Action::Stall { dark, timeouts } => {
-                let rt = &mut self.flows[flow.index()];
+                let Some(rt) = self.flows[flow.index()].live_mut() else {
+                    return;
+                };
                 if rt.stats.stalled.is_none() {
                     rt.stats.stalled = Some(StallInfo {
                         at: self.now,
@@ -545,7 +876,9 @@ impl Simulation {
                 }
             }
             Action::Finish => {
-                let rt = &mut self.flows[flow.index()];
+                let Some(rt) = self.flows[flow.index()].live_mut() else {
+                    return;
+                };
                 if !rt.finished {
                     rt.finished = true;
                     rt.stats.completed_at = Some(self.now);
@@ -556,19 +889,25 @@ impl Simulation {
 
     fn take_sample(&mut self) {
         let dt = self.config.sample_interval.as_secs_f64();
-        for rt in &mut self.flows {
-            let tput = rt.window_delivered_bytes as f64 * 8.0 / dt / 1e6;
-            let goodput = rt.window_goodput_bytes as f64 * 8.0 / dt / 1e6;
-            let rtt_ms = if rt.window_rtt_count > 0 {
-                (rt.window_rtt_sum_ns as f64 / rt.window_rtt_count as f64) / 1e6
-            } else {
-                f64::NAN
+        let record = self.record_series;
+        for slot in &mut self.flows {
+            let Some(rt) = slot.live_mut() else {
+                continue;
             };
-            rt.stats.series.throughput_mbps.push(tput);
-            rt.stats.series.goodput_mbps.push(goodput);
-            rt.stats.series.rate_mbps.push(rt.last_rate_bps / 1e6);
-            rt.stats.series.rtt_ms.push(rtt_ms);
-            rt.stats.series.losses.push(rt.window_losses);
+            if record {
+                let tput = rt.window_delivered_bytes as f64 * 8.0 / dt / 1e6;
+                let goodput = rt.window_goodput_bytes as f64 * 8.0 / dt / 1e6;
+                let rtt_ms = if rt.window_rtt_count > 0 {
+                    (rt.window_rtt_sum_ns as f64 / rt.window_rtt_count as f64) / 1e6
+                } else {
+                    f64::NAN
+                };
+                rt.stats.series.throughput_mbps.push(tput);
+                rt.stats.series.goodput_mbps.push(goodput);
+                rt.stats.series.rate_mbps.push(rt.last_rate_bps / 1e6);
+                rt.stats.series.rtt_ms.push(rtt_ms);
+                rt.stats.series.losses.push(rt.window_losses);
+            }
             rt.window_delivered_bytes = 0;
             rt.window_goodput_bytes = 0;
             rt.window_rtt_sum_ns = 0;
@@ -577,9 +916,20 @@ impl Simulation {
         }
     }
 
-    fn finalize(self) -> SimReport {
+    fn finalize(mut self) -> SimReport {
+        self.churn.live_at_end = self
+            .flows
+            .iter()
+            .filter(|s| s.live().is_some_and(|rt| rt.churn))
+            .count() as u64;
         SimReport {
-            flows: self.flows.into_iter().map(|f| f.stats).collect(),
+            // A retired slot reports default (empty) stats: its real stats
+            // were harvested through the driver when the flow retired.
+            flows: self
+                .flows
+                .into_iter()
+                .map(|s| s.rt.map(|f| f.stats).unwrap_or_default())
+                .collect(),
             links: self
                 .links
                 .iter()
@@ -592,6 +942,7 @@ impl Simulation {
             sample_interval: self.config.sample_interval,
             ended_at: self.now,
             events_processed: self.events_processed,
+            churn: self.churn,
         }
     }
 }
@@ -1029,6 +1380,393 @@ mod tests {
             st.sent_packets - st.delivered_packets <= fault_drops,
             "every undelivered data packet is accounted as a fault drop"
         );
+    }
+
+    /// Shared collector for churn-driver tests: records each harvested
+    /// flow's tag and final stats.
+    type Harvest = std::rc::Rc<std::cell::RefCell<Vec<(u64, u64, u64, bool)>>>;
+
+    /// A driver admitting `count` flows at a fixed interval, each a
+    /// `TickSender` sending `pkts` packets. Tags are arrival indices.
+    struct IntervalDriver {
+        next_at: SimTime,
+        interval: SimDuration,
+        admitted: u64,
+        count: u64,
+        pkts: u64,
+        fwd: LinkId,
+        rev: LinkId,
+        harvest: Harvest,
+    }
+
+    impl IntervalDriver {
+        fn flow(&self, tag: u64) -> ChurnFlow {
+            ChurnFlow {
+                sender: Box::new(TickSender {
+                    next_seq: 0,
+                    count: self.pkts,
+                    spacing: SimDuration::from_millis(1),
+                    acked: 0,
+                }),
+                receiver: Box::new(EchoReceiver { received: 0 }),
+                fwd_path: vec![self.fwd],
+                rev_path: vec![self.rev],
+                tag,
+            }
+        }
+    }
+
+    impl ChurnDriver for IntervalDriver {
+        fn next_arrival(&mut self, _now: SimTime) -> Option<(SimTime, ChurnFlow)> {
+            if self.admitted >= self.count {
+                return None;
+            }
+            let tag = self.admitted;
+            let at = self.next_at;
+            self.admitted += 1;
+            self.next_at = at + self.interval;
+            Some((at, self.flow(tag)))
+        }
+
+        fn on_flow_complete(&mut self, tag: u64, stats: &FlowStats, _now: SimTime) {
+            self.harvest.borrow_mut().push((
+                tag,
+                stats.delivered_bytes,
+                stats.goodput_bytes,
+                stats.completed_at.is_some(),
+            ));
+        }
+    }
+
+    #[test]
+    fn churn_recycles_slots_and_conserves_accounting() {
+        let (mut nb, fwd, rev) = two_way_net(100e6, SimDuration::from_millis(2));
+        let harvest: Harvest = Default::default();
+        nb.set_churn_driver(Box::new(IntervalDriver {
+            next_at: SimTime::ZERO,
+            interval: SimDuration::from_millis(25),
+            admitted: 0,
+            count: 200,
+            pkts: 5,
+            fwd,
+            rev,
+            harvest: harvest.clone(),
+        }));
+        let report = nb.build().run_until(SimTime::from_secs(6));
+        let c = report.churn;
+        assert_eq!(c.arrivals, 200);
+        assert_eq!(
+            c.completions + c.stalls + c.live_at_end,
+            c.arrivals,
+            "accounting conserved: {c:?}"
+        );
+        assert_eq!(c.completions, 200, "every short flow finishes: {c:?}");
+        // Each flow lives ~9 ms against a 25 ms inter-arrival gap: the arena
+        // never needs more than a couple of slots for 200 flows.
+        assert!(c.peak_live <= 3, "peak slots ≪ total flows: {c:?}");
+        assert!(
+            report.flows.len() as u64 <= c.peak_live,
+            "arena bounded by peak, not arrivals: {} slots",
+            report.flows.len()
+        );
+        assert!(
+            c.recycled >= 197,
+            "free list served the steady state: {c:?}"
+        );
+        // Harvested stats are per-flow, uncontaminated: every flow delivered
+        // exactly its own 5 packets.
+        let h = harvest.borrow();
+        assert_eq!(h.len(), 200);
+        for &(tag, delivered, goodput, done) in h.iter() {
+            assert!(tag < 200);
+            assert_eq!(delivered, 5 * 1500, "flow {tag} delivered its bytes");
+            assert_eq!(goodput, 5 * 1500);
+            assert!(done);
+        }
+    }
+
+    #[test]
+    fn same_instant_arrivals_are_batched_and_all_admitted() {
+        // The buffer must absorb the synchronized 100-packet burst: this
+        // sender never retransmits, so a tail drop would leave its flow
+        // incomplete (and the completions assert below is exact).
+        let mut nb = NetworkBuilder::new(SimConfig {
+            sample_interval: SimDuration::from_millis(100),
+            seed: 7,
+        });
+        let fwd = nb.add_link(LinkConfig::bottleneck(
+            100e6,
+            SimDuration::from_millis(2),
+            1 << 20,
+        ));
+        let rev = nb.add_link(LinkConfig::delay_only(SimDuration::from_millis(2)));
+        let harvest: Harvest = Default::default();
+        // Zero interval: all 50 arrivals land at the same instant and must
+        // be admitted by the single ChurnArrival event.
+        nb.set_churn_driver(Box::new(IntervalDriver {
+            next_at: SimTime::from_millis(10),
+            interval: SimDuration::ZERO,
+            admitted: 0,
+            count: 50,
+            pkts: 2,
+            fwd,
+            rev,
+            harvest: harvest.clone(),
+        }));
+        let report = nb.build().run_until(SimTime::from_secs(2));
+        let c = report.churn;
+        assert_eq!(c.arrivals, 50);
+        assert_eq!(c.completions, 50);
+        assert_eq!(c.peak_live, 50, "all concurrent");
+        assert_eq!(harvest.borrow().len(), 50);
+    }
+
+    /// A sender that fires two packets back-to-back but finishes on the
+    /// first ACK, deliberately leaving its second packet (and that packet's
+    /// ACK) in flight past its own retirement.
+    struct EagerFinisher;
+
+    impl Endpoint for EagerFinisher {
+        fn start(&mut self, ctx: &mut EndpointCtx) {
+            ctx.send_data(0, 1500, false);
+            ctx.send_data(1, 1500, false);
+        }
+        fn on_packet(&mut self, _pkt: &Packet, ctx: &mut EndpointCtx) {
+            ctx.finish();
+        }
+        fn on_timer(&mut self, _token: u64, _ctx: &mut EndpointCtx) {}
+    }
+
+    struct TwoFlowDriver {
+        admitted: u32,
+        fwd: LinkId,
+        rev: LinkId,
+        harvest: Harvest,
+    }
+
+    impl ChurnDriver for TwoFlowDriver {
+        fn next_arrival(&mut self, _now: SimTime) -> Option<(SimTime, ChurnFlow)> {
+            self.admitted += 1;
+            match self.admitted {
+                1 => Some((
+                    SimTime::ZERO,
+                    ChurnFlow {
+                        sender: Box::new(EagerFinisher),
+                        receiver: Box::new(EchoReceiver { received: 0 }),
+                        fwd_path: vec![self.fwd],
+                        rev_path: vec![self.rev],
+                        tag: 1,
+                    },
+                )),
+                2 => Some((
+                    // Long after flow 1's leftovers have drained out of the
+                    // network — but its slot (and any stale events) remain.
+                    SimTime::from_millis(200),
+                    ChurnFlow {
+                        sender: Box::new(TickSender {
+                            next_seq: 0,
+                            count: 3,
+                            spacing: SimDuration::from_millis(1),
+                            acked: 0,
+                        }),
+                        receiver: Box::new(EchoReceiver { received: 0 }),
+                        fwd_path: vec![self.fwd],
+                        rev_path: vec![self.rev],
+                        tag: 2,
+                    },
+                )),
+                _ => None,
+            }
+        }
+
+        fn on_flow_complete(&mut self, tag: u64, stats: &FlowStats, _now: SimTime) {
+            self.harvest.borrow_mut().push((
+                tag,
+                stats.delivered_bytes,
+                stats.goodput_bytes,
+                stats.completed_at.is_some(),
+            ));
+        }
+    }
+
+    #[test]
+    fn recycled_slot_never_aliases_retired_flow() {
+        // Regression against cross-flow stat bleed: flow 1 retires with a
+        // data packet still in flight; flow 2 reuses the same slot. The
+        // stale packet must be dropped by the generation check, not
+        // credited to flow 2's delivered bytes.
+        //
+        // The reverse path is much faster than the forward one, so the
+        // first ACK (and with it Finish) beats the second data packet:
+        // pkt0 lands at 11.2 ms, its ACK finishes the flow at 12.2 ms,
+        // and pkt1 arrives stale at 12.4 ms.
+        let mut nb = NetworkBuilder::new(SimConfig {
+            sample_interval: SimDuration::from_millis(100),
+            seed: 7,
+        });
+        let fwd = nb.add_link(LinkConfig::bottleneck(
+            10e6,
+            SimDuration::from_millis(10),
+            64_000,
+        ));
+        let rev = nb.add_link(LinkConfig::delay_only(SimDuration::from_millis(1)));
+        let harvest: Harvest = Default::default();
+        nb.set_churn_driver(Box::new(TwoFlowDriver {
+            admitted: 0,
+            fwd,
+            rev,
+            harvest: harvest.clone(),
+        }));
+        let report = nb.build().run_until(SimTime::from_secs(1));
+        let c = report.churn;
+        assert_eq!(c.arrivals, 2);
+        assert_eq!(c.completions, 2);
+        assert_eq!(c.recycled, 1, "flow 2 reused flow 1's slot");
+        assert!(
+            c.stale_packets >= 1,
+            "flow 1's in-flight leftovers were dropped, not delivered: {c:?}"
+        );
+        let h = harvest.borrow();
+        // Flow 1 finished on its first ACK: exactly one packet delivered.
+        let f1 = h.iter().find(|e| e.0 == 1).expect("flow 1 harvested");
+        assert_eq!(f1.1, 1500, "flow 1 credited only its pre-retire delivery");
+        // Flow 2's stats contain flow 2's packets only — no bleed.
+        let f2 = h.iter().find(|e| e.0 == 2).expect("flow 2 harvested");
+        assert_eq!(f2.1, 3 * 1500, "no cross-flow stat bleed: {f2:?}");
+        assert_eq!(f2.2, 3 * 1500);
+    }
+
+    /// A sender that arms a long timer, then behaves like a 1-packet flow;
+    /// its timer outlives its own retirement.
+    struct TimerLeaker;
+
+    impl Endpoint for TimerLeaker {
+        fn start(&mut self, ctx: &mut EndpointCtx) {
+            ctx.set_timer(ctx.now + SimDuration::from_millis(300), 99);
+            ctx.send_data(0, 1500, false);
+        }
+        fn on_packet(&mut self, _pkt: &Packet, ctx: &mut EndpointCtx) {
+            ctx.finish();
+        }
+        fn on_timer(&mut self, _token: u64, _ctx: &mut EndpointCtx) {
+            panic!("stale timer fired into a retired flow");
+        }
+    }
+
+    /// Counts its own timer fires; panics if it sees token 99 (the
+    /// leaker's), which would mean a stale timer crossed tenants.
+    struct TimerCounter {
+        fires: u64,
+        done: bool,
+    }
+
+    impl Endpoint for TimerCounter {
+        fn start(&mut self, ctx: &mut EndpointCtx) {
+            ctx.set_timer(ctx.now + SimDuration::from_millis(10), 1);
+        }
+        fn on_packet(&mut self, _pkt: &Packet, _ctx: &mut EndpointCtx) {}
+        fn on_timer(&mut self, token: u64, ctx: &mut EndpointCtx) {
+            assert_ne!(token, 99, "previous tenant's timer leaked across");
+            self.fires += 1;
+            if !self.done {
+                self.done = true;
+                ctx.set_timer(ctx.now + SimDuration::from_millis(10), 1);
+            } else {
+                ctx.finish();
+            }
+        }
+    }
+
+    struct LeakDriver {
+        admitted: u32,
+        fwd: LinkId,
+        rev: LinkId,
+    }
+
+    impl ChurnDriver for LeakDriver {
+        fn next_arrival(&mut self, _now: SimTime) -> Option<(SimTime, ChurnFlow)> {
+            self.admitted += 1;
+            match self.admitted {
+                1 => Some((
+                    SimTime::ZERO,
+                    ChurnFlow {
+                        sender: Box::new(TimerLeaker),
+                        receiver: Box::new(EchoReceiver { received: 0 }),
+                        fwd_path: vec![self.fwd],
+                        rev_path: vec![self.rev],
+                        tag: 1,
+                    },
+                )),
+                2 => Some((
+                    SimTime::from_millis(100),
+                    ChurnFlow {
+                        sender: Box::new(TimerCounter {
+                            fires: 0,
+                            done: false,
+                        }),
+                        receiver: Box::new(EchoReceiver { received: 0 }),
+                        fwd_path: vec![self.fwd],
+                        rev_path: vec![self.rev],
+                        tag: 2,
+                    },
+                )),
+                _ => None,
+            }
+        }
+
+        fn on_flow_complete(&mut self, _tag: u64, _stats: &FlowStats, _now: SimTime) {}
+    }
+
+    #[test]
+    fn stale_timer_never_fires_into_new_tenant() {
+        let (mut nb, fwd, rev) = two_way_net(10e6, SimDuration::from_millis(5));
+        nb.set_churn_driver(Box::new(LeakDriver {
+            admitted: 0,
+            fwd,
+            rev,
+        }));
+        let report = nb.build().run_until(SimTime::from_secs(1));
+        let c = report.churn;
+        assert_eq!(c.completions, 2);
+        assert_eq!(c.recycled, 1, "tenant 2 reused tenant 1's slot");
+        // Tenant 1's 300 ms timer fires at a time when tenant 2 owns the
+        // slot; the generation check must discard it (either endpoint would
+        // panic if it fired).
+        assert!(c.stale_timers >= 1, "leaked timer was discarded: {c:?}");
+    }
+
+    #[test]
+    fn record_series_opt_out_keeps_aggregates() {
+        let run = |record| {
+            let (mut nb, fwd, rev) = two_way_net(10e6, SimDuration::from_millis(10));
+            nb.set_record_series(record);
+            let flow = nb.add_flow(FlowSpec {
+                sender: Box::new(TickSender {
+                    next_seq: 0,
+                    count: 100,
+                    spacing: SimDuration::from_millis(2),
+                    acked: 0,
+                }),
+                receiver: Box::new(EchoReceiver { received: 0 }),
+                fwd_path: vec![fwd],
+                rev_path: vec![rev],
+                start_at: SimTime::ZERO,
+            });
+            let r = nb.build().run_until(SimTime::from_secs(2));
+            (
+                r.flows[flow.index()].delivered_bytes,
+                r.flows[flow.index()].goodput_bytes,
+                r.flows[flow.index()].series.throughput_mbps.len(),
+                r.events_processed,
+            )
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.0, off.0, "aggregates identical");
+        assert_eq!(on.1, off.1);
+        assert_eq!(on.3, off.3, "event stream identical");
+        assert_eq!(on.2, 20, "series recorded by default");
+        assert_eq!(off.2, 0, "series empty when opted out");
     }
 
     #[test]

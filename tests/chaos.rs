@@ -18,7 +18,9 @@
 //!   counter fingerprint, script by script.
 
 use pcc::scenarios::chaos::{run_chaos, ChaosScript};
-use pcc::scenarios::Protocol;
+use pcc::scenarios::workload::{run_churn, Arrival, ChurnConfig, SizeCdf};
+use pcc::scenarios::{LinkSetup, Protocol};
+use pcc::simnet::time::SimDuration;
 use pcc::transport::registry;
 
 fn all_names() -> Vec<String> {
@@ -63,6 +65,56 @@ fn every_algorithm_survives_every_chaos_script() {
             );
         }
     }
+}
+
+#[test]
+fn churn_survives_a_mid_run_link_flap() {
+    // Churn under fault: the bottleneck flaps (down at 1 s for 0.5 s)
+    // while an open-loop workload of 300 heavy-tailed flows is arriving
+    // and retiring through the recycling slot arena. The contract:
+    //
+    // * no wedge — the run reaches its horizon with every admitted flow
+    //   accounted for (arrivals = completions + stalls + live-at-horizon);
+    // * the fault costs flows, not invariants — stale packets/timers from
+    //   flows retired mid-flap are discarded, never billed to a slot's
+    //   next tenant;
+    // * bit-identical reruns, fault and all.
+    let mk = || {
+        let cdf = SizeCdf::builtin("cache-follower").expect("bundled CDF");
+        let link = LinkSetup::new(100e6, SimDuration::from_millis(20), 250_000);
+        let arrival = Arrival::poisson_for_load(0.5, 100e6, cdf.mean_bytes());
+        ChurnConfig::new(Protocol::Tcp("cubic"), link, cdf, arrival, 300, 0xC4A05)
+            .with_fault_script("1 down 0 0.5")
+    };
+    let r = run_churn(mk());
+    let c = r.churn;
+    assert_eq!(c.arrivals, 300, "every flow admitted");
+    assert_eq!(
+        c.arrivals,
+        c.completions + c.stalls + c.live_at_end,
+        "accounting conserved across the flap: {c:?}"
+    );
+    assert!(
+        c.completions > 200,
+        "the bulk of the workload survives a half-second flap: {c:?}"
+    );
+    assert_eq!(
+        r.samples.len() as u64,
+        c.completions + c.stalls,
+        "every retired flow harvested exactly once"
+    );
+    assert!(
+        c.peak_live < c.arrivals,
+        "slots recycle under fault: peak {} of {}",
+        c.peak_live,
+        c.arrivals
+    );
+    let rerun = run_churn(mk());
+    assert_eq!(
+        r.fingerprint(),
+        rerun.fingerprint(),
+        "churn-under-fault rerun is bit-identical"
+    );
 }
 
 #[test]
